@@ -1,0 +1,251 @@
+package quditkit_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/arch"
+	"quditkit/internal/circuit"
+	"quditkit/internal/core"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+	"quditkit/internal/qmath"
+	"quditkit/internal/state"
+	"quditkit/internal/synth"
+)
+
+// benchExperiment runs one registry experiment per iteration and logs its
+// table (visible with -v), so `go test -bench` regenerates the paper
+// artifacts while timing them.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := core.FindExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		tab, err := exp.Run(rng, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab.String())
+		}
+	}
+}
+
+// BenchmarkE1SQEDResources regenerates Table I row 1 (sQED 2D lattice
+// resource estimate).
+func BenchmarkE1SQEDResources(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2EncodingNoise regenerates the qudit-vs-qubit noise tolerance
+// comparison ([11]).
+func BenchmarkE2EncodingNoise(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3NDAR regenerates Table I row 2 (NDAR-QAOA coloring).
+func BenchmarkE3NDAR(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Synthesis regenerates the d<=8 synthesis fidelity claim
+// ([20]).
+func BenchmarkE4Synthesis(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5QRAC regenerates the 50+-node QRAC scaling claim ([22],[23]).
+func BenchmarkE5QRAC(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6QRC regenerates Table I row 3 (QRC vs classical reservoir).
+func BenchmarkE6QRC(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7ShotNoise regenerates the QRC sampling-overhead challenge
+// ([26]).
+func BenchmarkE7ShotNoise(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8Capacity regenerates the §I forecast capacity table.
+func BenchmarkE8Capacity(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Tomography regenerates the reservoir-tomography
+// small-training claim ([28]).
+func BenchmarkE9Tomography(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Constraints regenerates the constraint-survival comparison
+// ([18]).
+func BenchmarkE10Constraints(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11CSUM regenerates the CSUM engineering-cost table.
+func BenchmarkE11CSUM(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12RandomizedBenchmarking regenerates the cavity-qudit RB
+// claim ([9]).
+func BenchmarkE12RandomizedBenchmarking(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13WaveformClassification regenerates the analog-reservoir
+// signal classification claim ([27]).
+func BenchmarkE13WaveformClassification(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Swap3D regenerates the 3D-via-swap-networks extension
+// (§II.A).
+func BenchmarkE14Swap3D(b *testing.B) { benchExperiment(b, "E14") }
+
+// --- Ablation benches (design choices called out in DESIGN.md §5) ---
+
+// BenchmarkAblationApplyStride measures the strided gather/scatter gate
+// application used by the simulator.
+func BenchmarkAblationApplyStride(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dims := hilbert.Uniform(6, 3) // 729-dim register
+	amps := qmath.RandomState(rng, 729)
+	v, err := state.FromAmplitudes(dims, amps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := gates.CSUM(3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Apply(g, 2, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationApplyKron measures the naive alternative: embedding
+// the gate in a full-register matrix and multiplying.
+func BenchmarkAblationApplyKron(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sp := hilbert.MustSpace(hilbert.Uniform(6, 3))
+	amps := qmath.RandomState(rng, sp.Total())
+	g := gates.CSUM(3, 3)
+	// Build the embedded 729x729 matrix once per iteration to charge the
+	// full cost of the strategy.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full := qmath.NewMatrix(sp.Total(), sp.Total())
+		offsets := sp.TargetOffsets([]int{2, 4})
+		sp.SubspaceIter([]int{2, 4}, func(base int) {
+			for r := 0; r < 9; r++ {
+				for c := 0; c < 9; c++ {
+					full.Set(base+offsets[r], base+offsets[c], g.Matrix.At(r, c))
+				}
+			}
+		})
+		amps = full.MulVec(amps)
+	}
+}
+
+// BenchmarkAblationDensityExact measures exact density-matrix execution
+// of a noisy qutrit GHZ circuit.
+func BenchmarkAblationDensityExact(b *testing.B) {
+	c := ghzCircuit(b, 3)
+	model := noise.Model{Depol2: 0.02, Damping: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunDensity(model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTrajectories measures the trajectory-averaged
+// alternative at 100 shots.
+func BenchmarkAblationTrajectories(b *testing.B) {
+	c := ghzCircuit(b, 3)
+	model := noise.Model{Depol2: 0.02, Damping: 0.01}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AverageTrajectories(rng, model, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSNAPBlocks sweeps the SNAP-displacement block budget
+// and logs the fidelity frontier.
+func BenchmarkAblationSNAPBlocks(b *testing.B) {
+	d := 4
+	target := gates.Givens(d, 1, 2, math.Pi/5, 0.4).Matrix
+	for i := 0; i < b.N; i++ {
+		for _, blocks := range []int{2, d, 2 * d} {
+			rng := rand.New(rand.NewSource(3))
+			res, err := synth.SynthesizeSNAPDisplacement(rng, target, synth.SNAPDisplacementOptions{
+				Blocks: blocks, Restarts: 2, MaxSweeps: 25,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("blocks=%d fidelity=%.5f evals=%d", blocks, res.Fidelity, res.Evaluations)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMappingAnnealed measures the noise-aware annealed
+// placement against the identity placement on a ring workload.
+func BenchmarkAblationMappingAnnealed(b *testing.B) {
+	dev := arch.ForecastDevice(5)
+	var edges []arch.InteractionEdge
+	n := 10
+	for i := 0; i < n; i++ {
+		edges = append(edges, arch.InteractionEdge{U: i, V: (i + 1) % n, Weight: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		m, err := arch.MapNoiseAware(rng, dev, n, edges, arch.MappingOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			ident, err := arch.MapIdentity(dev, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("annealed cost %.2f vs identity cost %.2f",
+				m.Cost, arch.MappingCost(dev, edges, ident.LogicalToMode))
+		}
+	}
+}
+
+// BenchmarkAblationLindbladStep sweeps RK4 substep counts against the
+// analytic decay solution and logs the error.
+func BenchmarkAblationLindbladStep(b *testing.B) {
+	d := 6
+	kappa := 0.5
+	a := gates.Lower(d).Scale(complex(math.Sqrt(kappa), 0))
+	l, err := noise.NewSparseLindblad(qmath.NewMatrix(d, d), []*qmath.Matrix{a})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rho0 := qmath.NewMatrix(d, d)
+	rho0.Set(4, 4, 1)
+	nOp := gates.Number(d)
+	want := 4 * math.Exp(-kappa*2.0)
+	for i := 0; i < b.N; i++ {
+		for _, steps := range []int{4, 16, 64, 256} {
+			out, err := l.Evolve(2.0, steps, rho0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				got := real(out.Mul(nOp).Trace())
+				b.Logf("substeps=%-4d |<n>-exact| = %.2e", steps, math.Abs(got-want))
+			}
+		}
+	}
+}
+
+// ghzCircuit builds an n-qutrit GHZ preparation circuit.
+func ghzCircuit(b *testing.B, n int) *circuit.Circuit {
+	b.Helper()
+	c, err := circuit.New(hilbert.Uniform(n, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.MustAppend(gates.DFT(3), 0)
+	for i := 1; i < n; i++ {
+		c.MustAppend(gates.CSUM(3, 3), 0, i)
+	}
+	return c
+}

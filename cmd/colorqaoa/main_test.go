@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunNDARMode(t *testing.T) {
+	if err := run([]string{"-n", "5", "-chords", "1", "-shots", "8", "-iters", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQRACMode(t *testing.T) {
+	if err := run([]string{"-n", "12", "-chords", "3", "-mode", "qrac"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	if err := run([]string{"-mode", "nonsense"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Command qrcsim runs the quantum-machine-learning application: coupled-
+// oscillator reservoir computing on time-series tasks, with optional
+// finite-shot readout and a classical echo-state-network comparison.
+//
+// Usage:
+//
+//	qrcsim [-dim D] [-task narma2|narma10|mackey] [-samples N]
+//	       [-shots S] [-esn N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"quditkit/internal/qrc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qrcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qrcsim", flag.ContinueOnError)
+	dim := fs.Int("dim", 6, "Fock levels per mode (neurons = dim^2)")
+	task := fs.String("task", "narma2", "narma2 | narma10 | mackey")
+	samples := fs.Int("samples", 200, "input samples")
+	shots := fs.Int("shots", 0, "measurement shots per step (0 = exact expectations)")
+	esnSize := fs.Int("esn", 32, "classical ESN comparison size (0 = skip)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var inputs, targets []float64
+	switch *task {
+	case "narma2":
+		inputs, targets = qrc.NARMA2(rng, *samples)
+	case "narma10":
+		inputs, targets = qrc.NARMA10(rng, *samples)
+	case "mackey":
+		mg, err := qrc.MackeyGlass(*samples, 17)
+		if err != nil {
+			return err
+		}
+		inputs = mg
+		targets = make([]float64, len(mg))
+		copy(targets[:len(mg)-1], mg[1:])
+	default:
+		return fmt.Errorf("unknown task %q", *task)
+	}
+
+	reservoir, err := qrc.NewReservoir(qrc.DefaultParams(*dim))
+	if err != nil {
+		return err
+	}
+	var provider qrc.FeatureProvider = reservoir
+	if *shots > 0 {
+		provider = &qrc.ShotSampledProvider{Reservoir: reservoir, Shots: *shots, Rng: rng}
+	}
+	res, err := qrc.EvaluateTask(provider, inputs, targets, 20, 0.7, 1e-6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task %s: quantum reservoir, %d neurons", *task, reservoir.Params().Neurons())
+	if *shots > 0 {
+		fmt.Printf(" (%d shots/step)", *shots)
+	}
+	fmt.Printf("\n  train NMSE: %.4f\n  test NMSE:  %.4f\n", res.TrainNMSE, res.TestNMSE)
+
+	if *esnSize > 0 {
+		esn, err := qrc.NewESN(rng, *esnSize, 0.9, 0.5, 1.0)
+		if err != nil {
+			return err
+		}
+		eres, err := qrc.EvaluateTask(esn, inputs, targets, 20, 0.7, 1e-6)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("classical ESN-%d:\n  train NMSE: %.4f\n  test NMSE:  %.4f\n",
+			*esnSize, eres.TrainNMSE, eres.TestNMSE)
+	}
+	return nil
+}

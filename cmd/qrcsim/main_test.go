@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunNARMA2(t *testing.T) {
+	if err := run([]string{"-dim", "4", "-samples", "60", "-esn", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMackeyWithShots(t *testing.T) {
+	if err := run([]string{"-dim", "4", "-task", "mackey", "-samples", "60", "-shots", "64", "-esn", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadTask(t *testing.T) {
+	if err := run([]string{"-task", "nonsense"}); err == nil {
+		t.Error("bad task accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Command quditbench regenerates every table and quantitative claim of
+// the reproduction (E1..E11, see EXPERIMENTS.md) and prints them as
+// aligned text tables.
+//
+// Usage:
+//
+//	quditbench [-quick] [-seed N] [-exp E1,E3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"quditkit/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "quditbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("quditbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run reduced configurations")
+	seed := fs.Int64("seed", 1, "random seed")
+	expList := fs.String("exp", "", "comma-separated experiment ids (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var selected []core.Experiment
+	if *expList == "" {
+		selected = core.Experiments()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			e, err := core.FindExperiment(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		rng := rand.New(rand.NewSource(*seed))
+		tab, err := e.Run(rng, *quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(tab.String())
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSelectedQuick(t *testing.T) {
+	if err := run([]string{"-quick", "-exp", "E8,E11"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunQuenchMode(t *testing.T) {
+	if err := run([]string{"-sites", "2", "-steps", "32"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoiseMode(t *testing.T) {
+	if err := run([]string{"-sites", "2", "-mode", "noise"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	if err := run([]string{"-mode", "nonsense"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestRunRejectsBadModel(t *testing.T) {
+	if err := run([]string{"-sites", "1"}); err == nil {
+		t.Error("single-site chain accepted")
+	}
+}

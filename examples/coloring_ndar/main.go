@@ -1,0 +1,79 @@
+// coloring_ndar: the optimization application (paper §II.B) — noisy QAOA
+// graph coloring on qudits where photon loss is turned from an error into
+// a search primitive by Noise-Directed Adaptive Remapping.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"quditkit/internal/noise"
+	"quditkit/internal/qaoa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(11))
+	g, err := qaoa.RandomRegularish(rng, 7, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("3-coloring a graph with %d vertices and %d edges\n", g.N, len(g.Edges))
+
+	// The hardware error model: strong photon loss (the NDAR attractor)
+	// plus depolarizing control noise.
+	model := noise.Model{Damping: 0.2, Depol2: 0.02, Depol1: 0.002}
+	base := qaoa.NDAROptions{
+		Iterations: 5, Shots: 64, Gamma: 0.8, Beta: 0.5, Noise: model,
+	}
+
+	ndar, err := qaoa.RunNDAR(rng, g, 3, base)
+	if err != nil {
+		return err
+	}
+	vanillaOpts := base
+	vanillaOpts.DisableRemap = true
+	vanilla, err := qaoa.RunNDAR(rand.New(rand.NewSource(11)), g, 3, vanillaOpts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("optimum (brute force): %d proper edges\n\n", ndar.OptimalProper)
+	fmt.Println("round | NDAR mean  P(opt) | vanilla mean  P(opt)")
+	for i := range ndar.Rounds {
+		fmt.Printf("%5d | %9.2f  %6.3f | %12.2f  %6.3f\n",
+			i, ndar.Rounds[i].MeanProper, ndar.Rounds[i].POptimal,
+			vanilla.Rounds[i].MeanProper, vanilla.Rounds[i].POptimal)
+	}
+	fmt.Printf("\nNDAR best coloring: %v (%d proper edges)\n", ndar.BestAssign, ndar.BestProper)
+
+	// The native qudit encoding never leaves the valid subspace; the
+	// one-hot qubit encoding does, exponentially fast in the noise.
+	oh, err := qaoa.NewOneHot(mustGraph(2), 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nhard-constraint survival (2-node instance):")
+	for _, p := range []float64{0, 0.05, 0.2} {
+		pv, err := oh.RunNoisyPValid(0.7, 0.4, noise.Model{Damping: p})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  damping %.2f: qubit one-hot P(valid) = %.4f, native qudit = 1.0000\n", p, pv)
+	}
+	return nil
+}
+
+func mustGraph(n int) *qaoa.Graph {
+	g, err := qaoa.NewGraph(n, []qaoa.Edge{{U: 0, V: 1}})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,62 @@
+// sqed_massgap: the quantum-simulation application (paper §II.A) end to
+// end — build a truncated U(1) rotor chain, extract its mass gap by a
+// real-time Trotterized quench, compare against exact diagonalization,
+// and price the 9x2-ladder target instance on the forecast device.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"quditkit/internal/arch"
+	"quditkit/internal/sqed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 3-site qutrit chain (the encoding studied in the reference work).
+	chain, err := sqed.NewChain(3, 1, 1.2, 0.3, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rotor chain: %d sites, d = %d\n", chain.NumSites, chain.LocalDim())
+
+	// Real-time mass-gap measurement: perturb the ground state, Trotter
+	// evolve, read the oscillation frequency of a local observable.
+	res, err := chain.MassGapQuench(0.15, 128, 0.2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mass gap, exact diagonalization: %.5f\n", res.GapExact)
+	fmt.Printf("mass gap, real-time quench:      %.5f\n", res.GapMeasured)
+
+	// Show a few samples of the recorded signal.
+	fmt.Println("signal <U+U†>(t) samples:")
+	for i := 0; i < len(res.Times); i += 16 {
+		fmt.Printf("  t=%5.2f  %+.4f\n", res.Times[i], res.Signal[i])
+	}
+
+	// The Table I target: 9x2 ladder with d = 5 on the forecast machine.
+	ladder, err := sqed.NewLadder(9, 2, 2, 1.0, 0.3)
+	if err != nil {
+		return err
+	}
+	est, err := ladder.EstimateResources(rand.New(rand.NewSource(7)), arch.ForecastDevice(10), 10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n9x2 ladder, d=%d, 10 Trotter steps on the forecast device:\n", est.LocalDim)
+	fmt.Printf("  SNAP gates:     %d\n", est.SNAPGates)
+	fmt.Printf("  entangling ops: %d (+%d routing swaps)\n", est.EntanglingOps, est.SwapsInserted)
+	fmt.Printf("  serial duration: %.2f ms\n", est.DurationSec*1e3)
+	fmt.Printf("  coherence budget fidelity: %.3f\n", est.FidelityBudget)
+	fmt.Printf("  CSUM plan (%s): %.1f us at fidelity %.4f\n",
+		est.CSUMPlan.Route, est.CSUMPlan.DurationSec*1e6, est.CSUMPlan.FidelityEstimate)
+	return nil
+}

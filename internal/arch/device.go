@@ -1,0 +1,176 @@
+// Package arch models the forecast multi-cavity processor as a linearly
+// connected chain of cavity-transmon modules and provides the
+// "application engineering" layer the paper calls for: Hilbert-space
+// capacity accounting, noise-aware placement of logical qudits onto
+// physical modes, and swap-network routing of two-qudit gates across the
+// chain with duration and fidelity budgets.
+package arch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quditkit/internal/cavity"
+)
+
+// ErrBadDevice indicates an invalid device description.
+var ErrBadDevice = errors.New("arch: invalid device")
+
+// Device is a linear chain of cavity modules; modes within a cavity are
+// all-to-all coupled through the shared transmon, and adjacent cavities
+// are coupled through an inter-cavity coupler.
+type Device struct {
+	Cavities []cavity.ModuleParams
+}
+
+// ForecastDevice returns the machine the paper projects: n linearly
+// connected cavities, each a ForecastModule (4 modes, d = 10 photons,
+// millisecond T1).
+func ForecastDevice(n int) Device {
+	cavs := make([]cavity.ModuleParams, n)
+	for i := range cavs {
+		cavs[i] = cavity.ForecastModule()
+	}
+	return Device{Cavities: cavs}
+}
+
+// Validate checks all modules.
+func (d Device) Validate() error {
+	if len(d.Cavities) == 0 {
+		return fmt.Errorf("%w: no cavities", ErrBadDevice)
+	}
+	for i, c := range d.Cavities {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("cavity %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ModeRef addresses one physical mode.
+type ModeRef struct {
+	Cavity int
+	Mode   int
+}
+
+// NumModes returns the total number of physical modes.
+func (d Device) NumModes() int {
+	n := 0
+	for _, c := range d.Cavities {
+		n += len(c.Modes)
+	}
+	return n
+}
+
+// ModeAt converts a flat mode index into a ModeRef.
+func (d Device) ModeAt(idx int) (ModeRef, error) {
+	if idx < 0 {
+		return ModeRef{}, fmt.Errorf("%w: mode index %d", ErrBadDevice, idx)
+	}
+	for c, cav := range d.Cavities {
+		if idx < len(cav.Modes) {
+			return ModeRef{Cavity: c, Mode: idx}, nil
+		}
+		idx -= len(cav.Modes)
+	}
+	return ModeRef{}, fmt.Errorf("%w: mode index out of range", ErrBadDevice)
+}
+
+// ModeIndex converts a ModeRef to a flat index.
+func (d Device) ModeIndex(ref ModeRef) (int, error) {
+	if ref.Cavity < 0 || ref.Cavity >= len(d.Cavities) {
+		return 0, fmt.Errorf("%w: cavity %d", ErrBadDevice, ref.Cavity)
+	}
+	if ref.Mode < 0 || ref.Mode >= len(d.Cavities[ref.Cavity].Modes) {
+		return 0, fmt.Errorf("%w: mode %d in cavity %d", ErrBadDevice, ref.Mode, ref.Cavity)
+	}
+	idx := 0
+	for c := 0; c < ref.Cavity; c++ {
+		idx += len(d.Cavities[c].Modes)
+	}
+	return idx + ref.Mode, nil
+}
+
+// CavityOf returns the cavity index holding flat mode idx (-1 if out of
+// range).
+func (d Device) CavityOf(idx int) int {
+	ref, err := d.ModeAt(idx)
+	if err != nil {
+		return -1
+	}
+	return ref.Cavity
+}
+
+// Distance returns the interaction distance between two flat mode
+// indices: 0 for co-located modes, otherwise the cavity-chain distance.
+func (d Device) Distance(a, b int) int {
+	ca, cb := d.CavityOf(a), d.CavityOf(b)
+	if ca < 0 || cb < 0 {
+		return math.MaxInt32
+	}
+	diff := ca - cb
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff
+}
+
+// ModeParams returns the parameters of a flat mode index.
+func (d Device) ModeParams(idx int) (cavity.ModeParams, error) {
+	ref, err := d.ModeAt(idx)
+	if err != nil {
+		return cavity.ModeParams{}, err
+	}
+	return d.Cavities[ref.Cavity].Modes[ref.Mode], nil
+}
+
+// CapacityReport is the Hilbert-space accounting of the device (paper §I:
+// "such a system would exceed 100 qubits in Hilbert space dimension").
+type CapacityReport struct {
+	Cavities        int
+	TotalModes      int
+	LevelsPerMode   int
+	Log2Dim         float64
+	Log10Dim        float64
+	QubitEquivalent int
+	// CSUMsPerT1 is the number of co-located cross-Kerr CSUMs that fit in
+	// one cavity T1 — the coherence-limited circuit volume per mode pair.
+	CSUMsPerT1 float64
+}
+
+// Capacity computes the capacity report assuming every mode is operated
+// as a qudit with the given number of levels (0 means each mode's own
+// configured dimension).
+func Capacity(dev Device, levels int) (CapacityReport, error) {
+	if err := dev.Validate(); err != nil {
+		return CapacityReport{}, err
+	}
+	rep := CapacityReport{Cavities: len(dev.Cavities)}
+	var log2 float64
+	for _, cav := range dev.Cavities {
+		for _, m := range cav.Modes {
+			d := m.Dim
+			if levels > 0 {
+				d = levels
+			}
+			rep.LevelsPerMode = d
+			log2 += math.Log2(float64(d))
+			rep.TotalModes++
+		}
+	}
+	rep.Log2Dim = log2
+	rep.Log10Dim = log2 * math.Log10(2)
+	rep.QubitEquivalent = int(math.Floor(log2))
+	mod := dev.Cavities[0]
+	d := mod.Modes[0].Dim
+	if levels > 0 {
+		d = levels
+	}
+	dur, err := mod.CSUMDurationSec(d, cavity.RouteCrossKerr)
+	if err != nil {
+		return CapacityReport{}, err
+	}
+	rep.CSUMsPerT1 = mod.Modes[0].T1Sec / dur
+	return rep, nil
+}

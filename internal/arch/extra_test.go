@@ -1,0 +1,124 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+)
+
+func TestCapacityPerModeDims(t *testing.T) {
+	dev := ForecastDevice(2)
+	// levels = 0 uses each mode's configured dimension (10).
+	rep, err := Capacity(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LevelsPerMode != 10 {
+		t.Errorf("levels = %d", rep.LevelsPerMode)
+	}
+	if rep.TotalModes != 8 {
+		t.Errorf("modes = %d", rep.TotalModes)
+	}
+}
+
+func TestMapNoiseAwareNoEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dev := ForecastDevice(2)
+	m, err := MapNoiseAware(rng, dev, 3, nil, MappingOptions{Iterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.LogicalToMode) != 3 {
+		t.Fatalf("mapping size = %d", len(m.LogicalToMode))
+	}
+}
+
+func TestRouteOneQuditOnlyCircuit(t *testing.T) {
+	dev := smallDevice(2)
+	logical, err := circuit.New(hilbert.Uniform(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical.MustAppend(gates.DFT(3), 0)
+	logical.MustAppend(gates.X(3), 1)
+	logical.MustAppend(gates.Z(3), 2)
+	mapping, err := MapIdentity(dev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := RouteCircuit(dev, logical, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SwapsInserted != 0 || rep.TwoQuditGates != 0 || rep.OneQuditGates != 3 {
+		t.Errorf("report = %+v", rep)
+	}
+	// Three 1-qudit gates on distinct wires share one moment.
+	if rep.DepthAfter != 1 {
+		t.Errorf("depth = %d, want 1", rep.DepthAfter)
+	}
+}
+
+func TestRoutePlanMatchesRouteCircuitCounts(t *testing.T) {
+	dev := smallDevice(3)
+	d := 3
+	logical, err := circuit.New(hilbert.Uniform(3, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical.MustAppend(gates.CSUM(d, d), 0, 2)
+	logical.MustAppend(gates.DFT(d), 1)
+	logical.MustAppend(gates.CSUM(d, d), 1, 2)
+	mapping := Mapping{LogicalToMode: []int{0, 2, 4}}
+	_, repC, err := RouteCircuit(dev, logical, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repP, err := RoutePlan(dev, logical, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repC.SwapsInserted != repP.SwapsInserted ||
+		repC.TwoQuditGates != repP.TwoQuditGates ||
+		repC.OneQuditGates != repP.OneQuditGates ||
+		repC.DurationSec != repP.DurationSec ||
+		repC.DepthAfter != repP.DepthAfter {
+		t.Errorf("plan and circuit reports diverge:\n%+v\n%+v", repC, repP)
+	}
+}
+
+func TestRouteRejectsThreeWireGates(t *testing.T) {
+	dev := smallDevice(2)
+	logical, err := circuit.New(hilbert.Uniform(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := gates.FromMatrix("big", []int{2, 2, 2},
+		gates.ControlledU(2, 1, gates.CSUM(2, 2).Matrix).Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical.MustAppend(three, 0, 1, 2)
+	mapping, err := MapIdentity(dev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RouteCircuit(dev, logical, mapping); err == nil {
+		t.Error("3-wire gate accepted by router")
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	var dev Device
+	if err := dev.Validate(); err == nil {
+		t.Error("empty device accepted")
+	}
+	dev = ForecastDevice(1)
+	dev.Cavities[0].Modes[0].T1Sec = 0
+	if err := dev.Validate(); err == nil {
+		t.Error("zero T1 accepted")
+	}
+}

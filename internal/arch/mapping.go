@@ -1,0 +1,199 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// InteractionEdge is one weighted logical interaction: Weight counts how
+// many two-qudit gates the application applies between logical qudits U
+// and V.
+type InteractionEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// Mapping assigns logical qudits to physical modes.
+type Mapping struct {
+	// LogicalToMode[q] is the flat mode index hosting logical qudit q.
+	LogicalToMode []int
+	// Cost is the objective value of the assignment (lower is better).
+	Cost float64
+}
+
+// MappingOptions tunes the annealed search.
+type MappingOptions struct {
+	// Iterations of annealing moves; zero selects 2000.
+	Iterations int
+	// StartTemp is the initial annealing temperature; zero selects 1.0.
+	StartTemp float64
+}
+
+func (o MappingOptions) withDefaults() MappingOptions {
+	if o.Iterations == 0 {
+		o.Iterations = 2000
+	}
+	if o.StartTemp == 0 {
+		o.StartTemp = 1.0
+	}
+	return o
+}
+
+// commCost prices a two-qudit gate between two modes: co-located gates
+// cost 1, adjacent-cavity gates 2, and farther pairs pay 2 swaps per
+// extra hop.
+func commCost(dev Device, a, b int) float64 {
+	dist := dev.Distance(a, b)
+	switch {
+	case dist == 0:
+		return 1
+	case dist == 1:
+		return 2
+	default:
+		return 2 + 2*float64(dist-1)
+	}
+}
+
+// decohCost prices placing a busy qudit on a short-lived mode, relative
+// to the best T1 on the device.
+func decohCost(dev Device, mode int, usage float64) float64 {
+	p, err := dev.ModeParams(mode)
+	if err != nil {
+		return math.Inf(1)
+	}
+	best := 0.0
+	for _, c := range dev.Cavities {
+		for _, m := range c.Modes {
+			if m.T1Sec > best {
+				best = m.T1Sec
+			}
+		}
+	}
+	return usage * (best/p.T1Sec - 1)
+}
+
+// MappingCost evaluates the noise-aware objective of an assignment:
+// total swap-weighted communication plus the decoherence penalty of
+// hosting heavily used qudits on lossier modes.
+func MappingCost(dev Device, edges []InteractionEdge, assign []int) float64 {
+	var cost float64
+	usage := make([]float64, len(assign))
+	for _, e := range edges {
+		cost += e.Weight * commCost(dev, assign[e.U], assign[e.V])
+		usage[e.U] += e.Weight
+		usage[e.V] += e.Weight
+	}
+	for q, mode := range assign {
+		cost += decohCost(dev, mode, usage[q])
+	}
+	return cost
+}
+
+// MapIdentity places logical qudit q on flat mode q.
+func MapIdentity(dev Device, numLogical int) (Mapping, error) {
+	if numLogical > dev.NumModes() {
+		return Mapping{}, fmt.Errorf("%w: %d logical qudits exceed %d modes",
+			ErrBadDevice, numLogical, dev.NumModes())
+	}
+	assign := make([]int, numLogical)
+	for i := range assign {
+		assign[i] = i
+	}
+	return Mapping{LogicalToMode: assign, Cost: math.NaN()}, nil
+}
+
+// MapNoiseAware searches for a low-cost placement with a greedy
+// construction followed by simulated annealing over pairwise relocations.
+// The objective is MappingCost: swap-weighted communication plus T1-aware
+// decoherence penalties — the qudit noise-aware mapping pass missing from
+// qubit-centric toolkits.
+func MapNoiseAware(rng *rand.Rand, dev Device, numLogical int, edges []InteractionEdge, opts MappingOptions) (Mapping, error) {
+	if err := dev.Validate(); err != nil {
+		return Mapping{}, err
+	}
+	nModes := dev.NumModes()
+	if numLogical > nModes {
+		return Mapping{}, fmt.Errorf("%w: %d logical qudits exceed %d modes",
+			ErrBadDevice, numLogical, nModes)
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= numLogical || e.V < 0 || e.V >= numLogical || e.U == e.V {
+			return Mapping{}, fmt.Errorf("%w: bad edge (%d,%d)", ErrBadDevice, e.U, e.V)
+		}
+	}
+	opts = opts.withDefaults()
+
+	assign := greedyPlace(dev, numLogical, edges)
+	cost := MappingCost(dev, edges, assign)
+
+	best := append([]int(nil), assign...)
+	bestCost := cost
+	occupied := make(map[int]int, numLogical) // mode -> logical (or -1)
+	for q, m := range assign {
+		occupied[m] = q
+	}
+
+	temp := opts.StartTemp
+	cool := math.Pow(1e-3/opts.StartTemp, 1/float64(opts.Iterations))
+	for it := 0; it < opts.Iterations; it++ {
+		q := rng.Intn(numLogical)
+		newMode := rng.Intn(nModes)
+		oldMode := assign[q]
+		if newMode == oldMode {
+			continue
+		}
+		other, taken := occupied[newMode]
+		assign[q] = newMode
+		if taken {
+			assign[other] = oldMode
+		}
+		newCost := MappingCost(dev, edges, assign)
+		if newCost <= cost || rng.Float64() < math.Exp((cost-newCost)/temp) {
+			cost = newCost
+			delete(occupied, oldMode)
+			occupied[newMode] = q
+			if taken {
+				occupied[oldMode] = other
+			}
+			if cost < bestCost {
+				bestCost = cost
+				copy(best, assign)
+			}
+		} else {
+			// revert
+			assign[q] = oldMode
+			if taken {
+				assign[other] = newMode
+			}
+		}
+		temp *= cool
+	}
+	return Mapping{LogicalToMode: best, Cost: bestCost}, nil
+}
+
+// greedyPlace orders logical qudits by interaction degree and walks the
+// device's modes in chain order, so strongly coupled qudits land in the
+// same or adjacent cavities.
+func greedyPlace(dev Device, numLogical int, edges []InteractionEdge) []int {
+	degree := make([]float64, numLogical)
+	for _, e := range edges {
+		degree[e.U] += e.Weight
+		degree[e.V] += e.Weight
+	}
+	order := make([]int, numLogical)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by descending degree (numLogical is small).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && degree[order[j]] > degree[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	assign := make([]int, numLogical)
+	for slot, q := range order {
+		assign[q] = slot
+	}
+	return assign
+}

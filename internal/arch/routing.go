@@ -1,0 +1,219 @@
+package arch
+
+import (
+	"fmt"
+
+	"quditkit/internal/cavity"
+	"quditkit/internal/circuit"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+)
+
+// RouteReport summarizes the cost of executing a routed circuit on the
+// device.
+type RouteReport struct {
+	SwapsInserted    int
+	TwoQuditGates    int
+	OneQuditGates    int
+	DepthBefore      int
+	DepthAfter       int
+	DurationSec      float64
+	FidelityEstimate float64
+}
+
+// emitFunc receives each physical op during routing; nil means plan-only.
+type emitFunc func(g gates.Gate, targets ...int) error
+
+// RouteCircuit lowers a logical circuit onto the device: logical wires are
+// placed by the initial mapping, and every two-qudit gate whose operands
+// sit more than one cavity apart is preceded by SWAP insertions that walk
+// one operand along the cavity chain. The returned circuit acts on one
+// wire per physical mode (all at the logical dimension) and is ready for
+// simulation; the report carries swap counts and the serial duration /
+// coherence-budget fidelity estimate.
+//
+// All logical wires must share one dimension d, and every device mode
+// must support at least d levels. For large devices whose joint Hilbert
+// space cannot be represented, use RoutePlan instead.
+func RouteCircuit(dev Device, logical *circuit.Circuit, mapping Mapping) (*circuit.Circuit, *RouteReport, error) {
+	d, err := routeChecks(dev, logical, mapping)
+	if err != nil {
+		return nil, nil, err
+	}
+	phys, err := circuit.New(hilbert.Uniform(dev.NumModes(), d))
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := routeCore(dev, logical, mapping, d, phys.Append)
+	if err != nil {
+		return nil, nil, err
+	}
+	return phys, rep, nil
+}
+
+// RoutePlan performs the same routing walk as RouteCircuit but only
+// accumulates counts, durations, and the fidelity budget — usable for
+// resource estimation on devices far beyond simulable size.
+func RoutePlan(dev Device, logical *circuit.Circuit, mapping Mapping) (*RouteReport, error) {
+	d, err := routeChecks(dev, logical, mapping)
+	if err != nil {
+		return nil, err
+	}
+	return routeCore(dev, logical, mapping, d, func(g gates.Gate, targets ...int) error {
+		return nil
+	})
+}
+
+func routeChecks(dev Device, logical *circuit.Circuit, mapping Mapping) (int, error) {
+	if err := dev.Validate(); err != nil {
+		return 0, err
+	}
+	dims := logical.Dims()
+	if len(dims) == 0 {
+		return 0, fmt.Errorf("%w: empty logical circuit register", ErrBadDevice)
+	}
+	d := dims[0]
+	for w, dw := range dims {
+		if dw != d {
+			return 0, fmt.Errorf("%w: logical wire %d has dim %d, routing requires uniform dim %d",
+				ErrBadDevice, w, dw, d)
+		}
+	}
+	for idx := 0; idx < dev.NumModes(); idx++ {
+		p, err := dev.ModeParams(idx)
+		if err != nil {
+			return 0, err
+		}
+		if p.Dim < d {
+			return 0, fmt.Errorf("%w: mode %d supports %d levels, circuit needs %d",
+				ErrBadDevice, idx, p.Dim, d)
+		}
+	}
+	if len(mapping.LogicalToMode) != len(dims) {
+		return 0, fmt.Errorf("%w: mapping covers %d qudits, circuit has %d",
+			ErrBadDevice, len(mapping.LogicalToMode), len(dims))
+	}
+	return d, nil
+}
+
+func routeCore(dev Device, logical *circuit.Circuit, mapping Mapping, d int, emit emitFunc) (*RouteReport, error) {
+	nModes := dev.NumModes()
+	layout := append([]int(nil), mapping.LogicalToMode...)
+	occupant := make([]int, nModes)
+	for i := range occupant {
+		occupant[i] = -1
+	}
+	for q, m := range layout {
+		if m < 0 || m >= nModes {
+			return nil, fmt.Errorf("%w: logical %d mapped to invalid mode %d", ErrBadDevice, q, m)
+		}
+		if occupant[m] != -1 {
+			return nil, fmt.Errorf("%w: mode %d double-booked", ErrBadDevice, m)
+		}
+		occupant[m] = q
+	}
+
+	module := dev.Cavities[0]
+	oneQDur := module.SNAPDurationSec() + 2*module.DisplacementDurationSec()
+	twoQDurCo, err := module.CSUMDurationSec(d, cavity.RouteCrossKerr)
+	if err != nil {
+		return nil, err
+	}
+	const halfPi = 3.14159265358979 / 2
+	twoQDurAdj := twoQDurCo + 2*module.BeamsplitterDurationSec(halfPi)
+	swapDur := 2 * module.BeamsplitterDurationSec(halfPi)
+	nbar := float64(d-1) / 2
+	t1 := module.Modes[0].T1Sec
+	t2 := module.Modes[0].T2Sec
+
+	rep := &RouteReport{DepthBefore: logical.Depth(), FidelityEstimate: 1}
+	swapGate := gates.SWAP(d)
+
+	// ASAP moment tracking over physical modes for the routed depth.
+	lastMoment := make([]int, nModes)
+	for i := range lastMoment {
+		lastMoment[i] = -1
+	}
+	placeOp := func(modes ...int) {
+		m := 0
+		for _, w := range modes {
+			if lastMoment[w]+1 > m {
+				m = lastMoment[w] + 1
+			}
+		}
+		for _, w := range modes {
+			lastMoment[w] = m
+		}
+		if m+1 > rep.DepthAfter {
+			rep.DepthAfter = m + 1
+		}
+	}
+
+	chargeOp := func(dur float64, modes ...int) {
+		rep.DurationSec += dur
+		f := cavity.GateFidelityEstimate(dur, nbar, t1, t2)
+		for range modes {
+			rep.FidelityEstimate *= f
+		}
+		placeOp(modes...)
+	}
+
+	for _, op := range logical.Ops() {
+		switch op.Gate.Arity() {
+		case 1:
+			if err := emit(op.Gate, layout[op.Targets[0]]); err != nil {
+				return nil, err
+			}
+			rep.OneQuditGates++
+			chargeOp(oneQDur, layout[op.Targets[0]])
+		case 2:
+			u, v := op.Targets[0], op.Targets[1]
+			for dev.Distance(layout[u], layout[v]) > 1 {
+				next, err := stepToward(dev, layout[u], layout[v])
+				if err != nil {
+					return nil, err
+				}
+				if err := emit(swapGate, layout[u], next); err != nil {
+					return nil, err
+				}
+				rep.SwapsInserted++
+				chargeOp(swapDur, layout[u], next)
+				prev := layout[u]
+				other := occupant[next]
+				occupant[prev] = other
+				if other != -1 {
+					layout[other] = prev
+				}
+				occupant[next] = u
+				layout[u] = next
+			}
+			if err := emit(op.Gate, layout[u], layout[v]); err != nil {
+				return nil, err
+			}
+			rep.TwoQuditGates++
+			if dev.Distance(layout[u], layout[v]) == 0 {
+				chargeOp(twoQDurCo, layout[u], layout[v])
+			} else {
+				chargeOp(twoQDurAdj, layout[u], layout[v])
+			}
+		default:
+			return nil, fmt.Errorf("arch: routing supports arity <= 2, gate %s has %d",
+				op.Gate.Name, op.Gate.Arity())
+		}
+	}
+	return rep, nil
+}
+
+// stepToward returns the mode in the next cavity along the chain from
+// mode a toward mode b, preferring the first mode slot in that cavity.
+func stepToward(dev Device, a, b int) (int, error) {
+	ca, cb := dev.CavityOf(a), dev.CavityOf(b)
+	if ca < 0 || cb < 0 {
+		return 0, fmt.Errorf("%w: invalid modes %d, %d", ErrBadDevice, a, b)
+	}
+	next := ca + 1
+	if cb < ca {
+		next = ca - 1
+	}
+	return dev.ModeIndex(ModeRef{Cavity: next, Mode: 0})
+}

@@ -1,0 +1,244 @@
+// Package cavity models the physical substrate the paper forecasts: 3D
+// SRF cavity modes with millisecond photon lifetimes, dispersively coupled
+// to a transmon ancilla that mediates SNAP, displacement, beam-splitter
+// and conditional-phase operations. The package provides Hamiltonian
+// builders (for validating gate mechanisms against time evolution), a
+// gate-duration model derived from the coupling rates, and coherence-
+// budget fidelity estimates used by the resource-estimation experiments.
+package cavity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/qmath"
+)
+
+// ErrBadParams indicates physically invalid module parameters.
+var ErrBadParams = errors.New("cavity: invalid parameters")
+
+// ModeParams describes one bosonic cavity mode used as a qudit.
+type ModeParams struct {
+	// Dim is the number of Fock levels used (the qudit dimension d).
+	Dim int
+	// FreqGHz is the mode frequency in GHz (bookkeeping only; dynamics are
+	// computed in the rotating frame).
+	FreqGHz float64
+	// T1Sec is the single-photon lifetime in seconds.
+	T1Sec float64
+	// T2Sec is the dephasing time in seconds.
+	T2Sec float64
+}
+
+// TransmonParams describes the ancilla transmon of a module.
+type TransmonParams struct {
+	T1Sec float64
+	T2Sec float64
+	// ChiHz is the dispersive shift chi/2pi between the transmon and each
+	// cavity mode, in Hz. It sets the speed of SNAP (number-selective)
+	// operations.
+	ChiHz float64
+	// AnharmHz is the transmon anharmonicity alpha/2pi in Hz.
+	AnharmHz float64
+}
+
+// ModuleParams describes one cavity-transmon module: several long-lived
+// modes sharing a transmon coupler.
+type ModuleParams struct {
+	Modes    []ModeParams
+	Transmon TransmonParams
+	// BeamsplitterHz is the activated photon-exchange rate g_bs/2pi
+	// between two co-located modes (via bichromatic drive), in Hz.
+	BeamsplitterHz float64
+	// CrossKerrHz is the always-on (or drive-activated) cross-Kerr rate
+	// chi_cc/2pi between co-located modes, in Hz. It sets the speed of
+	// direct conditional-phase (CZ-class) gates.
+	CrossKerrHz float64
+}
+
+// Validate checks physical sanity of the module parameters.
+func (m ModuleParams) Validate() error {
+	if len(m.Modes) == 0 {
+		return fmt.Errorf("%w: no modes", ErrBadParams)
+	}
+	for i, md := range m.Modes {
+		if md.Dim < 2 {
+			return fmt.Errorf("%w: mode %d dim %d", ErrBadParams, i, md.Dim)
+		}
+		if md.T1Sec <= 0 || md.T2Sec <= 0 {
+			return fmt.Errorf("%w: mode %d non-positive coherence", ErrBadParams, i)
+		}
+	}
+	if m.Transmon.ChiHz <= 0 {
+		return fmt.Errorf("%w: non-positive chi", ErrBadParams)
+	}
+	if m.BeamsplitterHz <= 0 || m.CrossKerrHz <= 0 {
+		return fmt.Errorf("%w: non-positive coupling rates", ErrBadParams)
+	}
+	return nil
+}
+
+// ForecastModule returns the module the paper projects as feasible within
+// five years: four modes per cavity, d ~ 10 photons, millisecond T1,
+// MHz-scale dispersive shift, and typical demonstrated exchange rates.
+func ForecastModule() ModuleParams {
+	modes := make([]ModeParams, 4)
+	for i := range modes {
+		modes[i] = ModeParams{
+			Dim:     10,
+			FreqGHz: 5.0 + 0.25*float64(i),
+			T1Sec:   1e-3,
+			T2Sec:   0.8e-3,
+		}
+	}
+	return ModuleParams{
+		Modes: modes,
+		Transmon: TransmonParams{
+			T1Sec:    100e-6,
+			T2Sec:    80e-6,
+			ChiHz:    1.0e6,
+			AnharmHz: 200e6,
+		},
+		BeamsplitterHz: 2.0e5,
+		CrossKerrHz:    5.0e3,
+	}
+}
+
+// SNAPDurationSec returns the duration of a selective number-dependent
+// phase gate: the pulse must spectrally resolve the chi-split Fock peaks,
+// requiring t ~ 2pi/chi (expressed with chi in Hz: t = 1/chi... the
+// conventional estimate 2/chi is used, matching reported ~1-2 us gates at
+// chi/2pi ~ 1 MHz).
+func (m ModuleParams) SNAPDurationSec() float64 {
+	return 2.0 / m.Transmon.ChiHz
+}
+
+// DisplacementDurationSec returns the duration of an unconditional
+// displacement pulse (fast, limited only by pulse bandwidth).
+func (m ModuleParams) DisplacementDurationSec() float64 {
+	return 50e-9
+}
+
+// BeamsplitterDurationSec returns the time to accumulate a beam-splitter
+// angle theta at the module's exchange rate: theta = 2 pi g t.
+func (m ModuleParams) BeamsplitterDurationSec(theta float64) float64 {
+	return math.Abs(theta) / (2 * math.Pi * m.BeamsplitterHz)
+}
+
+// CSUMRoute selects how a two-qudit entangler is realized on the module.
+type CSUMRoute int
+
+const (
+	// RouteCrossKerr realizes CZ directly from the cross-Kerr interaction,
+	// then CSUM by conjugating with mode Fourier transforms (SNAP +
+	// displacement sequences).
+	RouteCrossKerr CSUMRoute = iota + 1
+	// RouteExchange realizes the entangler through O(d) beam-splitter +
+	// SNAP blocks, trading cross-Kerr time for transmon-mediated blocks.
+	RouteExchange
+)
+
+// String implements fmt.Stringer for diagnostics tables.
+func (r CSUMRoute) String() string {
+	switch r {
+	case RouteCrossKerr:
+		return "cross-Kerr"
+	case RouteExchange:
+		return "exchange"
+	default:
+		return fmt.Sprintf("route(%d)", int(r))
+	}
+}
+
+// CZDurationSec returns the duration of a d-level conditional-phase gate
+// via the cross-Kerr route. The gate needs exp(i 2 pi a b / d) on |a,b>,
+// and the cross-Kerr interaction accumulates phase 2 pi chi_cc t a b;
+// since conditional phases wrap modulo 2 pi, chi_cc t = 1/d suffices:
+// t = 1 / (d chi_cc).
+func (m ModuleParams) CZDurationSec(d int) float64 {
+	return 1 / (float64(d) * m.CrossKerrHz)
+}
+
+// CSUMDurationSec returns the estimated duration of a CSUM between two
+// co-located modes for the chosen route. The Fourier conjugations cost
+// roughly d SNAP-displacement blocks each.
+func (m ModuleParams) CSUMDurationSec(d int, route CSUMRoute) (float64, error) {
+	fourier := float64(d) * (m.SNAPDurationSec() + 2*m.DisplacementDurationSec())
+	switch route {
+	case RouteCrossKerr:
+		return m.CZDurationSec(d) + 2*fourier, nil
+	case RouteExchange:
+		// O(d) exchange blocks, each a partial beam-splitter plus SNAP.
+		block := m.BeamsplitterDurationSec(math.Pi/2) + m.SNAPDurationSec()
+		return float64(d)*block + 2*fourier, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown CSUM route %d", ErrBadParams, int(route))
+	}
+}
+
+// GateFidelityEstimate returns the coherence-limited fidelity of an
+// operation of the given duration on a mode holding nbar photons on
+// average: F = exp(-t (nbar/T1 + 1/T2)). This first-order estimate is the
+// standard NISQ coherence budget.
+func GateFidelityEstimate(durationSec, nbar, t1Sec, t2Sec float64) float64 {
+	if durationSec < 0 || t1Sec <= 0 || t2Sec <= 0 {
+		return 0
+	}
+	return math.Exp(-durationSec * (nbar/t1Sec + 1/t2Sec))
+}
+
+// LossPerGate converts a gate duration into the photon-loss probability
+// gamma = 1 - exp(-t/T1) used by the discrete amplitude-damping channel.
+func LossPerGate(durationSec, t1Sec float64) float64 {
+	if t1Sec <= 0 {
+		return 1
+	}
+	return 1 - math.Exp(-durationSec/t1Sec)
+}
+
+// DispersiveHamiltonian returns the rotating-frame dispersive Hamiltonian
+// of one cavity mode (dimension d) coupled to the transmon qubit:
+//
+//	H/hbar = 2 pi chi * n ⊗ |e><e|
+//
+// on the joint (cavity ⊗ transmon) space. Evolving under H imprints a
+// Fock-number-dependent phase conditioned on the transmon state — the
+// physical mechanism behind SNAP.
+func DispersiveHamiltonian(d int, chiHz float64) *qmath.Matrix {
+	n := gates.Number(d)
+	e := qmath.NewMatrix(2, 2)
+	e.Set(1, 1, 1)
+	return qmath.Kron(n, e).Scale(complex(2*math.Pi*chiHz, 0))
+}
+
+// BeamsplitterHamiltonian returns the activated exchange Hamiltonian
+// between two modes: H/hbar = 2 pi g (a†b + a b†).
+func BeamsplitterHamiltonian(d1, d2 int, gHz float64) *qmath.Matrix {
+	a := gates.Lower(d1)
+	b := gates.Lower(d2)
+	h := qmath.Kron(a.Dagger(), b).Add(qmath.Kron(a, b.Dagger()))
+	return h.Scale(complex(2*math.Pi*gHz, 0))
+}
+
+// CrossKerrHamiltonian returns the conditional-phase generator between two
+// modes: H/hbar = -2 pi chi_cc (n ⊗ n).
+func CrossKerrHamiltonian(d1, d2 int, chiccHz float64) *qmath.Matrix {
+	return qmath.Kron(gates.Number(d1), gates.Number(d2)).Scale(complex(-2*math.Pi*chiccHz, 0))
+}
+
+// JaynesCummingsHamiltonian returns the full resonant JC Hamiltonian in
+// the frame rotating at the cavity frequency, with transmon detuning
+// deltaHz: H/hbar = 2 pi delta |e><e| + 2 pi g (a sigma+ + a† sigma-).
+func JaynesCummingsHamiltonian(d int, deltaHz, gHz float64) *qmath.Matrix {
+	a := gates.Lower(d)
+	sp := qmath.NewMatrix(2, 2) // sigma+ = |e><g|
+	sp.Set(1, 0, 1)
+	sm := sp.Dagger()
+	e := qmath.NewMatrix(2, 2)
+	e.Set(1, 1, 1)
+	h := qmath.Kron(qmath.Identity(d), e).Scale(complex(2*math.Pi*deltaHz, 0))
+	h.AddInPlace(qmath.Kron(a, sp).Add(qmath.Kron(a.Dagger(), sm)).Scale(complex(2*math.Pi*gHz, 0)))
+	return h
+}

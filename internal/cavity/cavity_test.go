@@ -1,0 +1,220 @@
+package cavity
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"quditkit/internal/qmath"
+)
+
+func TestForecastModuleValid(t *testing.T) {
+	m := ForecastModule()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Modes) != 4 {
+		t.Errorf("forecast modes = %d, want 4", len(m.Modes))
+	}
+	for _, md := range m.Modes {
+		if md.Dim != 10 {
+			t.Errorf("forecast dim = %d, want 10", md.Dim)
+		}
+		if md.T1Sec < 0.5e-3 {
+			t.Errorf("forecast T1 = %v, want millisecond scale", md.T1Sec)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	m := ForecastModule()
+	m.Modes = nil
+	if err := m.Validate(); err == nil {
+		t.Error("empty modes accepted")
+	}
+	m = ForecastModule()
+	m.Modes[0].Dim = 1
+	if err := m.Validate(); err == nil {
+		t.Error("dim 1 accepted")
+	}
+	m = ForecastModule()
+	m.Transmon.ChiHz = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero chi accepted")
+	}
+	m = ForecastModule()
+	m.CrossKerrHz = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative cross-Kerr accepted")
+	}
+}
+
+func TestDurationsScaleWithRates(t *testing.T) {
+	m := ForecastModule()
+	// SNAP at chi = 1 MHz -> 2 us.
+	if d := m.SNAPDurationSec(); math.Abs(d-2e-6) > 1e-9 {
+		t.Errorf("SNAP duration = %v, want 2e-6", d)
+	}
+	// Doubling chi halves the duration.
+	m2 := m
+	m2.Transmon.ChiHz *= 2
+	if m2.SNAPDurationSec() >= m.SNAPDurationSec() {
+		t.Error("SNAP duration did not shrink with larger chi")
+	}
+	// Beamsplitter: full swap at pi/2.
+	d1 := m.BeamsplitterDurationSec(math.Pi / 2)
+	d2 := m.BeamsplitterDurationSec(math.Pi)
+	if math.Abs(d2-2*d1) > 1e-12 {
+		t.Error("beamsplitter duration not linear in angle")
+	}
+}
+
+func TestCSUMDurations(t *testing.T) {
+	m := ForecastModule()
+	for _, d := range []int{3, 4, 10} {
+		tk, err := m.CSUMDurationSec(d, RouteCrossKerr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		te, err := m.CSUMDurationSec(d, RouteExchange)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk <= 0 || te <= 0 {
+			t.Errorf("d=%d: non-positive durations %v %v", d, tk, te)
+		}
+		// With a 5 kHz cross-Kerr and d = 10, the direct route still costs
+		// tens of microseconds — a noticeable slice of the millisecond T1
+		// budget, the paper's "anticipated challenge".
+		if d == 10 && tk < 1e-5 {
+			t.Errorf("cross-Kerr CSUM at d=10 unexpectedly fast: %v s", tk)
+		}
+	}
+	if _, err := m.CSUMDurationSec(4, CSUMRoute(99)); err == nil {
+		t.Error("unknown route accepted")
+	}
+}
+
+func TestGateFidelityEstimate(t *testing.T) {
+	// Zero duration: perfect.
+	if f := GateFidelityEstimate(0, 1, 1e-3, 1e-3); math.Abs(f-1) > 1e-12 {
+		t.Errorf("zero-duration fidelity = %v", f)
+	}
+	// Longer gate, lower fidelity.
+	f1 := GateFidelityEstimate(1e-6, 2, 1e-3, 1e-3)
+	f2 := GateFidelityEstimate(1e-5, 2, 1e-3, 1e-3)
+	if f2 >= f1 {
+		t.Error("fidelity not monotone in duration")
+	}
+	// Invalid params.
+	if GateFidelityEstimate(1e-6, 1, 0, 1e-3) != 0 {
+		t.Error("invalid T1 not rejected")
+	}
+}
+
+func TestLossPerGate(t *testing.T) {
+	g := LossPerGate(1e-6, 1e-3)
+	want := 1 - math.Exp(-1e-3)
+	if math.Abs(g-want) > 1e-12 {
+		t.Errorf("LossPerGate = %v, want %v", g, want)
+	}
+	if LossPerGate(1, 0) != 1 {
+		t.Error("zero T1 should mean certain loss")
+	}
+}
+
+func TestDispersiveEvolutionImplementsSNAPMechanism(t *testing.T) {
+	// Evolving n ⊗ |e><e| for time t imprints phase e^{-i 2pi chi t n} on
+	// Fock state |n> only when the transmon is excited.
+	d := 4
+	chi := 1e6
+	tGate := 0.3e-6
+	h := DispersiveHamiltonian(d, chi)
+	u, err := qmath.ExpHermitian(h, complex(0, -tGate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transmon in |g>: no phase.
+	for n := 0; n < d; n++ {
+		in := qmath.KronVec(qmath.BasisVector(d, n), qmath.BasisVector(2, 0))
+		out := u.MulVec(in)
+		if cmplx.Abs(out.Dot(in)-1) > 1e-9 {
+			t.Errorf("phase imprinted with transmon in |g> at n=%d", n)
+		}
+	}
+	// Transmon in |e>: phase 2 pi chi t n.
+	for n := 0; n < d; n++ {
+		in := qmath.KronVec(qmath.BasisVector(d, n), qmath.BasisVector(2, 1))
+		out := u.MulVec(in)
+		wantPhase := cmplx.Exp(complex(0, -2*math.Pi*chi*tGate*float64(n)))
+		if cmplx.Abs(in.Dot(out)-wantPhase) > 1e-9 {
+			t.Errorf("n=%d: conditional phase wrong", n)
+		}
+	}
+}
+
+func TestBeamsplitterHamiltonianMatchesGate(t *testing.T) {
+	// exp(-i H t) with H = 2 pi g (a†b + ab†) equals the BeamSplitter gate
+	// at theta = 2 pi g t with phi = -pi/2 convention check via photon swap.
+	d := 3
+	g := 1e5
+	// Quarter exchange: theta = pi/4... use full swap time: theta = pi/2.
+	tSwap := (math.Pi / 2) / (2 * math.Pi * g)
+	h := BeamsplitterHamiltonian(d, d, g)
+	u, err := qmath.ExpHermitian(h, complex(0, -tSwap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := qmath.KronVec(qmath.BasisVector(d, 1), qmath.BasisVector(d, 0))
+	out := u.MulVec(in)
+	want := qmath.KronVec(qmath.BasisVector(d, 0), qmath.BasisVector(d, 1))
+	if !out.ApproxEqualUpToPhase(want, 1e-7) {
+		t.Error("Hamiltonian beamsplitter did not swap the photon")
+	}
+}
+
+func TestCrossKerrConditionalPhase(t *testing.T) {
+	d := 3
+	chicc := 5e3
+	h := CrossKerrHamiltonian(d, d, chicc)
+	// Evolve until |1,1> acquires phase +2pi/d relative to |0,*>:
+	// phase(n1,n2) = +2 pi chicc t n1 n2; choose t so n1 n2 = 1 gives 2pi/3.
+	tGate := (2 * math.Pi / 3) / (2 * math.Pi * chicc)
+	u, err := qmath.ExpHermitian(h, complex(0, -tGate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := qmath.KronVec(qmath.BasisVector(d, 1), qmath.BasisVector(d, 1))
+	out := u.MulVec(in)
+	got := in.Dot(out)
+	want := cmplx.Exp(complex(0, 2*math.Pi/3))
+	if cmplx.Abs(got-want) > 1e-9 {
+		t.Errorf("cross-Kerr phase = %v, want %v", got, want)
+	}
+	// Vacuum in either mode: no phase.
+	in0 := qmath.KronVec(qmath.BasisVector(d, 0), qmath.BasisVector(d, 2))
+	out0 := u.MulVec(in0)
+	if cmplx.Abs(in0.Dot(out0)-1) > 1e-9 {
+		t.Error("cross-Kerr phased a vacuum component")
+	}
+}
+
+func TestJaynesCummingsVacuumRabi(t *testing.T) {
+	// Resonant JC: |g,1> <-> |e,0> vacuum Rabi oscillation at frequency
+	// 2 g. After a half period the excitation has fully transferred.
+	d := 3
+	g := 1e6
+	h := JaynesCummingsHamiltonian(d, 0, g)
+	tHalf := 1.0 / (4 * g) // 2 pi g t = pi/2
+	u, err := qmath.ExpHermitian(h, complex(0, -tHalf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |1>_cav |g>: cavity index 1, transmon index 0.
+	in := qmath.KronVec(qmath.BasisVector(d, 1), qmath.BasisVector(2, 0))
+	out := u.MulVec(in)
+	want := qmath.KronVec(qmath.BasisVector(d, 0), qmath.BasisVector(2, 1))
+	if !out.ApproxEqualUpToPhase(want, 1e-7) {
+		t.Errorf("vacuum Rabi transfer failed")
+	}
+}

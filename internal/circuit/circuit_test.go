@@ -1,0 +1,271 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+)
+
+func mustNew(t *testing.T, dims hilbert.Dims) *Circuit {
+	t.Helper()
+	c, err := New(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAppendValidation(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{2, 3})
+	if err := c.Append(gates.X(2), 0); err != nil {
+		t.Errorf("valid append rejected: %v", err)
+	}
+	if err := c.Append(gates.X(2), 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if err := c.Append(gates.X(2), 4); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := c.Append(gates.CSUM(2, 3), 0); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := c.Append(gates.CSUM(2, 2), 0, 0); err == nil {
+		t.Error("duplicate targets accepted")
+	}
+}
+
+func TestRunGHZlike(t *testing.T) {
+	// Qutrit GHZ: F on wire 0, CSUM 0->1, CSUM 0->2 gives
+	// (|000> + |111> + |222>)/sqrt3.
+	d := 3
+	c := mustNew(t, hilbert.Uniform(3, d))
+	c.MustAppend(gates.DFT(d), 0)
+	c.MustAppend(gates.CSUM(d, d), 0, 1)
+	c.MustAppend(gates.CSUM(d, d), 0, 2)
+	v, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := v.Space()
+	for k := 0; k < d; k++ {
+		idx := sp.Index([]int{k, k, k})
+		p := v.Probabilities()[idx]
+		if math.Abs(p-1.0/3) > 1e-9 {
+			t.Errorf("GHZ component %d has p=%v, want 1/3", k, p)
+		}
+	}
+	// All other amplitudes vanish.
+	var offSupport float64
+	for i, p := range v.Probabilities() {
+		digs := sp.Digits(i)
+		if digs[0] != digs[1] || digs[1] != digs[2] {
+			offSupport += p
+		}
+	}
+	if offSupport > 1e-9 {
+		t.Errorf("off-support probability %v", offSupport)
+	}
+}
+
+func TestInverseUndoes(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{3, 3})
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	c.MustAppend(gates.RotorMixer(3, 0.7), 1)
+	full := mustNew(t, hilbert.Dims{3, 3})
+	if err := full.Compose(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Compose(c.Inverse()); err != nil {
+		t.Fatal(err)
+	}
+	v, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Probabilities()[0]-1) > 1e-9 {
+		t.Error("circuit followed by inverse did not return to |00>")
+	}
+}
+
+func TestComposeRejectsMismatchedDims(t *testing.T) {
+	a := mustNew(t, hilbert.Dims{2, 2})
+	b := mustNew(t, hilbert.Dims{3})
+	if err := a.Compose(b); err == nil {
+		t.Error("mismatched compose accepted")
+	}
+}
+
+func TestMomentsAndDepth(t *testing.T) {
+	c := mustNew(t, hilbert.Uniform(4, 2))
+	c.MustAppend(gates.X(2), 0)
+	c.MustAppend(gates.X(2), 1) // parallel with op 0
+	c.MustAppend(gates.CSUM(2, 2), 0, 1)
+	c.MustAppend(gates.X(2), 2) // parallel with everything above
+	c.MustAppend(gates.CSUM(2, 2), 2, 3)
+	moments := c.Moments()
+	if c.Depth() != 2 {
+		t.Errorf("depth = %d, want 2\nmoments: %v", c.Depth(), moments)
+	}
+	if len(moments[0]) != 3 { // ops 0, 1, 3
+		t.Errorf("moment 0 has %d ops, want 3", len(moments[0]))
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{3, 3})
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.DFT(3), 1)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	byArity := c.CountByArity()
+	if byArity[1] != 2 || byArity[2] != 1 {
+		t.Errorf("arity counts = %v", byArity)
+	}
+	byName := c.GateCounts()
+	if byName["F3"] != 2 || byName["CSUM3x3"] != 1 {
+		t.Errorf("name counts = %v", byName)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{4})
+	c.MustAppend(gates.X(4), 0)
+	r := c.Repeat(4)
+	if r.Len() != 4 {
+		t.Fatalf("Repeat len = %d", r.Len())
+	}
+	v, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X^4 = I on d=4.
+	if math.Abs(v.Probabilities()[0]-1) > 1e-9 {
+		t.Error("X^4 != I")
+	}
+}
+
+func TestRunDensityNoiselessMatchesPure(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{3, 3})
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	v, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.RunDensity(noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.FidelityPure(v.Amplitudes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-9 {
+		t.Errorf("noiseless density run fidelity = %v", f)
+	}
+}
+
+func TestRunDensityNoiseReducesFidelity(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{3, 3})
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	c.MustAppend(gates.DFT(3), 1)
+	v, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := noise.Model{Depol1: 0.01, Depol2: 0.05}
+	r, err := c.RunDensity(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.FidelityPure(v.Amplitudes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f >= 1-1e-6 {
+		t.Error("noise did not reduce fidelity")
+	}
+	if f < 0.5 {
+		t.Errorf("fidelity implausibly low: %v", f)
+	}
+	if math.Abs(r.Trace()-1) > 1e-8 {
+		t.Errorf("trace = %v", r.Trace())
+	}
+}
+
+func TestIdleNoiseCharged(t *testing.T) {
+	// Wire 1 idles while wire 0 is driven repeatedly; with idle damping it
+	// must decay toward |0> even though no gate touches it.
+	c := mustNew(t, hilbert.Dims{2, 2})
+	for i := 0; i < 5; i++ {
+		c.MustAppend(gates.X(2), 0)
+		c.MustAppend(gates.X(2), 0)
+	}
+	// Prepare wire 1 in |1> first.
+	prep := mustNew(t, hilbert.Dims{2, 2})
+	prep.MustAppend(gates.X(2), 1)
+	if err := prep.Compose(c); err != nil {
+		t.Fatal(err)
+	}
+	model := noise.Model{IdleDamping: 0.2}
+	r, err := prep.RunDensity(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := r.WireProbabilities(1)
+	if p1[1] > 0.2 {
+		t.Errorf("idle wire did not decay: p(|1>) = %v", p1[1])
+	}
+}
+
+func TestTrajectoriesConvergeToDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := mustNew(t, hilbert.Dims{2, 2})
+	c.MustAppend(gates.DFT(2), 0)
+	c.MustAppend(gates.CSUM(2, 2), 0, 1)
+	model := noise.Model{Depol2: 0.2}
+	exact, err := c.RunDensity(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := c.AverageTrajectories(rng, model, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := avg.Matrix().Sub(exact.Matrix()).FrobeniusNorm()
+	if diff > 0.05 {
+		t.Errorf("trajectory average deviates from exact density by %v", diff)
+	}
+}
+
+func TestRunTrajectoryNoiselessIsPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := mustNew(t, hilbert.Dims{3})
+	c.MustAppend(gates.DFT(3), 0)
+	v, err := c.RunTrajectory(rng, noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Fidelity(want)-1) > 1e-9 {
+		t.Error("noiseless trajectory differs from pure run")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{2, 2})
+	c.MustAppend(gates.X(2), 0)
+	s := c.String()
+	if s == "" {
+		t.Error("empty string rendering")
+	}
+}

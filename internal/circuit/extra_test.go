@@ -1,0 +1,126 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+)
+
+func TestRunOnDimMismatch(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{2, 2})
+	v, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := mustNew(t, hilbert.Dims{3})
+	if err := other.RunOn(v); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestRunDensityOnDimMismatch(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{2})
+	r, err := c.RunDensity(noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := mustNew(t, hilbert.Dims{2, 2})
+	if err := other.RunDensityOn(r, noise.Model{}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestTrajectoriesMatchDensityUnderDamping(t *testing.T) {
+	// Damping-specific cross-validation: the reduced-density-matrix
+	// branch-probability path must agree with the exact channel.
+	rng := rand.New(rand.NewSource(51))
+	c := mustNew(t, hilbert.Dims{3})
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.RotorMixer(3, 0.8), 0)
+	model := noise.Model{Damping: 0.3}
+	exact, err := c.RunDensity(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := c.AverageTrajectories(rng, model, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := avg.Matrix().Sub(exact.Matrix()).FrobeniusNorm()
+	if diff > 0.05 {
+		t.Errorf("damping trajectories deviate by %v", diff)
+	}
+}
+
+func TestMomentsWithMultiWireGates(t *testing.T) {
+	c := mustNew(t, hilbert.Uniform(4, 2))
+	// A 3-wire gate blocks all three wires for the next moment.
+	u := gates.CSUM(2, 2)
+	three, err := gates.FromMatrix("CCX-ish", []int{2, 2, 2}, gates.ControlledU(2, 1, u.Matrix).Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustAppend(three, 0, 1, 2)
+	c.MustAppend(gates.X(2), 3) // parallel
+	c.MustAppend(gates.X(2), 1) // must wait
+	if c.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", c.Depth())
+	}
+}
+
+func TestAverageTrajectoriesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := mustNew(t, hilbert.Dims{2})
+	if _, err := c.AverageTrajectories(rng, noise.Model{}, 0); err == nil {
+		t.Error("zero trajectories accepted")
+	}
+}
+
+func TestInverseOfNoisyCircuitStructure(t *testing.T) {
+	c := mustNew(t, hilbert.Dims{3, 3})
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	inv := c.Inverse()
+	if inv.Len() != c.Len() {
+		t.Fatalf("inverse length mismatch")
+	}
+	// First op of the inverse is the dagger of the last op of c.
+	if inv.Ops()[0].Gate.Name != "CSUM3x3†" {
+		t.Errorf("inverse first op = %s", inv.Ops()[0].Gate.Name)
+	}
+}
+
+func TestEchoFidelityUnderNoise(t *testing.T) {
+	// A circuit followed by its inverse returns |0> exactly when
+	// noiseless, and with reduced probability under noise — a Loschmidt
+	// echo sanity check of the noisy executor.
+	c := mustNew(t, hilbert.Dims{3, 3})
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	echo := mustNew(t, hilbert.Dims{3, 3})
+	if err := echo.Compose(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := echo.Compose(c.Inverse()); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := echo.RunDensity(noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(clean.Probabilities()[0]-1) > 1e-9 {
+		t.Error("noiseless echo did not return")
+	}
+	noisy, err := echo.RunDensity(noise.Model{Depol2: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := noisy.Probabilities()[0]
+	if p0 >= 1-1e-6 || p0 < 0.5 {
+		t.Errorf("noisy echo survival = %v", p0)
+	}
+}

@@ -1,0 +1,140 @@
+// Package core is the public façade of quditkit: it ties the device
+// model, compiler, simulators, and noise models into a Processor that
+// compiles and executes logical qudit circuits on the forecast
+// multi-cavity machine, and hosts the experiment registry that
+// regenerates every table and figure of the reproduction (see
+// EXPERIMENTS.md).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"quditkit/internal/arch"
+	"quditkit/internal/cavity"
+	"quditkit/internal/circuit"
+	"quditkit/internal/noise"
+	"quditkit/internal/state"
+)
+
+// ErrNotSimulable is returned when a routed circuit exceeds the
+// simulator's capacity (resource estimation via Plan remains available).
+var ErrNotSimulable = errors.New("core: circuit too large to simulate")
+
+// Processor couples the forecast device with a physics-derived noise
+// model and a deterministic random stream.
+type Processor struct {
+	Device arch.Device
+	rng    *rand.Rand
+}
+
+// NewProcessor builds a processor over an explicit device.
+func NewProcessor(dev arch.Device, seed int64) (*Processor, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	return &Processor{Device: dev, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// NewForecastProcessor builds the machine the paper projects: n linearly
+// connected forecast cavities.
+func NewForecastProcessor(nCavities int, seed int64) (*Processor, error) {
+	return NewProcessor(arch.ForecastDevice(nCavities), seed)
+}
+
+// NoiseModelForDim derives the per-gate error model for qudits of
+// dimension d from the device's physical parameters: photon loss over
+// each gate duration plus a small depolarizing floor for control errors.
+func (p *Processor) NoiseModelForDim(d int) (noise.Model, error) {
+	module := p.Device.Cavities[0]
+	oneQDur := module.SNAPDurationSec() + 2*module.DisplacementDurationSec()
+	twoQDur, err := module.CSUMDurationSec(d, cavity.RouteCrossKerr)
+	if err != nil {
+		return noise.Model{}, err
+	}
+	t1 := module.Modes[0].T1Sec
+	return noise.Model{
+		Depol1:    1e-4,
+		Depol2:    1e-3,
+		Damping:   cavity.LossPerGate(twoQDur, t1),
+		Dephasing: cavity.LossPerGate(oneQDur, module.Modes[0].T2Sec),
+	}, nil
+}
+
+// RunResult is the outcome of compiling and executing a logical circuit.
+type RunResult struct {
+	// State is the final noiseless state of the routed physical circuit
+	// (nil when only planning was possible).
+	State *state.Vec
+	// Mapping is the noise-aware placement used.
+	Mapping arch.Mapping
+	// Report carries swap counts, duration, and the coherence budget.
+	Report *arch.RouteReport
+}
+
+// Compile places and routes a logical circuit on the device, using the
+// circuit's own two-qudit structure as the interaction graph.
+func (p *Processor) Compile(logical *circuit.Circuit) (*circuit.Circuit, *RunResult, error) {
+	edges := interactionEdges(logical)
+	mapping, err := arch.MapNoiseAware(p.rng, p.Device, logical.NumWires(), edges, arch.MappingOptions{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapping: %w", err)
+	}
+	phys, rep, err := arch.RouteCircuit(p.Device, logical, mapping)
+	if err != nil {
+		return nil, nil, fmt.Errorf("routing: %w", err)
+	}
+	return phys, &RunResult{Mapping: mapping, Report: rep}, nil
+}
+
+// Plan places and routes for resource estimation only, with no circuit
+// materialization — usable at any device size.
+func (p *Processor) Plan(logical *circuit.Circuit) (*RunResult, error) {
+	edges := interactionEdges(logical)
+	mapping, err := arch.MapNoiseAware(p.rng, p.Device, logical.NumWires(), edges, arch.MappingOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("mapping: %w", err)
+	}
+	rep, err := arch.RoutePlan(p.Device, logical, mapping)
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	return &RunResult{Mapping: mapping, Report: rep}, nil
+}
+
+// Execute compiles and runs the circuit noiselessly, returning the final
+// physical state together with the compilation report.
+func (p *Processor) Execute(logical *circuit.Circuit) (*RunResult, error) {
+	phys, res, err := p.Compile(logical)
+	if err != nil {
+		return nil, err
+	}
+	v, err := phys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotSimulable, err)
+	}
+	res.State = v
+	return res, nil
+}
+
+// interactionEdges extracts weighted two-qudit interaction counts from a
+// logical circuit.
+func interactionEdges(c *circuit.Circuit) []arch.InteractionEdge {
+	weights := make(map[[2]int]float64)
+	for _, op := range c.Ops() {
+		if op.Gate.Arity() != 2 {
+			continue
+		}
+		u, v := op.Targets[0], op.Targets[1]
+		if u > v {
+			u, v = v, u
+		}
+		weights[[2]int{u, v}]++
+	}
+	out := make([]arch.InteractionEdge, 0, len(weights))
+	for k, w := range weights {
+		out = append(out, arch.InteractionEdge{U: k[0], V: k[1], Weight: w})
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+package core
+
+import "quditkit/internal/arch"
+
+type archDevice = arch.Device
+
+func forecastDeviceForTest(n int) arch.Device {
+	return arch.ForecastDevice(n)
+}

@@ -1,0 +1,375 @@
+// Package density implements a density-matrix simulator for mixed-radix
+// qudit registers, supporting unitary conjugation, Kraus channels on
+// subsystems, partial trace, and the mixed-state functionals (purity,
+// entropy, fidelity) used in the noisy-application studies.
+package density
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/qmath"
+)
+
+// DM is a density matrix over a mixed-radix register.
+type DM struct {
+	space *hilbert.Space
+	mat   *qmath.Matrix
+}
+
+// maxDMDim bounds the density matrices this simulator will allocate
+// (8192^2 complex128 = 1 GiB).
+const maxDMDim = 1 << 13
+
+// NewZero returns the pure density matrix |0...0><0...0|.
+func NewZero(dims hilbert.Dims) (*DM, error) {
+	sp, err := hilbert.NewSpace(dims)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Total() > maxDMDim {
+		return nil, fmt.Errorf("density: dimension %d exceeds simulable limit %d", sp.Total(), maxDMDim)
+	}
+	m := qmath.NewMatrix(sp.Total(), sp.Total())
+	m.Set(0, 0, 1)
+	return &DM{space: sp, mat: m}, nil
+}
+
+// FromPureAmplitudes builds |psi><psi| from an amplitude vector.
+func FromPureAmplitudes(dims hilbert.Dims, amps qmath.Vector) (*DM, error) {
+	sp, err := hilbert.NewSpace(dims)
+	if err != nil {
+		return nil, err
+	}
+	if len(amps) != sp.Total() {
+		return nil, fmt.Errorf("density: %d amplitudes for dimension %d", len(amps), sp.Total())
+	}
+	v := amps.Clone()
+	if v.Normalize() == 0 {
+		return nil, fmt.Errorf("density: zero amplitude vector")
+	}
+	return &DM{space: sp, mat: v.Outer(v)}, nil
+}
+
+// FromMatrix wraps a copy of an existing density matrix after validating
+// shape, Hermiticity and unit trace.
+func FromMatrix(dims hilbert.Dims, m *qmath.Matrix) (*DM, error) {
+	sp, err := hilbert.NewSpace(dims)
+	if err != nil {
+		return nil, err
+	}
+	if m.Rows != sp.Total() || m.Cols != sp.Total() {
+		return nil, fmt.Errorf("density: matrix %dx%d for dimension %d", m.Rows, m.Cols, sp.Total())
+	}
+	if !m.IsHermitian(1e-8) {
+		return nil, fmt.Errorf("density: matrix is not Hermitian")
+	}
+	tr := real(m.Trace())
+	if math.Abs(tr-1) > 1e-6 {
+		return nil, fmt.Errorf("density: trace %v != 1", tr)
+	}
+	return &DM{space: sp, mat: m.Clone()}, nil
+}
+
+// Clone returns a deep copy.
+func (r *DM) Clone() *DM {
+	return &DM{space: r.space, mat: r.mat.Clone()}
+}
+
+// Space returns the register index space.
+func (r *DM) Space() *hilbert.Space { return r.space }
+
+// Dims returns the register dimensions.
+func (r *DM) Dims() hilbert.Dims { return r.space.Dims() }
+
+// Dim returns the Hilbert dimension.
+func (r *DM) Dim() int { return r.space.Total() }
+
+// Matrix returns a copy of the underlying matrix.
+func (r *DM) Matrix() *qmath.Matrix { return r.mat.Clone() }
+
+// At returns the (i, j) element.
+func (r *DM) At(i, j int) complex128 { return r.mat.At(i, j) }
+
+// Trace returns Tr(rho), 1 for a normalized state.
+func (r *DM) Trace() float64 { return real(r.mat.Trace()) }
+
+// Normalize rescales rho to unit trace (no-op on zero trace).
+func (r *DM) Normalize() {
+	tr := real(r.mat.Trace())
+	if tr == 0 {
+		return
+	}
+	inv := complex(1/tr, 0)
+	for i := range r.mat.Data {
+		r.mat.Data[i] *= inv
+	}
+}
+
+// leftApply sets rho <- (op on targets) rho, i.e. multiplies each column's
+// target-subspace block by op.
+func (r *DM) leftApply(op *qmath.Matrix, targets []int) {
+	dim := r.space.TargetDim(targets)
+	offsets := r.space.TargetOffsets(targets)
+	n := r.space.Total()
+	scratch := make([]complex128, dim)
+	out := make([]complex128, dim)
+	r.space.SubspaceIter(targets, func(base int) {
+		for c := 0; c < n; c++ {
+			for k, off := range offsets {
+				scratch[k] = r.mat.At(base+off, c)
+			}
+			for i := 0; i < dim; i++ {
+				row := op.Row(i)
+				var s complex128
+				for k, x := range row {
+					if x != 0 {
+						s += x * scratch[k]
+					}
+				}
+				out[i] = s
+			}
+			for k, off := range offsets {
+				r.mat.Set(base+off, c, out[k])
+			}
+		}
+	})
+}
+
+// rightApplyDagger sets rho <- rho (op on targets)†.
+func (r *DM) rightApplyDagger(op *qmath.Matrix, targets []int) {
+	dim := r.space.TargetDim(targets)
+	offsets := r.space.TargetOffsets(targets)
+	n := r.space.Total()
+	scratch := make([]complex128, dim)
+	out := make([]complex128, dim)
+	r.space.SubspaceIter(targets, func(base int) {
+		for row := 0; row < n; row++ {
+			for k, off := range offsets {
+				scratch[k] = r.mat.At(row, base+off)
+			}
+			// (rho op†)[r][c'] = sum_c rho[r][c] conj(op[c'][c]).
+			for i := 0; i < dim; i++ {
+				opRow := op.Row(i)
+				var s complex128
+				for k, x := range opRow {
+					if x != 0 {
+						s += scratch[k] * complex(real(x), -imag(x))
+					}
+				}
+				out[i] = s
+			}
+			for k, off := range offsets {
+				r.mat.Set(row, base+off, out[k])
+			}
+		}
+	})
+}
+
+// Apply conjugates rho by the gate unitary on the target wires.
+func (r *DM) Apply(g gates.Gate, targets ...int) error {
+	if len(targets) != g.Arity() {
+		return fmt.Errorf("density: gate %s arity %d got %d targets", g.Name, g.Arity(), len(targets))
+	}
+	for i, t := range targets {
+		if t < 0 || t >= r.space.NumWires() {
+			return fmt.Errorf("density: target %d out of range", t)
+		}
+		if r.space.Dim(t) != g.Dims[i] {
+			return fmt.Errorf("density: gate %s expects dim %d on slot %d, wire %d has dim %d",
+				g.Name, g.Dims[i], i, t, r.space.Dim(t))
+		}
+	}
+	if err := r.space.CheckTargets(targets); err != nil {
+		return err
+	}
+	return r.ApplyUnitary(g.Matrix, targets)
+}
+
+// ApplyUnitary conjugates rho by u on the target wires: rho <- U rho U†.
+func (r *DM) ApplyUnitary(u *qmath.Matrix, targets []int) error {
+	dim := r.space.TargetDim(targets)
+	if u.Rows != dim || u.Cols != dim {
+		return fmt.Errorf("density: unitary %dx%d does not match target dim %d", u.Rows, u.Cols, dim)
+	}
+	r.leftApply(u, targets)
+	r.rightApplyDagger(u, targets)
+	return nil
+}
+
+// ApplyKraus applies the channel rho <- sum_k K_k rho K_k† on the target
+// wires. The Kraus operators must be dim x dim on the joint target space;
+// completeness (sum K†K = I) is the caller's responsibility and can be
+// checked with noise.CheckCPTP.
+func (r *DM) ApplyKraus(ks []*qmath.Matrix, targets []int) error {
+	dim := r.space.TargetDim(targets)
+	for i, k := range ks {
+		if k.Rows != dim || k.Cols != dim {
+			return fmt.Errorf("density: Kraus op %d is %dx%d, want %dx%d", i, k.Rows, k.Cols, dim, dim)
+		}
+	}
+	n := r.space.Total()
+	acc := qmath.NewMatrix(n, n)
+	for _, k := range ks {
+		term := r.Clone()
+		term.leftApply(k, targets)
+		term.rightApplyDagger(k, targets)
+		acc.AddInPlace(term.mat)
+	}
+	r.mat = acc
+	return nil
+}
+
+// PartialTrace returns the reduced density matrix over the kept wires (in
+// the order given), tracing out all others.
+func (r *DM) PartialTrace(keep []int) (*DM, error) {
+	if err := r.space.CheckTargets(keep); err != nil {
+		return nil, err
+	}
+	keepDims := make(hilbert.Dims, len(keep))
+	for i, w := range keep {
+		keepDims[i] = r.space.Dim(w)
+	}
+	outSpace, err := hilbert.NewSpace(keepDims)
+	if err != nil {
+		return nil, err
+	}
+	dim := outSpace.Total()
+	offsets := r.space.TargetOffsets(keep)
+	out := qmath.NewMatrix(dim, dim)
+	r.space.SubspaceIter(keep, func(base int) {
+		for i := 0; i < dim; i++ {
+			ri := base + offsets[i]
+			for j := 0; j < dim; j++ {
+				out.Data[i*dim+j] += r.mat.At(ri, base+offsets[j])
+			}
+		}
+	})
+	return &DM{space: outSpace, mat: out}, nil
+}
+
+// Expectation returns Tr(rho M) for an operator on the target wires.
+func (r *DM) Expectation(m *qmath.Matrix, targets []int) (float64, error) {
+	dim := r.space.TargetDim(targets)
+	if m.Rows != dim || m.Cols != dim {
+		return 0, fmt.Errorf("density: operator %dx%d does not match target dim %d", m.Rows, m.Cols, dim)
+	}
+	// Tr(rho M) computed directly over target cosets:
+	// sum_base sum_{i,j} rho[base+off_j][base+off_i] M[i][j]... careful:
+	// Tr(rho M) = sum_{a,b} rho[a][b] M[b][a] with M acting as identity on
+	// non-target wires, so a and b share their non-target digits.
+	var tr complex128
+	offsets := r.space.TargetOffsets(targets)
+	r.space.SubspaceIter(targets, func(base int) {
+		for i := 0; i < dim; i++ {
+			row := m.Row(i)
+			for j, x := range row {
+				if x != 0 {
+					tr += r.mat.At(base+offsets[j], base+offsets[i]) * x
+				}
+			}
+		}
+	})
+	return real(tr), nil
+}
+
+// Purity returns Tr(rho^2), computable as the squared Frobenius norm for
+// Hermitian rho.
+func (r *DM) Purity() float64 {
+	f := r.mat.FrobeniusNorm()
+	return f * f
+}
+
+// VonNeumannEntropy returns -Tr(rho log2 rho) in bits.
+func (r *DM) VonNeumannEntropy() (float64, error) {
+	eig, err := qmath.EigHermitian(r.mat)
+	if err != nil {
+		return 0, fmt.Errorf("entropy: %w", err)
+	}
+	var s float64
+	for _, p := range eig.Values {
+		if p > 1e-15 {
+			s -= p * math.Log2(p)
+		}
+	}
+	return s, nil
+}
+
+// FidelityPure returns <psi|rho|psi> for a pure reference state given by
+// its amplitudes.
+func (r *DM) FidelityPure(psi qmath.Vector) (float64, error) {
+	if len(psi) != r.space.Total() {
+		return 0, fmt.Errorf("density: reference dimension %d != %d", len(psi), r.space.Total())
+	}
+	w := r.mat.MulVec(psi)
+	return real(psi.Dot(w)), nil
+}
+
+// Probabilities returns the diagonal of rho: the Born probabilities of
+// every basis state.
+func (r *DM) Probabilities() []float64 {
+	n := r.space.Total()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = real(r.mat.At(i, i))
+	}
+	return out
+}
+
+// WireProbabilities returns the marginal distribution of a single wire.
+func (r *DM) WireProbabilities(wire int) []float64 {
+	d := r.space.Dim(wire)
+	out := make([]float64, d)
+	stride := r.space.Stride(wire)
+	r.space.SubspaceIter([]int{wire}, func(base int) {
+		for g := 0; g < d; g++ {
+			idx := base + g*stride
+			out[g] += real(r.mat.At(idx, idx))
+		}
+	})
+	return out
+}
+
+// Sample draws n basis-state indices from the diagonal distribution.
+func (r *DM) Sample(rng *rand.Rand, n int) []int {
+	probs := r.Probabilities()
+	cdf := make([]float64, len(probs))
+	var acc float64
+	for i, p := range probs {
+		if p < 0 {
+			p = 0 // numerical dust
+		}
+		acc += p
+		cdf[i] = acc
+	}
+	out := make([]int, n)
+	for s := 0; s < n; s++ {
+		target := rng.Float64() * acc
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[s] = lo
+	}
+	return out
+}
+
+// MostProbable returns the basis index with the largest population.
+func (r *DM) MostProbable() int {
+	best, bestP := 0, math.Inf(-1)
+	for i := 0; i < r.space.Total(); i++ {
+		if p := real(r.mat.At(i, i)); p > bestP {
+			bestP = p
+			best = i
+		}
+	}
+	return best
+}

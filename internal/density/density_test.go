@@ -1,0 +1,291 @@
+package density
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/qmath"
+)
+
+const tol = 1e-9
+
+func randomDM(t *testing.T, rng *rand.Rand, dims hilbert.Dims) *DM {
+	t.Helper()
+	sp := hilbert.MustSpace(dims)
+	m := qmath.RandomDensityMatrix(rng, sp.Total())
+	r, err := FromMatrix(dims, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewZero(t *testing.T) {
+	r, err := NewZero(hilbert.Dims{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Trace()-1) > tol {
+		t.Errorf("trace = %v", r.Trace())
+	}
+	if math.Abs(r.Purity()-1) > tol {
+		t.Errorf("purity = %v", r.Purity())
+	}
+}
+
+func TestFromMatrixValidation(t *testing.T) {
+	bad := qmath.Identity(4) // trace 4
+	if _, err := FromMatrix(hilbert.Dims{2, 2}, bad); err == nil {
+		t.Error("trace != 1 accepted")
+	}
+	nonHerm := qmath.NewMatrix(2, 2)
+	nonHerm.Set(0, 1, 1)
+	nonHerm.Set(0, 0, 1)
+	if _, err := FromMatrix(hilbert.Dims{2}, nonHerm); err == nil {
+		t.Error("non-Hermitian accepted")
+	}
+	if _, err := FromMatrix(hilbert.Dims{3}, qmath.Identity(2)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestApplyUnitaryMatchesPureEvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	dims := hilbert.Dims{2, 3}
+	psi := qmath.RandomState(rng, 6)
+	r, err := FromPureAmplitudes(dims, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gates.CSUM(2, 3)
+	if err := r.Apply(g, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: evolve the pure state with the full matrix and form the
+	// projector.
+	sp := hilbert.MustSpace(dims)
+	full := qmath.NewMatrix(6, 6)
+	offsets := sp.TargetOffsets([]int{0, 1})
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			full.Set(offsets[i], offsets[j], g.Matrix.At(i, j))
+		}
+	}
+	want := full.MulVec(psi)
+	fid, err := r.FidelityPure(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fid-1) > tol {
+		t.Errorf("fidelity after unitary = %v, want 1", fid)
+	}
+}
+
+func TestApplyUnitaryPreservesTraceAndHermiticity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dims := hilbert.Dims{3, 2, 2}
+	r := randomDM(t, rng, dims)
+	seq := []struct {
+		g       gates.Gate
+		targets []int
+	}{
+		{gates.DFT(3), []int{0}},
+		{gates.CSUM(2, 2), []int{1, 2}},
+		{gates.RotorMixer(3, 0.7), []int{0}},
+		{gates.CSUM(3, 2), []int{0, 2}},
+	}
+	for _, s := range seq {
+		if err := r.Apply(s.g, s.targets...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(r.Trace()-1) > 1e-8 {
+		t.Errorf("trace drifted to %v", r.Trace())
+	}
+	if !r.Matrix().IsHermitian(1e-8) {
+		t.Error("Hermiticity lost")
+	}
+}
+
+func TestApplyKrausDepolarizingQubit(t *testing.T) {
+	// Full depolarizing on one qubit of a Bell pair: reduced state is
+	// maximally mixed, purity of the pair drops to 1/4... here we use the
+	// standard 4-Kraus depolarizing with p=1 giving rho -> I/2 ⊗ tr_1 rho.
+	p := 1.0
+	i2 := qmath.Identity(2)
+	x := gates.X(2).Matrix
+	z := gates.Z(2).Matrix
+	y := z.Mul(x).Scale(complex(0, 1))
+	ks := []*qmath.Matrix{
+		i2.Scale(complex(math.Sqrt(1-3*p/4), 0)),
+		x.Scale(complex(math.Sqrt(p/4), 0)),
+		y.Scale(complex(math.Sqrt(p/4), 0)),
+		z.Scale(complex(math.Sqrt(p/4), 0)),
+	}
+	// Bell state.
+	amps := qmath.Vector{complex(1/math.Sqrt2, 0), 0, 0, complex(1/math.Sqrt2, 0)}
+	r, err := FromPureAmplitudes(hilbert.Dims{2, 2}, amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyKraus(ks, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Trace()-1) > tol {
+		t.Errorf("trace after channel = %v", r.Trace())
+	}
+	red, err := r.PartialTrace([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reduced state maximally mixed.
+	if math.Abs(real(red.At(0, 0))-0.5) > 1e-9 || math.Abs(real(red.At(1, 1))-0.5) > 1e-9 {
+		t.Errorf("reduced state not maximally mixed: %v", red.Matrix())
+	}
+}
+
+func TestPartialTraceBell(t *testing.T) {
+	amps := qmath.Vector{complex(1/math.Sqrt2, 0), 0, 0, complex(1/math.Sqrt2, 0)}
+	r, err := FromPureAmplitudes(hilbert.Dims{2, 2}, amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := r.PartialTrace([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Dim() != 2 {
+		t.Fatalf("reduced dim = %d", red.Dim())
+	}
+	if math.Abs(red.Purity()-0.5) > tol {
+		t.Errorf("Bell reduced purity = %v, want 0.5", red.Purity())
+	}
+	s, err := red.VonNeumannEntropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-8 {
+		t.Errorf("Bell reduced entropy = %v bits, want 1", s)
+	}
+}
+
+func TestPartialTraceProduct(t *testing.T) {
+	// Product state: partial trace returns the factor exactly.
+	v0 := qmath.Vector{1, 0, 0} // |0> qutrit
+	v1 := qmath.Vector{0, 1}    // |1> qubit
+	joint := qmath.KronVec(v0, v1)
+	r, err := FromPureAmplitudes(hilbert.Dims{3, 2}, joint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := r.PartialTrace([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(red.At(0, 0))-1) > tol {
+		t.Errorf("product partial trace wrong: %v", red.Matrix())
+	}
+}
+
+func TestPartialTraceTracePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	r := randomDM(t, rng, hilbert.Dims{2, 3, 2})
+	red, err := r.PartialTrace([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(red.Trace()-1) > 1e-8 {
+		t.Errorf("partial trace broke normalization: %v", red.Trace())
+	}
+}
+
+func TestExpectation(t *testing.T) {
+	r, err := NewZero(hilbert.Dims{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(gates.X(4), 0); err != nil { // now |1>
+		t.Fatal(err)
+	}
+	n := gates.Number(4)
+	got, err := r.Expectation(n, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > tol {
+		t.Errorf("<n> = %v, want 1", got)
+	}
+}
+
+func TestExpectationMultiWire(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	dims := hilbert.Dims{2, 2}
+	r := randomDM(t, rng, dims)
+	// Oracle: dense trace.
+	op := qmath.RandomHermitian(rng, 4)
+	got, err := r.Expectation(op, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := real(r.Matrix().Mul(op).Trace())
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("Expectation = %v, dense trace = %v", got, want)
+	}
+}
+
+func TestSampleFromDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	r, err := NewZero(hilbert.Dims{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(gates.DFT(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	counts := [2]int{}
+	for _, s := range r.Sample(rng, n) {
+		counts[s]++
+	}
+	frac := float64(counts[0]) / n
+	if frac < 0.42 || frac > 0.58 {
+		t.Errorf("sampling bias %v", frac)
+	}
+}
+
+func TestWireProbabilitiesDM(t *testing.T) {
+	r, err := NewZero(hilbert.Dims{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(gates.X(3), 0); err != nil {
+		t.Fatal(err)
+	}
+	p := r.WireProbabilities(0)
+	if math.Abs(p[1]-1) > tol {
+		t.Errorf("wire 0 dist = %v", p)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	r, _ := NewZero(hilbert.Dims{2})
+	m := r.Matrix().Scale(2)
+	r2 := &DM{space: r.space, mat: m}
+	r2.Normalize()
+	if math.Abs(r2.Trace()-1) > tol {
+		t.Errorf("normalize failed: %v", r2.Trace())
+	}
+}
+
+func TestMostProbable(t *testing.T) {
+	r, _ := NewZero(hilbert.Dims{2, 2})
+	if err := r.Apply(gates.X(2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.MostProbable(); got != 1 {
+		t.Errorf("MostProbable = %d, want 1", got)
+	}
+}

@@ -1,0 +1,142 @@
+package density
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/qmath"
+)
+
+func TestNewZeroRejectsHugeRegister(t *testing.T) {
+	if _, err := NewZero(hilbert.Uniform(16, 3)); err == nil {
+		t.Error("oversized density register accepted")
+	}
+}
+
+func TestApplyKrausShapeError(t *testing.T) {
+	r, _ := NewZero(hilbert.Dims{3})
+	if err := r.ApplyKraus([]*qmath.Matrix{qmath.Identity(2)}, []int{0}); err == nil {
+		t.Error("wrong-dim Kraus accepted")
+	}
+}
+
+func TestApplyUnitaryShapeError(t *testing.T) {
+	r, _ := NewZero(hilbert.Dims{3})
+	if err := r.ApplyUnitary(qmath.Identity(2), []int{0}); err == nil {
+		t.Error("wrong-dim unitary accepted")
+	}
+}
+
+func TestPartialTraceOrdering(t *testing.T) {
+	// |psi> = |1>_A |2>_B on dims {2, 3}; keep=[1, 0] returns the factors
+	// in swapped order.
+	sp := hilbert.MustSpace(hilbert.Dims{2, 3})
+	amps := qmath.NewVector(6)
+	amps[sp.Index([]int{1, 2})] = 1
+	r, err := FromPureAmplitudes(hilbert.Dims{2, 3}, amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := r.PartialTrace([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !red.Dims().Equal(hilbert.Dims{3, 2}) {
+		t.Fatalf("reduced dims = %v", red.Dims())
+	}
+	// Population sits at digits (2, 1) of the swapped register.
+	idx := red.Space().Index([]int{2, 1})
+	if math.Abs(real(red.At(idx, idx))-1) > 1e-10 {
+		t.Error("swapped partial trace misplaced the population")
+	}
+}
+
+func TestPartialTraceBadKeep(t *testing.T) {
+	r, _ := NewZero(hilbert.Dims{2, 2})
+	if _, err := r.PartialTrace([]int{0, 0}); err == nil {
+		t.Error("duplicate keep accepted")
+	}
+	if _, err := r.PartialTrace([]int{5}); err == nil {
+		t.Error("out-of-range keep accepted")
+	}
+}
+
+func TestVonNeumannEntropyPure(t *testing.T) {
+	r, _ := NewZero(hilbert.Dims{4})
+	s, err := r.VonNeumannEntropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s) > 1e-8 {
+		t.Errorf("pure-state entropy = %v", s)
+	}
+}
+
+func TestVonNeumannEntropyMaximallyMixed(t *testing.T) {
+	d := 4
+	r, err := FromMatrix(hilbert.Dims{4}, qmath.Identity(d).Scale(complex(1.0/float64(d), 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.VonNeumannEntropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-2) > 1e-8 { // log2(4) bits
+		t.Errorf("maximally mixed entropy = %v, want 2", s)
+	}
+	if math.Abs(r.Purity()-0.25) > 1e-10 {
+		t.Errorf("purity = %v, want 0.25", r.Purity())
+	}
+}
+
+func TestFidelityPureShapeError(t *testing.T) {
+	r, _ := NewZero(hilbert.Dims{2})
+	if _, err := r.FidelityPure(qmath.Vector{1, 0, 0}); err == nil {
+		t.Error("wrong-dim reference accepted")
+	}
+}
+
+func TestMixedDimensionChannelApplication(t *testing.T) {
+	// Kraus on the qutrit of a {2, 3} register leaves the qubit marginal
+	// untouched.
+	rng := rand.New(rand.NewSource(7))
+	m := qmath.RandomDensityMatrix(rng, 6)
+	r, err := FromMatrix(hilbert.Dims{2, 3}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.WireProbabilities(0)
+	// A full dephasing channel on the qutrit.
+	z := gates.Z(3).Matrix
+	ks := []*qmath.Matrix{
+		qmath.Identity(3).Scale(complex(math.Sqrt(1.0/3), 0)),
+		z.Scale(complex(math.Sqrt(1.0/3), 0)),
+		z.Mul(z).Scale(complex(math.Sqrt(1.0/3), 0)),
+	}
+	if err := r.ApplyKraus(ks, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	after := r.WireProbabilities(0)
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-9 {
+			t.Errorf("qubit marginal changed: %v -> %v", before[i], after[i])
+		}
+	}
+	// Qutrit coherences are gone.
+	red, err := r.PartialTrace([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j && cmplx.Abs(red.At(i, j)) > 1e-9 {
+				t.Errorf("coherence (%d,%d) survived", i, j)
+			}
+		}
+	}
+}

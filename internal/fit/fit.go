@@ -1,0 +1,314 @@
+// Package fit supplies the small numerical-analysis toolkit used by the
+// experiment harnesses: summary statistics, normalized errors, real ridge
+// regression, discrete Fourier analysis with peak refinement, and simple
+// threshold detection on sweep curves.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quditkit/internal/qmath"
+)
+
+// ErrBadInput indicates structurally invalid numeric input (empty series,
+// mismatched lengths).
+var ErrBadInput = errors.New("fit: bad input")
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return math.Sqrt(Variance(xs) / float64(len(xs)))
+}
+
+// NMSE returns the normalized mean squared error
+// sum (p-t)^2 / sum (t - mean(t))^2, the standard reservoir-computing
+// metric (0 = perfect, 1 = as bad as predicting the mean).
+func NMSE(pred, target []float64) (float64, error) {
+	if len(pred) != len(target) || len(pred) == 0 {
+		return 0, fmt.Errorf("%w: pred %d target %d", ErrBadInput, len(pred), len(target))
+	}
+	m := Mean(target)
+	var num, den float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		num += d * d
+		t := target[i] - m
+		den += t * t
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("%w: constant target", ErrBadInput)
+	}
+	return num / den, nil
+}
+
+// Ridge solves the real ridge regression min ||Xw - y||^2 + lambda||w||^2
+// and returns the weights. X is row-major with one sample per row.
+func Ridge(x [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrBadInput, len(x), len(y))
+	}
+	cols := len(x[0])
+	xm := qmath.NewMatrix(len(x), cols)
+	for i, row := range x {
+		if len(row) != cols {
+			return nil, fmt.Errorf("%w: ragged row %d", ErrBadInput, i)
+		}
+		dst := xm.Row(i)
+		for j, v := range row {
+			dst[j] = complex(v, 0)
+		}
+	}
+	yv := qmath.NewVector(len(y))
+	for i, v := range y {
+		yv[i] = complex(v, 0)
+	}
+	w, err := qmath.LeastSquares(xm, yv, lambda)
+	if err != nil {
+		return nil, fmt.Errorf("ridge: %w", err)
+	}
+	out := make([]float64, cols)
+	for i, v := range w {
+		out[i] = real(v)
+	}
+	return out, nil
+}
+
+// Predict applies a linear model with weights w (and no intercept) to each
+// feature row.
+func Predict(x [][]float64, w []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		var s float64
+		for j, v := range row {
+			s += v * w[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Spectrum returns the magnitude spectrum of a real series for
+// frequencies k = 0..n/2 (plain O(n^2) DFT; series here are short).
+func Spectrum(xs []float64) []float64 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	half := n/2 + 1
+	out := make([]float64, half)
+	for k := 0; k < half; k++ {
+		var re, im float64
+		for t, x := range xs {
+			theta := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			re += x * math.Cos(theta)
+			im += x * math.Sin(theta)
+		}
+		out[k] = math.Hypot(re, im)
+	}
+	return out
+}
+
+// DominantFrequency returns the angular frequency (radians per unit time)
+// of the strongest non-DC spectral peak of a series sampled at interval
+// dt, refined by parabolic interpolation of the log-magnitudes.
+func DominantFrequency(xs []float64, dt float64) (float64, error) {
+	if len(xs) < 4 || dt <= 0 {
+		return 0, fmt.Errorf("%w: need >=4 samples and positive dt", ErrBadInput)
+	}
+	spec := Spectrum(xs)
+	best, bestV := 1, -1.0
+	for k := 1; k < len(spec); k++ {
+		if spec[k] > bestV {
+			bestV = spec[k]
+			best = k
+		}
+	}
+	kf := float64(best)
+	// Parabolic refinement on log magnitudes when neighbors exist.
+	if best > 1 && best < len(spec)-1 {
+		l := math.Log(spec[best-1] + 1e-300)
+		c := math.Log(spec[best] + 1e-300)
+		r := math.Log(spec[best+1] + 1e-300)
+		den := l - 2*c + r
+		if den < 0 {
+			kf += 0.5 * (l - r) / den
+		}
+	}
+	n := float64(len(xs))
+	return 2 * math.Pi * kf / (n * dt), nil
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Logspace returns n logarithmically spaced values from 10^lo to 10^hi.
+func Logspace(lo, hi float64, n int) []float64 {
+	ls := Linspace(lo, hi, n)
+	for i, v := range ls {
+		ls[i] = math.Pow(10, v)
+	}
+	return ls
+}
+
+// CrossingPoint returns the x at which a monotone-sampled curve y(x)
+// first crosses the given level, linearly interpolated. It returns an
+// error if the curve never crosses.
+func CrossingPoint(xs, ys []float64, level float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("%w: need matched series of length >= 2", ErrBadInput)
+	}
+	below := ys[0] < level
+	for i := 1; i < len(xs); i++ {
+		if (ys[i] < level) != below {
+			// Interpolate between i-1 and i.
+			x0, x1 := xs[i-1], xs[i]
+			y0, y1 := ys[i-1], ys[i]
+			if y1 == y0 {
+				return x0, nil
+			}
+			return x0 + (level-y0)*(x1-x0)/(y1-y0), nil
+		}
+	}
+	return 0, fmt.Errorf("fit: curve never crosses level %g", level)
+}
+
+// DampedCosineFit holds the parameters of y(t) = A e^{-gamma t}
+// cos(omega t + phi) + C.
+type DampedCosineFit struct {
+	Amplitude float64
+	Gamma     float64
+	Omega     float64
+	Phase     float64
+	Offset    float64
+	// Residual is the RMS misfit of the returned parameters.
+	Residual float64
+}
+
+// FitDampedCosine fits a damped cosine to a uniformly sampled series by
+// seeding omega from the dominant spectral peak and refining all five
+// parameters with adaptive coordinate descent. It is the extraction step
+// for real-time oscillation measurements (mass gaps, Rabi/ring-down
+// experiments).
+func FitDampedCosine(ts, ys []float64) (*DampedCosineFit, error) {
+	if len(ts) != len(ys) || len(ts) < 8 {
+		return nil, fmt.Errorf("%w: need matched series of length >= 8", ErrBadInput)
+	}
+	dt := ts[1] - ts[0]
+	if dt <= 0 {
+		return nil, fmt.Errorf("%w: non-increasing time axis", ErrBadInput)
+	}
+	mean := Mean(ys)
+	centered := make([]float64, len(ys))
+	for i, y := range ys {
+		centered[i] = y - mean
+	}
+	omega0, err := DominantFrequency(centered, dt)
+	if err != nil {
+		return nil, err
+	}
+	// Initial amplitude from the centered range.
+	var amp0 float64
+	for _, y := range centered {
+		if a := math.Abs(y); a > amp0 {
+			amp0 = a
+		}
+	}
+	params := []float64{amp0, 0.05, omega0, 0, mean} // A, gamma, omega, phi, C
+	residual := func(p []float64) float64 {
+		var s float64
+		for i, t := range ts {
+			model := p[0]*math.Exp(-p[1]*t)*math.Cos(p[2]*t+p[3]) + p[4]
+			d := model - ys[i]
+			s += d * d
+		}
+		return s
+	}
+	cur := residual(params)
+	steps := []float64{amp0 / 4, 0.05, omega0 / 10, 0.5, amp0 / 4}
+	for sweep := 0; sweep < 200; sweep++ {
+		improved := false
+		for i := range params {
+			if steps[i] == 0 {
+				continue
+			}
+			orig := params[i]
+			params[i] = orig + steps[i]
+			up := residual(params)
+			params[i] = orig - steps[i]
+			down := residual(params)
+			switch {
+			case up < cur && up <= down:
+				params[i] = orig + steps[i]
+				cur = up
+				improved = true
+			case down < cur:
+				params[i] = orig - steps[i]
+				cur = down
+				improved = true
+			default:
+				params[i] = orig
+			}
+		}
+		if !improved {
+			allTiny := true
+			for i := range steps {
+				steps[i] /= 2
+				if steps[i] > 1e-7 {
+					allTiny = false
+				}
+			}
+			if allTiny {
+				break
+			}
+		}
+	}
+	return &DampedCosineFit{
+		Amplitude: params[0],
+		Gamma:     params[1],
+		Omega:     math.Abs(params[2]),
+		Phase:     params[3],
+		Offset:    params[4],
+		Residual:  math.Sqrt(cur / float64(len(ts))),
+	}, nil
+}

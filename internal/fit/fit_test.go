@@ -1,0 +1,206 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); math.Abs(m-2.5) > 1e-12 {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); math.Abs(v-5.0/3) > 1e-12 {
+		t.Errorf("Variance = %v", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs mishandled")
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	xs := []float64{2, 4}
+	// variance = 2, stderr = sqrt(2/2) = 1.
+	if se := StdErr(xs); math.Abs(se-1) > 1e-12 {
+		t.Errorf("StdErr = %v", se)
+	}
+}
+
+func TestNMSE(t *testing.T) {
+	target := []float64{1, 2, 3, 4}
+	if v, err := NMSE(target, target); err != nil || v != 0 {
+		t.Errorf("perfect NMSE = %v, %v", v, err)
+	}
+	mean := Mean(target)
+	pred := []float64{mean, mean, mean, mean}
+	v, err := NMSE(pred, target)
+	if err != nil || math.Abs(v-1) > 1e-12 {
+		t.Errorf("mean-prediction NMSE = %v, want 1", v)
+	}
+	if _, err := NMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NMSE([]float64{1, 1}, []float64{2, 2}); err == nil {
+		t.Error("constant target accepted")
+	}
+}
+
+func TestRidgeRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	wTrue := []float64{2, -1, 0.5}
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		row := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		x = append(x, row)
+		y = append(y, 2*row[0]-row[1]+0.5*row[2])
+	}
+	w, err := Ridge(x, y, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wTrue {
+		if math.Abs(w[i]-wTrue[i]) > 1e-6 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], wTrue[i])
+		}
+	}
+	// Predictions match.
+	preds := Predict(x, w)
+	nmse, err := NMSE(preds, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmse > 1e-10 {
+		t.Errorf("NMSE = %v", nmse)
+	}
+}
+
+func TestRidgeValidation(t *testing.T) {
+	if _, err := Ridge(nil, nil, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Ridge([][]float64{{1, 2}, {1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestDominantFrequency(t *testing.T) {
+	// x(t) = cos(omega t), omega = 2.0 rad/s, dt = 0.1 s, 256 samples.
+	omega := 2.0
+	dt := 0.1
+	n := 256
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Cos(omega * dt * float64(i))
+	}
+	got, err := DominantFrequency(xs, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-omega) > 0.05 {
+		t.Errorf("DominantFrequency = %v, want %v", got, omega)
+	}
+}
+
+func TestDominantFrequencyTwoTones(t *testing.T) {
+	// Stronger tone must win.
+	dt := 0.05
+	n := 512
+	xs := make([]float64, n)
+	for i := range xs {
+		ti := dt * float64(i)
+		xs[i] = 2*math.Cos(3.0*ti) + 0.3*math.Cos(7.0*ti)
+	}
+	got, err := DominantFrequency(xs, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3.0) > 0.1 {
+		t.Errorf("DominantFrequency = %v, want 3.0", got)
+	}
+}
+
+func TestSpectrumDC(t *testing.T) {
+	xs := []float64{1, 1, 1, 1}
+	spec := Spectrum(xs)
+	if math.Abs(spec[0]-4) > 1e-9 {
+		t.Errorf("DC bin = %v, want 4", spec[0])
+	}
+	for k := 1; k < len(spec); k++ {
+		if spec[k] > 1e-9 {
+			t.Errorf("non-DC bin %d = %v", k, spec[k])
+		}
+	}
+}
+
+func TestLinspaceLogspace(t *testing.T) {
+	ls := Linspace(0, 1, 5)
+	if len(ls) != 5 || ls[0] != 0 || ls[4] != 1 || math.Abs(ls[2]-0.5) > 1e-12 {
+		t.Errorf("Linspace = %v", ls)
+	}
+	lg := Logspace(-2, 0, 3)
+	want := []float64{0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(lg[i]-want[i]) > 1e-9 {
+			t.Errorf("Logspace[%d] = %v, want %v", i, lg[i], want[i])
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+}
+
+func TestCrossingPoint(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 0.2, 0.8, 1.0}
+	x, err := CrossingPoint(xs, ys, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1.5) > 1e-9 {
+		t.Errorf("CrossingPoint = %v, want 1.5", x)
+	}
+	if _, err := CrossingPoint(xs, ys, 5); err == nil {
+		t.Error("non-crossing accepted")
+	}
+	if _, err := CrossingPoint([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestFitDampedCosineRecovery(t *testing.T) {
+	// Known signal: 1.5 e^{-0.1 t} cos(2.2 t + 0.4) + 0.3.
+	n := 200
+	dt := 0.05
+	ts := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range ts {
+		ti := dt * float64(i)
+		ts[i] = ti
+		ys[i] = 1.5*math.Exp(-0.1*ti)*math.Cos(2.2*ti+0.4) + 0.3
+	}
+	fitRes, err := FitDampedCosine(ts, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fitRes.Omega-2.2) > 0.05 {
+		t.Errorf("omega = %v, want 2.2", fitRes.Omega)
+	}
+	if math.Abs(fitRes.Gamma-0.1) > 0.05 {
+		t.Errorf("gamma = %v, want 0.1", fitRes.Gamma)
+	}
+	if fitRes.Residual > 0.02 {
+		t.Errorf("residual = %v", fitRes.Residual)
+	}
+}
+
+func TestFitDampedCosineValidation(t *testing.T) {
+	if _, err := FitDampedCosine([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("short series accepted")
+	}
+	ts := []float64{0, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := FitDampedCosine(ts, ts); err == nil {
+		t.Error("degenerate time axis accepted")
+	}
+}

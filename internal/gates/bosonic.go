@@ -1,0 +1,150 @@
+package gates
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"quditkit/internal/qmath"
+)
+
+// Lower returns the truncated annihilation operator a on a d-level Fock
+// space: a|n> = sqrt(n)|n-1>.
+func Lower(d int) *qmath.Matrix {
+	checkDim(d)
+	m := qmath.NewMatrix(d, d)
+	for n := 1; n < d; n++ {
+		m.Set(n-1, n, complex(math.Sqrt(float64(n)), 0))
+	}
+	return m
+}
+
+// Raise returns the truncated creation operator a† on a d-level Fock
+// space: a†|n> = sqrt(n+1)|n+1> (with the top level annihilated by the
+// truncation).
+func Raise(d int) *qmath.Matrix {
+	return Lower(d).Dagger()
+}
+
+// Number returns the photon-number operator n = a†a = diag(0..d-1).
+func Number(d int) *qmath.Matrix {
+	checkDim(d)
+	m := qmath.NewMatrix(d, d)
+	for n := 0; n < d; n++ {
+		m.Set(n, n, complex(float64(n), 0))
+	}
+	return m
+}
+
+// Position returns the quadrature x = (a + a†)/sqrt(2).
+func Position(d int) *qmath.Matrix {
+	a := Lower(d)
+	return a.Add(a.Dagger()).Scale(complex(1/math.Sqrt2, 0))
+}
+
+// Momentum returns the quadrature p = i(a† - a)/sqrt(2).
+func Momentum(d int) *qmath.Matrix {
+	a := Lower(d)
+	return a.Dagger().Sub(a).Scale(complex(0, 1/math.Sqrt2))
+}
+
+// Displacement returns the displacement gate D(alpha) = exp(alpha a† -
+// conj(alpha) a) on a d-level truncated Fock space. The truncated
+// generator remains anti-Hermitian, so the gate is exactly unitary; the
+// truncation is physically faithful while |alpha|^2 + <n> stays well below
+// d.
+func Displacement(d int, alpha complex128) Gate {
+	checkDim(d)
+	a := Lower(d)
+	gen := a.Dagger().Scale(alpha).Sub(a.Scale(cmplx.Conj(alpha)))
+	u := qmath.Expm(gen)
+	return Gate{
+		Name:   fmt.Sprintf("D%d(%.3f%+.3fi)", d, real(alpha), imag(alpha)),
+		Dims:   []int{d},
+		Matrix: u,
+	}
+}
+
+// Kerr returns the self-Kerr evolution exp(-i chi t (a†a)^2), the leading
+// cavity nonlinearity inherited from the dispersive transmon coupling.
+func Kerr(d int, chiT float64) Gate {
+	checkDim(d)
+	m := qmath.NewMatrix(d, d)
+	for n := 0; n < d; n++ {
+		m.Set(n, n, cmplx.Exp(complex(0, -chiT*float64(n*n))))
+	}
+	return Gate{Name: fmt.Sprintf("Kerr%d(%.3f)", d, chiT), Dims: []int{d}, Matrix: m}
+}
+
+// FockParity returns the photon-number parity operator diag((-1)^n),
+// the observable measured through the dispersive transmon in Wigner-style
+// tomography.
+func FockParity(d int) *qmath.Matrix {
+	checkDim(d)
+	m := qmath.NewMatrix(d, d)
+	for n := 0; n < d; n++ {
+		sign := complex(1, 0)
+		if n%2 == 1 {
+			sign = -1
+		}
+		m.Set(n, n, sign)
+	}
+	return m
+}
+
+// BeamSplitter returns the two-mode gate exp(theta (e^{i phi} a†b -
+// e^{-i phi} a b†)) on modes of dimension d1 and d2. The generator is
+// anti-Hermitian so the gate is exactly unitary under truncation. At
+// theta = pi/4 it is a 50:50 beam splitter; at theta = pi/2 it swaps the
+// mode contents (up to phases).
+//
+// In the cavity architecture this interaction is activated by a bichromatic
+// drive at the difference frequency of the two modes, mediated by the
+// shared transmon.
+func BeamSplitter(d1, d2 int, theta, phi float64) Gate {
+	checkDim(d1)
+	checkDim(d2)
+	a := Lower(d1)
+	b := Lower(d2)
+	// a†b acts on the joint space as (a† ⊗ b).
+	adB := qmath.Kron(a.Dagger(), b)
+	aBd := qmath.Kron(a, b.Dagger())
+	ep := cmplx.Exp(complex(0, phi))
+	gen := adB.Scale(ep * complex(theta, 0)).Sub(aBd.Scale(cmplx.Conj(ep) * complex(theta, 0)))
+	u := qmath.Expm(gen)
+	return Gate{
+		Name:   fmt.Sprintf("BS%dx%d(%.3f,%.3f)", d1, d2, theta, phi),
+		Dims:   []int{d1, d2},
+		Matrix: u,
+	}
+}
+
+// CoherentState returns the normalized truncated coherent state |alpha>
+// on a d-level Fock space.
+func CoherentState(d int, alpha complex128) qmath.Vector {
+	checkDim(d)
+	v := qmath.NewVector(d)
+	// c_n = alpha^n / sqrt(n!) up to normalization.
+	term := complex(1, 0)
+	v[0] = term
+	for n := 1; n < d; n++ {
+		term *= alpha / complex(math.Sqrt(float64(n)), 0)
+		v[n] = term
+	}
+	v.Normalize()
+	return v
+}
+
+// CatState returns the normalized even (sign=+1) or odd (sign=-1)
+// Schrödinger cat state |alpha> ± |-alpha> truncated to d levels.
+func CatState(d int, alpha complex128, sign int) qmath.Vector {
+	plus := CoherentState(d, alpha)
+	minus := CoherentState(d, -alpha)
+	s := complex(1, 0)
+	if sign < 0 {
+		s = -1
+	}
+	v := plus.Add(minus.Scale(s))
+	v.Normalize()
+	return v
+}

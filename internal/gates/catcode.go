@@ -1,0 +1,94 @@
+package gates
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quditkit/internal/qmath"
+)
+
+// ErrCodeword indicates an invalid bosonic-code construction.
+var ErrCodeword = errors.New("gates: invalid bosonic code")
+
+// CatCode is the two-component cat qubit encoded in a cavity mode — the
+// paper's §I "error-correctable bosonic states within the oscillator
+// subspace". Logical |0>/|1> are the even/odd cat states of amplitude
+// alpha; a single photon loss flips the photon-number parity, so loss
+// events are detectable by the transmon's parity measurement without
+// destroying the logical information.
+type CatCode struct {
+	Dim   int
+	Alpha complex128
+	// Zero and One are the normalized logical codewords.
+	Zero, One qmath.Vector
+}
+
+// NewCatCode builds the code in a d-level truncation. The truncation must
+// comfortably contain the coherent amplitude (|alpha|^2 + a few sigma).
+func NewCatCode(d int, alpha complex128) (*CatCode, error) {
+	if d < 4 {
+		return nil, fmt.Errorf("%w: dimension %d too small", ErrCodeword, d)
+	}
+	nbar := real(alpha)*real(alpha) + imag(alpha)*imag(alpha)
+	if float64(d) < nbar+3*math.Sqrt(nbar)+2 {
+		return nil, fmt.Errorf("%w: truncation %d too small for |alpha|^2 = %.2f", ErrCodeword, d, nbar)
+	}
+	return &CatCode{
+		Dim:   d,
+		Alpha: alpha,
+		Zero:  CatState(d, alpha, +1),
+		One:   CatState(d, alpha, -1),
+	}, nil
+}
+
+// Encode returns the cavity state for logical amplitudes (a|0_L> +
+// b|1_L>), normalized.
+func (c *CatCode) Encode(a, b complex128) (qmath.Vector, error) {
+	v := c.Zero.Scale(a).Add(c.One.Scale(b))
+	if v.Normalize() == 0 {
+		return nil, fmt.Errorf("%w: zero logical amplitudes", ErrCodeword)
+	}
+	return v, nil
+}
+
+// ParitySyndrome returns the photon-number parity expectation of a cavity
+// state: +1 on the even-cat (no-loss) subspace, -1 after a single loss.
+// This is the error syndrome the transmon extracts dispersively.
+func (c *CatCode) ParitySyndrome(state qmath.Vector) float64 {
+	p := FockParity(c.Dim)
+	return real(state.Dot(p.MulVec(state)))
+}
+
+// ApplyLoss applies the annihilation operator (one photon loss) to the
+// state and renormalizes — the dominant cavity error.
+func (c *CatCode) ApplyLoss(state qmath.Vector) (qmath.Vector, error) {
+	out := Lower(c.Dim).MulVec(state)
+	if out.Normalize() == 0 {
+		return nil, fmt.Errorf("%w: state annihilated by loss", ErrCodeword)
+	}
+	return out, nil
+}
+
+// LogicalOverlaps returns |<0_L|psi>|^2 and |<1_L|psi>|^2 for readout of
+// the encoded information.
+func (c *CatCode) LogicalOverlaps(state qmath.Vector) (p0, p1 float64) {
+	o0 := c.Zero.Dot(state)
+	o1 := c.One.Dot(state)
+	return real(o0)*real(o0) + imag(o0)*imag(o0), real(o1)*real(o1) + imag(o1)*imag(o1)
+}
+
+// LossCatCodewords reports where a photon loss maps the codewords: a|0_L>
+// is proportional to |1_L> of the same amplitude (and vice versa), which
+// is why parity tracking suffices to follow the logical frame.
+func (c *CatCode) LossCatCodewords() (zeroMapsToOne, oneMapsToZero bool, err error) {
+	l0, err := c.ApplyLoss(c.Zero)
+	if err != nil {
+		return false, false, err
+	}
+	l1, err := c.ApplyLoss(c.One)
+	if err != nil {
+		return false, false, err
+	}
+	return l0.ApproxEqualUpToPhase(c.One, 1e-6), l1.ApproxEqualUpToPhase(c.Zero, 1e-6), nil
+}

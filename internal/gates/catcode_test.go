@@ -1,0 +1,155 @@
+package gates
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"quditkit/internal/qmath"
+)
+
+func TestNewCatCodeValidation(t *testing.T) {
+	if _, err := NewCatCode(3, 1); err == nil {
+		t.Error("tiny dimension accepted")
+	}
+	if _, err := NewCatCode(8, 3); err == nil {
+		t.Error("truncation too small for alpha accepted")
+	}
+	if _, err := NewCatCode(24, complex(1.5, 0)); err != nil {
+		t.Errorf("valid code rejected: %v", err)
+	}
+}
+
+func TestCatCodewordsOrthonormal(t *testing.T) {
+	c, err := NewCatCode(24, complex(1.5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Zero.Norm()-1) > 1e-10 || math.Abs(c.One.Norm()-1) > 1e-10 {
+		t.Error("codewords not normalized")
+	}
+	ov := c.Zero.Dot(c.One)
+	if math.Hypot(real(ov), imag(ov)) > 1e-10 {
+		t.Error("codewords not orthogonal")
+	}
+}
+
+func TestCatParitySyndromeDetectsLoss(t *testing.T) {
+	c, err := NewCatCode(24, complex(1.5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh logical superposition has parity +1 (even subspace)... the
+	// odd codeword has parity -1, so measure the codewords separately.
+	if p := c.ParitySyndrome(c.Zero); math.Abs(p-1) > 1e-9 {
+		t.Errorf("even cat parity = %v", p)
+	}
+	if p := c.ParitySyndrome(c.One); math.Abs(p+1) > 1e-9 {
+		t.Errorf("odd cat parity = %v", p)
+	}
+	// After one loss event the parities flip: the syndrome fires.
+	lost, err := c.ApplyLoss(c.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := c.ParitySyndrome(lost); math.Abs(p+1) > 1e-9 {
+		t.Errorf("post-loss parity = %v, want -1", p)
+	}
+}
+
+func TestCatLossMapsBetweenCodewords(t *testing.T) {
+	c, err := NewCatCode(28, complex(1.8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroToOne, oneToZero, err := c.LossCatCodewords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zeroToOne || !oneToZero {
+		t.Errorf("loss does not map between codewords: %v, %v", zeroToOne, oneToZero)
+	}
+}
+
+func TestCatEncodeAndReadout(t *testing.T) {
+	c, err := NewCatCode(24, complex(1.5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi, err := c.Encode(complex(math.Sqrt(0.7), 0), complex(math.Sqrt(0.3), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := c.LogicalOverlaps(psi)
+	if math.Abs(p0-0.7) > 1e-9 || math.Abs(p1-0.3) > 1e-9 {
+		t.Errorf("logical overlaps = %v, %v", p0, p1)
+	}
+	if _, err := c.Encode(0, 0); err == nil {
+		t.Error("zero amplitudes accepted")
+	}
+}
+
+func TestCatParityTrackingPreservesLogicalInfo(t *testing.T) {
+	// The §I mechanism: under discrete photon-loss events, the logical
+	// content survives if the parity syndrome is tracked (each loss maps
+	// the codeword basis to itself up to relabeling), while ignoring the
+	// syndrome scrambles the logical bit.
+	c, err := NewCatCode(28, complex(1.8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start in logical |0_L>.
+	state := c.Zero.Clone()
+	losses := 0
+	for event := 0; event < 4; event++ {
+		state, err = c.ApplyLoss(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses++
+		// Tracked decoding: after an odd number of losses the logical
+		// frame is swapped.
+		p0, p1 := c.LogicalOverlaps(state)
+		trackedFidelity := p0
+		if losses%2 == 1 {
+			trackedFidelity = p1
+		}
+		if trackedFidelity < 0.95 {
+			t.Errorf("after %d losses, tracked fidelity = %v", losses, trackedFidelity)
+		}
+		// Untracked decoding would read the wrong codeword half the time.
+		untracked := p0
+		if losses%2 == 1 && untracked > 0.1 {
+			t.Errorf("after %d losses, untracked overlap suspiciously high: %v", losses, untracked)
+		}
+	}
+}
+
+func TestCatCodeVsBareFockUnderLoss(t *testing.T) {
+	// Comparison motivating the encoding: a bare Fock qubit (|0>, |1>)
+	// loses its excited population to loss, while the tracked cat qubit
+	// keeps its logical amplitude structure.
+	d := 28
+	c, err := NewCatCode(d, complex(1.8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bare encoding: logical |1> = Fock |1> is annihilated to |0> by one
+	// loss event — the logical bit is destroyed.
+	bare := qmath.BasisVector(d, 1)
+	lost := Lower(d).MulVec(bare)
+	lost.Normalize()
+	if cmplx.Abs(lost[0]) < 0.99 {
+		t.Error("bare Fock |1> should collapse to |0> after loss")
+	}
+	// Cat encoding: one loss maps |1_L> onto |0_L| up to phase — the
+	// information moved, it did not vanish.
+	catLost, err := c.ApplyLoss(c.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := c.LogicalOverlaps(catLost)
+	if p0 < 0.95 {
+		t.Errorf("cat |1_L> after loss overlaps |0_L| by only %v", p0)
+	}
+}

@@ -1,0 +1,124 @@
+package gates
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"quditkit/internal/qmath"
+)
+
+func TestXPowZeroIsIdentity(t *testing.T) {
+	if !XPow(4, 0).Matrix.ApproxEqual(qmath.Identity(4), tol) {
+		t.Error("XPow(d, 0) != I")
+	}
+	if !XPow(4, 4).Matrix.ApproxEqual(qmath.Identity(4), tol) {
+		t.Error("XPow(d, d) != I")
+	}
+}
+
+func TestDiagonalPhasesNaming(t *testing.T) {
+	g := DiagonalPhases("E-step", []float64{0, 1, 2})
+	if g.Name != "E-step" {
+		t.Errorf("name = %s", g.Name)
+	}
+	if err := g.Validate(tol); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisplacementComplexAlpha(t *testing.T) {
+	d := 20
+	alpha := complex(0.4, -0.9)
+	g := Displacement(d, alpha)
+	if err := g.Validate(1e-8); err != nil {
+		t.Fatal(err)
+	}
+	// Mean photon number of D(alpha)|0> is |alpha|^2.
+	v := g.Matrix.MulVec(qmath.BasisVector(d, 0))
+	n := Number(d)
+	mean := real(v.Dot(n.MulVec(v)))
+	want := real(alpha)*real(alpha) + imag(alpha)*imag(alpha)
+	if math.Abs(mean-want) > 1e-6 {
+		t.Errorf("<n> = %v, want %v", mean, want)
+	}
+	// Composition: D(a)D(b) = phase * D(a+b).
+	b := complex(-0.2, 0.3)
+	lhs := Displacement(d, alpha).Matrix.Mul(Displacement(d, b).Matrix)
+	rhs := Displacement(d, alpha+b).Matrix
+	// Compare actions on vacuum up to phase.
+	lv := lhs.MulVec(qmath.BasisVector(d, 0))
+	rv := rhs.MulVec(qmath.BasisVector(d, 0))
+	if !lv.ApproxEqualUpToPhase(rv, 1e-6) {
+		t.Error("displacement composition failed")
+	}
+}
+
+func TestBeamSplitterPhaseConvention(t *testing.T) {
+	// A 50:50 beamsplitter sends |10> to a superposition of |10> and
+	// |01> with equal weights.
+	d := 3
+	bs := BeamSplitter(d, d, math.Pi/4, 0)
+	in := qmath.KronVec(qmath.BasisVector(d, 1), qmath.BasisVector(d, 0))
+	out := bs.Matrix.MulVec(in)
+	p10 := cmplx.Abs(out[1*d+0])
+	p01 := cmplx.Abs(out[0*d+1])
+	if math.Abs(p10*p10-0.5) > 1e-9 || math.Abs(p01*p01-0.5) > 1e-9 {
+		t.Errorf("50:50 split gives %v, %v", p10*p10, p01*p01)
+	}
+}
+
+func TestGateDaggerInvolution(t *testing.T) {
+	g := DFT(4)
+	gd := g.Dagger()
+	if !g.Matrix.Mul(gd.Matrix).ApproxEqual(qmath.Identity(4), tol) {
+		t.Error("G G† != I")
+	}
+	if gd.Arity() != 1 || gd.TotalDim() != 4 {
+		t.Error("dagger metadata wrong")
+	}
+}
+
+func TestValidateCatchesBadGates(t *testing.T) {
+	g := Gate{Name: "broken", Dims: []int{2}, Matrix: nil}
+	if err := g.Validate(tol); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	g = Gate{Name: "broken", Dims: []int{3}, Matrix: qmath.Identity(2)}
+	if err := g.Validate(tol); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	m := qmath.Identity(2)
+	m.Set(0, 0, 2)
+	g = Gate{Name: "broken", Dims: []int{2}, Matrix: m}
+	if err := g.Validate(tol); err == nil {
+		t.Error("non-unitary accepted")
+	}
+}
+
+func TestCZDifferentDims(t *testing.T) {
+	g := CZ(2, 3)
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	// Phase omega_3^{ab} at (a=1, b=2): e^{4 pi i/3}.
+	idx := 1*3 + 2
+	want := cmplx.Exp(complex(0, 4*math.Pi/3))
+	if cmplx.Abs(g.Matrix.At(idx, idx)-want) > tol {
+		t.Errorf("CZ(2,3) phase = %v, want %v", g.Matrix.At(idx, idx), want)
+	}
+}
+
+func TestCSUMMixedDims(t *testing.T) {
+	// Control qubit, target qutrit: |1, b> -> |1, b+1 mod 3>.
+	g := CSUM(2, 3)
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	in := qmath.KronVec(qmath.BasisVector(2, 1), qmath.BasisVector(3, 2))
+	out := g.Matrix.MulVec(in)
+	want := qmath.KronVec(qmath.BasisVector(2, 1), qmath.BasisVector(3, 0))
+	if !out.ApproxEqual(want, tol) {
+		t.Error("mixed-dim CSUM wrong")
+	}
+}

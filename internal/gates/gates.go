@@ -1,0 +1,260 @@
+// Package gates defines the qudit gate library of the forecast
+// cavity-based processor: generalized Pauli and Fourier gates, Givens
+// rotations, SNAP and displacement operations on truncated Fock spaces,
+// beam-splitter interactions between modes, and the two-qudit Clifford
+// entanglers (CSUM, controlled-phase) the paper identifies as the key
+// engineering challenge.
+//
+// A Gate couples a unitary matrix with the local dimensions of the wires
+// it acts on. Constructors panic on structurally invalid parameters
+// (dimension < 2, level index out of range), which are programmer errors;
+// they never fail on valid input.
+package gates
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"quditkit/internal/qmath"
+)
+
+// Gate is a unitary operation on one or more qudit wires.
+type Gate struct {
+	// Name identifies the gate in circuit dumps and resource counts.
+	Name string
+	// Dims lists the local dimension of each wire the gate acts on, in
+	// target order.
+	Dims []int
+	// Matrix is the gate unitary in the row-major mixed-radix basis with
+	// the first wire most significant.
+	Matrix *qmath.Matrix
+}
+
+// Arity returns the number of wires the gate acts on.
+func (g Gate) Arity() int { return len(g.Dims) }
+
+// TotalDim returns the dimension of the gate's joint target space.
+func (g Gate) TotalDim() int {
+	t := 1
+	for _, d := range g.Dims {
+		t *= d
+	}
+	return t
+}
+
+// Dagger returns the inverse gate.
+func (g Gate) Dagger() Gate {
+	dims := make([]int, len(g.Dims))
+	copy(dims, g.Dims)
+	return Gate{Name: g.Name + "†", Dims: dims, Matrix: g.Matrix.Dagger()}
+}
+
+// Validate checks that the matrix shape matches the declared dimensions
+// and that the matrix is unitary within tol.
+func (g Gate) Validate(tol float64) error {
+	want := g.TotalDim()
+	if g.Matrix == nil {
+		return fmt.Errorf("gate %s: nil matrix", g.Name)
+	}
+	if g.Matrix.Rows != want || g.Matrix.Cols != want {
+		return fmt.Errorf("gate %s: matrix %dx%d does not match dims %v (total %d)",
+			g.Name, g.Matrix.Rows, g.Matrix.Cols, g.Dims, want)
+	}
+	if !g.Matrix.IsUnitary(tol) {
+		return fmt.Errorf("gate %s: matrix is not unitary within %g", g.Name, tol)
+	}
+	return nil
+}
+
+func checkDim(d int) {
+	if d < 2 {
+		panic(fmt.Sprintf("gates: dimension %d < 2", d))
+	}
+}
+
+func checkLevel(d, j int) {
+	if j < 0 || j >= d {
+		panic(fmt.Sprintf("gates: level %d out of range [0,%d)", j, d))
+	}
+}
+
+// omega returns the primitive d-th root of unity raised to power k.
+func omega(d, k int) complex128 {
+	theta := 2 * math.Pi * float64(k) / float64(d)
+	return cmplx.Exp(complex(0, theta))
+}
+
+// Identity returns the identity gate on one wire of dimension d.
+func Identity(d int) Gate {
+	checkDim(d)
+	return Gate{Name: fmt.Sprintf("I%d", d), Dims: []int{d}, Matrix: qmath.Identity(d)}
+}
+
+// X returns the generalized Pauli X (cyclic increment) on dimension d:
+// X|j> = |j+1 mod d>.
+func X(d int) Gate {
+	checkDim(d)
+	m := qmath.NewMatrix(d, d)
+	for j := 0; j < d; j++ {
+		m.Set((j+1)%d, j, 1)
+	}
+	return Gate{Name: fmt.Sprintf("X%d", d), Dims: []int{d}, Matrix: m}
+}
+
+// XPow returns X^k, the increment-by-k gate.
+func XPow(d, k int) Gate {
+	checkDim(d)
+	m := qmath.NewMatrix(d, d)
+	kk := ((k % d) + d) % d
+	for j := 0; j < d; j++ {
+		m.Set((j+kk)%d, j, 1)
+	}
+	return Gate{Name: fmt.Sprintf("X%d^%d", d, kk), Dims: []int{d}, Matrix: m}
+}
+
+// Z returns the generalized Pauli Z (clock) gate: Z|j> = omega^j |j>.
+func Z(d int) Gate {
+	checkDim(d)
+	m := qmath.NewMatrix(d, d)
+	for j := 0; j < d; j++ {
+		m.Set(j, j, omega(d, j))
+	}
+	return Gate{Name: fmt.Sprintf("Z%d", d), Dims: []int{d}, Matrix: m}
+}
+
+// DFT returns the discrete Fourier transform gate, the qudit
+// generalization of the Hadamard: F|j> = (1/sqrt d) sum_k omega^{jk} |k>.
+func DFT(d int) Gate {
+	checkDim(d)
+	m := qmath.NewMatrix(d, d)
+	norm := complex(1/math.Sqrt(float64(d)), 0)
+	for j := 0; j < d; j++ {
+		for k := 0; k < d; k++ {
+			m.Set(k, j, norm*omega(d, j*k))
+		}
+	}
+	return Gate{Name: fmt.Sprintf("F%d", d), Dims: []int{d}, Matrix: m}
+}
+
+// Phase returns the single-level phase gate diag(..., e^{i phi} at level
+// j, ...).
+func Phase(d, j int, phi float64) Gate {
+	checkDim(d)
+	checkLevel(d, j)
+	m := qmath.Identity(d)
+	m.Set(j, j, cmplx.Exp(complex(0, phi)))
+	return Gate{Name: fmt.Sprintf("P%d(%d)", d, j), Dims: []int{d}, Matrix: m}
+}
+
+// Givens returns the two-level rotation between levels j and k of a
+// d-dimensional qudit:
+//
+//	R|j> =  cos(theta)|j> + e^{-i phi} sin(theta)|k>
+//	R|k> = -e^{i phi} sin(theta)|j> + cos(theta)|k>
+//
+// Givens rotations generate SU(d) and are the primitive of the
+// constructive synthesis in package synth.
+func Givens(d, j, k int, theta, phi float64) Gate {
+	checkDim(d)
+	checkLevel(d, j)
+	checkLevel(d, k)
+	if j == k {
+		panic("gates: Givens requires distinct levels")
+	}
+	m := qmath.Identity(d)
+	c := complex(math.Cos(theta), 0)
+	s := math.Sin(theta)
+	ep := cmplx.Exp(complex(0, phi))
+	m.Set(j, j, c)
+	m.Set(k, k, c)
+	m.Set(k, j, complex(s, 0)*cmplx.Conj(ep)*complex(1, 0)) // e^{-i phi} sin
+	m.Set(j, k, -ep*complex(s, 0))
+	return Gate{
+		Name:   fmt.Sprintf("R%d(%d,%d)", d, j, k),
+		Dims:   []int{d},
+		Matrix: m,
+	}
+}
+
+// SNAP returns the selective number-dependent arbitrary phase gate:
+// diag(e^{i phases[0]}, ..., e^{i phases[d-1]}). SNAP is the native
+// cavity-control phase primitive mediated by the dispersive transmon.
+func SNAP(phases []float64) Gate {
+	d := len(phases)
+	checkDim(d)
+	m := qmath.NewMatrix(d, d)
+	for j, p := range phases {
+		m.Set(j, j, cmplx.Exp(complex(0, p)))
+	}
+	return Gate{Name: fmt.Sprintf("SNAP%d", d), Dims: []int{d}, Matrix: m}
+}
+
+// DiagonalPhases returns a gate applying arbitrary per-level phases given
+// in radians (alias of SNAP with a neutral name for logical circuits).
+func DiagonalPhases(name string, phases []float64) Gate {
+	g := SNAP(phases)
+	g.Name = name
+	return g
+}
+
+// RotorMixer returns exp(-i beta H_mix) with the hopping Hamiltonian
+// H_mix = sum_j (|j><j+1| + |j+1><j|), the standard qudit QAOA mixer that
+// explores all d levels while remaining dimension-preserving.
+func RotorMixer(d int, beta float64) Gate {
+	checkDim(d)
+	h := qmath.NewMatrix(d, d)
+	for j := 0; j+1 < d; j++ {
+		h.Set(j, j+1, 1)
+		h.Set(j+1, j, 1)
+	}
+	u, err := qmath.ExpHermitian(h, complex(0, -beta))
+	if err != nil {
+		// h is Hermitian by construction; failure indicates a broken
+		// invariant in qmath rather than bad input.
+		panic(fmt.Sprintf("gates: RotorMixer exp failed: %v", err))
+	}
+	return Gate{Name: fmt.Sprintf("Mix%d(%.3f)", d, beta), Dims: []int{d}, Matrix: u}
+}
+
+// FourierMixer returns F† P(beta) F where P applies phase e^{-i beta j} to
+// level j: a mixer diagonalized by the qudit Fourier transform, cyclic in
+// the level index.
+func FourierMixer(d int, beta float64) Gate {
+	checkDim(d)
+	f := DFT(d)
+	phases := make([]float64, d)
+	for j := range phases {
+		phases[j] = -beta * float64(j)
+	}
+	p := SNAP(phases)
+	m := f.Matrix.Dagger().Mul(p.Matrix).Mul(f.Matrix)
+	return Gate{Name: fmt.Sprintf("FMix%d(%.3f)", d, beta), Dims: []int{d}, Matrix: m}
+}
+
+// Permutation returns the gate mapping |j> -> |perm[j]>. perm must be a
+// valid permutation of 0..d-1.
+func Permutation(name string, perm []int) Gate {
+	d := len(perm)
+	checkDim(d)
+	seen := make([]bool, d)
+	m := qmath.NewMatrix(d, d)
+	for j, p := range perm {
+		if p < 0 || p >= d || seen[p] {
+			panic(fmt.Sprintf("gates: invalid permutation %v", perm))
+		}
+		seen[p] = true
+		m.Set(p, j, 1)
+	}
+	return Gate{Name: name, Dims: []int{d}, Matrix: m}
+}
+
+// FromMatrix wraps an arbitrary unitary as a gate after validating shape
+// and unitarity.
+func FromMatrix(name string, dims []int, m *qmath.Matrix) (Gate, error) {
+	g := Gate{Name: name, Dims: dims, Matrix: m}
+	if err := g.Validate(1e-8); err != nil {
+		return Gate{}, err
+	}
+	return g, nil
+}

@@ -1,0 +1,510 @@
+package gates
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quditkit/internal/qmath"
+)
+
+const tol = 1e-9
+
+func TestXCyclic(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		x := X(d)
+		if err := x.Validate(tol); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		// X|j> = |j+1 mod d>.
+		for j := 0; j < d; j++ {
+			v := x.Matrix.MulVec(qmath.BasisVector(d, j))
+			want := qmath.BasisVector(d, (j+1)%d)
+			if !v.ApproxEqual(want, tol) {
+				t.Errorf("d=%d: X|%d> wrong", d, j)
+			}
+		}
+		// X^d = I.
+		p := qmath.Identity(d)
+		for k := 0; k < d; k++ {
+			p = p.Mul(x.Matrix)
+		}
+		if !p.ApproxEqual(qmath.Identity(d), tol) {
+			t.Errorf("d=%d: X^d != I", d)
+		}
+	}
+}
+
+func TestXPow(t *testing.T) {
+	d := 5
+	x2 := XPow(d, 2)
+	want := X(d).Matrix.Mul(X(d).Matrix)
+	if !x2.Matrix.ApproxEqual(want, tol) {
+		t.Error("XPow(5,2) != X^2")
+	}
+	// Negative powers wrap.
+	xm1 := XPow(d, -1)
+	if !xm1.Matrix.ApproxEqual(X(d).Matrix.Dagger(), tol) {
+		t.Error("XPow(5,-1) != X†")
+	}
+}
+
+func TestZClock(t *testing.T) {
+	d := 4
+	z := Z(d)
+	if err := z.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < d; j++ {
+		got := z.Matrix.At(j, j)
+		want := cmplx.Exp(complex(0, 2*math.Pi*float64(j)/float64(d)))
+		if cmplx.Abs(got-want) > tol {
+			t.Errorf("Z[%d][%d] = %v, want %v", j, j, got, want)
+		}
+	}
+}
+
+func TestWeylCommutation(t *testing.T) {
+	// ZX = omega XZ for generalized Paulis.
+	for _, d := range []int{2, 3, 5} {
+		x, z := X(d), Z(d)
+		zx := z.Matrix.Mul(x.Matrix)
+		xz := x.Matrix.Mul(z.Matrix).Scale(omega(d, 1))
+		if !zx.ApproxEqual(xz, tol) {
+			t.Errorf("d=%d: ZX != omega XZ", d)
+		}
+	}
+}
+
+func TestDFTConjugatesZToX(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 7} {
+		f := DFT(d)
+		if err := f.Validate(tol); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		// F Z F† = X† in this convention.
+		got := f.Matrix.Mul(Z(d).Matrix).Mul(f.Matrix.Dagger())
+		if !got.ApproxEqual(X(d).Matrix.Dagger(), tol) {
+			t.Errorf("d=%d: F Z F† != X†", d)
+		}
+	}
+}
+
+func TestGivensRotation(t *testing.T) {
+	d := 4
+	g := Givens(d, 1, 3, math.Pi/3, 0.7)
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	// Levels 0 and 2 untouched.
+	for _, j := range []int{0, 2} {
+		v := g.Matrix.MulVec(qmath.BasisVector(d, j))
+		if !v.ApproxEqual(qmath.BasisVector(d, j), tol) {
+			t.Errorf("Givens moved untargeted level %d", j)
+		}
+	}
+	// theta = 0 is identity.
+	id := Givens(d, 0, 1, 0, 1.3)
+	if !id.Matrix.ApproxEqual(qmath.Identity(d), tol) {
+		t.Error("Givens(theta=0) != I")
+	}
+	// Inverse via negative angle.
+	inv := Givens(d, 1, 3, -math.Pi/3, 0.7)
+	if !g.Matrix.Mul(inv.Matrix).ApproxEqual(qmath.Identity(d), tol) {
+		t.Error("Givens(theta) Givens(-theta) != I")
+	}
+}
+
+func TestSNAP(t *testing.T) {
+	phases := []float64{0, 0.5, -1.2, math.Pi}
+	g := SNAP(phases)
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range phases {
+		if cmplx.Abs(g.Matrix.At(j, j)-cmplx.Exp(complex(0, p))) > tol {
+			t.Errorf("SNAP level %d wrong", j)
+		}
+	}
+}
+
+func TestRotorMixer(t *testing.T) {
+	d := 5
+	m := RotorMixer(d, 0.4)
+	if err := m.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	// beta = 0 is identity.
+	if !RotorMixer(d, 0).Matrix.ApproxEqual(qmath.Identity(d), tol) {
+		t.Error("RotorMixer(0) != I")
+	}
+	// Mixer moves population out of a basis state.
+	v := m.Matrix.MulVec(qmath.BasisVector(d, 0))
+	if cmplx.Abs(v[1]) < 1e-3 {
+		t.Error("mixer did not spread population")
+	}
+}
+
+func TestFourierMixerUnitary(t *testing.T) {
+	g := FourierMixer(4, 0.9)
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	g := Permutation("cycle", []int{1, 2, 0})
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	v := g.Matrix.MulVec(qmath.BasisVector(3, 0))
+	if !v.ApproxEqual(qmath.BasisVector(3, 1), tol) {
+		t.Error("permutation wrong on |0>")
+	}
+}
+
+func TestFromMatrixRejectsNonUnitary(t *testing.T) {
+	m := qmath.NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	if _, err := FromMatrix("bad", []int{2}, m); err == nil {
+		t.Error("non-unitary accepted")
+	}
+	if _, err := FromMatrix("bad", []int{3}, qmath.Identity(2)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestDisplacementCoherent(t *testing.T) {
+	d := 24
+	alpha := complex(0.8, 0.3)
+	g := Displacement(d, alpha)
+	if err := g.Validate(1e-8); err != nil {
+		t.Fatal(err)
+	}
+	// D(alpha)|0> = |alpha>.
+	got := g.Matrix.MulVec(qmath.BasisVector(d, 0))
+	want := CoherentState(d, alpha)
+	if !got.ApproxEqualUpToPhase(want, 1e-6) {
+		t.Error("D(alpha)|0> != |alpha>")
+	}
+	// D(alpha) D(-alpha) = I (up to global phase, here exactly since the
+	// generators commute with themselves).
+	inv := Displacement(d, -alpha)
+	if !g.Matrix.Mul(inv.Matrix).ApproxEqual(qmath.Identity(d), 1e-8) {
+		t.Error("D(alpha)D(-alpha) != I")
+	}
+}
+
+func TestCoherentStateMeanPhotonNumber(t *testing.T) {
+	d := 30
+	alpha := complex(1.2, -0.5)
+	v := CoherentState(d, alpha)
+	n := Number(d)
+	mean := real(v.Dot(n.MulVec(v)))
+	want := real(alpha)*real(alpha) + imag(alpha)*imag(alpha)
+	if math.Abs(mean-want) > 1e-6 {
+		t.Errorf("<n> = %v, want %v", mean, want)
+	}
+}
+
+func TestCatStates(t *testing.T) {
+	d := 30
+	alpha := complex(1.5, 0)
+	even := CatState(d, alpha, +1)
+	odd := CatState(d, alpha, -1)
+	// Even cat has support only on even Fock states.
+	for n := 1; n < d; n += 2 {
+		if cmplx.Abs(even[n]) > 1e-9 {
+			t.Errorf("even cat has odd component at n=%d", n)
+		}
+	}
+	for n := 0; n < d; n += 2 {
+		if cmplx.Abs(odd[n]) > 1e-9 {
+			t.Errorf("odd cat has even component at n=%d", n)
+		}
+	}
+	if cmplx.Abs(even.Dot(odd)) > 1e-9 {
+		t.Error("even and odd cats not orthogonal")
+	}
+}
+
+func TestLadderOperators(t *testing.T) {
+	d := 6
+	a := Lower(d)
+	ad := Raise(d)
+	// a|n> = sqrt(n)|n-1>.
+	v := a.MulVec(qmath.BasisVector(d, 3))
+	if cmplx.Abs(v[2]-complex(math.Sqrt(3), 0)) > tol {
+		t.Errorf("a|3> wrong: %v", v)
+	}
+	// [a, a†] = 1 on the bulk (truncation corrupts only the top level).
+	comm := a.Mul(ad).Sub(ad.Mul(a))
+	for n := 0; n < d-1; n++ {
+		if cmplx.Abs(comm.At(n, n)-1) > tol {
+			t.Errorf("[a,a†] at n=%d: %v", n, comm.At(n, n))
+		}
+	}
+	// a†a = Number.
+	if !ad.Mul(a).ApproxEqual(Number(d), tol) {
+		t.Error("a†a != n")
+	}
+}
+
+func TestQuadratures(t *testing.T) {
+	d := 8
+	x := Position(d)
+	p := Momentum(d)
+	if !x.IsHermitian(tol) || !p.IsHermitian(tol) {
+		t.Error("quadratures not Hermitian")
+	}
+	// [x, p] = i on the bulk.
+	comm := x.Mul(p).Sub(p.Mul(x))
+	if cmplx.Abs(comm.At(0, 0)-complex(0, 1)) > tol {
+		t.Errorf("[x,p](0,0) = %v, want i", comm.At(0, 0))
+	}
+}
+
+func TestFockParity(t *testing.T) {
+	p := FockParity(4)
+	for n := 0; n < 4; n++ {
+		want := complex(1, 0)
+		if n%2 == 1 {
+			want = -1
+		}
+		if p.At(n, n) != want {
+			t.Errorf("parity at %d = %v", n, p.At(n, n))
+		}
+	}
+}
+
+func TestKerrUnitaryDiagonal(t *testing.T) {
+	g := Kerr(5, 0.3)
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	// phase at n=2 is e^{-i*0.3*4}.
+	want := cmplx.Exp(complex(0, -1.2))
+	if cmplx.Abs(g.Matrix.At(2, 2)-want) > tol {
+		t.Error("Kerr phase wrong at n=2")
+	}
+}
+
+func TestBeamSplitterSwapsPhoton(t *testing.T) {
+	d := 4
+	bs := BeamSplitter(d, d, math.Pi/2, 0)
+	if err := bs.Validate(1e-8); err != nil {
+		t.Fatal(err)
+	}
+	// |1,0> -> (up to phase) |0,1> at theta = pi/2.
+	in := qmath.KronVec(qmath.BasisVector(d, 1), qmath.BasisVector(d, 0))
+	out := bs.Matrix.MulVec(in)
+	want := qmath.KronVec(qmath.BasisVector(d, 0), qmath.BasisVector(d, 1))
+	if !out.ApproxEqualUpToPhase(want, 1e-7) {
+		t.Errorf("BS(pi/2)|10> != |01| up to phase: %v", out)
+	}
+}
+
+func TestBeamSplitterConservesPhotonNumber(t *testing.T) {
+	d := 5
+	bs := BeamSplitter(d, d, 0.7, 0.3)
+	// Total number operator n1 + n2 commutes with BS.
+	ntot := qmath.Kron(Number(d), qmath.Identity(d)).Add(qmath.Kron(qmath.Identity(d), Number(d)))
+	lhs := bs.Matrix.Mul(ntot)
+	rhs := ntot.Mul(bs.Matrix)
+	// Away from the truncation edge these agree; restrict check to the
+	// subspace with total photons < d-1.
+	sub := 0
+	for i := 0; i < d*d; i++ {
+		n1, n2 := i/d, i%d
+		if n1+n2 >= d-1 {
+			continue
+		}
+		for j := 0; j < d*d; j++ {
+			m1, m2 := j/d, j%d
+			if m1+m2 >= d-1 {
+				continue
+			}
+			if cmplx.Abs(lhs.At(i, j)-rhs.At(i, j)) > 1e-7 {
+				t.Fatalf("[BS, n_tot] != 0 at (%d,%d)", i, j)
+			}
+			sub++
+		}
+	}
+	if sub == 0 {
+		t.Fatal("empty commutator check")
+	}
+}
+
+func TestCSUMBasisAction(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		g := CSUM(d, d)
+		if err := g.Validate(tol); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				in := qmath.KronVec(qmath.BasisVector(d, a), qmath.BasisVector(d, b))
+				out := g.Matrix.MulVec(in)
+				want := qmath.KronVec(qmath.BasisVector(d, a), qmath.BasisVector(d, (a+b)%d))
+				if !out.ApproxEqual(want, tol) {
+					t.Errorf("d=%d: CSUM|%d,%d> wrong", d, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCSUMOrder(t *testing.T) {
+	// CSUM has order d (applying it d times is the identity).
+	d := 3
+	g := CSUM(d, d)
+	p := qmath.Identity(d * d)
+	for k := 0; k < d; k++ {
+		p = p.Mul(g.Matrix)
+	}
+	if !p.ApproxEqual(qmath.Identity(d*d), tol) {
+		t.Error("CSUM^d != I")
+	}
+}
+
+func TestCSUMInv(t *testing.T) {
+	d := 4
+	g := CSUM(d, d)
+	inv := CSUMInv(d, d)
+	if !g.Matrix.Mul(inv.Matrix).ApproxEqual(qmath.Identity(d*d), tol) {
+		t.Error("CSUM CSUM⁻¹ != I")
+	}
+}
+
+func TestCZFourierRelation(t *testing.T) {
+	// CSUM = (I ⊗ F†) CZ (I ⊗ F).
+	for _, d := range []int{2, 3} {
+		f := DFT(d).Matrix
+		iF := qmath.Kron(qmath.Identity(d), f)
+		iFd := qmath.Kron(qmath.Identity(d), f.Dagger())
+		got := iFd.Mul(CZ(d, d).Matrix).Mul(iF)
+		if !got.ApproxEqual(CSUM(d, d).Matrix, tol) {
+			t.Errorf("d=%d: Fourier relation CSUM = (I⊗F†) CZ (I⊗F) fails", d)
+		}
+	}
+}
+
+func TestSWAP(t *testing.T) {
+	d := 3
+	g := SWAP(d)
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	in := qmath.KronVec(qmath.BasisVector(d, 1), qmath.BasisVector(d, 2))
+	out := g.Matrix.MulVec(in)
+	want := qmath.KronVec(qmath.BasisVector(d, 2), qmath.BasisVector(d, 1))
+	if !out.ApproxEqual(want, tol) {
+		t.Error("SWAP|12> != |21>")
+	}
+	// SWAP^2 = I.
+	if !g.Matrix.Mul(g.Matrix).ApproxEqual(qmath.Identity(d*d), tol) {
+		t.Error("SWAP^2 != I")
+	}
+}
+
+func TestEqualityPhase(t *testing.T) {
+	d := 3
+	gamma := 0.8
+	g := EqualityPhase(d, gamma)
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < d; a++ {
+		for b := 0; b < d; b++ {
+			got := g.Matrix.At(a*d+b, a*d+b)
+			want := complex(1, 0)
+			if a == b {
+				want = cmplx.Exp(complex(0, -gamma))
+			}
+			if cmplx.Abs(got-want) > tol {
+				t.Errorf("EqualityPhase(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestControlledU(t *testing.T) {
+	d := 3
+	u := X(2).Matrix
+	g := ControlledU(d, 2, u)
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	// Control at level 1: identity on target.
+	in := qmath.KronVec(qmath.BasisVector(d, 1), qmath.BasisVector(2, 0))
+	out := g.Matrix.MulVec(in)
+	if !out.ApproxEqual(in, tol) {
+		t.Error("ControlledU acted at wrong control level")
+	}
+	// Control at level 2: applies X.
+	in2 := qmath.KronVec(qmath.BasisVector(d, 2), qmath.BasisVector(2, 0))
+	out2 := g.Matrix.MulVec(in2)
+	want2 := qmath.KronVec(qmath.BasisVector(d, 2), qmath.BasisVector(2, 1))
+	if !out2.ApproxEqual(want2, tol) {
+		t.Error("ControlledU did not apply U at control level")
+	}
+}
+
+func TestSelectU(t *testing.T) {
+	us := []*qmath.Matrix{nil, X(2).Matrix}
+	g, err := SelectU(2, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This is CNOT.
+	if err := g.Validate(tol); err != nil {
+		t.Fatal(err)
+	}
+	in := qmath.KronVec(qmath.BasisVector(2, 1), qmath.BasisVector(2, 0))
+	out := g.Matrix.MulVec(in)
+	want := qmath.KronVec(qmath.BasisVector(2, 1), qmath.BasisVector(2, 1))
+	if !out.ApproxEqual(want, tol) {
+		t.Error("SelectU CNOT wrong")
+	}
+}
+
+func TestSelectUErrors(t *testing.T) {
+	if _, err := SelectU(2, []*qmath.Matrix{nil}); err == nil {
+		t.Error("wrong block count accepted")
+	}
+	if _, err := SelectU(2, []*qmath.Matrix{nil, nil}); err == nil {
+		t.Error("all-nil blocks accepted")
+	}
+	if _, err := SelectU(2, []*qmath.Matrix{qmath.Identity(2), qmath.Identity(3)}); err == nil {
+		t.Error("mismatched block dims accepted")
+	}
+}
+
+// Property: all named single-qudit constructors produce unitaries for
+// random dimensions and parameters.
+func TestGateUnitarityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(6)
+		theta := r.Float64() * 2 * math.Pi
+		phi := r.Float64() * 2 * math.Pi
+		j := r.Intn(d)
+		k := (j + 1 + r.Intn(d-1)) % d
+		cases := []Gate{
+			X(d), Z(d), DFT(d), Phase(d, j, phi),
+			Givens(d, j, k, theta, phi), RotorMixer(d, theta),
+			FourierMixer(d, theta), Kerr(d, theta),
+		}
+		for _, g := range cases {
+			if err := g.Validate(1e-8); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package hilbert provides mixed-radix index arithmetic for registers of
+// qudits with heterogeneous local dimensions, the bookkeeping layer shared
+// by the state-vector and density-matrix simulators.
+//
+// A register of n qudits with local dimensions d_0..d_{n-1} has Hilbert
+// dimension D = prod d_i. Basis states are indexed in "big-endian" digit
+// order: wire 0 is the most significant digit, so index
+// k = sum_i digit_i * stride_i with stride_i = prod_{j>i} d_j. This matches
+// the Kronecker-product convention in package qmath (left factor most
+// significant).
+package hilbert
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDimension indicates an invalid local dimension (< 2).
+var ErrDimension = errors.New("hilbert: local dimension must be >= 2")
+
+// Dims describes the local dimension of each wire in a register.
+type Dims []int
+
+// Uniform returns n wires all of local dimension d.
+func Uniform(n, d int) Dims {
+	out := make(Dims, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// Validate returns an error if any dimension is below 2.
+func (d Dims) Validate() error {
+	for i, di := range d {
+		if di < 2 {
+			return fmt.Errorf("wire %d has dimension %d: %w", i, di, ErrDimension)
+		}
+	}
+	return nil
+}
+
+// Total returns the product of all local dimensions.
+func (d Dims) Total() int {
+	t := 1
+	for _, di := range d {
+		t *= di
+	}
+	return t
+}
+
+// Clone returns a copy of d.
+func (d Dims) Clone() Dims {
+	out := make(Dims, len(d))
+	copy(out, d)
+	return out
+}
+
+// Equal reports whether two dimension lists are identical.
+func (d Dims) Equal(e Dims) bool {
+	if len(d) != len(e) {
+		return false
+	}
+	for i := range d {
+		if d[i] != e[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Space precomputes strides for a register with the given dimensions.
+type Space struct {
+	dims    Dims
+	strides []int
+	total   int
+}
+
+// NewSpace builds a Space for the given dimensions.
+func NewSpace(dims Dims) (*Space, error) {
+	if err := dims.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Space{dims: dims.Clone(), strides: make([]int, len(dims))}
+	t := 1
+	const maxTotal = int(1) << 62 // guards int overflow in stride arithmetic
+	for i := len(dims) - 1; i >= 0; i-- {
+		s.strides[i] = t
+		if t > maxTotal/dims[i] {
+			return nil, fmt.Errorf("hilbert: register dimension overflow at wire %d (dims %v)", i, dims)
+		}
+		t *= dims[i]
+	}
+	s.total = t
+	return s, nil
+}
+
+// MustSpace is NewSpace for statically known-correct dimensions; it panics
+// on invalid input, which indicates a programmer error.
+func MustSpace(dims Dims) *Space {
+	s, err := NewSpace(dims)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dims returns a copy of the register dimensions.
+func (s *Space) Dims() Dims { return s.dims.Clone() }
+
+// NumWires returns the number of qudits in the register.
+func (s *Space) NumWires() int { return len(s.dims) }
+
+// Dim returns the local dimension of wire w.
+func (s *Space) Dim(w int) int { return s.dims[w] }
+
+// Total returns the full Hilbert-space dimension.
+func (s *Space) Total() int { return s.total }
+
+// Stride returns the index stride of wire w.
+func (s *Space) Stride(w int) int { return s.strides[w] }
+
+// Index converts per-wire digits into a flat basis index.
+// It panics if the digit count or any digit is out of range.
+func (s *Space) Index(digits []int) int {
+	if len(digits) != len(s.dims) {
+		panic(fmt.Sprintf("hilbert: Index got %d digits for %d wires", len(digits), len(s.dims)))
+	}
+	idx := 0
+	for i, g := range digits {
+		if g < 0 || g >= s.dims[i] {
+			panic(fmt.Sprintf("hilbert: digit %d=%d out of range [0,%d)", i, g, s.dims[i]))
+		}
+		idx += g * s.strides[i]
+	}
+	return idx
+}
+
+// Digits converts a flat basis index into per-wire digits.
+func (s *Space) Digits(idx int) []int {
+	out := make([]int, len(s.dims))
+	s.DigitsInto(idx, out)
+	return out
+}
+
+// DigitsInto writes the digits of idx into dst, which must have length
+// equal to the number of wires.
+func (s *Space) DigitsInto(idx int, dst []int) {
+	for i := range s.dims {
+		dst[i] = (idx / s.strides[i]) % s.dims[i]
+	}
+}
+
+// Digit extracts the digit of wire w from a flat index.
+func (s *Space) Digit(idx, w int) int {
+	return (idx / s.strides[w]) % s.dims[w]
+}
+
+// WithDigit returns idx with wire w's digit replaced by g.
+func (s *Space) WithDigit(idx, w, g int) int {
+	old := s.Digit(idx, w)
+	return idx + (g-old)*s.strides[w]
+}
+
+// SubspaceIter iterates over the full space holding the listed target
+// wires fixed at digit zero: for each returned base index, the caller can
+// enumerate the target wires' digits by adding multiples of their strides.
+// This is the core loop of subsystem gate application.
+//
+// The callback receives the base index (all target digits zero). Iteration
+// visits each coset of the target subsystem exactly once.
+func (s *Space) SubspaceIter(targets []int, fn func(base int)) {
+	isTarget := make([]bool, len(s.dims))
+	for _, t := range targets {
+		isTarget[t] = true
+	}
+	// Enumerate indices whose target digits are all zero by odometer over
+	// the non-target wires.
+	free := make([]int, 0, len(s.dims))
+	for w := range s.dims {
+		if !isTarget[w] {
+			free = append(free, w)
+		}
+	}
+	count := 1
+	for _, w := range free {
+		count *= s.dims[w]
+	}
+	digits := make([]int, len(free))
+	for c := 0; c < count; c++ {
+		base := 0
+		for i, w := range free {
+			base += digits[i] * s.strides[w]
+		}
+		fn(base)
+		// Odometer increment.
+		for i := len(free) - 1; i >= 0; i-- {
+			digits[i]++
+			if digits[i] < s.dims[free[i]] {
+				break
+			}
+			digits[i] = 0
+		}
+	}
+}
+
+// TargetDim returns the product of local dimensions of the given wires.
+func (s *Space) TargetDim(targets []int) int {
+	d := 1
+	for _, t := range targets {
+		d *= s.dims[t]
+	}
+	return d
+}
+
+// TargetOffsets enumerates, for the given target wires, the flat-index
+// offset of every joint digit assignment, in row-major order over the
+// targets (first target most significant). offsets[k] is the index offset
+// of joint digit value k.
+func (s *Space) TargetOffsets(targets []int) []int {
+	dim := s.TargetDim(targets)
+	offsets := make([]int, dim)
+	digits := make([]int, len(targets))
+	for k := 0; k < dim; k++ {
+		off := 0
+		for i, w := range targets {
+			off += digits[i] * s.strides[w]
+		}
+		offsets[k] = off
+		for i := len(targets) - 1; i >= 0; i-- {
+			digits[i]++
+			if digits[i] < s.dims[targets[i]] {
+				break
+			}
+			digits[i] = 0
+		}
+	}
+	return offsets
+}
+
+// CheckTargets validates a target wire list: indices in range, no
+// duplicates.
+func (s *Space) CheckTargets(targets []int) error {
+	seen := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		if t < 0 || t >= len(s.dims) {
+			return fmt.Errorf("hilbert: target wire %d out of range [0,%d)", t, len(s.dims))
+		}
+		if seen[t] {
+			return fmt.Errorf("hilbert: duplicate target wire %d", t)
+		}
+		seen[t] = true
+	}
+	return nil
+}

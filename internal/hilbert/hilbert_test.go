@@ -1,0 +1,255 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDimsTotal(t *testing.T) {
+	tests := []struct {
+		name string
+		dims Dims
+		want int
+	}{
+		{"two qubits", Dims{2, 2}, 4},
+		{"qutrit pair", Dims{3, 3}, 9},
+		{"mixed", Dims{2, 3, 4}, 24},
+		{"single", Dims{10}, 10},
+		{"empty", Dims{}, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.dims.Total(); got != tc.want {
+				t.Errorf("Total() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDimsValidate(t *testing.T) {
+	if err := (Dims{2, 3}).Validate(); err != nil {
+		t.Errorf("valid dims rejected: %v", err)
+	}
+	if err := (Dims{2, 1}).Validate(); err == nil {
+		t.Error("dimension 1 accepted")
+	}
+	if err := (Dims{0}).Validate(); err == nil {
+		t.Error("dimension 0 accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform(4, 3)
+	if len(d) != 4 {
+		t.Fatalf("len = %d", len(d))
+	}
+	for _, di := range d {
+		if di != 3 {
+			t.Errorf("dim = %d, want 3", di)
+		}
+	}
+}
+
+func TestSpaceStrides(t *testing.T) {
+	s := MustSpace(Dims{2, 3, 4})
+	// Big-endian: wire 0 stride = 12, wire 1 stride = 4, wire 2 stride = 1.
+	wantStrides := []int{12, 4, 1}
+	for w, want := range wantStrides {
+		if got := s.Stride(w); got != want {
+			t.Errorf("Stride(%d) = %d, want %d", w, got, want)
+		}
+	}
+	if s.Total() != 24 {
+		t.Errorf("Total = %d", s.Total())
+	}
+}
+
+func TestIndexDigitsRoundTrip(t *testing.T) {
+	s := MustSpace(Dims{2, 3, 4})
+	for idx := 0; idx < s.Total(); idx++ {
+		digits := s.Digits(idx)
+		if got := s.Index(digits); got != idx {
+			t.Errorf("round trip %d -> %v -> %d", idx, digits, got)
+		}
+	}
+}
+
+func TestDigitExtraction(t *testing.T) {
+	s := MustSpace(Dims{2, 3})
+	// Index 5 = 1*3 + 2 -> digits [1, 2].
+	if d := s.Digit(5, 0); d != 1 {
+		t.Errorf("Digit(5,0) = %d, want 1", d)
+	}
+	if d := s.Digit(5, 1); d != 2 {
+		t.Errorf("Digit(5,1) = %d, want 2", d)
+	}
+}
+
+func TestWithDigit(t *testing.T) {
+	s := MustSpace(Dims{3, 3})
+	idx := s.Index([]int{1, 2})
+	got := s.WithDigit(idx, 0, 2)
+	want := s.Index([]int{2, 2})
+	if got != want {
+		t.Errorf("WithDigit = %d, want %d", got, want)
+	}
+	// Setting the same digit is a no-op.
+	if s.WithDigit(idx, 1, 2) != idx {
+		t.Error("WithDigit same value changed index")
+	}
+}
+
+func TestSubspaceIterCountsAndCosets(t *testing.T) {
+	s := MustSpace(Dims{2, 3, 2})
+	var bases []int
+	s.SubspaceIter([]int{1}, func(base int) { bases = append(bases, base) })
+	// Free wires 0 and 2: 2*2 = 4 cosets.
+	if len(bases) != 4 {
+		t.Fatalf("got %d bases, want 4", len(bases))
+	}
+	// Each base must have digit 0 on wire 1, and the union of
+	// base + k*stride(1) for k in 0..2 must cover all 12 indices.
+	seen := make(map[int]bool)
+	for _, b := range bases {
+		if s.Digit(b, 1) != 0 {
+			t.Errorf("base %d has nonzero target digit", b)
+		}
+		for k := 0; k < 3; k++ {
+			idx := b + k*s.Stride(1)
+			if seen[idx] {
+				t.Errorf("index %d visited twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != s.Total() {
+		t.Errorf("cosets cover %d indices, want %d", len(seen), s.Total())
+	}
+}
+
+func TestSubspaceIterMultiTarget(t *testing.T) {
+	s := MustSpace(Dims{2, 3, 4})
+	count := 0
+	s.SubspaceIter([]int{0, 2}, func(base int) {
+		if s.Digit(base, 0) != 0 || s.Digit(base, 2) != 0 {
+			t.Errorf("base %d has nonzero target digits", base)
+		}
+		count++
+	})
+	if count != 3 { // only wire 1 free
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestSubspaceIterAllTargets(t *testing.T) {
+	s := MustSpace(Dims{2, 2})
+	count := 0
+	s.SubspaceIter([]int{0, 1}, func(base int) {
+		if base != 0 {
+			t.Errorf("base = %d, want 0", base)
+		}
+		count++
+	})
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}
+
+func TestTargetOffsets(t *testing.T) {
+	s := MustSpace(Dims{2, 3, 2})
+	// Targets (0, 2): joint dim 4, row-major over (wire0, wire2).
+	offs := s.TargetOffsets([]int{0, 2})
+	want := []int{
+		0,               // (0,0)
+		1,               // (0,1) wire2 stride 1
+		s.Stride(0),     // (1,0)
+		s.Stride(0) + 1, // (1,1)
+	}
+	if len(offs) != len(want) {
+		t.Fatalf("len = %d, want %d", len(offs), len(want))
+	}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Errorf("offs[%d] = %d, want %d", i, offs[i], want[i])
+		}
+	}
+}
+
+func TestTargetOffsetsOrderMatters(t *testing.T) {
+	s := MustSpace(Dims{2, 2})
+	o01 := s.TargetOffsets([]int{0, 1})
+	o10 := s.TargetOffsets([]int{1, 0})
+	// (0,1): joint value k = 2*d0 + d1 -> offsets [0, 1, 2, 3].
+	// (1,0): joint value k = 2*d1 + d0 -> offsets [0, 2, 1, 3].
+	if o01[1] != 1 || o10[1] != 2 {
+		t.Errorf("target order not respected: %v vs %v", o01, o10)
+	}
+}
+
+func TestCheckTargets(t *testing.T) {
+	s := MustSpace(Dims{2, 2, 2})
+	if err := s.CheckTargets([]int{0, 2}); err != nil {
+		t.Errorf("valid targets rejected: %v", err)
+	}
+	if err := s.CheckTargets([]int{0, 0}); err == nil {
+		t.Error("duplicate target accepted")
+	}
+	if err := s.CheckTargets([]int{3}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := s.CheckTargets([]int{-1}); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestNewSpaceRejectsBadDims(t *testing.T) {
+	if _, err := NewSpace(Dims{2, 1}); err == nil {
+		t.Error("NewSpace accepted dimension 1")
+	}
+}
+
+// Property: Index and Digits are mutually inverse bijections for random
+// mixed-radix registers.
+func TestIndexBijectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		dims := make(Dims, n)
+		for i := range dims {
+			dims[i] = 2 + r.Intn(4)
+		}
+		s := MustSpace(dims)
+		idx := r.Intn(s.Total())
+		return s.Index(s.Digits(idx)) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: strides are consistent with digit extraction.
+func TestStrideDigitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := Dims{2 + r.Intn(3), 2 + r.Intn(3), 2 + r.Intn(3)}
+		s := MustSpace(dims)
+		idx := r.Intn(s.Total())
+		w := r.Intn(3)
+		g := r.Intn(dims[w])
+		idx2 := s.WithDigit(idx, w, g)
+		if s.Digit(idx2, w) != g {
+			return false
+		}
+		// Other digits unchanged.
+		for ow := 0; ow < 3; ow++ {
+			if ow != w && s.Digit(idx2, ow) != s.Digit(idx, ow) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

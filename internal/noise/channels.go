@@ -1,0 +1,157 @@
+// Package noise provides the error models of the near-term cavity
+// processor: qudit Kraus channels (depolarizing, dephasing, photon-loss
+// amplitude damping), a per-gate noise model applied during circuit
+// execution, and a Lindblad master-equation integrator for continuous
+// dissipative dynamics (used by the reservoir-computing application).
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/qmath"
+)
+
+// Channel is a CPTP map given by its Kraus operators on a d-dimensional
+// local space.
+type Channel struct {
+	Name  string
+	Dim   int
+	Kraus []*qmath.Matrix
+}
+
+// CheckCPTP verifies the Kraus completeness relation sum K†K = I within
+// tol.
+func (c Channel) CheckCPTP(tol float64) error {
+	if len(c.Kraus) == 0 {
+		return fmt.Errorf("channel %s: no Kraus operators", c.Name)
+	}
+	acc := qmath.NewMatrix(c.Dim, c.Dim)
+	for i, k := range c.Kraus {
+		if k.Rows != c.Dim || k.Cols != c.Dim {
+			return fmt.Errorf("channel %s: Kraus %d is %dx%d, want %dx%d", c.Name, i, k.Rows, k.Cols, c.Dim, c.Dim)
+		}
+		acc.AddInPlace(k.Dagger().Mul(k))
+	}
+	if !acc.ApproxEqual(qmath.Identity(c.Dim), tol) {
+		return fmt.Errorf("channel %s: sum K†K deviates from identity by %g",
+			c.Name, acc.Sub(qmath.Identity(c.Dim)).MaxAbs())
+	}
+	return nil
+}
+
+// IdentityChannel returns the trivial channel on dimension d.
+func IdentityChannel(d int) Channel {
+	return Channel{Name: "id", Dim: d, Kraus: []*qmath.Matrix{qmath.Identity(d)}}
+}
+
+// Depolarizing returns the qudit depolarizing channel
+//
+//	rho -> (1-p) rho + p I/d,
+//
+// realized with the d^2 Weyl (generalized Pauli) operators X^a Z^b.
+func Depolarizing(d int, p float64) Channel {
+	x := gates.X(d).Matrix
+	z := gates.Z(d).Matrix
+	ks := make([]*qmath.Matrix, 0, d*d)
+	w := math.Sqrt(p) / float64(d)
+	// Identity component keeps weight 1 - p + p/d^2.
+	id := qmath.Identity(d).Scale(complex(math.Sqrt(1-p+p/float64(d*d)), 0))
+	ks = append(ks, id)
+	xa := qmath.Identity(d)
+	for a := 0; a < d; a++ {
+		zb := qmath.Identity(d)
+		for b := 0; b < d; b++ {
+			if a != 0 || b != 0 {
+				ks = append(ks, xa.Mul(zb).Scale(complex(w, 0)))
+			}
+			zb = zb.Mul(z)
+		}
+		xa = xa.Mul(x)
+	}
+	return Channel{Name: fmt.Sprintf("depol%d(%.2e)", d, p), Dim: d, Kraus: ks}
+}
+
+// Dephasing returns the qudit phase-noise channel
+//
+//	rho -> (1-p) rho + (p/d) sum_a Z^a rho Z^{-a},
+//
+// which damps coherences between distinct levels while preserving
+// populations — the discrete analogue of T2 noise.
+func Dephasing(d int, p float64) Channel {
+	z := gates.Z(d).Matrix
+	ks := make([]*qmath.Matrix, 0, d)
+	ks = append(ks, qmath.Identity(d).Scale(complex(math.Sqrt(1-p+p/float64(d)), 0)))
+	w := complex(math.Sqrt(p/float64(d)), 0)
+	za := qmath.Identity(d)
+	for a := 1; a < d; a++ {
+		za = za.Mul(z)
+		ks = append(ks, za.Scale(w))
+	}
+	return Channel{Name: fmt.Sprintf("dephase%d(%.2e)", d, p), Dim: d, Kraus: ks}
+}
+
+// AmplitudeDamping returns the exact pure-loss (photon decay) channel on a
+// d-level Fock space with per-photon loss probability gamma = 1 -
+// e^{-kappa t}. Its Kraus operators are
+//
+//	K_k = sum_n sqrt(C(n,k) (1-gamma)^{n-k} gamma^k) |n-k><n|.
+//
+// This is the dominant error of cavity qudits and the attractor used by
+// NDAR: it drags population toward the vacuum |0>.
+func AmplitudeDamping(d int, gamma float64) Channel {
+	ks := make([]*qmath.Matrix, d)
+	for k := 0; k < d; k++ {
+		m := qmath.NewMatrix(d, d)
+		for n := k; n < d; n++ {
+			c := binomial(n, k) * math.Pow(1-gamma, float64(n-k)) * math.Pow(gamma, float64(k))
+			m.Set(n-k, n, complex(math.Sqrt(c), 0))
+		}
+		ks[k] = m
+	}
+	return Channel{Name: fmt.Sprintf("damp%d(%.2e)", d, gamma), Dim: d, Kraus: ks}
+}
+
+// ThermalExcitation returns a weak heating channel that promotes |n> to
+// |n+1> with probability p*(n+1)/d — a coarse model of residual thermal
+// photons in the cavity environment.
+func ThermalExcitation(d int, p float64) Channel {
+	k1 := qmath.NewMatrix(d, d)
+	k0 := qmath.NewMatrix(d, d)
+	for n := 0; n < d; n++ {
+		q := p * float64(n+1) / float64(d)
+		if n+1 < d {
+			k1.Set(n+1, n, complex(math.Sqrt(q), 0))
+			k0.Set(n, n, complex(math.Sqrt(1-q), 0))
+		} else {
+			k0.Set(n, n, 1) // top level cannot be excited under truncation
+		}
+	}
+	return Channel{Name: fmt.Sprintf("heat%d(%.2e)", d, p), Dim: d, Kraus: []*qmath.Matrix{k0, k1}}
+}
+
+// Leakage models imperfect confinement to the computational levels of a
+// larger physical space: population in levels >= dLogical is symmetrically
+// mixed back with rate p. On a register already truncated to the logical
+// dimension this reduces to dephasing on the top level; we expose it for
+// completeness of the error budget.
+func Leakage(d int, p float64) Channel {
+	k0 := qmath.Identity(d)
+	top := d - 1
+	k0.Set(top, top, complex(math.Sqrt(1-p), 0))
+	k1 := qmath.NewMatrix(d, d)
+	k1.Set(top, top, complex(math.Sqrt(p), 0))
+	return Channel{Name: fmt.Sprintf("leak%d(%.2e)", d, p), Dim: d, Kraus: []*qmath.Matrix{k0, k1}}
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}

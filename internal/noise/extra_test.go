@@ -1,0 +1,114 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"quditkit/internal/density"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+)
+
+func TestThermalExcitationHeats(t *testing.T) {
+	d := 4
+	ch := ThermalExcitation(d, 0.4)
+	r, err := density.NewZero(hilbert.Dims{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyKraus(ch.Kraus, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Expectation(gates.Number(d), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Errorf("thermal channel did not heat: <n> = %v", n)
+	}
+}
+
+func TestLeakageDampsTopLevel(t *testing.T) {
+	d := 4
+	// Superposition with support on the top level.
+	amps := make([]complex128, d)
+	amps[0] = complex(1/math.Sqrt2, 0)
+	amps[d-1] = complex(1/math.Sqrt2, 0)
+	r, err := density.FromPureAmplitudes(hilbert.Dims{d}, amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := Leakage(d, 0.5)
+	if err := r.ApplyKraus(ch.Kraus, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	// Populations unchanged; coherence with the top level reduced.
+	if math.Abs(real(r.At(0, 0))-0.5) > 1e-9 {
+		t.Errorf("population changed: %v", real(r.At(0, 0)))
+	}
+	coh := r.At(0, d-1)
+	if math.Hypot(real(coh), imag(coh)) > 0.4 {
+		t.Errorf("top-level coherence not damped: %v", coh)
+	}
+}
+
+func TestIdleChannelsComposition(t *testing.T) {
+	m := Model{IdleDamping: 0.1, IdleDephasing: 0.05}
+	chs := m.IdleChannels(3)
+	if len(chs) != 2 {
+		t.Fatalf("idle channels = %d", len(chs))
+	}
+	for _, ch := range chs {
+		if err := ch.CheckCPTP(1e-9); err != nil {
+			t.Error(err)
+		}
+	}
+	if (Model{}).IdleChannels(3) != nil {
+		t.Error("zero model has idle channels")
+	}
+}
+
+func TestCheckCPTPFailures(t *testing.T) {
+	bad := Channel{Name: "bad", Dim: 2, Kraus: nil}
+	if err := bad.CheckCPTP(1e-9); err == nil {
+		t.Error("empty Kraus accepted")
+	}
+	wrongShape := IdentityChannel(3)
+	wrongShape.Dim = 2
+	if err := wrongShape.CheckCPTP(1e-9); err == nil {
+		t.Error("wrong-shape Kraus accepted")
+	}
+	notComplete := Depolarizing(2, 0.5)
+	notComplete.Kraus = notComplete.Kraus[:2]
+	if err := notComplete.CheckCPTP(1e-9); err == nil {
+		t.Error("incomplete Kraus set accepted")
+	}
+}
+
+func TestAmplitudeDampingComposition(t *testing.T) {
+	// Two successive loss channels with gamma compose to a loss channel
+	// with 1-(1-g1)(1-g2): verify via mean photon number on a Fock state.
+	d := 6
+	g1, g2 := 0.2, 0.3
+	r, err := density.NewZero(hilbert.Dims{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(gates.XPow(d, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []float64{g1, g2} {
+		ch := AmplitudeDamping(d, g)
+		if err := r.ApplyKraus(ch.Kraus, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := r.Expectation(gates.Number(d), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * (1 - g1) * (1 - g2)
+	if math.Abs(n-want) > 1e-9 {
+		t.Errorf("composed loss <n> = %v, want %v", n, want)
+	}
+}

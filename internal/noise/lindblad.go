@@ -1,0 +1,125 @@
+package noise
+
+import (
+	"fmt"
+
+	"quditkit/internal/qmath"
+)
+
+// Lindblad integrates the master equation
+//
+//	d rho/dt = -i [H(t), rho] + sum_i ( L_i rho L_i† - 1/2 {L_i† L_i, rho} )
+//
+// with classical RK4. Collapse operators carry their rates folded in
+// (L = sqrt(kappa) a for photon loss at rate kappa). The integrator is the
+// continuous-time substrate for the dissipative reservoir dynamics of the
+// QRC application and for gate-time decoherence budgets.
+type Lindblad struct {
+	// H is the (time-independent) Hamiltonian; ignored if HFunc is set.
+	H *qmath.Matrix
+	// HFunc, when non-nil, supplies a time-dependent Hamiltonian H(t).
+	HFunc func(t float64) *qmath.Matrix
+	// Collapse lists the Lindblad jump operators with rates folded in.
+	Collapse []*qmath.Matrix
+
+	// precomputed L†L/2 per collapse operator
+	halfLdagL []*qmath.Matrix
+}
+
+// NewLindblad builds an integrator for a fixed Hamiltonian and collapse
+// set, validating shapes.
+func NewLindblad(h *qmath.Matrix, collapse []*qmath.Matrix) (*Lindblad, error) {
+	if h.Rows != h.Cols {
+		return nil, fmt.Errorf("noise: Hamiltonian must be square, got %dx%d", h.Rows, h.Cols)
+	}
+	l := &Lindblad{H: h, Collapse: collapse}
+	if err := l.prepare(h.Rows); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// NewLindbladDriven builds an integrator with a time-dependent Hamiltonian
+// of fixed dimension dim.
+func NewLindbladDriven(dim int, hfunc func(t float64) *qmath.Matrix, collapse []*qmath.Matrix) (*Lindblad, error) {
+	if hfunc == nil {
+		return nil, fmt.Errorf("noise: nil Hamiltonian function")
+	}
+	l := &Lindblad{HFunc: hfunc, Collapse: collapse}
+	if err := l.prepare(dim); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Lindblad) prepare(dim int) error {
+	l.halfLdagL = make([]*qmath.Matrix, len(l.Collapse))
+	for i, c := range l.Collapse {
+		if c.Rows != dim || c.Cols != dim {
+			return fmt.Errorf("noise: collapse op %d is %dx%d, want %dx%d", i, c.Rows, c.Cols, dim, dim)
+		}
+		l.halfLdagL[i] = c.Dagger().Mul(c).Scale(0.5)
+	}
+	return nil
+}
+
+func (l *Lindblad) hamiltonianAt(t float64) *qmath.Matrix {
+	if l.HFunc != nil {
+		return l.HFunc(t)
+	}
+	return l.H
+}
+
+// Derivative returns d rho/dt at time t.
+func (l *Lindblad) Derivative(t float64, rho *qmath.Matrix) *qmath.Matrix {
+	h := l.hamiltonianAt(t)
+	// -i [H, rho]
+	comm := h.Mul(rho).Sub(rho.Mul(h)).Scale(complex(0, -1))
+	for i, c := range l.Collapse {
+		// L rho L†
+		comm.AddInPlace(c.Mul(rho).Mul(c.Dagger()))
+		// -1/2 {L†L, rho}
+		half := l.halfLdagL[i]
+		comm.AddScaledInPlace(-1, half.Mul(rho))
+		comm.AddScaledInPlace(-1, rho.Mul(half))
+	}
+	return comm
+}
+
+// Step advances rho by one RK4 step of size dt starting at time t,
+// returning the new state.
+func (l *Lindblad) Step(t, dt float64, rho *qmath.Matrix) *qmath.Matrix {
+	k1 := l.Derivative(t, rho)
+	r2 := rho.Clone()
+	r2.AddScaledInPlace(complex(dt/2, 0), k1)
+	k2 := l.Derivative(t+dt/2, r2)
+	r3 := rho.Clone()
+	r3.AddScaledInPlace(complex(dt/2, 0), k2)
+	k3 := l.Derivative(t+dt/2, r3)
+	r4 := rho.Clone()
+	r4.AddScaledInPlace(complex(dt, 0), k3)
+	k4 := l.Derivative(t+dt, r4)
+
+	out := rho.Clone()
+	out.AddScaledInPlace(complex(dt/6, 0), k1)
+	out.AddScaledInPlace(complex(dt/3, 0), k2)
+	out.AddScaledInPlace(complex(dt/3, 0), k3)
+	out.AddScaledInPlace(complex(dt/6, 0), k4)
+	return out
+}
+
+// Evolve integrates rho from time t0 over a duration with the given number
+// of RK4 steps and returns the final state. rho is not modified.
+func (l *Lindblad) Evolve(t0, duration float64, steps int, rho *qmath.Matrix) (*qmath.Matrix, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("noise: steps must be positive, got %d", steps)
+	}
+	dt := duration / float64(steps)
+	cur := rho.Clone()
+	t := t0
+	for s := 0; s < steps; s++ {
+		cur = l.Step(t, dt, cur)
+		t += dt
+	}
+	return cur, nil
+}

@@ -1,0 +1,88 @@
+package noise
+
+// Model is the per-gate error model applied during noisy circuit
+// execution. Probabilities are per gate application, per target wire.
+// The zero value is the noiseless model.
+type Model struct {
+	// Depol1 is the depolarizing probability applied to each wire touched
+	// by a single-qudit gate.
+	Depol1 float64
+	// Depol2 is the depolarizing probability applied to each wire touched
+	// by a multi-qudit gate (entanglers are harder, so typically
+	// Depol2 >> Depol1).
+	Depol2 float64
+	// Damping is the photon-loss probability applied to every touched wire
+	// after each gate (cavity T1 during the gate time).
+	Damping float64
+	// Dephasing is the phase-noise probability applied to every touched
+	// wire after each gate (T2 contribution).
+	Dephasing float64
+	// IdleDamping and IdleDephasing, when positive, are applied to idle
+	// (untouched) wires once per circuit moment, modeling decoherence
+	// while other qudits are being driven.
+	IdleDamping   float64
+	IdleDephasing float64
+}
+
+// IsZero reports whether the model is exactly noiseless.
+func (m Model) IsZero() bool {
+	return m == Model{}
+}
+
+// ScaleGateError returns a copy of m with the gate-induced error
+// probabilities multiplied by f (clamped to [0, 1]); idle rates are
+// unchanged. Used by the error-rate sweeps in the experiments.
+func (m Model) ScaleGateError(f float64) Model {
+	out := m
+	out.Depol1 = clamp01(m.Depol1 * f)
+	out.Depol2 = clamp01(m.Depol2 * f)
+	out.Damping = clamp01(m.Damping * f)
+	out.Dephasing = clamp01(m.Dephasing * f)
+	return out
+}
+
+// GateChannels returns the channels to apply to a wire of dimension d
+// after a gate of the given arity. A nil slice means no noise.
+func (m Model) GateChannels(d, arity int) []Channel {
+	if m.IsZero() {
+		return nil
+	}
+	var out []Channel
+	depol := m.Depol1
+	if arity > 1 {
+		depol = m.Depol2
+	}
+	if depol > 0 {
+		out = append(out, Depolarizing(d, depol))
+	}
+	if m.Damping > 0 {
+		out = append(out, AmplitudeDamping(d, m.Damping))
+	}
+	if m.Dephasing > 0 {
+		out = append(out, Dephasing(d, m.Dephasing))
+	}
+	return out
+}
+
+// IdleChannels returns the channels applied to an idle wire of dimension d
+// during one circuit moment.
+func (m Model) IdleChannels(d int) []Channel {
+	var out []Channel
+	if m.IdleDamping > 0 {
+		out = append(out, AmplitudeDamping(d, m.IdleDamping))
+	}
+	if m.IdleDephasing > 0 {
+		out = append(out, Dephasing(d, m.IdleDephasing))
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,301 @@
+package noise
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/density"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/qmath"
+)
+
+func TestChannelsAreCPTP(t *testing.T) {
+	dims := []int{2, 3, 4, 8}
+	probs := []float64{0, 0.01, 0.3, 1}
+	for _, d := range dims {
+		for _, p := range probs {
+			for _, ch := range []Channel{
+				Depolarizing(d, p),
+				Dephasing(d, p),
+				AmplitudeDamping(d, p),
+				ThermalExcitation(d, p),
+				Leakage(d, p),
+				IdentityChannel(d),
+			} {
+				if err := ch.CheckCPTP(1e-9); err != nil {
+					t.Errorf("d=%d p=%v: %v", d, p, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDepolarizingDrivesToMaximallyMixed(t *testing.T) {
+	d := 3
+	ch := Depolarizing(d, 1)
+	r, err := density.NewZero(hilbert.Dims{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyKraus(ch.Kraus, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d; i++ {
+		if math.Abs(real(r.At(i, i))-1/float64(d)) > 1e-9 {
+			t.Errorf("population %d = %v, want 1/3", i, real(r.At(i, i)))
+		}
+	}
+}
+
+func TestDepolarizingPartial(t *testing.T) {
+	// p=0.3 mixes 30% of the state with I/d.
+	d, p := 4, 0.3
+	ch := Depolarizing(d, p)
+	r, err := density.NewZero(hilbert.Dims{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyKraus(ch.Kraus, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - p) + p/float64(d)
+	if math.Abs(real(r.At(0, 0))-want) > 1e-9 {
+		t.Errorf("rho00 = %v, want %v", real(r.At(0, 0)), want)
+	}
+}
+
+func TestDephasingKillsCoherencesKeepsPopulations(t *testing.T) {
+	d := 3
+	// Superposition (|0> + |1> + |2>)/sqrt3.
+	amps := qmath.Vector{1, 1, 1}
+	r, err := density.FromPureAmplitudes(hilbert.Dims{d}, amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Probabilities()
+	ch := Dephasing(d, 1)
+	if err := r.ApplyKraus(ch.Kraus, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Probabilities()
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-9 {
+			t.Errorf("population %d changed: %v -> %v", i, before[i], after[i])
+		}
+	}
+	// Full dephasing removes all coherences.
+	if cmplx.Abs(r.At(0, 1)) > 1e-9 || cmplx.Abs(r.At(1, 2)) > 1e-9 {
+		t.Error("coherences survived full dephasing")
+	}
+}
+
+func TestAmplitudeDampingVacuumAttractor(t *testing.T) {
+	d := 5
+	r, err := density.NewZero(hilbert.Dims{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(gates.XPow(d, d-1), 0); err != nil { // |d-1>
+		t.Fatal(err)
+	}
+	ch := AmplitudeDamping(d, 0.5)
+	for i := 0; i < 40; i++ {
+		if err := r.ApplyKraus(ch.Kraus, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if real(r.At(0, 0)) < 0.999 {
+		t.Errorf("damping did not reach vacuum: p0 = %v", real(r.At(0, 0)))
+	}
+}
+
+func TestAmplitudeDampingMeanPhotonDecay(t *testing.T) {
+	d := 8
+	gamma := 0.2
+	r, err := density.NewZero(hilbert.Dims{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(gates.XPow(d, 4), 0); err != nil { // |4>
+		t.Fatal(err)
+	}
+	ch := AmplitudeDamping(d, gamma)
+	if err := r.ApplyKraus(ch.Kraus, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	n := gates.Number(d)
+	got, err := r.Expectation(n, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * (1 - gamma)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("<n> after loss = %v, want %v", got, want)
+	}
+}
+
+func TestModelZero(t *testing.T) {
+	var m Model
+	if !m.IsZero() {
+		t.Error("zero model not detected")
+	}
+	if m.GateChannels(3, 1) != nil {
+		t.Error("zero model produced channels")
+	}
+}
+
+func TestModelGateChannels(t *testing.T) {
+	m := Model{Depol1: 0.001, Depol2: 0.01, Damping: 0.002}
+	ch1 := m.GateChannels(3, 1)
+	ch2 := m.GateChannels(3, 2)
+	if len(ch1) != 2 || len(ch2) != 2 {
+		t.Fatalf("channel counts: %d, %d", len(ch1), len(ch2))
+	}
+	// All channels must be CPTP.
+	for _, ch := range append(ch1, ch2...) {
+		if err := ch.CheckCPTP(1e-9); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestModelScale(t *testing.T) {
+	m := Model{Depol1: 0.1, Depol2: 0.2, IdleDamping: 0.05}
+	s := m.ScaleGateError(2)
+	if s.Depol1 != 0.2 || s.Depol2 != 0.4 {
+		t.Errorf("scaled = %+v", s)
+	}
+	if s.IdleDamping != 0.05 {
+		t.Error("idle rates should not scale")
+	}
+	// Clamp.
+	big := m.ScaleGateError(100)
+	if big.Depol2 > 1 {
+		t.Error("probability not clamped")
+	}
+}
+
+func TestLindbladPureDecay(t *testing.T) {
+	// H = 0, L = sqrt(kappa) a: <n>(t) = n0 exp(-kappa t).
+	d := 6
+	kappa := 0.8
+	a := gates.Lower(d).Scale(complex(math.Sqrt(kappa), 0))
+	l, err := NewLindblad(qmath.NewMatrix(d, d), []*qmath.Matrix{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start in |3>.
+	rho := qmath.NewMatrix(d, d)
+	rho.Set(3, 3, 1)
+	tEnd := 1.0
+	out, err := l.Evolve(0, tEnd, 200, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := gates.Number(d)
+	got := real(out.Mul(n).Trace())
+	want := 3 * math.Exp(-kappa*tEnd)
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("<n>(t) = %v, want %v", got, want)
+	}
+	// Trace preserved.
+	if math.Abs(real(out.Trace())-1) > 1e-6 {
+		t.Errorf("trace = %v", out.Trace())
+	}
+}
+
+func TestLindbladUnitaryLimit(t *testing.T) {
+	// No collapse operators: must match exact unitary evolution.
+	rng := rand.New(rand.NewSource(23))
+	d := 4
+	h := qmath.RandomHermitian(rng, d)
+	l, err := NewLindblad(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi := qmath.RandomState(rng, d)
+	rho := psi.Outer(psi)
+	tEnd := 0.7
+	out, err := l.Evolve(0, tEnd, 400, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := qmath.ExpHermitian(h, complex(0, -tEnd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPsi := u.MulVec(psi)
+	want := wantPsi.Outer(wantPsi)
+	if !out.ApproxEqual(want, 1e-5) {
+		t.Errorf("Lindblad unitary limit error %v", out.Sub(want).FrobeniusNorm())
+	}
+}
+
+func TestLindbladHermiticityPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	d := 4
+	h := qmath.RandomHermitian(rng, d)
+	a := gates.Lower(d).Scale(complex(0.3, 0))
+	l, err := NewLindblad(h, []*qmath.Matrix{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := qmath.RandomDensityMatrix(rng, d)
+	out, err := l.Evolve(0, 2.0, 300, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsHermitian(1e-7) {
+		t.Error("Hermiticity lost during integration")
+	}
+	if math.Abs(real(out.Trace())-1) > 1e-6 {
+		t.Errorf("trace drifted: %v", out.Trace())
+	}
+}
+
+func TestLindbladDriven(t *testing.T) {
+	// Time-dependent drive on a qubit: H(t) = eps(t) sigma_x with a short
+	// pulse; population must move out of |0>.
+	d := 2
+	sx := gates.X(2).Matrix
+	hf := func(t float64) *qmath.Matrix {
+		amp := 0.0
+		if t < 1 {
+			amp = math.Pi / 4
+		}
+		return sx.Scale(complex(amp, 0))
+	}
+	l, err := NewLindbladDriven(d, hf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := qmath.NewMatrix(d, d)
+	rho.Set(0, 0, 1)
+	out, err := l.Evolve(0, 2.0, 400, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the pulse, theta = 2 * (pi/4) * 1 rotation: p1 = sin^2(pi/4) = 0.5.
+	if math.Abs(real(out.At(1, 1))-0.5) > 1e-3 {
+		t.Errorf("driven population = %v, want 0.5", real(out.At(1, 1)))
+	}
+}
+
+func TestLindbladValidation(t *testing.T) {
+	if _, err := NewLindblad(qmath.NewMatrix(2, 3), nil); err == nil {
+		t.Error("non-square H accepted")
+	}
+	if _, err := NewLindblad(qmath.Identity(2), []*qmath.Matrix{qmath.Identity(3)}); err == nil {
+		t.Error("mismatched collapse accepted")
+	}
+	if _, err := NewLindbladDriven(2, nil, nil); err == nil {
+		t.Error("nil HFunc accepted")
+	}
+	l, _ := NewLindblad(qmath.Identity(2), nil)
+	if _, err := l.Evolve(0, 1, 0, qmath.Identity(2)); err == nil {
+		t.Error("zero steps accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/qmath"
+)
+
+func TestSparseLindbladMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := 5
+	h := qmath.RandomHermitian(rng, d)
+	a := gates.Lower(d).Scale(complex(0.4, 0))
+	dense, err := NewLindblad(h, []*qmath.Matrix{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSparseLindblad(h, []*qmath.Matrix{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := qmath.RandomDensityMatrix(rng, d)
+	outD, err := dense.Evolve(0, 1.5, 150, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outS, err := sparse.Evolve(1.5, 150, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outS.ApproxEqual(outD, 1e-9) {
+		t.Errorf("sparse and dense integrators diverge by %v", outS.Sub(outD).FrobeniusNorm())
+	}
+}
+
+func TestSparseLindbladDecay(t *testing.T) {
+	d := 6
+	kappa := 0.5
+	a := gates.Lower(d).Scale(complex(math.Sqrt(kappa), 0))
+	l, err := NewSparseLindblad(qmath.NewMatrix(d, d), []*qmath.Matrix{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := qmath.NewMatrix(d, d)
+	rho.Set(4, 4, 1)
+	out, err := l.Evolve(2.0, 400, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := gates.Number(d)
+	got := real(out.Mul(n).Trace())
+	want := 4 * math.Exp(-kappa*2.0)
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("<n> = %v, want %v", got, want)
+	}
+}
+
+func TestSparseLindbladValidation(t *testing.T) {
+	if _, err := NewSparseLindblad(qmath.NewMatrix(2, 3), nil); err == nil {
+		t.Error("non-square H accepted")
+	}
+	if _, err := NewSparseLindblad(qmath.Identity(2), []*qmath.Matrix{qmath.Identity(3)}); err == nil {
+		t.Error("mismatched collapse accepted")
+	}
+	l, _ := NewSparseLindblad(qmath.Identity(2), nil)
+	if _, err := l.Evolve(1, 0, qmath.Identity(2)); err == nil {
+		t.Error("zero steps accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package qaoa
+
+import (
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/noise"
+)
+
+func TestBestColoringTooLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := Random(rng, 30, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.BestColoring(5); err == nil {
+		t.Error("oversized brute force accepted")
+	}
+}
+
+func TestRandomGraphDeterminism(t *testing.T) {
+	g1, err := Random(rand.New(rand.NewSource(5)), 10, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Random(rand.New(rand.NewSource(5)), 10, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Edges) != len(g2.Edges) {
+		t.Fatal("seeded graphs differ")
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatal("seeded graphs differ in edges")
+		}
+	}
+}
+
+func TestNDAROptimizeAngles(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g, err := Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNDAR(rng, g, 3, NDAROptions{
+		Iterations:     2,
+		Shots:          24,
+		OptimizeAngles: true,
+		Noise:          noise.Model{Damping: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	if res.BestProper < 0 {
+		t.Error("no best found")
+	}
+}
+
+func TestNDARNoiselessFindsGoodSolutions(t *testing.T) {
+	// Without noise, trajectory sampling reduces to QAOA sampling; the
+	// loop should find a proper coloring of a small cycle.
+	rng := rand.New(rand.NewSource(33))
+	g, err := Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNDAR(rng, g, 3, NDAROptions{
+		Iterations: 2, Shots: 40, Gamma: 0.8, Beta: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestProper != res.OptimalProper {
+		t.Errorf("best %d != optimum %d over 80 noiseless samples", res.BestProper, res.OptimalProper)
+	}
+}
+
+func TestColoringCircuitMultiLayer(t *testing.T) {
+	g, err := Cycle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewColoring(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, err := col.Circuit([]float64{0.5, 0.3}, []float64{0.4, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 DFT + 2 layers x (3 edges + 3 mixers) = 15 ops.
+	if qc.Len() != 15 {
+		t.Errorf("p=2 circuit has %d ops, want 15", qc.Len())
+	}
+	if _, err := col.Circuit([]float64{0.5}, []float64{0.4, 0.2}); err == nil {
+		t.Error("mismatched layer params accepted")
+	}
+}
+
+func TestOneHotMixerPreservesSubspaceExactly(t *testing.T) {
+	// Sweep several mixer angles: the one-hot subspace population must
+	// stay exactly 1 in the absence of noise.
+	g, err := NewGraph(2, []Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh, err := NewOneHot(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, beta := range []float64{0.1, 0.7, 1.9} {
+		pv, err := oh.RunNoisyPValid(1.1, beta, noise.Model{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pv < 1-1e-8 {
+			t.Errorf("beta=%v: P(valid) = %v", beta, pv)
+		}
+	}
+}
+
+func TestQRACMoreColors(t *testing.T) {
+	// d=5 colors: 6 MUBs exist, so up to 6 vertices share one qudit.
+	rng := rand.New(rand.NewSource(41))
+	g, err := RandomRegularish(rng, 18, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveQRAC(rng, g, 5, QRACOptions{Sweeps: 10, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Qudits != 3 {
+		t.Errorf("qudits = %d, want 3 (6 nodes per ququint)", res.Qudits)
+	}
+	// 5 colors on a sparse graph: should color nearly everything.
+	if float64(res.Proper) < 0.9*float64(res.TotalEdges) {
+		t.Errorf("d=5 QRAC proper = %d of %d", res.Proper, res.TotalEdges)
+	}
+}

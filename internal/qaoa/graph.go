@@ -1,0 +1,233 @@
+// Package qaoa implements the combinatorial-optimization application of
+// the paper (§II.B): QAOA for graph coloring with the natural one-hot
+// qudit encoding (colors = qudit levels, so hard constraints are enforced
+// by construction), the Noise-Directed Adaptive Remapping (NDAR) loop
+// that exploits photon loss as a search primitive, a one-hot QUBIT
+// encoding baseline whose constraint violation under noise the paper
+// highlights, and a qudit-QRAC relaxation solver that scales to 50+ nodes
+// on a handful of qudits.
+package qaoa
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrBadProblem indicates invalid problem parameters.
+var ErrBadProblem = errors.New("qaoa: invalid problem")
+
+// Edge is an undirected graph edge.
+type Edge struct {
+	U, V int
+}
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+// NewGraph validates and builds a graph.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadProblem, n)
+	}
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+			return nil, fmt.Errorf("%w: edge (%d,%d)", ErrBadProblem, e.U, e.V)
+		}
+		key := [2]int{min(e.U, e.V), max(e.U, e.V)}
+		if seen[key] {
+			return nil, fmt.Errorf("%w: duplicate edge (%d,%d)", ErrBadProblem, e.U, e.V)
+		}
+		seen[key] = true
+	}
+	return &Graph{N: n, Edges: append([]Edge(nil), edges...)}, nil
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) (*Graph, error) {
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{U: i, V: (i + 1) % n})
+	}
+	return NewGraph(n, edges)
+}
+
+// Random returns an Erdős–Rényi G(n, p) graph.
+func Random(rng *rand.Rand, n int, p float64) (*Graph, error) {
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, Edge{U: i, V: j})
+			}
+		}
+	}
+	return NewGraph(n, edges)
+}
+
+// RandomRegularish returns a connected graph built from a cycle plus
+// random chords, a standard benchmark family for coloring.
+func RandomRegularish(rng *rand.Rand, n, chords int) (*Graph, error) {
+	g, err := Cycle(n)
+	if err != nil {
+		return nil, err
+	}
+	have := make(map[[2]int]bool, n+chords)
+	for _, e := range g.Edges {
+		have[[2]int{min(e.U, e.V), max(e.U, e.V)}] = true
+	}
+	for added := 0; added < chords; {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if have[key] {
+			continue
+		}
+		have[key] = true
+		g.Edges = append(g.Edges, Edge{U: u, V: v})
+		added++
+	}
+	return g, nil
+}
+
+// ProperEdges returns the number of properly colored edges under the
+// assignment (the objective to maximize in max-k-coloring).
+func (g *Graph) ProperEdges(assign []int) int {
+	count := 0
+	for _, e := range g.Edges {
+		if assign[e.U] != assign[e.V] {
+			count++
+		}
+	}
+	return count
+}
+
+// Degrees returns the vertex degrees.
+func (g *Graph) Degrees() []int {
+	deg := make([]int, g.N)
+	for _, e := range g.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	return deg
+}
+
+// GreedyColoring colors vertices in descending-degree order, assigning
+// each the color minimizing immediate conflicts — the classical baseline.
+func (g *Graph) GreedyColoring(colors int) []int {
+	deg := g.Degrees()
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && deg[order[j]] > deg[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	assign := make([]int, g.N)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for _, v := range order {
+		conflicts := make([]int, colors)
+		for _, w := range adj[v] {
+			if assign[w] >= 0 {
+				conflicts[assign[w]]++
+			}
+		}
+		best := 0
+		for c := 1; c < colors; c++ {
+			if conflicts[c] < conflicts[best] {
+				best = c
+			}
+		}
+		assign[v] = best
+	}
+	return assign
+}
+
+// LocalSearch improves an assignment by single-vertex recoloring until a
+// local optimum, returning the improved copy.
+func (g *Graph) LocalSearch(assign []int, colors int) []int {
+	cur := append([]int(nil), assign...)
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	improved := true
+	for improved {
+		improved = false
+		for v := 0; v < g.N; v++ {
+			conflicts := make([]int, colors)
+			for _, w := range adj[v] {
+				conflicts[cur[w]]++
+			}
+			best := cur[v]
+			for c := 0; c < colors; c++ {
+				if conflicts[c] < conflicts[best] {
+					best = c
+				}
+			}
+			if best != cur[v] {
+				cur[v] = best
+				improved = true
+			}
+		}
+	}
+	return cur
+}
+
+// BestColoring brute-forces the optimal assignment for small graphs and
+// returns it with its proper-edge count.
+func (g *Graph) BestColoring(colors int) ([]int, int, error) {
+	total := 1
+	for i := 0; i < g.N; i++ {
+		total *= colors
+		if total > 1<<24 {
+			return nil, 0, fmt.Errorf("%w: brute force too large (n=%d, k=%d)", ErrBadProblem, g.N, colors)
+		}
+	}
+	assign := make([]int, g.N)
+	best := make([]int, g.N)
+	bestScore := -1
+	for code := 0; code < total; code++ {
+		x := code
+		for v := 0; v < g.N; v++ {
+			assign[v] = x % colors
+			x /= colors
+		}
+		if s := g.ProperEdges(assign); s > bestScore {
+			bestScore = s
+			copy(best, assign)
+		}
+	}
+	return best, bestScore, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package qaoa
+
+import (
+	"fmt"
+	"math"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/density"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+	"quditkit/internal/qmath"
+)
+
+// OneHot is the qubit-based one-hot encoding of the same coloring
+// problem: vertex v uses Colors qubits, and the valid subspace has
+// exactly one excited qubit per vertex. Under hardware noise the
+// symmetry protecting this subspace decays, which is the failure mode
+// (from [18]) that motivates the native qudit encoding.
+type OneHot struct {
+	Graph  *Graph
+	Colors int
+}
+
+// NewOneHot validates the instance.
+func NewOneHot(g *Graph, colors int) (*OneHot, error) {
+	if g == nil || colors < 2 {
+		return nil, fmt.Errorf("%w: colors=%d", ErrBadProblem, colors)
+	}
+	return &OneHot{Graph: g, Colors: colors}, nil
+}
+
+// NumQubits returns the register width.
+func (o *OneHot) NumQubits() int { return o.Graph.N * o.Colors }
+
+// Dims returns the qubit register dimensions.
+func (o *OneHot) Dims() hilbert.Dims { return hilbert.Uniform(o.NumQubits(), 2) }
+
+// qubit returns the wire index of (vertex, color).
+func (o *OneHot) qubit(v, c int) int { return v*o.Colors + c }
+
+// wPrepGate returns a gate on Colors qubits whose action on |0...0> is
+// the W state (uniform superposition of the one-hot strings): the
+// Householder reflection exchanging |0...0> and the W state.
+func (o *OneHot) wPrepGate() (gates.Gate, error) {
+	d := o.Colors
+	dim := 1 << d
+	w := qmath.NewVector(dim)
+	amp := complex(1/math.Sqrt(float64(d)), 0)
+	for c := 0; c < d; c++ {
+		w[1<<(d-1-c)] = amp
+	}
+	e0 := qmath.BasisVector(dim, 0)
+	// Householder: U = I - 2|u><u| with u = (e0 - w)/||e0 - w|| maps e0 to
+	// w (both real).
+	u := e0.Sub(w)
+	n := u.Norm()
+	if n == 0 {
+		return gates.Gate{}, fmt.Errorf("%w: degenerate W preparation", ErrBadProblem)
+	}
+	u = u.Scale(complex(1/n, 0))
+	m := qmath.Identity(dim)
+	m.AddScaledInPlace(-2, u.Outer(u))
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = 2
+	}
+	return gates.FromMatrix("Wprep", dims, m)
+}
+
+// xyMixerGate returns exp(-i beta (XX+YY)/2) on two qubits: a rotation in
+// the {|01>, |10>} block that preserves excitation number — the standard
+// one-hot-preserving mixer.
+func xyMixerGate(beta float64) gates.Gate {
+	m := qmath.Identity(4)
+	c := complex(math.Cos(beta), 0)
+	s := complex(0, -math.Sin(beta))
+	m.Set(1, 1, c)
+	m.Set(1, 2, s)
+	m.Set(2, 1, s)
+	m.Set(2, 2, c)
+	g := gates.Gate{Name: fmt.Sprintf("XY(%.3f)", beta), Dims: []int{2, 2}, Matrix: m}
+	return g
+}
+
+// zzPenaltyGate returns the two-qubit diagonal phase e^{-i gamma} on |11>
+// — the per-color phase separator between two vertices.
+func zzPenaltyGate(gamma float64) gates.Gate {
+	m := qmath.Identity(4)
+	m.Set(3, 3, complex(math.Cos(gamma), -math.Sin(gamma)))
+	return gates.Gate{Name: fmt.Sprintf("ZZ(%.3f)", gamma), Dims: []int{2, 2}, Matrix: m}
+}
+
+// Circuit builds the p=1 one-hot QAOA circuit: W-state preparation per
+// vertex, |11> phase penalties per (edge, color), and an XY mixer ring
+// per vertex.
+func (o *OneHot) Circuit(gamma, beta float64) (*circuit.Circuit, error) {
+	qc, err := circuit.New(o.Dims())
+	if err != nil {
+		return nil, err
+	}
+	wprep, err := o.wPrepGate()
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < o.Graph.N; v++ {
+		wires := make([]int, o.Colors)
+		for c := range wires {
+			wires[c] = o.qubit(v, c)
+		}
+		if err := qc.Append(wprep, wires...); err != nil {
+			return nil, err
+		}
+	}
+	zz := zzPenaltyGate(gamma)
+	for _, e := range o.Graph.Edges {
+		for c := 0; c < o.Colors; c++ {
+			if err := qc.Append(zz, o.qubit(e.U, c), o.qubit(e.V, c)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	xy := xyMixerGate(beta)
+	for v := 0; v < o.Graph.N; v++ {
+		for c := 0; c < o.Colors; c++ {
+			next := (c + 1) % o.Colors
+			if err := qc.Append(xy, o.qubit(v, c), o.qubit(v, next)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return qc, nil
+}
+
+// PValid returns the probability mass of the valid one-hot subspace
+// (exactly one excited qubit per vertex) in a final mixed state.
+func (o *OneHot) PValid(rho *density.DM) float64 {
+	sp := rho.Space()
+	probs := rho.Probabilities()
+	digits := make([]int, o.NumQubits())
+	var acc float64
+	for idx, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		sp.DigitsInto(idx, digits)
+		if o.validDigits(digits) {
+			acc += p
+		}
+	}
+	return acc
+}
+
+func (o *OneHot) validDigits(digits []int) bool {
+	for v := 0; v < o.Graph.N; v++ {
+		ones := 0
+		for c := 0; c < o.Colors; c++ {
+			ones += digits[o.qubit(v, c)]
+		}
+		if ones != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunNoisyPValid executes the one-hot circuit under the noise model and
+// returns the surviving valid-subspace probability. The native qudit
+// encoding trivially returns 1: every qudit basis state decodes to a
+// valid coloring.
+func (o *OneHot) RunNoisyPValid(gamma, beta float64, model noise.Model) (float64, error) {
+	qc, err := o.Circuit(gamma, beta)
+	if err != nil {
+		return 0, err
+	}
+	rho, err := qc.RunDensity(model)
+	if err != nil {
+		return 0, err
+	}
+	return o.PValid(rho), nil
+}

@@ -1,0 +1,240 @@
+package qaoa
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"quditkit/internal/qmath"
+)
+
+// MUBs returns the d+1 mutually unbiased bases of a prime-dimension
+// space, as matrices whose columns are the basis vectors: bases[0] is the
+// computational basis and bases[k+1] has columns
+//
+//	|psi^k_j>[l] = omega^{k l^2 + j l} / sqrt(d),   omega = e^{2 pi i/d},
+//
+// the Ivanović construction valid for odd prime d.
+func MUBs(d int) ([]*qmath.Matrix, error) {
+	if !isOddPrime(d) {
+		return nil, fmt.Errorf("%w: MUBs require odd prime dimension, got %d", ErrBadProblem, d)
+	}
+	out := make([]*qmath.Matrix, 0, d+1)
+	out = append(out, qmath.Identity(d))
+	norm := complex(1/math.Sqrt(float64(d)), 0)
+	for k := 0; k < d; k++ {
+		m := qmath.NewMatrix(d, d)
+		for j := 0; j < d; j++ {
+			for l := 0; l < d; l++ {
+				phase := 2 * math.Pi * float64((k*l*l+j*l)%d) / float64(d)
+				m.Set(l, j, norm*cmplx.Exp(complex(0, phase)))
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func isOddPrime(d int) bool {
+	if d < 3 || d%2 == 0 {
+		return false
+	}
+	for f := 3; f*f <= d; f += 2 {
+		if d%f == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// QRACOptions configures the qudit quantum-random-access-code relaxation
+// solver.
+type QRACOptions struct {
+	// NodesPerQudit is how many graph vertices share one qudit (each via
+	// a distinct MUB). Zero selects d+1, the maximum.
+	NodesPerQudit int
+	// Sweeps is the number of coordinate-descent sweeps. Zero selects 40.
+	Sweeps int
+	// Restarts is the number of random restarts. Zero selects 2.
+	Restarts int
+}
+
+func (o QRACOptions) withDefaults(d int) QRACOptions {
+	if o.NodesPerQudit == 0 {
+		o.NodesPerQudit = d + 1
+	}
+	if o.Sweeps == 0 {
+		o.Sweeps = 40
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 2
+	}
+	return o
+}
+
+// QRACResult reports a QRAC relaxation solve.
+type QRACResult struct {
+	Qudits          int
+	NodesPerQudit   int
+	RelaxationValue float64
+	Assignment      []int
+	Proper          int
+	GreedyProper    int
+	TotalEdges      int
+}
+
+// SolveQRAC solves max-k-coloring through the qudit QRAC relaxation (the
+// qudit generalization of the few-qubit large-scale optimization of
+// [22], [23]): each qudit carries up to d+1 vertices, one per mutually
+// unbiased basis; a product state over qudits induces, for each vertex,
+// a color distribution p_v(c) = |<psi^{b_v}_c | phi_q>|^2; the relaxed
+// objective sum_edges (1 - sum_c p_u(c) p_v(c)) is maximized over product
+// states by coordinate descent; finally vertices are rounded to their
+// maximum-likelihood colors and polished by single-vertex local search.
+func SolveQRAC(rng *rand.Rand, g *Graph, colors int, opts QRACOptions) (*QRACResult, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadProblem)
+	}
+	mubs, err := MUBs(colors)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(colors)
+	if opts.NodesPerQudit < 1 || opts.NodesPerQudit > colors+1 {
+		return nil, fmt.Errorf("%w: %d nodes per qudit exceeds %d MUBs", ErrBadProblem, opts.NodesPerQudit, colors+1)
+	}
+	nQudits := (g.N + opts.NodesPerQudit - 1) / opts.NodesPerQudit
+
+	// Precompute, for vertex v, its qudit and measurement basis.
+	quditOf := make([]int, g.N)
+	basisOf := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		quditOf[v] = v / opts.NodesPerQudit
+		basisOf[v] = v % opts.NodesPerQudit
+	}
+
+	d := colors
+	params := make([][]float64, nQudits) // 2d reals per qudit
+	bestParams := make([][]float64, nQudits)
+	bestVal := math.Inf(-1)
+
+	stateOf := func(p []float64) qmath.Vector {
+		v := qmath.NewVector(d)
+		for l := 0; l < d; l++ {
+			v[l] = complex(p[2*l], p[2*l+1])
+		}
+		if v.Norm() == 0 {
+			v[0] = 1
+		}
+		v.Normalize()
+		return v
+	}
+
+	// marginal fills out[c] = |<psi^{b}_c|phi>|^2.
+	marginal := func(phi qmath.Vector, basis int, out []float64) {
+		m := mubs[basis]
+		for c := 0; c < d; c++ {
+			var ip complex128
+			for l := 0; l < d; l++ {
+				ip += cmplx.Conj(m.At(l, c)) * phi[l]
+			}
+			out[c] = real(ip)*real(ip) + imag(ip)*imag(ip)
+		}
+	}
+
+	objective := func(ps [][]float64) float64 {
+		phis := make([]qmath.Vector, nQudits)
+		for q := range ps {
+			phis[q] = stateOf(ps[q])
+		}
+		margs := make([][]float64, g.N)
+		for v := 0; v < g.N; v++ {
+			margs[v] = make([]float64, d)
+			marginal(phis[quditOf[v]], basisOf[v], margs[v])
+		}
+		var val float64
+		for _, e := range g.Edges {
+			same := 0.0
+			for c := 0; c < d; c++ {
+				same += margs[e.U][c] * margs[e.V][c]
+			}
+			val += 1 - same
+		}
+		return val
+	}
+
+	for restart := 0; restart < opts.Restarts; restart++ {
+		for q := range params {
+			params[q] = make([]float64, 2*d)
+			for i := range params[q] {
+				params[q][i] = rng.NormFloat64()
+			}
+		}
+		val := objective(params)
+		step := 0.5
+		for sweep := 0; sweep < opts.Sweeps; sweep++ {
+			improved := false
+			for q := range params {
+				for i := range params[q] {
+					orig := params[q][i]
+					params[q][i] = orig + step
+					up := objective(params)
+					params[q][i] = orig - step
+					down := objective(params)
+					switch {
+					case up > val && up >= down:
+						params[q][i] = orig + step
+						val = up
+						improved = true
+					case down > val:
+						params[q][i] = orig - step
+						val = down
+						improved = true
+					default:
+						params[q][i] = orig
+					}
+				}
+			}
+			if !improved {
+				step /= 2
+				if step < 1e-3 {
+					break
+				}
+			}
+		}
+		if val > bestVal {
+			bestVal = val
+			bestParams = make([][]float64, nQudits)
+			for q := range params {
+				bestParams[q] = append([]float64(nil), params[q]...)
+			}
+		}
+	}
+
+	// Round: maximum-likelihood color per vertex, then local search.
+	assign := make([]int, g.N)
+	marg := make([]float64, d)
+	for v := 0; v < g.N; v++ {
+		phi := stateOf(bestParams[quditOf[v]])
+		marginal(phi, basisOf[v], marg)
+		best := 0
+		for c := 1; c < d; c++ {
+			if marg[c] > marg[best] {
+				best = c
+			}
+		}
+		assign[v] = best
+	}
+	assign = g.LocalSearch(assign, colors)
+	greedy := g.LocalSearch(g.GreedyColoring(colors), colors)
+	return &QRACResult{
+		Qudits:          nQudits,
+		NodesPerQudit:   opts.NodesPerQudit,
+		RelaxationValue: bestVal,
+		Assignment:      assign,
+		Proper:          g.ProperEdges(assign),
+		GreedyProper:    g.ProperEdges(greedy),
+		TotalEdges:      len(g.Edges),
+	}, nil
+}

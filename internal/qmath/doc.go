@@ -1,0 +1,17 @@
+// Package qmath provides the dense complex linear algebra used by the
+// quditkit simulators: vectors and matrices over complex128, Kronecker
+// products, Hermitian eigendecomposition, matrix exponentials, QR
+// factorization, linear solves, and Haar-random unitaries.
+//
+// No third-party numeric library exists in this offline build, so the
+// package implements the required kernels from scratch. Matrices are
+// dense and row-major; sizes in this project stay small (dimension at
+// most a few thousand), so the O(n^3) classical algorithms are adequate
+// and chosen for robustness over asymptotic speed.
+//
+// Shape errors: operations whose operand shapes are fixed by the caller's
+// program logic (multiplication, addition, Kronecker products) treat a
+// mismatch as a programmer error and panic with a descriptive message,
+// following the convention of mainstream numeric libraries. Functions
+// that validate external or data-dependent input return errors instead.
+package qmath

@@ -1,0 +1,355 @@
+package qmath
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigHermitian2x2(t *testing.T) {
+	// Pauli X: eigenvalues -1, +1.
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	eig, err := EigHermitian(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig.Values[0]+1) > 1e-10 || math.Abs(eig.Values[1]-1) > 1e-10 {
+		t.Errorf("Pauli X eigenvalues = %v, want [-1, 1]", eig.Values)
+	}
+	// Eigenvector check: X v = lambda v.
+	for i := 0; i < 2; i++ {
+		v := eig.Eigenvector(i)
+		xv := x.MulVec(v)
+		lv := v.Scale(complex(eig.Values[i], 0))
+		if !xv.ApproxEqual(lv, 1e-9) {
+			t.Errorf("eigenvector %d fails X v = lambda v", i)
+		}
+	}
+}
+
+func TestEigHermitianComplex(t *testing.T) {
+	// Pauli Y: [[0, -i], [i, 0]], eigenvalues ±1.
+	y := FromRows([][]complex128{{0, -1i}, {1i, 0}})
+	eig, err := EigHermitian(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig.Values[0]+1) > 1e-10 || math.Abs(eig.Values[1]-1) > 1e-10 {
+		t.Errorf("Pauli Y eigenvalues = %v, want [-1, 1]", eig.Values)
+	}
+}
+
+func TestEigHermitianDiagonal(t *testing.T) {
+	d := Diag([]complex128{3, 1, 2})
+	eig, err := EigHermitian(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i, v := range eig.Values {
+		if math.Abs(v-want[i]) > 1e-12 {
+			t.Errorf("Values[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestEigHermitianReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		h := RandomHermitian(rng, n)
+		eig, err := EigHermitian(h)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Reconstruct: V D V† = H.
+		d := make([]complex128, n)
+		for i, lam := range eig.Values {
+			d[i] = complex(lam, 0)
+		}
+		rec := eig.Vectors.Mul(Diag(d)).Mul(eig.Vectors.Dagger())
+		if !rec.ApproxEqual(h, 1e-8) {
+			t.Errorf("n=%d: reconstruction error %v", n, rec.Sub(h).FrobeniusNorm())
+		}
+		// Orthonormality of eigenvectors.
+		if !eig.Vectors.IsUnitary(1e-8) {
+			t.Errorf("n=%d: eigenvector matrix not unitary", n)
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if eig.Values[i] < eig.Values[i-1]-1e-12 {
+				t.Errorf("n=%d: eigenvalues not sorted: %v", n, eig.Values)
+			}
+		}
+	}
+}
+
+func TestEigHermitianRejectsNonHermitian(t *testing.T) {
+	m := FromRows([][]complex128{{0, 1}, {2, 0}})
+	if _, err := EigHermitian(m); err == nil {
+		t.Error("expected error for non-Hermitian input")
+	}
+	rect := NewMatrix(2, 3)
+	if _, err := EigHermitian(rect); err == nil {
+		t.Error("expected error for rectangular input")
+	}
+}
+
+// Property: eigenvalue sum equals trace; product of exp eigenvalues
+// relates to det via exp(tr) (checked through trace only, det not needed).
+func TestEigTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := RandomHermitian(r, 5)
+		eig, err := EigHermitian(h)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range eig.Values {
+			sum += v
+		}
+		return math.Abs(sum-real(h.Trace())) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpHermitianUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := RandomHermitian(rng, 6)
+	u, err := ExpHermitian(h, complex(0, -0.37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.IsUnitary(1e-8) {
+		t.Error("exp(-i t H) is not unitary")
+	}
+	// exp(-itH) exp(+itH) = I.
+	uinv, err := ExpHermitian(h, complex(0, 0.37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Mul(uinv).ApproxEqual(Identity(6), 1e-8) {
+		t.Error("exp(-itH) exp(itH) != I")
+	}
+}
+
+func TestExpmAgainstHermitianPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := RandomHermitian(rng, 5)
+	gen := h.Scale(complex(0, -0.8)) // -i t H
+	viaEig, err := ExpHermitian(h, complex(0, -0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPade := Expm(gen)
+	if !viaPade.ApproxEqual(viaEig, 1e-8) {
+		t.Errorf("Expm disagrees with eigendecomposition path by %v",
+			viaPade.Sub(viaEig).FrobeniusNorm())
+	}
+}
+
+func TestExpmZero(t *testing.T) {
+	z := NewMatrix(4, 4)
+	if !Expm(z).ApproxEqual(Identity(4), 1e-12) {
+		t.Error("Expm(0) != I")
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// N = [[0,1],[0,0]]: exp(N) = I + N exactly.
+	n := FromRows([][]complex128{{0, 1}, {0, 0}})
+	got := Expm(n)
+	want := FromRows([][]complex128{{1, 1}, {0, 1}})
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Errorf("Expm(nilpotent) = %v, want %v", got, want)
+	}
+}
+
+func TestExpmLargeNormScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	h := RandomHermitian(rng, 4)
+	// Large time: stress the scaling-and-squaring path.
+	viaEig, err := ExpHermitian(h, complex(0, -25.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPade := Expm(h.Scale(complex(0, -25.0)))
+	if !viaPade.ApproxEqual(viaEig, 1e-6) {
+		t.Errorf("large-norm Expm error %v", viaPade.Sub(viaEig).FrobeniusNorm())
+	}
+}
+
+func TestFuncHermitian(t *testing.T) {
+	// sqrt of a positive matrix squares back.
+	rng := rand.New(rand.NewSource(21))
+	g := RandomHermitian(rng, 4)
+	pos := g.Mul(g) // positive semidefinite
+	root, err := FuncHermitian(pos, func(x float64) complex128 {
+		if x < 0 {
+			x = 0
+		}
+		return complex(math.Sqrt(x), 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Mul(root).ApproxEqual(pos, 1e-8) {
+		t.Error("sqrt(A)^2 != A")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]complex128{
+		{2, 1},
+		{1, 3},
+	})
+	b := Vector{5, 10}
+	x, err := SolveVec(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	want := Vector{1, 3}
+	if !x.ApproxEqual(want, 1e-10) {
+		t.Errorf("Solve = %v, want %v", x, want)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]complex128{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := SolveVec(a, Vector{1, 2}); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := RandomUnitary(rng, 5)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).ApproxEqual(Identity(5), 1e-9) {
+		t.Error("A * A^{-1} != I")
+	}
+	// For unitary, inverse equals dagger.
+	if !inv.ApproxEqual(a.Dagger(), 1e-9) {
+		t.Error("unitary inverse != dagger")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined consistent system.
+	a := FromRows([][]complex128{
+		{1, 0},
+		{0, 1},
+		{1, 1},
+	})
+	x0 := Vector{2, -1}
+	b := a.MulVec(x0)
+	x, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.ApproxEqual(x0, 1e-9) {
+		t.Errorf("LeastSquares = %v, want %v", x, x0)
+	}
+}
+
+func TestLeastSquaresRidgeShrinks(t *testing.T) {
+	a := FromRows([][]complex128{
+		{1, 0},
+		{0, 1},
+	})
+	b := Vector{1, 1}
+	x0, err := LeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := LeastSquares(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1.Norm() >= x0.Norm() {
+		t.Errorf("ridge did not shrink: %v vs %v", x1.Norm(), x0.Norm())
+	}
+}
+
+func TestQROrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := NewMatrix(6, 4)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	qr := QR(a)
+	// Q†Q = I (reduced).
+	qtq := qr.Q.Dagger().Mul(qr.Q)
+	if !qtq.ApproxEqual(Identity(4), 1e-9) {
+		t.Error("Q columns not orthonormal")
+	}
+	// QR = A.
+	if !qr.Q.Mul(qr.R).ApproxEqual(a, 1e-9) {
+		t.Error("QR != A")
+	}
+	// R upper triangular.
+	for i := 1; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			if cmplx.Abs(qr.R.At(i, j)) > 1e-10 {
+				t.Errorf("R[%d][%d] = %v not zero", i, j, qr.R.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRandomUnitaryIsUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{2, 3, 7} {
+		u := RandomUnitary(rng, n)
+		if !u.IsUnitary(1e-9) {
+			t.Errorf("RandomUnitary(%d) not unitary", n)
+		}
+	}
+}
+
+func TestRandomStateNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	v := RandomState(rng, 10)
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("random state norm = %v", v.Norm())
+	}
+}
+
+func TestRandomDensityMatrixValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	rho := RandomDensityMatrix(rng, 4)
+	if math.Abs(real(rho.Trace())-1) > 1e-10 {
+		t.Errorf("density trace = %v", rho.Trace())
+	}
+	if !rho.IsHermitian(1e-10) {
+		t.Error("density not Hermitian")
+	}
+	eig, err := EigHermitian(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range eig.Values {
+		if v < -1e-10 {
+			t.Errorf("negative eigenvalue %v", v)
+		}
+	}
+}
+
+func TestRandomUnitaryDeterministic(t *testing.T) {
+	u1 := RandomUnitary(rand.New(rand.NewSource(1)), 4)
+	u2 := RandomUnitary(rand.New(rand.NewSource(1)), 4)
+	if !u1.ApproxEqual(u2, 0) {
+		t.Error("same seed should give identical unitary")
+	}
+}

@@ -1,0 +1,193 @@
+package qmath
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveMultipleRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := RandomUnitary(rng, 4)
+	b := NewMatrix(4, 3)
+	for i := range b.Data {
+		b.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(x).ApproxEqual(b, 1e-9) {
+		t.Error("multi-RHS solve failed")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(NewMatrix(2, 3), Identity(2)); err == nil {
+		t.Error("rectangular A accepted")
+	}
+	if _, err := Solve(Identity(2), Identity(3)); err == nil {
+		t.Error("mismatched B accepted")
+	}
+}
+
+func TestExpmGeneralNonNormal(t *testing.T) {
+	// Non-normal matrix with known exponential:
+	// A = [[0, 1], [0, ln2]]: exp(A) = [[1, (2-1)/ln2], [0, 2]].
+	l2 := math.Log(2)
+	a := FromRows([][]complex128{
+		{0, 1},
+		{0, complex(l2, 0)},
+	})
+	got := Expm(a)
+	want := FromRows([][]complex128{
+		{1, complex(1/l2, 0)},
+		{0, 2},
+	})
+	if !got.ApproxEqual(want, 1e-9) {
+		t.Errorf("Expm(non-normal) = %v, want %v", got, want)
+	}
+}
+
+func TestFromRowsAndDiagonal(t *testing.T) {
+	m := FromRows([][]complex128{{1, 2}, {3, 4}})
+	d := m.Diagonal()
+	if d[0] != 1 || d[1] != 4 {
+		t.Errorf("Diagonal = %v", d)
+	}
+	if m.MaxAbs() != 4 {
+		t.Errorf("MaxAbs = %v", m.MaxAbs())
+	}
+	empty := FromRows(nil)
+	if empty.Rows != 0 || empty.Cols != 0 {
+		t.Error("empty FromRows wrong shape")
+	}
+}
+
+func TestKronAllAndVecAll(t *testing.T) {
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	k := KronAll(x, x, x)
+	if k.Rows != 8 {
+		t.Fatalf("KronAll dim = %d", k.Rows)
+	}
+	// X⊗X⊗X maps |000> to |111>.
+	if k.At(7, 0) != 1 {
+		t.Error("KronAll column 0 wrong")
+	}
+	if KronAll().Rows != 1 {
+		t.Error("empty KronAll should be 1x1")
+	}
+	v := KronVecAll(Vector{0, 1}, Vector{1, 0}, Vector{0, 1})
+	// |101> = index 5.
+	if v[5] != 1 {
+		t.Errorf("KronVecAll = %v", v)
+	}
+}
+
+func TestTransposeConj(t *testing.T) {
+	m := FromRows([][]complex128{{1 + 1i, 2}, {3, 4 - 1i}})
+	tr := m.Transpose()
+	if tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+		t.Error("transpose wrong")
+	}
+	cj := m.Conj()
+	if cj.At(0, 0) != 1-1i {
+		t.Error("conj wrong")
+	}
+	// Dagger = Conj(Transpose).
+	if !m.Dagger().ApproxEqual(m.Transpose().Conj(), 1e-12) {
+		t.Error("dagger != conj(transpose)")
+	}
+}
+
+func TestAddScaledInPlaceMatrix(t *testing.T) {
+	m := Identity(2)
+	m.AddScaledInPlace(2i, Identity(2))
+	if m.At(0, 0) != 1+2i {
+		t.Errorf("AddScaledInPlace = %v", m.At(0, 0))
+	}
+}
+
+func TestVectorAddScaledInPlace(t *testing.T) {
+	v := Vector{1, 0}
+	v.AddScaledInPlace(3, Vector{0, 1})
+	if v[1] != 3 {
+		t.Errorf("AddScaledInPlace = %v", v)
+	}
+}
+
+// Property: unitary conjugation preserves the Frobenius norm.
+func TestUnitaryInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := RandomUnitary(r, 4)
+		m := RandomHermitian(r, 4)
+		before := m.FrobeniusNorm()
+		after := u.Mul(m).Mul(u.Dagger()).FrobeniusNorm()
+		return math.Abs(before-after) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Expm(A)·Expm(-A) = I for random anti-Hermitian A.
+func TestExpmInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := RandomHermitian(r, 3)
+		a := h.Scale(complex(0, 1))
+		p := Expm(a).Mul(Expm(a.Scale(-1)))
+		return p.ApproxEqual(Identity(3), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigHermitianLargeDegenerate(t *testing.T) {
+	// Highly degenerate spectrum: projector onto a 3-dim subspace of C^6.
+	rng := rand.New(rand.NewSource(71))
+	u := RandomUnitary(rng, 6)
+	d := Diag([]complex128{1, 1, 1, 0, 0, 0})
+	p := u.Mul(d).Mul(u.Dagger())
+	eig, err := EigHermitian(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range eig.Values {
+		want := 0.0
+		if i >= 3 {
+			want = 1.0
+		}
+		if math.Abs(v-want) > 1e-8 {
+			t.Errorf("eigenvalue %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	// More unknowns than equations with ridge: minimum-norm-ish solution
+	// exists and reproduces the data approximately.
+	a := FromRows([][]complex128{{1, 1, 0}})
+	b := Vector{2}
+	x, err := LeastSquares(a, b, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.MulVec(x)
+	if cmplx.Abs(got[0]-2) > 1e-4 {
+		t.Errorf("underdetermined fit = %v", got[0])
+	}
+}
+
+func TestBasisVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range basis index did not panic")
+		}
+	}()
+	BasisVector(3, 5)
+}

@@ -1,0 +1,62 @@
+package qmath
+
+// Kron returns the Kronecker product m ⊗ n.
+//
+// The result has shape (m.Rows*n.Rows) x (m.Cols*n.Cols), with the usual
+// "left factor is most significant" index convention: entry
+// ((i1,i2),(j1,j2)) = m[i1,j1] * n[i2,j2].
+func Kron(m, n *Matrix) *Matrix {
+	out := NewMatrix(m.Rows*n.Rows, m.Cols*n.Cols)
+	for i1 := 0; i1 < m.Rows; i1++ {
+		for j1 := 0; j1 < m.Cols; j1++ {
+			a := m.At(i1, j1)
+			if a == 0 {
+				continue
+			}
+			rowBase := i1 * n.Rows
+			colBase := j1 * n.Cols
+			for i2 := 0; i2 < n.Rows; i2++ {
+				dst := out.Row(rowBase + i2)[colBase : colBase+n.Cols]
+				src := n.Row(i2)
+				for j2, x := range src {
+					dst[j2] = a * x
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KronAll returns the Kronecker product of all factors in order.
+// With no factors it returns the 1x1 identity.
+func KronAll(ms ...*Matrix) *Matrix {
+	out := Identity(1)
+	for _, m := range ms {
+		out = Kron(out, m)
+	}
+	return out
+}
+
+// KronVec returns the Kronecker product v ⊗ w of two vectors.
+func KronVec(v, w Vector) Vector {
+	out := NewVector(len(v) * len(w))
+	for i, a := range v {
+		if a == 0 {
+			continue
+		}
+		base := i * len(w)
+		for j, b := range w {
+			out[base+j] = a * b
+		}
+	}
+	return out
+}
+
+// KronVecAll returns the Kronecker product of all vector factors in order.
+func KronVecAll(vs ...Vector) Vector {
+	out := Vector{1}
+	for _, v := range vs {
+		out = KronVec(out, v)
+	}
+	return out
+}

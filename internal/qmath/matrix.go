@@ -1,0 +1,299 @@
+package qmath
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("qmath: negative matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square diagonal matrix with the given diagonal entries.
+func Diag(d []complex128) *Matrix {
+	m := NewMatrix(len(d), len(d))
+	for i, x := range d {
+		m.Data[i*len(d)+i] = x
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices. All rows must share a length.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("qmath: FromRows ragged row %d: %d vs %d", i, len(r), cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []complex128 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Add returns m + n.
+func (m *Matrix) Add(n *Matrix) *Matrix {
+	checkSameShape("Add", m, n)
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + n.Data[i]
+	}
+	return out
+}
+
+// Sub returns m - n.
+func (m *Matrix) Sub(n *Matrix) *Matrix {
+	checkSameShape("Sub", m, n)
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - n.Data[i]
+	}
+	return out
+}
+
+// Scale returns c*m.
+func (m *Matrix) Scale(c complex128) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = c * m.Data[i]
+	}
+	return out
+}
+
+// AddInPlace sets m += n.
+func (m *Matrix) AddInPlace(n *Matrix) {
+	checkSameShape("AddInPlace", m, n)
+	for i := range m.Data {
+		m.Data[i] += n.Data[i]
+	}
+}
+
+// AddScaledInPlace sets m += c*n.
+func (m *Matrix) AddScaledInPlace(c complex128, n *Matrix) {
+	checkSameShape("AddScaledInPlace", m, n)
+	for i := range m.Data {
+		m.Data[i] += c * n.Data[i]
+	}
+}
+
+// Mul returns the matrix product m*n.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("qmath: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mRow := m.Row(i)
+		outRow := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mRow[k]
+			if a == 0 {
+				continue
+			}
+			nRow := n.Row(k)
+			for j := range nRow {
+				outRow[j] += a * nRow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m*v.
+func (m *Matrix) MulVec(v Vector) Vector {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("qmath: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s complex128
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m *Matrix) Dagger() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, x := range row {
+			out.Data[j*out.Cols+i] = cmplx.Conj(x)
+		}
+	}
+	return out
+}
+
+// Transpose returns the (non-conjugated) transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, x := range row {
+			out.Data[j*out.Cols+i] = x
+		}
+	}
+	return out
+}
+
+// Conj returns the element-wise complex conjugate of m.
+func (m *Matrix) Conj() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = cmplx.Conj(x)
+	}
+	return out
+}
+
+// Trace returns the trace of a square matrix.
+func (m *Matrix) Trace() complex128 {
+	checkSquare("Trace", m)
+	var s complex128
+	for i := 0; i < m.Rows; i++ {
+		s += m.Data[i*m.Cols+i]
+	}
+	return s
+}
+
+// FrobeniusNorm returns sqrt(sum |m_ij|^2).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, x := range m.Data {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest element magnitude.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, x := range m.Data {
+		if a := cmplx.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// IsUnitary reports whether m†m is the identity within tol.
+func (m *Matrix) IsUnitary(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	p := m.Dagger().Mul(m)
+	return p.ApproxEqual(Identity(m.Rows), tol)
+}
+
+// IsHermitian reports whether m equals its conjugate transpose within tol.
+func (m *Matrix) IsHermitian(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i; j < m.Cols; j++ {
+			if cmplx.Abs(m.At(i, j)-cmplx.Conj(m.At(j, i))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether m and n agree element-wise within tol.
+func (m *Matrix) ApproxEqual(n *Matrix, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Diagonal returns a copy of the main diagonal.
+func (m *Matrix) Diagonal() []complex128 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.At(i, i)
+	}
+	return out
+}
+
+// String renders the matrix with aligned, truncated entries for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.Cols; j++ {
+			x := m.At(i, j)
+			fmt.Fprintf(&sb, "%7.3f%+7.3fi", real(x), imag(x))
+			if j < m.Cols-1 {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+func checkSameShape(op string, m, n *Matrix) {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic(fmt.Sprintf("qmath: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+}
+
+func checkSquare(op string, m *Matrix) {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("qmath: %s requires square matrix, got %dx%d", op, m.Rows, m.Cols))
+	}
+}

@@ -1,0 +1,268 @@
+package qmath
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-10
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("Identity(3)[%d][%d] = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([][]complex128{
+		{1, 2},
+		{3, 4},
+	})
+	b := FromRows([][]complex128{
+		{5, 6},
+		{7, 8},
+	})
+	got := a.Mul(b)
+	want := FromRows([][]complex128{
+		{19, 22},
+		{43, 50},
+	})
+	if !got.ApproxEqual(want, tol) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMatrixMulComplex(t *testing.T) {
+	i := complex(0, 1)
+	a := FromRows([][]complex128{{i, 0}, {0, -i}})
+	got := a.Mul(a)
+	want := Identity(2).Scale(-1)
+	if !got.ApproxEqual(want, tol) {
+		t.Errorf("i*sigma_z squared = %v, want -I", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]complex128{
+		{1, 2, 3},
+		{4, 5, 6},
+	})
+	v := Vector{1, 0, -1}
+	got := a.MulVec(v)
+	want := Vector{-2, -2}
+	if !got.ApproxEqual(want, tol) {
+		t.Errorf("MulVec = %v, want %v", got, want)
+	}
+}
+
+func TestDagger(t *testing.T) {
+	a := FromRows([][]complex128{
+		{1 + 1i, 2},
+		{3, 4 - 2i},
+	})
+	d := a.Dagger()
+	if d.At(0, 0) != 1-1i || d.At(0, 1) != 3 || d.At(1, 0) != 2 || d.At(1, 1) != 4+2i {
+		t.Errorf("Dagger wrong: %v", d)
+	}
+	if !a.Dagger().Dagger().ApproxEqual(a, tol) {
+		t.Error("double dagger is not identity")
+	}
+}
+
+func TestTraceAndNorm(t *testing.T) {
+	a := FromRows([][]complex128{
+		{1, 2i},
+		{-2i, 3},
+	})
+	if got := a.Trace(); got != 4 {
+		t.Errorf("Trace = %v, want 4", got)
+	}
+	wantNorm := math.Sqrt(1 + 4 + 4 + 9)
+	if got := a.FrobeniusNorm(); math.Abs(got-wantNorm) > tol {
+		t.Errorf("FrobeniusNorm = %v, want %v", got, wantNorm)
+	}
+}
+
+func TestIsHermitianAndUnitary(t *testing.T) {
+	h := FromRows([][]complex128{
+		{2, 1 - 1i},
+		{1 + 1i, -1},
+	})
+	if !h.IsHermitian(tol) {
+		t.Error("h should be Hermitian")
+	}
+	if h.IsUnitary(tol) {
+		t.Error("h should not be unitary")
+	}
+	// Pauli X is both.
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	if !x.IsHermitian(tol) || !x.IsUnitary(tol) {
+		t.Error("Pauli X should be Hermitian and unitary")
+	}
+}
+
+func TestKron(t *testing.T) {
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	id := Identity(2)
+	xi := Kron(x, id)
+	// X ⊗ I maps |00> -> |10>, i.e. column 0 has a 1 at row 2.
+	if xi.At(2, 0) != 1 || xi.At(0, 0) != 0 {
+		t.Errorf("Kron(X,I) column 0 wrong: %v", xi)
+	}
+	ix := Kron(id, x)
+	if ix.At(1, 0) != 1 {
+		t.Errorf("Kron(I,X) column 0 wrong: %v", ix)
+	}
+	if xi.ApproxEqual(ix, tol) {
+		t.Error("X⊗I should differ from I⊗X")
+	}
+}
+
+func TestKronMixedDims(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2, 3}}) // 1x3
+	b := FromRows([][]complex128{{4}, {5}})  // 2x1
+	k := Kron(a, b)
+	if k.Rows != 2 || k.Cols != 3 {
+		t.Fatalf("Kron shape = %dx%d, want 2x3", k.Rows, k.Cols)
+	}
+	want := FromRows([][]complex128{
+		{4, 8, 12},
+		{5, 10, 15},
+	})
+	if !k.ApproxEqual(want, tol) {
+		t.Errorf("Kron = %v, want %v", k, want)
+	}
+}
+
+func TestKronVec(t *testing.T) {
+	v := Vector{1, 0}
+	w := Vector{0, 1}
+	k := KronVec(v, w) // |0> ⊗ |1> = |01> = index 1
+	want := Vector{0, 1, 0, 0}
+	if !k.ApproxEqual(want, tol) {
+		t.Errorf("KronVec = %v, want %v", k, want)
+	}
+}
+
+func TestKronMixedProperty(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		a := RandomUnitary(rng, 2)
+		b := RandomUnitary(rng, 3)
+		c := RandomUnitary(rng, 2)
+		d := RandomUnitary(rng, 3)
+		lhs := Kron(a, b).Mul(Kron(c, d))
+		rhs := Kron(a.Mul(c), b.Mul(d))
+		if !lhs.ApproxEqual(rhs, 1e-9) {
+			t.Fatalf("mixed-product property violated at trial %d", trial)
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2i}
+	w := Vector{3, -1}
+	if got := v.Add(w); !got.ApproxEqual(Vector{4, -1 + 2i}, tol) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); !got.ApproxEqual(Vector{-2, 1 + 2i}, tol) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Dot(w); cmplx.Abs(got-(3+2i)) > tol {
+		// <v|w> = conj(1)*3 + conj(2i)*(-1) = 3 + 2i
+		t.Errorf("Dot = %v, want 3+2i", got)
+	}
+	if got := v.Norm(); math.Abs(got-math.Sqrt(5)) > tol {
+		t.Errorf("Norm = %v, want sqrt(5)", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4i}
+	n := v.Normalize()
+	if math.Abs(n-5) > tol {
+		t.Errorf("Normalize returned %v, want 5", n)
+	}
+	if math.Abs(v.Norm()-1) > tol {
+		t.Errorf("post-normalize norm = %v", v.Norm())
+	}
+	zero := Vector{0, 0}
+	if zero.Normalize() != 0 {
+		t.Error("zero vector normalize should return 0")
+	}
+}
+
+func TestOuter(t *testing.T) {
+	v := Vector{1, 0}
+	m := v.Outer(v)
+	want := FromRows([][]complex128{{1, 0}, {0, 0}})
+	if !m.ApproxEqual(want, tol) {
+		t.Errorf("Outer = %v", m)
+	}
+}
+
+func TestApproxEqualUpToPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := RandomState(rng, 4)
+	phase := cmplx.Exp(complex(0, 1.234))
+	w := v.Scale(phase)
+	if !v.ApproxEqualUpToPhase(w, 1e-9) {
+		t.Error("states equal up to phase not detected")
+	}
+	u := RandomState(rng, 4)
+	if v.ApproxEqualUpToPhase(u, 1e-9) {
+		t.Error("distinct random states reported phase-equal")
+	}
+}
+
+func TestBasisVector(t *testing.T) {
+	v := BasisVector(4, 2)
+	if v[2] != 1 || v.Norm() != 1 {
+		t.Errorf("BasisVector wrong: %v", v)
+	}
+}
+
+// Property: trace is linear and invariant under cyclic permutation.
+func TestTraceCyclicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := RandomHermitian(r, 4)
+		b := RandomUnitary(r, 4)
+		ab := a.Mul(b).Trace()
+		ba := b.Mul(a).Trace()
+		return cmplx.Abs(ab-ba) < 1e-8
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (AB)† = B†A†.
+func TestDaggerProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := RandomUnitary(r, 3)
+		b := RandomHermitian(r, 3)
+		lhs := a.Mul(b).Dagger()
+		rhs := b.Dagger().Mul(a.Dagger())
+		return lhs.ApproxEqual(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package qmath
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// RandomState returns a Haar-random pure state of dimension n: a complex
+// Gaussian vector normalized to unit norm.
+func RandomState(rng *rand.Rand, n int) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	v.Normalize()
+	return v
+}
+
+// RandomUnitary returns an n x n Haar-distributed random unitary, built by
+// QR-factorizing a complex Ginibre matrix and fixing the phases of R's
+// diagonal (Mezzadri's recipe), which makes the distribution exactly Haar.
+func RandomUnitary(rng *rand.Rand, n int) *Matrix {
+	g := NewMatrix(n, n)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	qr := QR(g)
+	// Multiply column j of Q by phase(R_jj) so the map is well defined.
+	for j := 0; j < n; j++ {
+		r := qr.R.At(j, j)
+		ar := cmplx.Abs(r)
+		var phase complex128 = 1
+		if ar > 0 {
+			phase = r / complex(ar, 0)
+		}
+		for i := 0; i < n; i++ {
+			qr.Q.Set(i, j, qr.Q.At(i, j)*phase)
+		}
+	}
+	return qr.Q
+}
+
+// RandomHermitian returns an n x n GUE-like random Hermitian matrix with
+// entries of standard-normal scale.
+func RandomHermitian(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, complex(rng.NormFloat64(), 0))
+		for j := i + 1; j < n; j++ {
+			x := complex(rng.NormFloat64(), rng.NormFloat64()) / complex(math.Sqrt2, 0)
+			m.Set(i, j, x)
+			m.Set(j, i, cmplx.Conj(x))
+		}
+	}
+	return m
+}
+
+// RandomDensityMatrix returns a random full-rank density matrix of
+// dimension n (Hilbert-Schmidt measure): G G† / Tr(G G†).
+func RandomDensityMatrix(rng *rand.Rand, n int) *Matrix {
+	g := NewMatrix(n, n)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	rho := g.Mul(g.Dagger())
+	tr := real(rho.Trace())
+	return rho.Scale(complex(1/tr, 0))
+}

@@ -1,0 +1,128 @@
+package qmath
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a linear system has a (numerically)
+// singular coefficient matrix.
+var ErrSingular = errors.New("qmath: singular matrix")
+
+// Solve solves A X = B for X using Gaussian elimination with partial
+// pivoting. A must be square; B may have any number of columns.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("qmath: Solve requires square A, got %dx%d", a.Rows, a.Cols)
+	}
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("qmath: Solve shape mismatch A %dx%d, B %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	x := b.Clone()
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := cmplx.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(lu.At(r, col)); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("pivot %d: %w", col, ErrSingular)
+		}
+		if pivot != col {
+			swapRows(lu, col, pivot)
+			swapRows(x, col, pivot)
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			luRow := lu.Row(r)
+			luCol := lu.Row(col)
+			for j := col; j < n; j++ {
+				luRow[j] -= f * luCol[j]
+			}
+			xRow := x.Row(r)
+			xCol := x.Row(col)
+			for j := range xRow {
+				xRow[j] -= f * xCol[j]
+			}
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		inv := 1 / lu.At(col, col)
+		xRow := x.Row(col)
+		for j := range xRow {
+			xRow[j] *= inv
+		}
+		for r := 0; r < col; r++ {
+			f := lu.At(r, col)
+			if f == 0 {
+				continue
+			}
+			dst := x.Row(r)
+			for j := range dst {
+				dst[j] -= f * xRow[j]
+			}
+		}
+	}
+	return x, nil
+}
+
+// SolveVec solves A x = b for a single right-hand side.
+func SolveVec(a *Matrix, b Vector) (Vector, error) {
+	bm := NewMatrix(len(b), 1)
+	for i, v := range b {
+		bm.Data[i] = v
+	}
+	xm, err := Solve(a, bm)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Vector, len(b))
+	copy(out, xm.Data)
+	return out, nil
+}
+
+// Inverse returns A^{-1} via Solve(A, I).
+func Inverse(a *Matrix) (*Matrix, error) {
+	return Solve(a, Identity(a.Rows))
+}
+
+// LeastSquares solves min ||A x - b||_2 via the normal equations with an
+// optional Tikhonov (ridge) regularizer lambda >= 0:
+//
+//	(A† A + lambda I) x = A† b.
+//
+// For the well-conditioned, small feature matrices used in this project
+// the normal equations are adequate; lambda > 0 also guarantees
+// solvability.
+func LeastSquares(a *Matrix, b Vector, lambda float64) (Vector, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("qmath: LeastSquares shape mismatch A %dx%d, b %d", a.Rows, a.Cols, len(b))
+	}
+	at := a.Dagger()
+	ata := at.Mul(a)
+	for i := 0; i < ata.Rows; i++ {
+		ata.Data[i*ata.Cols+i] += complex(lambda, 0)
+	}
+	atb := at.MulVec(b)
+	return SolveVec(ata, atb)
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for j := range ra {
+		ra[j], rb[j] = rb[j], ra[j]
+	}
+}

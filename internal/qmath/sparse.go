@@ -1,0 +1,130 @@
+package qmath
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Sparse is a compressed-sparse-row complex matrix, used for the very
+// sparse Hamiltonians and jump operators of the Lindblad integrator where
+// dense multiplication would dominate the runtime.
+type Sparse struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Vals       []complex128
+}
+
+// SparseFromDense compresses a dense matrix, dropping entries with
+// magnitude <= tol.
+func SparseFromDense(m *Matrix, tol float64) *Sparse {
+	s := &Sparse{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if cmplx.Abs(v) > tol {
+				s.ColIdx = append(s.ColIdx, j)
+				s.Vals = append(s.Vals, v)
+			}
+		}
+		s.RowPtr[i+1] = len(s.Vals)
+	}
+	return s
+}
+
+// NNZ returns the number of stored entries.
+func (s *Sparse) NNZ() int { return len(s.Vals) }
+
+// Dense expands the sparse matrix back to dense form.
+func (s *Sparse) Dense() *Matrix {
+	m := NewMatrix(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			m.Set(i, s.ColIdx[p], s.Vals[p])
+		}
+	}
+	return m
+}
+
+// Dagger returns the conjugate transpose as a new sparse matrix.
+func (s *Sparse) Dagger() *Sparse {
+	return SparseFromDense(s.Dense().Dagger(), 0)
+}
+
+// MulVec returns s * v.
+func (s *Sparse) MulVec(v Vector) Vector {
+	if s.Cols != len(v) {
+		panic(fmt.Sprintf("qmath: Sparse.MulVec shape mismatch %dx%d * %d", s.Rows, s.Cols, len(v)))
+	}
+	out := NewVector(s.Rows)
+	for i := 0; i < s.Rows; i++ {
+		var acc complex128
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			acc += s.Vals[p] * v[s.ColIdx[p]]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// MulDense returns s * d (sparse-left multiplication).
+func (s *Sparse) MulDense(d *Matrix) *Matrix {
+	if s.Cols != d.Rows {
+		panic(fmt.Sprintf("qmath: Sparse.MulDense shape mismatch %dx%d * %dx%d", s.Rows, s.Cols, d.Rows, d.Cols))
+	}
+	out := NewMatrix(s.Rows, d.Cols)
+	for i := 0; i < s.Rows; i++ {
+		outRow := out.Row(i)
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			v := s.Vals[p]
+			dRow := d.Row(s.ColIdx[p])
+			for j, x := range dRow {
+				outRow[j] += v * x
+			}
+		}
+	}
+	return out
+}
+
+// MulDenseLeft returns d * s (sparse-right multiplication).
+func (s *Sparse) MulDenseLeft(d *Matrix) *Matrix {
+	if d.Cols != s.Rows {
+		panic(fmt.Sprintf("qmath: Sparse.MulDenseLeft shape mismatch %dx%d * %dx%d", d.Rows, d.Cols, s.Rows, s.Cols))
+	}
+	out := NewMatrix(d.Rows, s.Cols)
+	for k := 0; k < s.Rows; k++ {
+		for p := s.RowPtr[k]; p < s.RowPtr[k+1]; p++ {
+			j := s.ColIdx[p]
+			v := s.Vals[p]
+			for i := 0; i < d.Rows; i++ {
+				out.Data[i*out.Cols+j] += d.Data[i*d.Cols+k] * v
+			}
+		}
+	}
+	return out
+}
+
+// AddSparse returns s + t as a new sparse matrix.
+func AddSparse(s, t *Sparse) *Sparse {
+	if s.Rows != t.Rows || s.Cols != t.Cols {
+		panic(fmt.Sprintf("qmath: AddSparse shape mismatch %dx%d + %dx%d", s.Rows, s.Cols, t.Rows, t.Cols))
+	}
+	d := s.Dense()
+	d.AddInPlace(t.Dense())
+	return SparseFromDense(d, 0)
+}
+
+// ScaleSparse returns c*s.
+func ScaleSparse(s *Sparse, c complex128) *Sparse {
+	out := &Sparse{
+		Rows:   s.Rows,
+		Cols:   s.Cols,
+		RowPtr: append([]int(nil), s.RowPtr...),
+		ColIdx: append([]int(nil), s.ColIdx...),
+		Vals:   make([]complex128, len(s.Vals)),
+	}
+	for i, v := range s.Vals {
+		out.Vals[i] = c * v
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package qmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomSparseDense(rng *rand.Rand, n int, density float64) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+			}
+		}
+	}
+	return m
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randomSparseDense(rng, 8, 0.3)
+	s := SparseFromDense(d, 0)
+	if !s.Dense().ApproxEqual(d, 0) {
+		t.Error("dense -> sparse -> dense changed the matrix")
+	}
+	if s.NNZ() == 0 {
+		t.Error("no entries stored")
+	}
+}
+
+func TestSparseMulMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSparseDense(rng, 7, 0.25)
+	b := randomSparseDense(rng, 7, 0.8)
+	s := SparseFromDense(a, 0)
+	if !s.MulDense(b).ApproxEqual(a.Mul(b), 1e-10) {
+		t.Error("MulDense disagrees with dense product")
+	}
+	if !s.MulDenseLeft(b).ApproxEqual(b.Mul(a), 1e-10) {
+		t.Error("MulDenseLeft disagrees with dense product")
+	}
+	v := RandomState(rng, 7)
+	if !s.MulVec(v).ApproxEqual(a.MulVec(v), 1e-10) {
+		t.Error("MulVec disagrees with dense product")
+	}
+}
+
+func TestSparseDagger(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSparseDense(rng, 6, 0.3)
+	s := SparseFromDense(a, 0)
+	if !s.Dagger().Dense().ApproxEqual(a.Dagger(), 1e-12) {
+		t.Error("sparse dagger wrong")
+	}
+}
+
+func TestSparseAddScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSparseDense(rng, 5, 0.3)
+	b := randomSparseDense(rng, 5, 0.3)
+	sa := SparseFromDense(a, 0)
+	sb := SparseFromDense(b, 0)
+	if !AddSparse(sa, sb).Dense().ApproxEqual(a.Add(b), 1e-12) {
+		t.Error("AddSparse wrong")
+	}
+	if !ScaleSparse(sa, 2i).Dense().ApproxEqual(a.Scale(2i), 1e-12) {
+		t.Error("ScaleSparse wrong")
+	}
+}

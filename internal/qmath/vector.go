@@ -1,0 +1,157 @@
+package qmath
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Vector is a dense complex column vector.
+type Vector []complex128
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector {
+	return make(Vector, n)
+}
+
+// BasisVector returns the computational basis vector |k> of length n.
+// It panics if k is out of range, which indicates a programmer error.
+func BasisVector(n, k int) Vector {
+	if k < 0 || k >= n {
+		panic(fmt.Sprintf("qmath: basis index %d out of range [0,%d)", k, n))
+	}
+	v := NewVector(n)
+	v[k] = 1
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w element-wise.
+func (v Vector) Add(w Vector) Vector {
+	checkSameLen("Add", v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w element-wise.
+func (v Vector) Sub(w Vector) Vector {
+	checkSameLen("Sub", v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns c*v.
+func (v Vector) Scale(c complex128) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = c * v[i]
+	}
+	return out
+}
+
+// AddScaledInPlace sets v += c*w in place.
+func (v Vector) AddScaledInPlace(c complex128, w Vector) {
+	checkSameLen("AddScaledInPlace", v, w)
+	for i := range v {
+		v[i] += c * w[i]
+	}
+}
+
+// Dot returns the Hermitian inner product <v|w> = sum conj(v_i) w_i.
+func (v Vector) Dot(w Vector) complex128 {
+	checkSameLen("Dot", v, w)
+	var s complex128
+	for i := range v {
+		s += cmplx.Conj(v[i]) * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit norm and returns the original norm.
+// A zero vector is left unchanged.
+func (v Vector) Normalize() float64 {
+	n := v.Norm()
+	if n == 0 {
+		return 0
+	}
+	inv := complex(1/n, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+	return n
+}
+
+// Probabilities returns |v_i|^2 for each amplitude.
+func (v Vector) Probabilities() []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = real(x)*real(x) + imag(x)*imag(x)
+	}
+	return out
+}
+
+// Outer returns the outer product |v><w| as a len(v) x len(w) matrix.
+func (v Vector) Outer(w Vector) *Matrix {
+	m := NewMatrix(len(v), len(w))
+	for i, vi := range v {
+		row := m.Row(i)
+		for j, wj := range w {
+			row[j] = vi * cmplx.Conj(wj)
+		}
+	}
+	return m
+}
+
+// ApproxEqual reports whether v and w agree element-wise within tol.
+func (v Vector) ApproxEqual(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if cmplx.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqualUpToPhase reports whether v equals w up to a global phase,
+// within tol on the residual norm.
+func (v Vector) ApproxEqualUpToPhase(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	ov := v.Dot(w)
+	if cmplx.Abs(ov) < tol {
+		return v.Norm() < tol && w.Norm() < tol
+	}
+	phase := ov / complex(cmplx.Abs(ov), 0)
+	return v.Scale(phase).ApproxEqual(w, tol)
+}
+
+func checkSameLen(op string, v, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("qmath: %s length mismatch %d vs %d", op, len(v), len(w)))
+	}
+}

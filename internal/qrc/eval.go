@@ -1,0 +1,158 @@
+package qrc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quditkit/internal/fit"
+)
+
+// FeatureProvider is anything that maps an input sequence to per-sample
+// feature vectors: the quantum reservoir, the classical ESN, or the
+// finite-shot wrapper.
+type FeatureProvider interface {
+	Run(inputs []float64) ([][]float64, error)
+}
+
+// TaskResult reports a train/test evaluation.
+type TaskResult struct {
+	TrainNMSE float64
+	TestNMSE  float64
+	Features  int
+}
+
+// EvaluateTask runs the provider on the inputs, discards a washout
+// prefix, fits a ridge readout on the first trainFrac of the remainder,
+// and scores NMSE on both splits. A constant bias feature is appended
+// automatically.
+func EvaluateTask(provider FeatureProvider, inputs, targets []float64, washout int, trainFrac, ridgeLambda float64) (*TaskResult, error) {
+	if len(inputs) != len(targets) {
+		return nil, fmt.Errorf("qrc: %d inputs vs %d targets", len(inputs), len(targets))
+	}
+	if washout < 0 || washout >= len(inputs)-4 {
+		return nil, fmt.Errorf("qrc: washout %d leaves no data", washout)
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, fmt.Errorf("qrc: train fraction %v", trainFrac)
+	}
+	feats, err := provider.Run(inputs)
+	if err != nil {
+		return nil, err
+	}
+	x := make([][]float64, 0, len(inputs)-washout)
+	y := make([]float64, 0, len(inputs)-washout)
+	for t := washout; t < len(inputs); t++ {
+		row := make([]float64, 0, len(feats[t])+1)
+		row = append(row, feats[t]...)
+		row = append(row, 1) // bias
+		x = append(x, row)
+		y = append(y, targets[t])
+	}
+	split := int(trainFrac * float64(len(x)))
+	if split < 2 || len(x)-split < 2 {
+		return nil, fmt.Errorf("qrc: split %d of %d leaves empty side", split, len(x))
+	}
+	w, err := fit.Ridge(x[:split], y[:split], ridgeLambda)
+	if err != nil {
+		return nil, fmt.Errorf("readout: %w", err)
+	}
+	trainPred := fit.Predict(x[:split], w)
+	testPred := fit.Predict(x[split:], w)
+	trainNMSE, err := fit.NMSE(trainPred, y[:split])
+	if err != nil {
+		return nil, err
+	}
+	testNMSE, err := fit.NMSE(testPred, y[split:])
+	if err != nil {
+		return nil, err
+	}
+	return &TaskResult{TrainNMSE: trainNMSE, TestNMSE: testNMSE, Features: len(x[0])}, nil
+}
+
+// ShotSampledProvider wraps a quantum reservoir and replaces its exact
+// Fock-population features with empirical frequencies estimated from a
+// finite number of measurement shots — the sampling overhead the paper
+// flags as the main challenge for real-time reservoir operation.
+type ShotSampledProvider struct {
+	Reservoir *Reservoir
+	Shots     int
+	Rng       *rand.Rand
+}
+
+// Run produces shot-sampled features: within each snapshot, the joint
+// Fock distribution is replaced by empirical frequencies from Shots
+// multinomial draws, and each quadrature tap gets Gaussian estimation
+// noise of scale 1/sqrt(Shots); the classically known raw-input entry is
+// left exact.
+func (s *ShotSampledProvider) Run(inputs []float64) ([][]float64, error) {
+	if s.Shots < 1 {
+		return nil, fmt.Errorf("qrc: shots=%d", s.Shots)
+	}
+	exact, err := s.Reservoir.Run(inputs)
+	if err != nil {
+		return nil, err
+	}
+	popLen := s.Reservoir.PopulationLen()
+	snapLen := s.Reservoir.SnapshotLen()
+	v := s.Reservoir.VirtualNodes()
+	sigma := 1 / math.Sqrt(float64(s.Shots))
+	out := make([][]float64, len(exact))
+	for t, row := range exact {
+		noisy := append([]float64(nil), row...)
+		for k := 0; k < v; k++ {
+			base := k * snapLen
+			s.samplePopulations(noisy[base : base+popLen])
+			for q := base + popLen; q < base+snapLen; q++ {
+				noisy[q] += sigma * s.Rng.NormFloat64()
+			}
+		}
+		out[t] = noisy
+	}
+	return out, nil
+}
+
+// samplePopulations replaces a probability block with multinomial
+// empirical frequencies in place.
+func (s *ShotSampledProvider) samplePopulations(probs []float64) {
+	var total float64
+	for _, p := range probs {
+		if p > 0 {
+			total += p
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	cdf := make([]float64, len(probs))
+	acc := 0.0
+	for i, p := range probs {
+		if p > 0 {
+			acc += p / total
+		}
+		cdf[i] = acc
+	}
+	counts := make([]float64, len(probs))
+	for shot := 0; shot < s.Shots; shot++ {
+		r := s.Rng.Float64()
+		lo, hi := 0, len(cdf)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		counts[lo]++
+	}
+	for i := range probs {
+		probs[i] = counts[i] / float64(s.Shots)
+	}
+}
+
+var (
+	_ FeatureProvider = (*Reservoir)(nil)
+	_ FeatureProvider = (*ESN)(nil)
+	_ FeatureProvider = (*ShotSampledProvider)(nil)
+)

@@ -1,0 +1,12 @@
+package qrc
+
+import (
+	"math/rand"
+
+	"quditkit/internal/qmath"
+)
+
+// randomHermitianForTest returns a random Hermitian matrix via qmath.
+func randomHermitianForTest(rng *rand.Rand, d int) *qmath.Matrix {
+	return qmath.RandomHermitian(rng, d)
+}

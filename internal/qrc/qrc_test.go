@@ -1,0 +1,386 @@
+package qrc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(ReservoirParams{Modes: 0}); err == nil {
+		t.Error("zero modes accepted")
+	}
+	p := DefaultParams(4)
+	p.Omega = []float64{1}
+	if _, err := NewReservoir(p); err == nil {
+		t.Error("omega length mismatch accepted")
+	}
+	p = DefaultParams(4)
+	p.StepTime = 0
+	if _, err := NewReservoir(p); err == nil {
+		t.Error("zero step time accepted")
+	}
+}
+
+func TestReservoirVacuumAndDrive(t *testing.T) {
+	r, err := NewReservoir(DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.Features()
+	if math.Abs(f[0]-1) > 1e-10 {
+		t.Errorf("vacuum population = %v", f[0])
+	}
+	// Feed a nonzero input: photons appear in both modes via the
+	// exchange coupling.
+	for i := 0; i < 3; i++ {
+		if err := r.Feed(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	photons := r.MeanPhotons()
+	if photons[0] < 1e-3 {
+		t.Errorf("driven mode photons = %v", photons[0])
+	}
+	if photons[1] < 1e-4 {
+		t.Errorf("coupled mode did not populate: %v", photons[1])
+	}
+	// Feature normalization: probabilities sum to ~1.
+	var sum float64
+	for _, p := range r.Features() {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("feature sum = %v", sum)
+	}
+}
+
+func TestReservoirFadingMemory(t *testing.T) {
+	// With dissipation and no input, the reservoir relaxes to vacuum:
+	// the echo-state (fading memory) property.
+	r, err := NewReservoir(DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Feed(1.0); err != nil {
+		t.Fatal(err)
+	}
+	after := r.MeanPhotons()[0]
+	for i := 0; i < 40; i++ {
+		if err := r.Feed(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := r.MeanPhotons()[0]
+	if final > after/4 {
+		t.Errorf("memory did not fade: %v -> %v", after, final)
+	}
+}
+
+func TestReservoirTruncationHealthy(t *testing.T) {
+	r, err := NewReservoir(DefaultParams(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		if err := r.Feed(0.5 * rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if top := r.TopOccupation(); top > 0.02 {
+		t.Errorf("truncation unhealthy: top-level occupation %v", top)
+	}
+}
+
+func TestNARMA2Properties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u, y := NARMA2(rng, 200)
+	if len(u) != 200 || len(y) != 200 {
+		t.Fatal("wrong lengths")
+	}
+	for _, v := range u {
+		if v < 0 || v > 0.5 {
+			t.Fatalf("input out of range: %v", v)
+		}
+	}
+	// The target depends on history: it must not be constant.
+	varsum := 0.0
+	for i := 10; i < len(y); i++ {
+		varsum += math.Abs(y[i] - y[i-1])
+	}
+	if varsum < 0.1 {
+		t.Error("NARMA2 target is flat")
+	}
+}
+
+func TestMackeyGlass(t *testing.T) {
+	xs, err := MackeyGlass(300, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 300 {
+		t.Fatalf("len = %d", len(xs))
+	}
+	lo, hi := 1.0, 0.0
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo < -1e-9 || hi > 1+1e-9 || hi-lo < 0.5 {
+		t.Errorf("range [%v, %v] not rescaled/chaotic", lo, hi)
+	}
+	if _, err := MackeyGlass(1, 17); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestESNEchoState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e, err := NewESN(rng, 30, 0.9, 0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same input from different initial conditions converges (echo state).
+	inputs := make([]float64, 80)
+	for i := range inputs {
+		inputs[i] = rng.Float64()
+	}
+	s1, err := e.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run again but with a perturbed start: manually set state, feed.
+	e.Reset()
+	for i := range e.x {
+		e.x[i] = 0.5
+	}
+	var s2 [][]float64
+	for _, u := range inputs {
+		nx := make([]float64, e.n)
+		for i := 0; i < e.n; i++ {
+			s := e.wIn[i] * u
+			for j, xj := range e.x {
+				s += e.w[i][j] * xj
+			}
+			nx[i] = math.Tanh(s)
+		}
+		e.x = nx
+		snap := make([]float64, e.n)
+		copy(snap, nx)
+		s2 = append(s2, snap)
+	}
+	var diff float64
+	last := len(inputs) - 1
+	for i := range s1[last] {
+		diff += math.Abs(s1[last][i] - s2[last][i])
+	}
+	if diff > 1e-3 {
+		t.Errorf("echo state property violated: final diff %v", diff)
+	}
+}
+
+func TestESNValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewESN(rng, 0, 0.9, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewESN(rng, 10, 2.0, 1, 1); err == nil {
+		t.Error("rho=2 accepted")
+	}
+}
+
+func TestQuantumReservoirLearnsNARMA2(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	u, y := NARMA2(rng, 120)
+	r, err := NewReservoir(DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateTask(r, u, y, 10, 0.7, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestNMSE > 0.3 {
+		t.Errorf("QRC NARMA2 test NMSE = %v, expected < 0.3", res.TestNMSE)
+	}
+	// 4 virtual nodes x (16 populations + 6 quadrature taps) + input + bias.
+	if res.Features != 4*(16+6)+2 {
+		t.Errorf("features = %d, want %d", res.Features, 4*(16+6)+2)
+	}
+}
+
+func TestESNLearnsNARMA2(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	u, y := NARMA2(rng, 200)
+	e, err := NewESN(rng, 40, 0.9, 0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateTask(e, u, y, 20, 0.7, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestNMSE > 0.5 {
+		t.Errorf("ESN NARMA2 test NMSE = %v", res.TestNMSE)
+	}
+}
+
+func TestEvaluateTaskValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e, _ := NewESN(rng, 5, 0.9, 1, 1)
+	if _, err := EvaluateTask(e, []float64{1}, []float64{1, 2}, 0, 0.5, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	u := make([]float64, 30)
+	if _, err := EvaluateTask(e, u, u, 29, 0.5, 0); err == nil {
+		t.Error("excessive washout accepted")
+	}
+	if _, err := EvaluateTask(e, u, u, 0, 1.5, 0); err == nil {
+		t.Error("bad train fraction accepted")
+	}
+}
+
+func TestShotSamplingDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	u, y := NARMA2(rng, 100)
+	base := DefaultParams(4)
+	r, err := NewReservoir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := EvaluateTask(r, u, y, 10, 0.7, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReservoir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few := &ShotSampledProvider{Reservoir: r2, Shots: 16, Rng: rand.New(rand.NewSource(18))}
+	noisy, err := EvaluateTask(few, u, y, 10, 0.7, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.TestNMSE <= exact.TestNMSE {
+		t.Errorf("16-shot NMSE %v not worse than exact %v", noisy.TestNMSE, exact.TestNMSE)
+	}
+	r3, err := NewReservoir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := &ShotSampledProvider{Reservoir: r3, Shots: 4096, Rng: rand.New(rand.NewSource(19))}
+	fine, err := EvaluateTask(many, u, y, 10, 0.7, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.TestNMSE >= noisy.TestNMSE {
+		t.Errorf("4096-shot NMSE %v not better than 16-shot %v", fine.TestNMSE, noisy.TestNMSE)
+	}
+}
+
+func TestWaveformClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sine := Waveform(rng, WaveSine, 64, 1, 0)
+	square := Waveform(rng, WaveSquare, 64, 1, 0)
+	// A square wave only takes values ±1; a sine covers the range.
+	for _, v := range square {
+		if math.Abs(math.Abs(v)-1) > 1e-9 {
+			t.Fatalf("square value %v", v)
+		}
+	}
+	mid := 0
+	for _, v := range sine {
+		if math.Abs(v) < 0.5 {
+			mid++
+		}
+	}
+	if mid == 0 {
+		t.Error("sine has no intermediate values")
+	}
+}
+
+func TestTomographyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	opts := TomographyOptions{Dim: 4, TrainStates: 80, ProbeCount: 40}
+	fid, err := EvaluateTomography(rng, opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid < 0.95 {
+		t.Errorf("mean tomography fidelity = %v, expected >= 0.95", fid)
+	}
+}
+
+func TestTomographyFidelityGrowsWithTraining(t *testing.T) {
+	fidSmall, err := EvaluateTomography(rand.New(rand.NewSource(29)),
+		TomographyOptions{Dim: 3, TrainStates: 10, ProbeCount: 20}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fidLarge, err := EvaluateTomography(rand.New(rand.NewSource(29)),
+		TomographyOptions{Dim: 3, TrainStates: 120, ProbeCount: 20}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fidLarge <= fidSmall-0.02 {
+		t.Errorf("fidelity did not grow with training: %v -> %v", fidSmall, fidLarge)
+	}
+	if fidLarge < 0.9 {
+		t.Errorf("well-trained fidelity = %v", fidLarge)
+	}
+}
+
+func TestTomographyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := TrainTomography(rng, TomographyOptions{Dim: 1}); err == nil {
+		t.Error("dim=1 accepted")
+	}
+	model, err := TrainTomography(rng, TomographyOptions{Dim: 3, TrainStates: 30, ProbeCount: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Reconstruct([]float64{1, 2}); err == nil {
+		t.Error("wrong feature count accepted")
+	}
+}
+
+func TestStateParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := 4
+	rho := randomHermitianForTest(rng, d)
+	params := stateParams(rho)
+	if len(params) != paramCount(d) {
+		t.Fatalf("param count = %d", len(params))
+	}
+	back := paramsToMatrix(d, params)
+	if !back.ApproxEqual(rho, 1e-12) {
+		t.Error("params round trip failed")
+	}
+}
+
+func TestClassifyWaveformsCleanSignals(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	acc, err := ClassifyWaveforms(rng, ClassifyOptions{
+		Dim:       4,
+		PerClass:  12,
+		Amplitude: 1.0,
+		NoiseStd:  0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("clean-signal accuracy = %v, expected >= 0.85", acc)
+	}
+}
+
+func TestClassifyWaveformsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ClassifyWaveforms(rng, ClassifyOptions{Dim: 1, PerClass: 12}); err == nil {
+		t.Error("dim=1 accepted")
+	}
+	if _, err := ClassifyWaveforms(rng, ClassifyOptions{Dim: 4, PerClass: 2}); err == nil {
+		t.Error("2 per class accepted")
+	}
+}

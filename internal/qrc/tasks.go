@@ -1,0 +1,134 @@
+package qrc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NARMA2 generates the second-order nonlinear autoregressive moving
+// average benchmark: inputs u ~ U[0, 0.5] and targets
+//
+//	y(t+1) = 0.4 y(t) + 0.4 y(t) y(t-1) + 0.6 u(t)^3 + 0.1.
+//
+// It returns aligned (inputs, targets) of the given length.
+func NARMA2(rng *rand.Rand, n int) ([]float64, []float64) {
+	u := make([]float64, n)
+	y := make([]float64, n)
+	for t := 0; t < n; t++ {
+		u[t] = 0.5 * rng.Float64()
+	}
+	for t := 1; t < n-1; t++ {
+		y[t+1] = 0.4*y[t] + 0.4*y[t]*y[t-1] + 0.6*u[t]*u[t]*u[t] + 0.1
+	}
+	return u, y
+}
+
+// NARMA10 generates the canonical tenth-order NARMA benchmark.
+func NARMA10(rng *rand.Rand, n int) ([]float64, []float64) {
+	u := make([]float64, n)
+	y := make([]float64, n)
+	for t := 0; t < n; t++ {
+		u[t] = 0.5 * rng.Float64()
+	}
+	for t := 9; t < n-1; t++ {
+		var sum float64
+		for k := 0; k < 10; k++ {
+			sum += y[t-k]
+		}
+		y[t+1] = 0.3*y[t] + 0.05*y[t]*sum + 1.5*u[t]*u[t-9] + 0.1
+	}
+	return u, y
+}
+
+// MackeyGlass integrates the Mackey-Glass delay differential equation
+//
+//	dx/dt = beta x(t-tau) / (1 + x(t-tau)^n) - gamma x(t)
+//
+// with the chaotic standard parameters (beta=0.2, gamma=0.1, n=10,
+// tau=17) and returns a series sampled at unit intervals, rescaled to
+// [0, 1].
+func MackeyGlass(n int, tau float64) ([]float64, error) {
+	if n < 2 || tau <= 0 {
+		return nil, fmt.Errorf("qrc: bad Mackey-Glass parameters n=%d tau=%v", n, tau)
+	}
+	const (
+		beta  = 0.2
+		gamma = 0.1
+		power = 10.0
+		dt    = 0.1
+	)
+	delaySteps := int(tau / dt)
+	total := n*10 + delaySteps + 100
+	x := make([]float64, total)
+	for i := 0; i <= delaySteps; i++ {
+		x[i] = 1.2
+	}
+	deriv := func(cur, delayed float64) float64 {
+		return beta*delayed/(1+math.Pow(delayed, power)) - gamma*cur
+	}
+	for t := delaySteps; t < total-1; t++ {
+		// RK4 with linear interpolation on the delayed value (adequate at
+		// this step size).
+		xd := x[t-delaySteps]
+		k1 := deriv(x[t], xd)
+		k2 := deriv(x[t]+dt/2*k1, xd)
+		k3 := deriv(x[t]+dt/2*k2, xd)
+		k4 := deriv(x[t]+dt*k3, xd)
+		x[t+1] = x[t] + dt/6*(k1+2*k2+2*k3+k4)
+	}
+	// Sample every 10 steps after the transient, rescale to [0, 1].
+	out := make([]float64, n)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		v := x[delaySteps+100+i*10]
+		out[i] = v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > lo {
+		for i := range out {
+			out[i] = (out[i] - lo) / (hi - lo)
+		}
+	}
+	return out, nil
+}
+
+// WaveformClass identifies a generated waveform type.
+type WaveformClass int
+
+const (
+	// WaveSine is a sinusoid.
+	WaveSine WaveformClass = iota + 1
+	// WaveSquare is a square wave.
+	WaveSquare
+)
+
+// Waveform generates one period-pi waveform of the given class with n
+// samples and amplitude amp, plus additive Gaussian noise sigma — the
+// microwave-classification workload of the analog QRC experiment
+// (few-photon signals embedded in noise).
+func Waveform(rng *rand.Rand, class WaveformClass, n int, amp, sigma float64) []float64 {
+	out := make([]float64, n)
+	phase := 2 * math.Pi * rng.Float64()
+	freq := 2 * math.Pi / float64(n) * 3
+	for t := range out {
+		var v float64
+		switch class {
+		case WaveSquare:
+			if math.Sin(freq*float64(t)+phase) >= 0 {
+				v = 1
+			} else {
+				v = -1
+			}
+		default:
+			v = math.Sin(freq*float64(t) + phase)
+		}
+		out[t] = amp*v + sigma*rng.NormFloat64()
+	}
+	return out
+}

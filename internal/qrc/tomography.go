@@ -1,0 +1,249 @@
+package qrc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quditkit/internal/fit"
+	"quditkit/internal/gates"
+	"quditkit/internal/qmath"
+)
+
+// TomographyOptions configures the reservoir-processing state tomography
+// of Krisnanda et al.: calibrated displacements followed by transmon
+// parity measurements produce features from which a trained linear map
+// reconstructs unknown cavity states, with a physicality projection
+// replacing the reference's Bayesian step.
+type TomographyOptions struct {
+	// Dim is the cavity truncation (the reconstructed density matrix is
+	// Dim x Dim).
+	Dim int
+	// WorkDim is the Fock truncation in which displacements act. It must
+	// exceed Dim: in truncated space the displaced-parity observables
+	// restricted to Dim levels span the full d^2-dimensional Hermitian
+	// space only when the displacement can explore levels above the
+	// logical subspace, exactly as on hardware. Zero selects 3*Dim.
+	WorkDim int
+	// ProbeCount is the number of displacement probes. Zero selects
+	// 2*Dim^2 (twice the parameter count, comfortably overdetermined).
+	ProbeCount int
+	// TrainStates is the number of random calibration states. Zero
+	// selects 4*Dim^2.
+	TrainStates int
+	// MaxAlpha scales the probe displacement magnitudes. Zero selects 1.2.
+	MaxAlpha float64
+	// RidgeLambda regularizes the readout. Zero selects 1e-6.
+	RidgeLambda float64
+}
+
+func (o TomographyOptions) withDefaults() TomographyOptions {
+	if o.WorkDim == 0 {
+		o.WorkDim = 3 * o.Dim
+	}
+	if o.ProbeCount == 0 {
+		o.ProbeCount = 2 * o.Dim * o.Dim
+	}
+	if o.TrainStates == 0 {
+		o.TrainStates = 4 * o.Dim * o.Dim
+	}
+	if o.MaxAlpha == 0 {
+		o.MaxAlpha = 1.2
+	}
+	if o.RidgeLambda == 0 {
+		o.RidgeLambda = 1e-6
+	}
+	return o
+}
+
+// TomographyModel is a trained reservoir-tomography readout.
+type TomographyModel struct {
+	dim     int
+	workDim int
+	probes  []*qmath.Matrix // displacement unitaries on the working space
+	parity  *qmath.Matrix   // parity on the working space
+	weights [][]float64     // one readout vector per density-matrix parameter
+}
+
+// paramCount returns the number of real parameters of a d x d Hermitian
+// unit-trace matrix (we learn all d^2 and project afterwards).
+func paramCount(d int) int { return d * d }
+
+// stateParams flattens a Hermitian matrix to real parameters: the
+// diagonal, then (real, imag) of the upper triangle.
+func stateParams(rho *qmath.Matrix) []float64 {
+	d := rho.Rows
+	out := make([]float64, 0, paramCount(d))
+	for i := 0; i < d; i++ {
+		out = append(out, real(rho.At(i, i)))
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			out = append(out, real(rho.At(i, j)), imag(rho.At(i, j)))
+		}
+	}
+	return out
+}
+
+// paramsToMatrix inverts stateParams.
+func paramsToMatrix(d int, p []float64) *qmath.Matrix {
+	m := qmath.NewMatrix(d, d)
+	idx := 0
+	for i := 0; i < d; i++ {
+		m.Set(i, i, complex(p[idx], 0))
+		idx++
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			v := complex(p[idx], p[idx+1])
+			idx += 2
+			m.Set(i, j, v)
+			m.Set(j, i, complex(real(v), -imag(v)))
+		}
+	}
+	return m
+}
+
+// TrainTomography calibrates the reservoir readout on random known
+// states.
+func TrainTomography(rng *rand.Rand, opts TomographyOptions) (*TomographyModel, error) {
+	if opts.Dim < 2 {
+		return nil, fmt.Errorf("qrc: tomography dim %d", opts.Dim)
+	}
+	opts = opts.withDefaults()
+	if opts.WorkDim <= opts.Dim {
+		return nil, fmt.Errorf("qrc: work dim %d must exceed dim %d", opts.WorkDim, opts.Dim)
+	}
+	d := opts.Dim
+	model := &TomographyModel{
+		dim:     d,
+		workDim: opts.WorkDim,
+		parity:  gates.FockParity(opts.WorkDim),
+	}
+	for k := 0; k < opts.ProbeCount; k++ {
+		r := opts.MaxAlpha * math.Sqrt(rng.Float64())
+		th := 2 * math.Pi * rng.Float64()
+		alpha := complex(r*math.Cos(th), r*math.Sin(th))
+		model.probes = append(model.probes, gates.Displacement(opts.WorkDim, alpha).Matrix)
+	}
+
+	nParams := paramCount(d)
+	x := make([][]float64, 0, opts.TrainStates)
+	ys := make([][]float64, nParams)
+	for i := range ys {
+		ys[i] = make([]float64, 0, opts.TrainStates)
+	}
+	for s := 0; s < opts.TrainStates; s++ {
+		var rho *qmath.Matrix
+		if s%2 == 0 {
+			rho = qmath.RandomDensityMatrix(rng, d)
+		} else {
+			psi := qmath.RandomState(rng, d)
+			rho = psi.Outer(psi)
+		}
+		x = append(x, model.Features(rho))
+		for i, v := range stateParams(rho) {
+			ys[i] = append(ys[i], v)
+		}
+	}
+	// Append bias column.
+	for i := range x {
+		x[i] = append(x[i], 1)
+	}
+	model.weights = make([][]float64, nParams)
+	for i := 0; i < nParams; i++ {
+		w, err := fit.Ridge(x, ys[i], opts.RidgeLambda)
+		if err != nil {
+			return nil, fmt.Errorf("readout %d: %w", i, err)
+		}
+		model.weights[i] = w
+	}
+	return model, nil
+}
+
+// Features returns the displaced-parity feature vector of a state:
+// f_k = Tr(D_k rho D_k† P), the Wigner-style observable the transmon
+// measures after each calibrated displacement. The logical state is
+// embedded into the working space before displacing, as on hardware.
+func (m *TomographyModel) Features(rho *qmath.Matrix) []float64 {
+	emb := qmath.NewMatrix(m.workDim, m.workDim)
+	for i := 0; i < m.dim; i++ {
+		for j := 0; j < m.dim; j++ {
+			emb.Set(i, j, rho.At(i, j))
+		}
+	}
+	out := make([]float64, len(m.probes))
+	for k, dk := range m.probes {
+		shifted := dk.Mul(emb).Mul(dk.Dagger())
+		out[k] = real(shifted.Mul(m.parity).Trace())
+	}
+	return out
+}
+
+// Reconstruct estimates the density matrix of an unknown state from its
+// features: linear readout, then projection onto the physical set
+// (Hermitization, eigenvalue clipping, trace renormalization).
+func (m *TomographyModel) Reconstruct(features []float64) (*qmath.Matrix, error) {
+	if len(features) != len(m.probes) {
+		return nil, fmt.Errorf("qrc: %d features for %d probes", len(features), len(m.probes))
+	}
+	row := append(append([]float64(nil), features...), 1)
+	params := make([]float64, len(m.weights))
+	for i, w := range m.weights {
+		var s float64
+		for j, v := range row {
+			s += v * w[j]
+		}
+		params[i] = s
+	}
+	raw := paramsToMatrix(m.dim, params)
+	// Physicality projection: clip negative eigenvalues, renormalize.
+	eig, err := qmath.EigHermitian(raw)
+	if err != nil {
+		return nil, fmt.Errorf("projection: %w", err)
+	}
+	var total float64
+	clipped := make([]float64, len(eig.Values))
+	for i, v := range eig.Values {
+		if v > 0 {
+			clipped[i] = v
+			total += v
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("qrc: reconstruction collapsed to zero")
+	}
+	dvals := make([]complex128, len(clipped))
+	for i, v := range clipped {
+		dvals[i] = complex(v/total, 0)
+	}
+	return eig.Vectors.Mul(qmath.Diag(dvals)).Mul(eig.Vectors.Dagger()), nil
+}
+
+// ReconstructState runs the full pipeline on an unknown state.
+func (m *TomographyModel) ReconstructState(rho *qmath.Matrix) (*qmath.Matrix, error) {
+	return m.Reconstruct(m.Features(rho))
+}
+
+// EvaluateTomography trains a model and scores the mean reconstruction
+// fidelity <psi| rho_est |psi> over random pure test states.
+func EvaluateTomography(rng *rand.Rand, opts TomographyOptions, testStates int) (float64, error) {
+	model, err := TrainTomography(rng, opts)
+	if err != nil {
+		return 0, err
+	}
+	if testStates < 1 {
+		return 0, fmt.Errorf("qrc: testStates=%d", testStates)
+	}
+	var sum float64
+	for s := 0; s < testStates; s++ {
+		psi := qmath.RandomState(rng, opts.Dim)
+		rho := psi.Outer(psi)
+		est, err := model.ReconstructState(rho)
+		if err != nil {
+			return 0, err
+		}
+		sum += real(psi.Dot(est.MulVec(psi)))
+	}
+	return sum / float64(testStates), nil
+}

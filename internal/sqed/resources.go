@@ -1,0 +1,75 @@
+package sqed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quditkit/internal/arch"
+	"quditkit/internal/cavity"
+	"quditkit/internal/synth"
+)
+
+// ResourceEstimate is the implementation estimate of a rotor simulation on
+// the forecast cavity processor — the content of Table I, row 1.
+type ResourceEstimate struct {
+	Sites          int
+	LocalDim       int
+	Bonds          int
+	TrotterSteps   int
+	SNAPGates      int
+	EntanglingOps  int
+	SwapsInserted  int
+	CircuitDepth   int
+	DurationSec    float64
+	FidelityBudget float64
+	CSUMPlan       *synth.CSUMPlan
+}
+
+// EstimateResources maps one Trotterized rotor evolution onto the given
+// device: noise-aware placement of sites onto modes, swap routing of the
+// bond gates, and the serial duration / coherence fidelity budget. The
+// CSUM plan records the cost of the underlying entangler at this local
+// dimension (co-located, cross-Kerr route).
+func (r *Rotor) EstimateResources(rng *rand.Rand, dev arch.Device, steps int) (*ResourceEstimate, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("%w: steps=%d", ErrBadModel, steps)
+	}
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	// Interaction graph weights: one hop gate per bond per step.
+	edges := make([]arch.InteractionEdge, 0, len(r.Edges))
+	for _, e := range r.Edges {
+		edges = append(edges, arch.InteractionEdge{U: e.A, V: e.B, Weight: float64(steps)})
+	}
+	mapping, err := arch.MapNoiseAware(rng, dev, r.NumSites, edges, arch.MappingOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("mapping: %w", err)
+	}
+	// Use a small symbolic dt; resource counts do not depend on it.
+	c, err := r.TrotterCircuit(0.1, steps)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := arch.RoutePlan(dev, c, mapping)
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	plan, err := synth.PlanCSUM(dev.Cavities[0], r.LocalDim(), cavity.RouteCrossKerr, true)
+	if err != nil {
+		return nil, fmt.Errorf("csum plan: %w", err)
+	}
+	return &ResourceEstimate{
+		Sites:          r.NumSites,
+		LocalDim:       r.LocalDim(),
+		Bonds:          len(r.Edges),
+		TrotterSteps:   steps,
+		SNAPGates:      rep.OneQuditGates,
+		EntanglingOps:  rep.TwoQuditGates,
+		SwapsInserted:  rep.SwapsInserted,
+		CircuitDepth:   rep.DepthAfter,
+		DurationSec:    rep.DurationSec,
+		FidelityBudget: rep.FidelityEstimate,
+		CSUMPlan:       plan,
+	}, nil
+}

@@ -1,0 +1,215 @@
+package sqed
+
+import (
+	"fmt"
+	"math"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/qmath"
+)
+
+// TrotterCircuit builds the first-order Trotter circuit for evolution by
+// time dt*steps in the NATIVE qudit encoding: per step, one SNAP-class
+// diagonal gate per site (electric term) and one two-qudit hopping gate
+// per bond — the CSUM-class entangler the paper's challenge section is
+// about.
+func (r *Rotor) TrotterCircuit(dt float64, steps int) (*circuit.Circuit, error) {
+	if steps < 1 || dt == 0 {
+		return nil, fmt.Errorf("%w: dt=%v steps=%d", ErrBadModel, dt, steps)
+	}
+	c, err := circuit.New(r.Dims())
+	if err != nil {
+		return nil, err
+	}
+	d := r.LocalDim()
+	// Electric: exp(-i dt g^2/2 m^2) per site, a SNAP gate.
+	phases := make([]float64, d)
+	for k := 0; k < d; k++ {
+		m := float64(k - r.Ell)
+		phases[k] = -dt * r.G2 / 2 * m * m
+	}
+	elec := gates.DiagonalPhases("E-step", phases)
+
+	// Hopping: exp(-i dt h_bond) per bond.
+	hb := r.HopBond()
+	uhop, err := qmath.ExpHermitian(hb, complex(0, -dt))
+	if err != nil {
+		return nil, fmt.Errorf("hop exponential: %w", err)
+	}
+	hop, err := gates.FromMatrix("HOP", []int{d, d}, uhop)
+	if err != nil {
+		return nil, fmt.Errorf("hop gate: %w", err)
+	}
+
+	step, err := circuit.New(r.Dims())
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < r.NumSites; s++ {
+		if err := step.Append(elec, s); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range r.Edges {
+		if err := step.Append(hop, e.A, e.B); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Compose(step.Repeat(steps)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// QubitsPerSite returns ceil(log2 d), the binary register width per site.
+func (r *Rotor) QubitsPerSite() int {
+	d := r.LocalDim()
+	nq := 0
+	for (1 << nq) < d {
+		nq++
+	}
+	return nq
+}
+
+// QubitDims returns the register dimensions of the binary encoding.
+func (r *Rotor) QubitDims() hilbert.Dims {
+	return hilbert.Uniform(r.NumSites*r.QubitsPerSite(), 2)
+}
+
+// embedPadded lifts a logical operator (d x d for one site, d^2 x d^2 for
+// a bond) into the qubit register space (2^nq per site), acting as the
+// identity on the unused padding basis states. Logical basis state m maps
+// to computational state m; for a bond, (a, b) maps to a*2^nq + b.
+func embedPadded(op *qmath.Matrix, d, nq int) *qmath.Matrix {
+	full := 1 << nq
+	twoSite := op.Rows == d*d
+	dim := full
+	if twoSite {
+		dim = full * full
+	}
+	// logicalToPhysical maps logical index -> physical basis index; nil
+	// signals a padding state.
+	var logToPhys []int
+	if twoSite {
+		logToPhys = make([]int, d*d)
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				logToPhys[a*d+b] = a*full + b
+			}
+		}
+	} else {
+		logToPhys = make([]int, d)
+		for m := 0; m < d; m++ {
+			logToPhys[m] = m
+		}
+	}
+	isLogical := make([]bool, dim)
+	for _, p := range logToPhys {
+		isLogical[p] = true
+	}
+	out := qmath.NewMatrix(dim, dim)
+	for p := 0; p < dim; p++ {
+		if !isLogical[p] {
+			out.Set(p, p, 1)
+		}
+	}
+	for li, pi := range logToPhys {
+		for lj, pj := range logToPhys {
+			out.Set(pi, pj, op.At(li, lj))
+		}
+	}
+	return out
+}
+
+// QubitTrotterCircuit builds the same first-order Trotter evolution in the
+// BINARY qubit encoding: each site's d levels live in ceil(log2 d) qubits,
+// each logical gate is the padded embedding of the native gate, and the
+// circuit acts on qubit wires. Gate-model hardware must further compile
+// each logical gate to CNOTs; see QubitGateCosts for the accounting.
+func (r *Rotor) QubitTrotterCircuit(dt float64, steps int) (*circuit.Circuit, error) {
+	if steps < 1 || dt == 0 {
+		return nil, fmt.Errorf("%w: dt=%v steps=%d", ErrBadModel, dt, steps)
+	}
+	d := r.LocalDim()
+	nq := r.QubitsPerSite()
+	c, err := circuit.New(r.QubitDims())
+	if err != nil {
+		return nil, err
+	}
+
+	// Electric term embedded on one site's qubits.
+	diag := qmath.NewMatrix(d, d)
+	for k := 0; k < d; k++ {
+		m := float64(k - r.Ell)
+		phi := -dt * r.G2 / 2 * m * m
+		diag.Set(k, k, complex(math.Cos(phi), math.Sin(phi)))
+	}
+	elecPadded := embedPadded(diag, d, nq)
+	elecDims := make([]int, nq)
+	for i := range elecDims {
+		elecDims[i] = 2
+	}
+	elec, err := gates.FromMatrix("E-step/q", elecDims, elecPadded)
+	if err != nil {
+		return nil, fmt.Errorf("padded electric gate: %w", err)
+	}
+
+	hb := r.HopBond()
+	uhop, err := qmath.ExpHermitian(hb, complex(0, -dt))
+	if err != nil {
+		return nil, fmt.Errorf("hop exponential: %w", err)
+	}
+	hopPadded := embedPadded(uhop, d, nq)
+	hopDims := make([]int, 2*nq)
+	for i := range hopDims {
+		hopDims[i] = 2
+	}
+	hop, err := gates.FromMatrix("HOP/q", hopDims, hopPadded)
+	if err != nil {
+		return nil, fmt.Errorf("padded hop gate: %w", err)
+	}
+
+	siteWires := func(s int) []int {
+		ws := make([]int, nq)
+		for i := range ws {
+			ws[i] = s*nq + i
+		}
+		return ws
+	}
+
+	step, err := circuit.New(r.QubitDims())
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < r.NumSites; s++ {
+		if err := step.Append(elec, siteWires(s)...); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range r.Edges {
+		ws := append(siteWires(e.A), siteWires(e.B)...)
+		if err := step.Append(hop, ws...); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Compose(step.Repeat(steps)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ExactEvolution returns exp(-i H t)|psi0> from dense diagonalization, the
+// reference against which Trotterized evolution is scored.
+func (r *Rotor) ExactEvolution(psi0 qmath.Vector, t float64) (qmath.Vector, error) {
+	h, err := r.Hamiltonian()
+	if err != nil {
+		return nil, err
+	}
+	u, err := qmath.ExpHermitian(h, complex(0, -t))
+	if err != nil {
+		return nil, err
+	}
+	return u.MulVec(psi0), nil
+}

@@ -1,0 +1,136 @@
+package state
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/qmath"
+)
+
+func TestNewZeroRejectsHugeRegister(t *testing.T) {
+	// 30 qutrits exceed the simulable amplitude limit.
+	if _, err := NewZero(hilbert.Uniform(30, 3)); err == nil {
+		t.Error("oversized register accepted")
+	}
+}
+
+func TestFromAmplitudesValidation(t *testing.T) {
+	if _, err := FromAmplitudes(hilbert.Dims{2}, qmath.Vector{1, 0, 0}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := FromAmplitudes(hilbert.Dims{2}, qmath.Vector{0, 0}); err == nil {
+		t.Error("zero vector accepted")
+	}
+}
+
+func TestApplyMatrixShapeError(t *testing.T) {
+	v, _ := NewZero(hilbert.Dims{3})
+	if err := v.ApplyMatrix(qmath.Identity(2), []int{0}); err == nil {
+		t.Error("wrong-dim matrix accepted")
+	}
+	if err := v.ApplyDiagonal([]complex128{1, 1}, []int{0}); err == nil {
+		t.Error("wrong-length diagonal accepted")
+	}
+}
+
+func TestThreeWireGateMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	dims := hilbert.Dims{2, 3, 2, 2}
+	targets := []int{3, 1, 0} // deliberately permuted
+	jointDim := 2 * 3 * 2
+	u := qmath.RandomUnitary(rng, jointDim)
+	amps := qmath.RandomState(rng, hilbert.MustSpace(dims).Total())
+	v, err := FromAmplitudes(dims, amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := embed(t, dims, u, targets).MulVec(v.Amplitudes())
+	if err := v.ApplyMatrix(u, targets); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Amplitudes().ApproxEqual(want, 1e-9) {
+		t.Error("3-wire permuted-target apply disagrees with oracle")
+	}
+}
+
+func TestRenormalizeInPlace(t *testing.T) {
+	v, _ := NewZero(hilbert.Dims{2})
+	// Apply a non-unitary matrix to denormalize.
+	m := qmath.NewMatrix(2, 2)
+	m.Set(0, 0, 0.5)
+	if err := v.ApplyMatrix(m, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RenormalizeInPlace(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Norm()-1) > 1e-12 {
+		t.Errorf("norm = %v", v.Norm())
+	}
+	// Zero state cannot be renormalized.
+	z := qmath.NewMatrix(2, 2)
+	if err := v.ApplyMatrix(z, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RenormalizeInPlace(); err == nil {
+		t.Error("zero state renormalized")
+	}
+}
+
+func TestMostProbable(t *testing.T) {
+	v, err := NewBasis(hilbert.Dims{3, 3}, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := v.Space().Index([]int{2, 1})
+	if v.MostProbable() != want {
+		t.Errorf("MostProbable = %d, want %d", v.MostProbable(), want)
+	}
+}
+
+func TestMixedDimensionRegister(t *testing.T) {
+	// A register mixing a qubit, a qutrit, and a 5-level cavity mode.
+	dims := hilbert.Dims{2, 3, 5}
+	v, err := NewZero(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Apply(gates.DFT(5), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Apply(gates.CSUM(2, 3), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Norm()-1) > 1e-10 {
+		t.Errorf("norm drifted: %v", v.Norm())
+	}
+	p2 := v.WireProbabilities(2)
+	for k, p := range p2 {
+		if math.Abs(p-0.2) > 1e-9 {
+			t.Errorf("cavity level %d probability %v, want 0.2", k, p)
+		}
+	}
+}
+
+func TestMeasureWireDistribution(t *testing.T) {
+	// Measuring the DFT state of a qutrit gives each outcome ~1/3.
+	rng := rand.New(rand.NewSource(91))
+	counts := make([]int, 3)
+	const trials = 900
+	for i := 0; i < trials; i++ {
+		v, _ := NewZero(hilbert.Dims{3})
+		if err := v.Apply(gates.DFT(3), 0); err != nil {
+			t.Fatal(err)
+		}
+		counts[v.MeasureWire(rng, 0)]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.25 || frac > 0.42 {
+			t.Errorf("outcome %d frequency %v", k, frac)
+		}
+	}
+}

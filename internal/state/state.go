@@ -1,0 +1,312 @@
+// Package state implements a pure-state simulator for registers of
+// qudits with heterogeneous local dimensions. Gates are applied by
+// gather/apply/scatter over stride cosets, so a k-wire gate costs
+// O(D * m) with m the joint target dimension and D the register
+// dimension — no full Kronecker matrix is ever materialized.
+package state
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/qmath"
+)
+
+// Vec is a pure state of a mixed-radix qudit register.
+type Vec struct {
+	space *hilbert.Space
+	amps  qmath.Vector
+}
+
+// maxSimDim bounds the amplitude vectors this simulator will allocate
+// (2^26 complex128 = 1 GiB).
+const maxSimDim = 1 << 26
+
+// NewZero returns |0...0> on the given register.
+func NewZero(dims hilbert.Dims) (*Vec, error) {
+	sp, err := hilbert.NewSpace(dims)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Total() > maxSimDim {
+		return nil, fmt.Errorf("state: register dimension %d exceeds simulable limit %d", sp.Total(), maxSimDim)
+	}
+	v := &Vec{space: sp, amps: qmath.NewVector(sp.Total())}
+	v.amps[0] = 1
+	return v, nil
+}
+
+// NewBasis returns the computational basis state with the given per-wire
+// digits.
+func NewBasis(dims hilbert.Dims, digits []int) (*Vec, error) {
+	sp, err := hilbert.NewSpace(dims)
+	if err != nil {
+		return nil, err
+	}
+	if len(digits) != sp.NumWires() {
+		return nil, fmt.Errorf("state: %d digits for %d wires", len(digits), sp.NumWires())
+	}
+	for w, g := range digits {
+		if g < 0 || g >= sp.Dim(w) {
+			return nil, fmt.Errorf("state: digit %d=%d out of range [0,%d)", w, g, sp.Dim(w))
+		}
+	}
+	v := &Vec{space: sp, amps: qmath.NewVector(sp.Total())}
+	v.amps[sp.Index(digits)] = 1
+	return v, nil
+}
+
+// FromAmplitudes wraps (a copy of) raw amplitudes as a register state,
+// normalizing them.
+func FromAmplitudes(dims hilbert.Dims, amps qmath.Vector) (*Vec, error) {
+	sp, err := hilbert.NewSpace(dims)
+	if err != nil {
+		return nil, err
+	}
+	if len(amps) != sp.Total() {
+		return nil, fmt.Errorf("state: %d amplitudes for dimension %d", len(amps), sp.Total())
+	}
+	v := &Vec{space: sp, amps: amps.Clone()}
+	if v.amps.Normalize() == 0 {
+		return nil, fmt.Errorf("state: zero amplitude vector")
+	}
+	return v, nil
+}
+
+// Clone returns a deep copy of the state.
+func (v *Vec) Clone() *Vec {
+	return &Vec{space: v.space, amps: v.amps.Clone()}
+}
+
+// Space returns the register's index space.
+func (v *Vec) Space() *hilbert.Space { return v.space }
+
+// Dims returns the register dimensions.
+func (v *Vec) Dims() hilbert.Dims { return v.space.Dims() }
+
+// Dim returns the total Hilbert dimension.
+func (v *Vec) Dim() int { return v.space.Total() }
+
+// Amplitudes returns a copy of the amplitude vector.
+func (v *Vec) Amplitudes() qmath.Vector { return v.amps.Clone() }
+
+// Amplitude returns the amplitude of flat basis index k.
+func (v *Vec) Amplitude(k int) complex128 { return v.amps[k] }
+
+// Apply applies gate g to the listed target wires (in gate order).
+func (v *Vec) Apply(g gates.Gate, targets ...int) error {
+	if len(targets) != g.Arity() {
+		return fmt.Errorf("state: gate %s arity %d got %d targets", g.Name, g.Arity(), len(targets))
+	}
+	for i, t := range targets {
+		if t < 0 || t >= v.space.NumWires() {
+			return fmt.Errorf("state: target %d out of range", t)
+		}
+		if v.space.Dim(t) != g.Dims[i] {
+			return fmt.Errorf("state: gate %s expects dim %d on slot %d, wire %d has dim %d",
+				g.Name, g.Dims[i], i, t, v.space.Dim(t))
+		}
+	}
+	if err := v.space.CheckTargets(targets); err != nil {
+		return err
+	}
+	return v.ApplyMatrix(g.Matrix, targets)
+}
+
+// ApplyMatrix applies an arbitrary (not necessarily unitary) matrix on the
+// joint space of the target wires. The matrix must be m x m with m the
+// product of the target dimensions, indexed with the first target most
+// significant.
+func (v *Vec) ApplyMatrix(m *qmath.Matrix, targets []int) error {
+	dim := v.space.TargetDim(targets)
+	if m.Rows != dim || m.Cols != dim {
+		return fmt.Errorf("state: matrix %dx%d does not match target dim %d", m.Rows, m.Cols, dim)
+	}
+	offsets := v.space.TargetOffsets(targets)
+	scratch := make(qmath.Vector, dim)
+	out := make(qmath.Vector, dim)
+	v.space.SubspaceIter(targets, func(base int) {
+		for k, off := range offsets {
+			scratch[k] = v.amps[base+off]
+		}
+		for i := 0; i < dim; i++ {
+			row := m.Row(i)
+			var s complex128
+			for k, x := range row {
+				if x != 0 {
+					s += x * scratch[k]
+				}
+			}
+			out[i] = s
+		}
+		for k, off := range offsets {
+			v.amps[base+off] = out[k]
+		}
+	})
+	return nil
+}
+
+// ApplyDiagonal applies a diagonal operator (given by its diagonal) on the
+// target wires; O(D) with no scratch.
+func (v *Vec) ApplyDiagonal(diag []complex128, targets []int) error {
+	dim := v.space.TargetDim(targets)
+	if len(diag) != dim {
+		return fmt.Errorf("state: diagonal length %d does not match target dim %d", len(diag), dim)
+	}
+	offsets := v.space.TargetOffsets(targets)
+	v.space.SubspaceIter(targets, func(base int) {
+		for k, off := range offsets {
+			v.amps[base+off] *= diag[k]
+		}
+	})
+	return nil
+}
+
+// InnerProduct returns <v|w>.
+func (v *Vec) InnerProduct(w *Vec) complex128 {
+	return v.amps.Dot(w.amps)
+}
+
+// Fidelity returns |<v|w>|^2.
+func (v *Vec) Fidelity(w *Vec) float64 {
+	ip := v.InnerProduct(w)
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// Norm returns the state norm (1 for a normalized state).
+func (v *Vec) Norm() float64 { return v.amps.Norm() }
+
+// RenormalizeInPlace rescales the amplitudes to unit norm, erroring on a
+// zero state (which a trajectory branch with probability zero would be).
+func (v *Vec) RenormalizeInPlace() error {
+	if v.amps.Normalize() == 0 {
+		return fmt.Errorf("state: cannot renormalize zero state")
+	}
+	return nil
+}
+
+// Probabilities returns the Born-rule probabilities of all basis states.
+func (v *Vec) Probabilities() []float64 { return v.amps.Probabilities() }
+
+// WireProbabilities returns the marginal outcome distribution of one wire.
+func (v *Vec) WireProbabilities(wire int) []float64 {
+	d := v.space.Dim(wire)
+	out := make([]float64, d)
+	stride := v.space.Stride(wire)
+	v.space.SubspaceIter([]int{wire}, func(base int) {
+		for g := 0; g < d; g++ {
+			a := v.amps[base+g*stride]
+			out[g] += real(a)*real(a) + imag(a)*imag(a)
+		}
+	})
+	return out
+}
+
+// ExpectationHermitian returns <v| M |v> for a Hermitian operator on the
+// target wires (result is real up to numerical noise; the real part is
+// returned).
+func (v *Vec) ExpectationHermitian(m *qmath.Matrix, targets []int) (float64, error) {
+	w := v.Clone()
+	if err := w.ApplyMatrix(m, targets); err != nil {
+		return 0, err
+	}
+	return real(v.InnerProduct(w)), nil
+}
+
+// Sample draws n basis-state indices from the Born distribution.
+func (v *Vec) Sample(rng *rand.Rand, n int) []int {
+	probs := v.Probabilities()
+	cdf := make([]float64, len(probs))
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		cdf[i] = acc
+	}
+	out := make([]int, n)
+	for s := 0; s < n; s++ {
+		r := rng.Float64() * acc
+		out[s] = searchCDF(cdf, r)
+	}
+	return out
+}
+
+// SampleDigits draws n samples and returns their per-wire digit strings.
+func (v *Vec) SampleDigits(rng *rand.Rand, n int) [][]int {
+	idxs := v.Sample(rng, n)
+	out := make([][]int, n)
+	for i, k := range idxs {
+		out[i] = v.space.Digits(k)
+	}
+	return out
+}
+
+// MeasureWire performs a projective measurement of one wire, collapsing
+// the state in place; it returns the observed digit.
+func (v *Vec) MeasureWire(rng *rand.Rand, wire int) int {
+	probs := v.WireProbabilities(wire)
+	r := rng.Float64()
+	outcome := len(probs) - 1
+	var acc float64
+	for g, p := range probs {
+		acc += p
+		if r < acc {
+			outcome = g
+			break
+		}
+	}
+	// Project and renormalize.
+	stride := v.space.Stride(wire)
+	d := v.space.Dim(wire)
+	v.space.SubspaceIter([]int{wire}, func(base int) {
+		for g := 0; g < d; g++ {
+			if g != outcome {
+				v.amps[base+g*stride] = 0
+			}
+		}
+	})
+	v.amps.Normalize()
+	return outcome
+}
+
+// MostProbable returns the flat basis index with the highest probability.
+func (v *Vec) MostProbable() int {
+	best, bestP := 0, -1.0
+	for i, a := range v.amps {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p > bestP {
+			bestP = p
+			best = i
+		}
+	}
+	return best
+}
+
+func searchCDF(cdf []float64, r float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// GlobalPhaseAlign multiplies v by the phase that makes <w|v> real
+// positive, easing comparisons; it is a no-op when the overlap vanishes.
+func (v *Vec) GlobalPhaseAlign(w *Vec) {
+	ov := w.amps.Dot(v.amps)
+	a := math.Hypot(real(ov), imag(ov))
+	if a == 0 {
+		return
+	}
+	phase := complex(real(ov)/a, -imag(ov)/a)
+	for i := range v.amps {
+		v.amps[i] *= phase
+	}
+}

@@ -1,0 +1,304 @@
+package state
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/qmath"
+)
+
+const tol = 1e-10
+
+// embed builds the full-register matrix for a gate on the given targets,
+// used as a brute-force oracle against the strided application.
+func embed(t *testing.T, dims hilbert.Dims, m *qmath.Matrix, targets []int) *qmath.Matrix {
+	t.Helper()
+	sp := hilbert.MustSpace(dims)
+	n := sp.Total()
+	full := qmath.NewMatrix(n, n)
+	offsets := sp.TargetOffsets(targets)
+	dim := sp.TargetDim(targets)
+	sp.SubspaceIter(targets, func(base int) {
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				full.Set(base+offsets[i], base+offsets[j], m.At(i, j))
+			}
+		}
+	})
+	return full
+}
+
+func TestNewZero(t *testing.T) {
+	v, err := NewZero(hilbert.Dims{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Amplitude(0) != 1 {
+		t.Error("zero state amplitude wrong")
+	}
+	if math.Abs(v.Norm()-1) > tol {
+		t.Error("zero state not normalized")
+	}
+}
+
+func TestNewBasis(t *testing.T) {
+	v, err := NewBasis(hilbert.Dims{2, 3}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := v.Space().Index([]int{1, 2})
+	if v.Amplitude(idx) != 1 {
+		t.Error("basis state amplitude wrong")
+	}
+	if _, err := NewBasis(hilbert.Dims{2}, []int{5}); err == nil {
+		t.Error("out-of-range digit accepted")
+	}
+	if _, err := NewBasis(hilbert.Dims{2, 2}, []int{0}); err == nil {
+		t.Error("wrong digit count accepted")
+	}
+}
+
+func TestApplySingleWireMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dims := hilbert.Dims{2, 3, 2}
+	for wire := 0; wire < 3; wire++ {
+		u := qmath.RandomUnitary(rng, dims[wire])
+		v, err := NewZero(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random initial state.
+		amps := qmath.RandomState(rng, v.Dim())
+		v, err = FromAmplitudes(dims, amps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := embed(t, dims, u, []int{wire}).MulVec(v.Amplitudes())
+		if err := v.ApplyMatrix(u, []int{wire}); err != nil {
+			t.Fatal(err)
+		}
+		if !v.Amplitudes().ApproxEqual(want, 1e-9) {
+			t.Errorf("wire %d: strided apply disagrees with embedded matrix", wire)
+		}
+	}
+}
+
+func TestApplyTwoWireMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dims := hilbert.Dims{2, 3, 4}
+	pairs := [][]int{{0, 1}, {1, 2}, {0, 2}, {2, 0}, {1, 0}}
+	for _, targets := range pairs {
+		d := dims[targets[0]] * dims[targets[1]]
+		u := qmath.RandomUnitary(rng, d)
+		amps := qmath.RandomState(rng, hilbert.MustSpace(dims).Total())
+		v, err := FromAmplitudes(dims, amps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := embed(t, dims, u, targets).MulVec(v.Amplitudes())
+		if err := v.ApplyMatrix(u, targets); err != nil {
+			t.Fatal(err)
+		}
+		if !v.Amplitudes().ApproxEqual(want, 1e-9) {
+			t.Errorf("targets %v: strided apply disagrees with embedded matrix", targets)
+		}
+	}
+}
+
+func TestApplyGateValidation(t *testing.T) {
+	v, _ := NewZero(hilbert.Dims{2, 3})
+	x3 := gates.X(3)
+	if err := v.Apply(x3, 0); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := v.Apply(x3, 1, 0); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := v.Apply(x3, 5); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := v.Apply(gates.CSUM(2, 2), 0, 0); err == nil {
+		t.Error("duplicate target accepted")
+	}
+}
+
+func TestApplyDiagonalMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dims := hilbert.Dims{3, 2}
+	amps := qmath.RandomState(rng, 6)
+	v, _ := FromAmplitudes(dims, amps)
+	w := v.Clone()
+	diag := []complex128{1, -1, 1i}
+	dm := qmath.Diag(diag)
+	if err := v.ApplyDiagonal(diag, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ApplyMatrix(dm, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Amplitudes().ApproxEqual(w.Amplitudes(), tol) {
+		t.Error("diagonal fast path disagrees with dense apply")
+	}
+}
+
+func TestCSUMOnRegister(t *testing.T) {
+	d := 3
+	v, err := NewBasis(hilbert.Dims{3, 3}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Apply(gates.CSUM(d, d), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// |2,2> -> |2, (2+2) mod 3> = |2,1>.
+	want := v.Space().Index([]int{2, 1})
+	if v.MostProbable() != want {
+		t.Errorf("CSUM result index %d, want %d", v.MostProbable(), want)
+	}
+}
+
+func TestWireProbabilities(t *testing.T) {
+	// (|0> + |2>)/sqrt2 on a qutrit paired with |1> on a qubit.
+	amps := qmath.NewVector(6)
+	sp := hilbert.MustSpace(hilbert.Dims{3, 2})
+	amps[sp.Index([]int{0, 1})] = complex(1/math.Sqrt2, 0)
+	amps[sp.Index([]int{2, 1})] = complex(1/math.Sqrt2, 0)
+	v, err := FromAmplitudes(hilbert.Dims{3, 2}, amps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := v.WireProbabilities(0)
+	if math.Abs(p0[0]-0.5) > tol || math.Abs(p0[1]) > tol || math.Abs(p0[2]-0.5) > tol {
+		t.Errorf("wire 0 marginals = %v", p0)
+	}
+	p1 := v.WireProbabilities(1)
+	if math.Abs(p1[1]-1) > tol {
+		t.Errorf("wire 1 marginals = %v", p1)
+	}
+}
+
+func TestExpectationHermitian(t *testing.T) {
+	v, _ := NewBasis(hilbert.Dims{4}, []int{2})
+	n := gates.Number(4)
+	got, err := v.ExpectationHermitian(n, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > tol {
+		t.Errorf("<2|n|2> = %v, want 2", got)
+	}
+}
+
+func TestMeasureWireCollapses(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Bell-like state on two qutrits: (|00> + |11> + |22>)/sqrt3.
+	sp := hilbert.MustSpace(hilbert.Dims{3, 3})
+	amps := qmath.NewVector(9)
+	for k := 0; k < 3; k++ {
+		amps[sp.Index([]int{k, k})] = complex(1/math.Sqrt(3), 0)
+	}
+	for trial := 0; trial < 20; trial++ {
+		v, err := FromAmplitudes(hilbert.Dims{3, 3}, amps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := v.MeasureWire(rng, 0)
+		// Perfect correlation: wire 1 must now be deterministic at the
+		// same digit.
+		p := v.WireProbabilities(1)
+		if math.Abs(p[out]-1) > 1e-9 {
+			t.Fatalf("collapse broken: outcome %d, wire1 dist %v", out, p)
+		}
+		if math.Abs(v.Norm()-1) > 1e-9 {
+			t.Fatal("state not renormalized after measurement")
+		}
+	}
+}
+
+func TestMeasurementStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// |+> qubit: outcomes should be ~50/50.
+	v, _ := NewZero(hilbert.Dims{2})
+	if err := v.Apply(gates.DFT(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	const n = 2000
+	samples := v.Sample(rng, n)
+	for _, s := range samples {
+		counts[s]++
+	}
+	frac := float64(counts[0]) / n
+	if frac < 0.42 || frac > 0.58 {
+		t.Errorf("sampling bias: %v", frac)
+	}
+}
+
+func TestSampleDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v, _ := NewBasis(hilbert.Dims{2, 3}, []int{1, 2})
+	ds := v.SampleDigits(rng, 5)
+	for _, d := range ds {
+		if d[0] != 1 || d[1] != 2 {
+			t.Errorf("sample digits = %v, want [1 2]", d)
+		}
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	v, _ := NewZero(hilbert.Dims{2})
+	w, _ := NewZero(hilbert.Dims{2})
+	if err := w.Apply(gates.DFT(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if f := v.Fidelity(v.Clone()); math.Abs(f-1) > tol {
+		t.Errorf("self fidelity %v", f)
+	}
+	if f := v.Fidelity(w); math.Abs(f-0.5) > tol {
+		t.Errorf("<0|+> fidelity %v, want 0.5", f)
+	}
+}
+
+func TestUnitarityPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dims := hilbert.Dims{3, 2, 3}
+	amps := qmath.RandomState(rng, 18)
+	v, _ := FromAmplitudes(dims, amps)
+	seq := []struct {
+		g       gates.Gate
+		targets []int
+	}{
+		{gates.DFT(3), []int{0}},
+		{gates.X(2), []int{1}},
+		{gates.CSUM(3, 3), []int{0, 2}},
+		{gates.RotorMixer(2, 0.3), []int{1}},
+		{gates.CSUM(2, 3), []int{1, 2}},
+	}
+	for _, s := range seq {
+		if err := v.Apply(s.g, s.targets...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(v.Norm()-1) > 1e-9 {
+		t.Errorf("norm drifted to %v", v.Norm())
+	}
+}
+
+func TestGlobalPhaseAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	dims := hilbert.Dims{4}
+	amps := qmath.RandomState(rng, 4)
+	v, _ := FromAmplitudes(dims, amps)
+	w := v.Clone()
+	// Rotate w by a global phase.
+	if err := w.ApplyDiagonal([]complex128{1i, 1i, 1i, 1i}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	w.GlobalPhaseAlign(v)
+	if !w.Amplitudes().ApproxEqual(v.Amplitudes(), 1e-9) {
+		t.Error("phase alignment failed")
+	}
+}

@@ -1,0 +1,105 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/qmath"
+)
+
+func TestGivensDecomposeCSUMStructure(t *testing.T) {
+	// CSUM is a permutation: its two-level decomposition uses only
+	// swap-like rotations, and the count stays well below the generic
+	// d(d-1)/2 bound because of sparsity.
+	d := 3
+	u := gates.CSUM(d, d).Matrix
+	dec, err := TwoLevelDecompose(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Reconstruct().ApproxEqual(u, 1e-8) {
+		t.Fatal("CSUM reconstruction failed")
+	}
+	generic := (d * d) * (d*d - 1) / 2
+	if dec.CountOps() >= generic/2 {
+		t.Errorf("CSUM used %d rotations; expected sparse structure well under %d", dec.CountOps(), generic)
+	}
+}
+
+func TestQubitCompileDiagonalCheap(t *testing.T) {
+	// A diagonal unitary needs no two-level rotations, only phases.
+	diag := qmath.Diag([]complex128{1, 1i, -1, -1i})
+	rep, err := QubitCompileCost(diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TwoLevelOps != 0 {
+		t.Errorf("diagonal compile used %d rotations", rep.TwoLevelOps)
+	}
+	if rep.CNOTs == 0 {
+		t.Error("nontrivial phases should cost controlled-phase CNOTs")
+	}
+}
+
+func TestSNAPDisplacementBlocksDefaulting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	target := gates.SNAP([]float64{0.2, -0.1, 0.4}).Matrix
+	res, err := SynthesizeSNAPDisplacement(rng, target, SNAPDisplacementOptions{MaxSweeps: 5, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != 4 { // d+1 default
+		t.Errorf("default blocks = %d, want 4", res.Blocks)
+	}
+	if res.WorkDim != 7 { // d+4 default
+		t.Errorf("default work dim = %d, want 7", res.WorkDim)
+	}
+	if len(res.Alphas) != res.Blocks+1 || len(res.Phases) != res.Blocks {
+		t.Error("parameter shapes wrong")
+	}
+}
+
+func TestDecompositionEmbedRoundTrip(t *testing.T) {
+	op := TwoLevelOp{
+		I: 0, J: 2,
+		Block: [2][2]complex128{{0, 1}, {1, 0}},
+	}
+	m := op.Embed(4)
+	if m.At(0, 2) != 1 || m.At(2, 0) != 1 || m.At(1, 1) != 1 || m.At(3, 3) != 1 {
+		t.Errorf("embed wrong: %v", m)
+	}
+	if !m.IsUnitary(1e-12) {
+		t.Error("embedded two-level op not unitary")
+	}
+}
+
+func TestPlanCSUMRouteComparison(t *testing.T) {
+	// At small d the exchange route beats cross-Kerr; at d=10 the order
+	// flips — the crossover the experiment table exposes.
+	module := forecastModuleForTest()
+	small, err := PlanCSUM(module, 3, routeCrossKerr(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallEx, err := PlanCSUM(module, 3, routeExchange(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallEx.DurationSec >= small.DurationSec {
+		t.Errorf("exchange route should be faster at d=3: %v vs %v",
+			smallEx.DurationSec, small.DurationSec)
+	}
+	big, err := PlanCSUM(module, 10, routeCrossKerr(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigEx, err := PlanCSUM(module, 10, routeExchange(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.DurationSec >= bigEx.DurationSec {
+		t.Errorf("cross-Kerr route should win at d=10: %v vs %v",
+			big.DurationSec, bigEx.DurationSec)
+	}
+}

@@ -1,0 +1,19 @@
+package synth
+
+import (
+	"quditkit/internal/cavity"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/state"
+)
+
+// stateWithDigits returns the two-qudit basis state |a,b> on dims {d,d}.
+func stateWithDigits(d, a, b int) (*state.Vec, error) {
+	return state.NewBasis(hilbert.Dims{d, d}, []int{a, b})
+}
+
+// forecastModuleForTest and route helpers keep extra_test readable.
+func forecastModuleForTest() cavity.ModuleParams { return cavity.ForecastModule() }
+
+func routeCrossKerr() cavity.CSUMRoute { return cavity.RouteCrossKerr }
+
+func routeExchange() cavity.CSUMRoute { return cavity.RouteExchange }

@@ -1,0 +1,242 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/qmath"
+)
+
+// SNAPDisplacementOptions configures the numerical block-compilation of a
+// single-mode unitary into displacement and SNAP pulses.
+type SNAPDisplacementOptions struct {
+	// Blocks is the number of SNAP blocks B; the ansatz is
+	// D(aB) SNAP(pB) ... D(a1) SNAP(p1) D(a0), so there are B+1
+	// displacements. Zero selects the default d+1.
+	Blocks int
+	// WorkDim is the Fock truncation used during synthesis; it must be at
+	// least the target dimension. Zero selects d+4, giving the optimizer
+	// headroom above the computational subspace, as hardware pulses have.
+	WorkDim int
+	// MaxSweeps bounds the coordinate-descent sweeps per restart.
+	// Zero selects 40.
+	MaxSweeps int
+	// Restarts is the number of random initializations tried. Zero
+	// selects 3.
+	Restarts int
+	// TargetInfidelity stops the search early once 1-F drops below it.
+	// Zero selects 1e-4.
+	TargetInfidelity float64
+}
+
+func (o SNAPDisplacementOptions) withDefaults(d int) SNAPDisplacementOptions {
+	if o.Blocks == 0 {
+		o.Blocks = d + 1
+	}
+	if o.WorkDim == 0 {
+		o.WorkDim = d + 4
+	}
+	if o.MaxSweeps == 0 {
+		o.MaxSweeps = 40
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	if o.TargetInfidelity == 0 {
+		o.TargetInfidelity = 1e-4
+	}
+	return o
+}
+
+// SNAPDisplacementResult reports a compiled pulse sequence and its
+// quality.
+type SNAPDisplacementResult struct {
+	Dim         int
+	WorkDim     int
+	Blocks      int
+	Alphas      []float64   // B+1 real displacement amplitudes
+	Phases      [][]float64 // B phase vectors of length WorkDim
+	Fidelity    float64     // subspace process fidelity on the d levels
+	Evaluations int
+}
+
+// Sequence materializes the compiled pulse list as gates on the working
+// dimension, in application order.
+func (r *SNAPDisplacementResult) Sequence() []gates.Gate {
+	out := make([]gates.Gate, 0, 2*r.Blocks+1)
+	out = append(out, gates.Displacement(r.WorkDim, complex(r.Alphas[0], 0)))
+	for b := 0; b < r.Blocks; b++ {
+		out = append(out, gates.SNAP(r.Phases[b]))
+		out = append(out, gates.Displacement(r.WorkDim, complex(r.Alphas[b+1], 0)))
+	}
+	return out
+}
+
+// SynthesizeSNAPDisplacement numerically compiles a d x d target unitary
+// on the lowest d Fock levels of a cavity into an alternating sequence of
+// real displacements and SNAP gates, the native control set of the
+// dispersive cavity-transmon module. The optimizer is a restarted
+// adaptive coordinate descent on the subspace process infidelity
+//
+//	1 - |Tr(P V† (U ⊕ I) P)|^2 / d^2,
+//
+// where V is the ansatz on the enlarged working space and P projects onto
+// the computational levels. Leakage out of the subspace suppresses the
+// block trace and is therefore penalized automatically.
+func SynthesizeSNAPDisplacement(rng *rand.Rand, u *qmath.Matrix, opts SNAPDisplacementOptions) (*SNAPDisplacementResult, error) {
+	if u.Rows != u.Cols {
+		return nil, fmt.Errorf("synth: target must be square, got %dx%d", u.Rows, u.Cols)
+	}
+	d := u.Rows
+	if !u.IsUnitary(1e-8) {
+		return nil, fmt.Errorf("synth: target is not unitary")
+	}
+	opts = opts.withDefaults(d)
+	if opts.WorkDim < d {
+		return nil, fmt.Errorf("synth: work dim %d below target dim %d", opts.WorkDim, d)
+	}
+
+	ev := &sdEvaluator{target: u, d: d, work: opts.WorkDim, blocks: opts.Blocks}
+
+	bestCost := math.Inf(1)
+	var bestParams []float64
+	for restart := 0; restart < opts.Restarts; restart++ {
+		params := ev.randomInit(rng)
+		cost := ev.cost(params)
+		step := 0.4
+		for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+			improved := false
+			for p := range params {
+				c, ok := ev.lineStep(params, p, step, cost)
+				if ok {
+					cost = c
+					improved = true
+				}
+			}
+			if cost < opts.TargetInfidelity {
+				break
+			}
+			if !improved {
+				step *= 0.5
+				if step < 1e-5 {
+					break
+				}
+			}
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestParams = append([]float64(nil), params...)
+		}
+		if bestCost < opts.TargetInfidelity {
+			break
+		}
+	}
+
+	alphas, phases := ev.unpack(bestParams)
+	return &SNAPDisplacementResult{
+		Dim:         d,
+		WorkDim:     opts.WorkDim,
+		Blocks:      opts.Blocks,
+		Alphas:      alphas,
+		Phases:      phases,
+		Fidelity:    1 - bestCost,
+		Evaluations: ev.evals,
+	}, nil
+}
+
+// sdEvaluator computes the infidelity of the SNAP-displacement ansatz.
+type sdEvaluator struct {
+	target *qmath.Matrix
+	d      int
+	work   int
+	blocks int
+	evals  int
+}
+
+// layout: params[0..blocks] = alphas, then blocks*work phases.
+func (e *sdEvaluator) numParams() int { return e.blocks + 1 + e.blocks*e.work }
+
+func (e *sdEvaluator) randomInit(rng *rand.Rand) []float64 {
+	p := make([]float64, e.numParams())
+	for b := 0; b <= e.blocks; b++ {
+		p[b] = 0.5 * rng.NormFloat64()
+	}
+	for i := e.blocks + 1; i < len(p); i++ {
+		p[i] = 2 * math.Pi * rng.Float64()
+	}
+	return p
+}
+
+func (e *sdEvaluator) unpack(p []float64) ([]float64, [][]float64) {
+	alphas := append([]float64(nil), p[:e.blocks+1]...)
+	phases := make([][]float64, e.blocks)
+	off := e.blocks + 1
+	for b := 0; b < e.blocks; b++ {
+		phases[b] = append([]float64(nil), p[off:off+e.work]...)
+		off += e.work
+	}
+	return alphas, phases
+}
+
+func (e *sdEvaluator) build(p []float64) *qmath.Matrix {
+	alphas, phases := e.unpack(p)
+	v := gates.Displacement(e.work, complex(alphas[0], 0)).Matrix
+	for b := 0; b < e.blocks; b++ {
+		v = gates.SNAP(phases[b]).Matrix.Mul(v)
+		v = gates.Displacement(e.work, complex(alphas[b+1], 0)).Matrix.Mul(v)
+	}
+	return v
+}
+
+// cost returns the subspace process infidelity of the ansatz.
+func (e *sdEvaluator) cost(p []float64) float64 {
+	e.evals++
+	v := e.build(p)
+	// Tr over the computational block of V† (U ⊕ I):
+	// sum_{i,j<d} conj(V[i][j]) U[i][j].
+	var tr complex128
+	for i := 0; i < e.d; i++ {
+		for j := 0; j < e.d; j++ {
+			tr += cmplx.Conj(v.At(i, j)) * e.target.At(i, j)
+		}
+	}
+	f := (real(tr)*real(tr) + imag(tr)*imag(tr)) / float64(e.d*e.d)
+	return 1 - f
+}
+
+// lineStep tries a parabolic/two-sided move of parameter p and keeps the
+// best. It returns the new cost and whether it improved.
+func (e *sdEvaluator) lineStep(params []float64, p int, step, cur float64) (float64, bool) {
+	x0 := params[p]
+	params[p] = x0 + step
+	up := e.cost(params)
+	params[p] = x0 - step
+	down := e.cost(params)
+
+	// Parabolic vertex through (x0-step, down), (x0, cur), (x0+step, up).
+	den := up - 2*cur + down
+	bestX, bestC := x0, cur
+	if up < bestC {
+		bestX, bestC = x0+step, up
+	}
+	if down < bestC {
+		bestX, bestC = x0-step, down
+	}
+	if den > 1e-15 {
+		vx := x0 + 0.5*step*(down-up)/den
+		if math.Abs(vx-x0) < 3*step { // trust region
+			params[p] = vx
+			if c := e.cost(params); c < bestC {
+				bestX, bestC = vx, c
+			}
+		}
+	}
+	params[p] = bestX
+	if bestC < cur-1e-15 {
+		return bestC, true
+	}
+	return cur, false
+}

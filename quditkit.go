@@ -1,0 +1,28 @@
+// Package quditkit is a from-scratch Go reproduction of "Near-term
+// Application Engineering Challenges in Emerging Superconducting Qudit
+// Processors" (Venturelli, Gustafson, Kurkcuoglu, Zorzetti — DSN 2025,
+// arXiv:2506.05608).
+//
+// The library models the paper's forecast machine — a linear chain of 3D
+// SRF cavities, each contributing several long-lived bosonic modes
+// operated as d-level qudits through a dispersively coupled transmon —
+// and implements the three near-term applications the paper analyzes:
+//
+//   - lattice gauge theory simulation on truncated U(1) rotors
+//     (internal/sqed),
+//   - QAOA graph coloring with native one-hot qudit constraints, NDAR
+//     noise-directed remapping and QRAC scaling (internal/qaoa),
+//   - quantum reservoir computing on coupled dissipative modes,
+//     including reservoir state tomography (internal/qrc).
+//
+// Substrates: dense complex linear algebra (internal/qmath), mixed-radix
+// registers (internal/hilbert), qudit gates (internal/gates), pure-state
+// and density-matrix simulators (internal/state, internal/density), Kraus
+// and Lindblad noise (internal/noise), cavity-transmon physics
+// (internal/cavity), gate synthesis including SNAP-displacement and CSUM
+// compilation (internal/synth), and the device model with noise-aware
+// mapping and routing (internal/arch). Package internal/core ties them
+// into a Processor facade and hosts the experiment registry (E1..E14)
+// that regenerates every quantitative claim; see DESIGN.md and
+// EXPERIMENTS.md.
+package quditkit
