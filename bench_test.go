@@ -1,8 +1,10 @@
 package quditkit_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"quditkit/internal/arch"
@@ -26,7 +28,9 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		rng := rand.New(rand.NewSource(1))
+		// Same per-experiment stream derivation as cmd/quditbench, so the
+		// benchmarked tables match the CLI's output for seed 1.
+		rng := rand.New(rand.NewSource(core.DeriveSeed(1, id)))
 		tab, err := exp.Run(rng, true)
 		if err != nil {
 			b.Fatal(err)
@@ -134,29 +138,67 @@ func BenchmarkAblationApplyKron(b *testing.B) {
 }
 
 // BenchmarkAblationDensityExact measures exact density-matrix execution
-// of a noisy qutrit GHZ circuit.
+// of a noisy qutrit GHZ circuit through the DensityMatrix backend.
 func BenchmarkAblationDensityExact(b *testing.B) {
 	c := ghzCircuit(b, 3)
-	model := noise.Model{Depol2: 0.02, Damping: 0.01}
+	spec := core.ExecSpec{Noise: noise.Model{Depol2: 0.02, Damping: 0.01}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.RunDensity(model); err != nil {
+		if _, err := (core.DensityMatrixBackend{}).Execute(c, spec); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkAblationTrajectories measures the trajectory-averaged
-// alternative at 100 shots.
+// alternative at 100 shots through the Trajectory backend.
 func BenchmarkAblationTrajectories(b *testing.B) {
 	c := ghzCircuit(b, 3)
-	model := noise.Model{Depol2: 0.02, Damping: 0.01}
-	rng := rand.New(rand.NewSource(1))
+	spec := core.ExecSpec{
+		Noise: noise.Model{Depol2: 0.02, Damping: 0.01},
+		Shots: 100,
+		Seed:  1,
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.AverageTrajectories(rng, model, 100); err != nil {
+		if _, err := (core.TrajectoryBackend{}).Execute(c, spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSubmitTrajectories tracks the trajectory worker pool: 512
+// shots of a noisy 4-qutrit GHZ job submitted through the Processor at
+// increasing pool widths. Counts are worker-count-invariant, so the
+// variants do identical logical work and differ only in parallelism.
+func BenchmarkSubmitTrajectories(b *testing.B) {
+	proc, err := core.NewCompactProcessor(2, 2, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := proc.NoiseModelForDim(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := ghzCircuit(b, 4)
+	workerSet := []int{1, 4, runtime.NumCPU()}
+	for _, workers := range workerSet {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := proc.SubmitOne(c,
+					core.WithBackend(core.Trajectory),
+					core.WithNoise(model),
+					core.WithShots(512),
+					core.WithSeed(7),
+					core.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Counts.Total() != 512 {
+					b.Fatalf("counts total %d", res.Counts.Total())
+				}
+			}
+		})
 	}
 }
 

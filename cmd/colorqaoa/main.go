@@ -1,10 +1,11 @@
 // Command colorqaoa runs the optimization application: NDAR-boosted QAOA
-// graph coloring on qudits, or the QRAC relaxation solver for larger
-// instances.
+// graph coloring on qudits, the QRAC relaxation solver for larger
+// instances, or a single shot-sampled QAOA circuit executed on the
+// forecast processor through the core Submit API.
 //
 // Usage:
 //
-//	colorqaoa [-n N] [-chords C] [-colors K] [-mode ndar|qrac]
+//	colorqaoa [-n N] [-chords C] [-colors K] [-mode ndar|qrac|sample]
 //	          [-shots S] [-iters I] [-damping P] [-seed N]
 package main
 
@@ -13,7 +14,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
+	"quditkit/internal/core"
 	"quditkit/internal/noise"
 	"quditkit/internal/qaoa"
 )
@@ -30,7 +33,7 @@ func run(args []string) error {
 	n := fs.Int("n", 8, "graph vertices")
 	chords := fs.Int("chords", 3, "random chords added to the base cycle")
 	colors := fs.Int("colors", 3, "number of colors (= qudit dimension)")
-	mode := fs.String("mode", "ndar", "ndar | qrac")
+	mode := fs.String("mode", "ndar", "ndar | qrac | sample")
 	shots := fs.Int("shots", 64, "trajectory shots per NDAR round")
 	iters := fs.Int("iters", 5, "NDAR rounds")
 	damping := fs.Float64("damping", 0.2, "photon-loss probability per gate")
@@ -73,6 +76,42 @@ func run(args []string) error {
 		fmt.Printf("qudits used: %d (%d vertices per qudit)\n", res.Qudits, res.NodesPerQudit)
 		fmt.Printf("QRAC proper edges:   %d / %d\n", res.Proper, res.TotalEdges)
 		fmt.Printf("greedy proper edges: %d / %d\n", res.GreedyProper, res.TotalEdges)
+	case "sample":
+		// One noisy p=1 QAOA circuit compiled onto the forecast device and
+		// sampled through the trajectory backend.
+		col, err := qaoa.NewColoring(g, *colors)
+		if err != nil {
+			return err
+		}
+		c, err := col.Circuit([]float64{0.8}, []float64{0.5})
+		if err != nil {
+			return err
+		}
+		proc, err := core.NewCompactProcessor((g.N+1)/2, 2, *seed)
+		if err != nil {
+			return err
+		}
+		model := noise.Model{Damping: *damping, Depol2: 0.02, Depol1: 0.002}
+		res, err := proc.SubmitOne(c,
+			core.WithBackend(core.Trajectory),
+			core.WithNoise(model),
+			core.WithShots(*shots),
+			core.WithWorkers(runtime.NumCPU()))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("routed: %d swaps, coherence budget %.4f\n",
+			res.Report.SwapsInserted, res.Report.FidelityEstimate)
+		fmt.Printf("%d shots, top colorings:\n", res.Counts.Total())
+		for _, e := range res.Counts.Top(5) {
+			digits, err := core.ParseCountsKey(e.Key)
+			if err != nil {
+				return err
+			}
+			assign := col.Decode(digits)
+			fmt.Printf("  %v  %4d shots  %d/%d proper edges\n",
+				assign, e.N, g.ProperEdges(assign), len(g.Edges))
+		}
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}

@@ -14,6 +14,12 @@ func TestRunQRACMode(t *testing.T) {
 	}
 }
 
+func TestRunSampleMode(t *testing.T) {
+	if err := run([]string{"-n", "5", "-chords", "1", "-mode", "sample", "-shots", "16"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadMode(t *testing.T) {
 	if err := run([]string{"-mode", "nonsense"}); err == nil {
 		t.Error("bad mode accepted")

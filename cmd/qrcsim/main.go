@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 
+	"quditkit/internal/core"
 	"quditkit/internal/qrc"
 )
 
@@ -36,7 +37,13 @@ func run(args []string) error {
 		return err
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
+	// Independent derived streams (core's Submit seed-splitting rule):
+	// task generation, readout shot noise, and the classical baseline
+	// each get their own, so changing one consumer never perturbs the
+	// others.
+	rng := rand.New(rand.NewSource(core.DeriveSeed(*seed, "qrc-task")))
+	shotRng := rand.New(rand.NewSource(core.DeriveSeed(*seed, "qrc-readout")))
+	esnRng := rand.New(rand.NewSource(core.DeriveSeed(*seed, "qrc-esn")))
 	var inputs, targets []float64
 	switch *task {
 	case "narma2":
@@ -61,7 +68,7 @@ func run(args []string) error {
 	}
 	var provider qrc.FeatureProvider = reservoir
 	if *shots > 0 {
-		provider = &qrc.ShotSampledProvider{Reservoir: reservoir, Shots: *shots, Rng: rng}
+		provider = &qrc.ShotSampledProvider{Reservoir: reservoir, Shots: *shots, Rng: shotRng}
 	}
 	res, err := qrc.EvaluateTask(provider, inputs, targets, 20, 0.7, 1e-6)
 	if err != nil {
@@ -74,7 +81,7 @@ func run(args []string) error {
 	fmt.Printf("\n  train NMSE: %.4f\n  test NMSE:  %.4f\n", res.TrainNMSE, res.TestNMSE)
 
 	if *esnSize > 0 {
-		esn, err := qrc.NewESN(rng, *esnSize, 0.9, 0.5, 1.0)
+		esn, err := qrc.NewESN(esnRng, *esnSize, 0.9, 0.5, 1.0)
 		if err != nil {
 			return err
 		}

@@ -1,10 +1,12 @@
 // Command quditbench regenerates every table and quantitative claim of
-// the reproduction (E1..E11, see EXPERIMENTS.md) and prints them as
-// aligned text tables.
+// the reproduction (E1..E14, see EXPERIMENTS.md) and prints them as
+// aligned text tables. Each experiment draws from its own random stream
+// derived from the base seed and the experiment ID, so results do not
+// depend on which subset is selected or in what order.
 //
 // Usage:
 //
-//	quditbench [-quick] [-seed N] [-exp E1,E3,...]
+//	quditbench [-quick] [-seed N] [-exp E1,E3,...] [-list]
 package main
 
 import (
@@ -30,8 +32,16 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "run reduced configurations")
 	seed := fs.Int64("seed", 1, "random seed")
 	expList := fs.String("exp", "", "comma-separated experiment ids (default: all)")
+	list := fs.Bool("list", false, "list the experiment registry and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
 	}
 
 	var selected []core.Experiment
@@ -49,7 +59,9 @@ func run(args []string) error {
 
 	for _, e := range selected {
 		start := time.Now()
-		rng := rand.New(rand.NewSource(*seed))
+		// Per-experiment derived stream: the same seed regenerates the
+		// same table whether the experiment runs alone or in a batch.
+		rng := rand.New(rand.NewSource(core.DeriveSeed(*seed, e.ID)))
 		tab, err := e.Run(rng, *quick)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)

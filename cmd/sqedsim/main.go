@@ -1,19 +1,22 @@
 // Command sqedsim runs the lattice-gauge-theory application: mass-gap
-// extraction by real-time quench on a truncated U(1) rotor chain, and
+// extraction by real-time quench on a truncated U(1) rotor chain,
 // noise-tolerance comparison between native-qudit and binary-qubit
-// encodings.
+// encodings, and shot-sampled Trotter evolution on the forecast
+// processor through the core Submit API.
 //
 // Usage:
 //
 //	sqedsim [-sites N] [-ell L] [-g2 X] [-x X] [-dt T] [-steps N]
-//	        [-mode quench|noise]
+//	        [-mode quench|noise|sample] [-shots S] [-seed N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"quditkit/internal/core"
 	"quditkit/internal/sqed"
 )
 
@@ -32,7 +35,9 @@ func run(args []string) error {
 	x := fs.Float64("x", 0.3, "hopping coupling")
 	dt := fs.Float64("dt", 0.15, "Trotter step")
 	steps := fs.Int("steps", 128, "evolution steps")
-	mode := fs.String("mode", "quench", "quench | noise")
+	mode := fs.String("mode", "quench", "quench | noise | sample")
+	shots := fs.Int("shots", 256, "trajectory shots in sample mode")
+	seed := fs.Int64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +72,48 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Printf("%-8.0e  %-10.4f  %-10.4f\n", p, iQt, iQb)
+		}
+	case "sample":
+		// Noisy Trotter evolution routed onto the forecast device and
+		// sampled with finite shots — the full execution pipeline.
+		c, err := r.TrotterCircuit(*dt, *steps)
+		if err != nil {
+			return err
+		}
+		proc, err := core.NewCompactProcessor((r.NumSites+1)/2, 2, *seed)
+		if err != nil {
+			return err
+		}
+		model, err := proc.NoiseModelForDim(r.LocalDim())
+		if err != nil {
+			return err
+		}
+		res, err := proc.SubmitOne(c,
+			core.WithBackend(core.Trajectory),
+			core.WithNoise(model),
+			core.WithShots(*shots),
+			core.WithWorkers(runtime.NumCPU()))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("routed: %d swaps, %.2f ms serial, coherence budget %.4f\n",
+			res.Report.SwapsInserted, res.Report.DurationSec*1e3, res.Report.FidelityEstimate)
+		fmt.Printf("%d trajectory shots on %s backend (seed %d):\n",
+			res.Counts.Total(), res.Backend, res.Seed)
+		for _, e := range res.Counts.Top(5) {
+			fmt.Printf("  |%s>  %4d shots  (p = %.3f)\n", e.Key, e.N, res.Counts.Prob(e.Key))
+		}
+		fmt.Println("per-site electric field <m>:")
+		for s := 0; s < r.NumSites; s++ {
+			marg, err := res.Marginal(s)
+			if err != nil {
+				return err
+			}
+			var mean float64
+			for k, p := range marg {
+				mean += p * float64(k-*ell)
+			}
+			fmt.Printf("  site %d: %+.4f\n", s, mean)
 		}
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 
+	"quditkit/internal/core"
 	"quditkit/internal/noise"
 	"quditkit/internal/qaoa"
 )
@@ -52,6 +54,41 @@ func run() error {
 			vanilla.Rounds[i].MeanProper, vanilla.Rounds[i].POptimal)
 	}
 	fmt.Printf("\nNDAR best coloring: %v (%d proper edges)\n", ndar.BestAssign, ndar.BestProper)
+
+	// The same p=1 QAOA circuit routed onto the forecast processor and
+	// sampled through the trajectory backend of the Submit API: every
+	// shot is one Monte-Carlo unraveling of the photon-loss channel.
+	col, err := qaoa.NewColoring(g, 3)
+	if err != nil {
+		return err
+	}
+	qc, err := col.Circuit([]float64{0.8}, []float64{0.5})
+	if err != nil {
+		return err
+	}
+	proc, err := core.NewCompactProcessor((g.N+1)/2, 2, 11)
+	if err != nil {
+		return err
+	}
+	res, err := proc.SubmitOne(qc,
+		core.WithBackend(core.Trajectory),
+		core.WithNoise(model),
+		core.WithShots(128),
+		core.WithWorkers(runtime.NumCPU()))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndevice run (%s backend, %d swaps): top sampled colorings:\n",
+		res.Backend, res.Report.SwapsInserted)
+	for _, e := range res.Counts.Top(3) {
+		digits, err := core.ParseCountsKey(e.Key)
+		if err != nil {
+			return err
+		}
+		assign := col.Decode(digits)
+		fmt.Printf("  %v  %3d shots  %d/%d proper edges\n",
+			assign, e.N, g.ProperEdges(assign), len(g.Edges))
+	}
 
 	// The native qudit encoding never leaves the valid subspace; the
 	// one-hot qubit encoding does, exponentially fast in the noise.

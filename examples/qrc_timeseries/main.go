@@ -9,6 +9,7 @@ import (
 	"log"
 	"math/rand"
 
+	"quditkit/internal/core"
 	"quditkit/internal/qrc"
 )
 
@@ -49,13 +50,17 @@ func run() error {
 	}
 
 	// Finite measurement shots: the paper's "sampling overhead" warning.
+	// Each shot budget reads from its own derived stream (the Submit
+	// API's seed-splitting rule), so the sweep points are independent
+	// and individually reproducible.
 	fmt.Println("\nshot-noise overhead:")
 	for _, shots := range []int{32, 512, 8192} {
 		r, err := qrc.NewReservoir(qrc.DefaultParams(6))
 		if err != nil {
 			return err
 		}
-		prov := &qrc.ShotSampledProvider{Reservoir: r, Shots: shots, Rng: rng}
+		shotRng := rand.New(rand.NewSource(core.DeriveSeed(3, fmt.Sprintf("readout-%d", shots))))
+		prov := &qrc.ShotSampledProvider{Reservoir: r, Shots: shots, Rng: shotRng}
 		sres, err := qrc.EvaluateTask(prov, inputs, targets, 20, 0.7, 1e-3)
 		if err != nil {
 			return err

@@ -1,12 +1,13 @@
-// Quickstart: build a three-qutrit GHZ circuit, compile it onto the
-// forecast cavity processor with noise-aware mapping, execute it, and
-// inspect the routed resource report — the minimal end-to-end tour of the
-// quditkit API.
+// Quickstart: build a three-qutrit GHZ circuit, submit it to the
+// forecast cavity processor through the unified Backend/Job execution
+// API, and inspect the routed report, the shot histogram, and a noisy
+// trajectory re-run — the minimal end-to-end tour of the quditkit API.
 package main
 
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"quditkit/internal/circuit"
 	"quditkit/internal/core"
@@ -32,39 +33,61 @@ func run() error {
 	logical.MustAppend(gates.CSUM(3, 3), 0, 2)
 	fmt.Print(logical.String())
 
-	// A two-cavity slice of the forecast device is plenty for 3 qudits.
-	proc, err := core.NewForecastProcessor(2, 1)
+	// A two-cavity slice of the forecast device, trimmed to two modes per
+	// cavity so the routed physical register stays small.
+	proc, err := core.NewCompactProcessor(2, 2, 1)
 	if err != nil {
 		return err
-	}
-	// Trim to two modes per cavity so the physical register stays small.
-	for i := range proc.Device.Cavities {
-		proc.Device.Cavities[i].Modes = proc.Device.Cavities[i].Modes[:2]
 	}
 
-	res, err := proc.Execute(logical)
+	// Noiseless statevector execution with a 512-shot histogram.
+	res, err := proc.SubmitOne(logical, core.WithShots(512))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mapping (logical -> mode): %v\n", res.Mapping.LogicalToMode)
+	fmt.Printf("mapping (logical -> mode): %v (final: %v)\n",
+		res.Mapping.LogicalToMode, res.Report.FinalLayout)
 	fmt.Printf("swaps inserted: %d, duration: %.1f us, coherence fidelity: %.4f\n",
 		res.Report.SwapsInserted, res.Report.DurationSec*1e6, res.Report.FidelityEstimate)
 
-	// The GHZ state: (|000> + |111> + |222>)/sqrt(3) on the mapped modes.
-	fmt.Println("populated basis states:")
-	sp := res.State.Space()
-	for idx, p := range res.State.Probabilities() {
-		if p > 1e-9 {
-			fmt.Printf("  |%v>  p = %.4f\n", sp.Digits(idx), p)
-		}
+	// The GHZ state: (|000> + |111> + |222>)/sqrt(3), sampled.
+	fmt.Printf("%d shots on the %s backend:\n", res.Counts.Total(), res.Backend)
+	for _, e := range res.Counts.Top(5) {
+		fmt.Printf("  |%s>  %3d shots  (p = %.3f)\n", e.Key, e.N, res.Counts.Prob(e.Key))
 	}
 
-	// Physics-derived per-gate noise for this dimension.
+	// Physics-derived per-gate noise for this dimension, applied by the
+	// Monte-Carlo trajectory backend across a worker pool.
 	model, err := proc.NoiseModelForDim(3)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("derived noise model: damping %.2e, dephasing %.2e per gate\n",
 		model.Damping, model.Dephasing)
+	noisy, err := proc.SubmitOne(logical,
+		core.WithBackend(core.Trajectory),
+		core.WithNoise(model),
+		core.WithShots(512),
+		core.WithWorkers(runtime.NumCPU()))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("noisy trajectory sampling (%d workers):\n", runtime.NumCPU())
+	for _, e := range noisy.Counts.Top(3) {
+		fmt.Printf("  |%s>  %3d shots\n", e.Key, e.N)
+	}
+	marg, err := noisy.Marginal(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wire 0 marginal under noise: %v\n", fmtProbs(marg))
 	return nil
+}
+
+func fmtProbs(p []float64) []string {
+	out := make([]string, len(p))
+	for i, x := range p {
+		out[i] = fmt.Sprintf("%.3f", x)
+	}
+	return out
 }

@@ -9,6 +9,7 @@ import (
 	"log"
 	"math/rand"
 
+	"quditkit/internal/core"
 	"quditkit/internal/gates"
 	"quditkit/internal/qmath"
 	"quditkit/internal/qrc"
@@ -59,9 +60,12 @@ func run() error {
 	}
 
 	// Fidelity vs training-set size: the "small training sets" claim.
+	// Each sweep point draws from its own derived stream (the Submit
+	// API's seed-splitting rule) so points are independent.
 	fmt.Println("\nmean fidelity vs training-set size (random pure states):")
 	for _, n := range []int{16, 64, 256} {
-		fid, err := qrc.EvaluateTomography(rand.New(rand.NewSource(10)),
+		fid, err := qrc.EvaluateTomography(
+			rand.New(rand.NewSource(core.DeriveSeed(10, fmt.Sprintf("tomo-%d", n)))),
 			qrc.TomographyOptions{Dim: d, TrainStates: n}, 12)
 		if err != nil {
 			return err

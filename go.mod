@@ -1,0 +1,3 @@
+module quditkit
+
+go 1.24

@@ -35,6 +35,19 @@ func ForecastDevice(n int) Device {
 	return Device{Cavities: cavs}
 }
 
+// ForecastDeviceTrimmed returns a forecast device with each cavity
+// trimmed to modesPerCavity modes, keeping the joint Hilbert space of
+// the routed register small enough to simulate end to end.
+func ForecastDeviceTrimmed(n, modesPerCavity int) Device {
+	dev := ForecastDevice(n)
+	for i := range dev.Cavities {
+		if modesPerCavity > 0 && modesPerCavity < len(dev.Cavities[i].Modes) {
+			dev.Cavities[i].Modes = dev.Cavities[i].Modes[:modesPerCavity]
+		}
+	}
+	return dev
+}
+
 // Validate checks all modules.
 func (d Device) Validate() error {
 	if len(d.Cavities) == 0 {

@@ -19,6 +19,10 @@ type RouteReport struct {
 	DepthAfter       int
 	DurationSec      float64
 	FidelityEstimate float64
+	// FinalLayout[q] is the physical mode hosting logical qudit q AFTER
+	// all routing swaps — the layout a measurement of the final state
+	// observes (the initial placement is Mapping.LogicalToMode).
+	FinalLayout []int
 }
 
 // emitFunc receives each physical op during routing; nil means plan-only.
@@ -201,6 +205,7 @@ func routeCore(dev Device, logical *circuit.Circuit, mapping Mapping, d int, emi
 				op.Gate.Name, op.Gate.Arity())
 		}
 	}
+	rep.FinalLayout = layout
 	return rep, nil
 }
 

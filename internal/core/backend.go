@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/density"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+	"quditkit/internal/state"
+)
+
+// ExecSpec is the resolved execution request handed to a Backend: the
+// noise model, the shot budget, the sampling seed, and the worker-pool
+// width. Processor.Submit builds it from the job's RunOptions; backends
+// can also be driven directly on un-routed circuits.
+type ExecSpec struct {
+	Noise   noise.Model
+	Shots   int
+	Seed    int64
+	Workers int
+}
+
+// Execution is a backend's raw output on the register it executed
+// (Submit re-keys histograms onto the logical register afterwards).
+// Which fields are populated depends on the backend: State for pure
+// simulations, Density for exact noisy ones, MeanProbs for
+// trajectory-averaged basis probabilities, Counts whenever shots were
+// requested.
+type Execution struct {
+	State     *state.Vec
+	Density   *density.DM
+	MeanProbs []float64
+	Counts    Counts
+}
+
+// Backend executes a circuit under an ExecSpec. Implementations must be
+// stateless and safe for concurrent use; all randomness derives from
+// the spec's seed.
+type Backend interface {
+	// Kind returns the registry tag of this backend.
+	Kind() BackendKind
+	// Execute runs the circuit and returns the raw execution output.
+	Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error)
+}
+
+// BackendFor returns the built-in backend for a kind.
+func BackendFor(k BackendKind) (Backend, error) {
+	switch k {
+	case Statevector:
+		return StatevectorBackend{}, nil
+	case DensityMatrix:
+		return DensityMatrixBackend{}, nil
+	case Trajectory:
+		return TrajectoryBackend{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown backend kind %d", int(k))
+	}
+}
+
+// StatevectorBackend runs the circuit once on the pure-state simulator.
+// It is exact and the cheapest backend, but strictly noiseless: a
+// non-zero noise model is rejected rather than silently dropped.
+type StatevectorBackend struct{}
+
+// Kind implements Backend.
+func (StatevectorBackend) Kind() BackendKind { return Statevector }
+
+// Execute implements Backend.
+func (StatevectorBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
+	if !spec.Noise.IsZero() {
+		return Execution{}, fmt.Errorf("core: %s backend cannot apply noise; use %s or %s",
+			Statevector, DensityMatrix, Trajectory)
+	}
+	v, err := c.Run()
+	if err != nil {
+		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
+	}
+	out := Execution{State: v}
+	if spec.Shots > 0 {
+		rng := rand.New(rand.NewSource(spec.Seed))
+		out.Counts = countsFromIndices(v.Space(), v.Sample(rng, spec.Shots))
+	}
+	return out, nil
+}
+
+// DensityMatrixBackend runs the circuit once on the density-matrix
+// simulator with exact Kraus-channel noise. Memory scales with the
+// square of the Hilbert dimension, so it is the reference backend for
+// small registers rather than the scalable one.
+type DensityMatrixBackend struct{}
+
+// Kind implements Backend.
+func (DensityMatrixBackend) Kind() BackendKind { return DensityMatrix }
+
+// Execute implements Backend.
+func (DensityMatrixBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
+	r, err := c.RunDensity(spec.Noise)
+	if err != nil {
+		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
+	}
+	out := Execution{Density: r}
+	if spec.Shots > 0 {
+		rng := rand.New(rand.NewSource(spec.Seed))
+		out.Counts = countsFromIndices(r.Space(), r.Sample(rng, spec.Shots))
+	}
+	return out, nil
+}
+
+// TrajectoryBackend runs one stochastic quantum-trajectory unraveling
+// per shot and measures each final pure state once, distributing
+// trajectories over a goroutine pool of spec.Workers. Every trajectory
+// draws from its own stream derived from (seed, shot index), so the
+// histogram is identical for any worker count. MeanProbs carries the
+// trajectory-averaged basis probabilities; State is additionally set at
+// zero noise, where every trajectory is the same deterministic pure run.
+type TrajectoryBackend struct{}
+
+// Kind implements Backend.
+func (TrajectoryBackend) Kind() BackendKind { return Trajectory }
+
+// Execute implements Backend.
+func (TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
+	shots := spec.Shots
+	if shots <= 0 {
+		shots = 1
+	}
+	workers := spec.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shots {
+		workers = shots
+	}
+	sp, err := hilbert.NewSpace(c.Dims())
+	if err != nil {
+		return Execution{}, err
+	}
+	dim := sp.Total()
+
+	outcomes := make([]int, shots)
+	partials := make([][]float64, workers)
+	errs := make([]error, workers)
+	var first *state.Vec
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]float64, dim)
+			// Strided shot assignment: deterministic, and it balances the
+			// pool without a shared queue.
+			for t := w; t < shots; t += workers {
+				rng := rand.New(rand.NewSource(mixSeed(spec.Seed, uint64(t))))
+				v, err := c.RunTrajectory(rng, spec.Noise)
+				if err != nil {
+					errs[w] = fmt.Errorf("trajectory %d: %w: %v", t, ErrNotSimulable, err)
+					return
+				}
+				probs := v.Probabilities()
+				for i, p := range probs {
+					local[i] += p
+				}
+				outcomes[t] = sampleIndex(rng, probs)
+				if t == 0 {
+					first = v
+				}
+			}
+			partials[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Execution{}, err
+		}
+	}
+
+	mean := make([]float64, dim)
+	for _, local := range partials {
+		for i, p := range local {
+			mean[i] += p
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(shots)
+	}
+	out := Execution{MeanProbs: mean}
+	if spec.Noise.IsZero() {
+		out.State = first
+	}
+	if spec.Shots > 0 {
+		counts := make(Counts, len(outcomes))
+		for _, idx := range outcomes {
+			counts.Add(sp.Digits(idx))
+		}
+		out.Counts = counts
+	}
+	return out, nil
+}
+
+// sampleIndex draws one index from an (unnormalized) probability vector.
+func sampleIndex(rng *rand.Rand, probs []float64) int {
+	var total float64
+	for _, p := range probs {
+		if p > 0 {
+			total += p
+		}
+	}
+	r := rng.Float64() * total
+	var acc float64
+	// Rounding can push r to exactly total, past every `r < acc` test;
+	// falling back to the last POSITIVE entry keeps impossible outcomes
+	// out of the histogram.
+	last := 0
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		acc += p
+		if r < acc {
+			return i
+		}
+		last = i
+	}
+	return last
+}
+
+// countsFromIndices builds a histogram from sampled flat basis indices.
+func countsFromIndices(sp *hilbert.Space, idxs []int) Counts {
+	counts := make(Counts)
+	for _, k := range idxs {
+		counts.Add(sp.Digits(k))
+	}
+	return counts
+}

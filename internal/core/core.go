@@ -1,9 +1,10 @@
 // Package core is the public façade of quditkit: it ties the device
 // model, compiler, simulators, and noise models into a Processor that
-// compiles and executes logical qudit circuits on the forecast
-// multi-cavity machine, and hosts the experiment registry that
-// regenerates every table and figure of the reproduction (see
-// EXPERIMENTS.md).
+// compiles logical qudit circuits onto the forecast multi-cavity machine
+// and executes them through pluggable backends (statevector, density
+// matrix, Monte-Carlo trajectories) via Submit, and hosts the experiment
+// registry that regenerates every table and figure of the reproduction
+// (see DESIGN.md and EXPERIMENTS.md).
 package core
 
 import (
@@ -14,6 +15,7 @@ import (
 	"quditkit/internal/arch"
 	"quditkit/internal/cavity"
 	"quditkit/internal/circuit"
+	"quditkit/internal/hilbert"
 	"quditkit/internal/noise"
 	"quditkit/internal/state"
 )
@@ -23,10 +25,13 @@ import (
 var ErrNotSimulable = errors.New("core: circuit too large to simulate")
 
 // Processor couples the forecast device with a physics-derived noise
-// model and a deterministic random stream.
+// model and a base random seed. All randomness (placement annealing,
+// shot sampling, trajectory unraveling) is derived per job from the base
+// seed and the job's own identity, so batch results are reproducible and
+// independent of submission order.
 type Processor struct {
-	Device arch.Device
-	rng    *rand.Rand
+	Device   arch.Device
+	baseSeed int64
 }
 
 // NewProcessor builds a processor over an explicit device.
@@ -34,13 +39,20 @@ func NewProcessor(dev arch.Device, seed int64) (*Processor, error) {
 	if err := dev.Validate(); err != nil {
 		return nil, err
 	}
-	return &Processor{Device: dev, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Processor{Device: dev, baseSeed: seed}, nil
 }
 
 // NewForecastProcessor builds the machine the paper projects: n linearly
 // connected forecast cavities.
 func NewForecastProcessor(nCavities int, seed int64) (*Processor, error) {
 	return NewProcessor(arch.ForecastDevice(nCavities), seed)
+}
+
+// NewCompactProcessor builds a processor over a forecast device trimmed
+// to modesPerCavity modes per cavity — the configuration used when the
+// routed physical register must stay simulable.
+func NewCompactProcessor(nCavities, modesPerCavity int, seed int64) (*Processor, error) {
+	return NewProcessor(arch.ForecastDeviceTrimmed(nCavities, modesPerCavity), seed)
 }
 
 // NoiseModelForDim derives the per-gate error model for qudits of
@@ -62,7 +74,134 @@ func (p *Processor) NoiseModelForDim(d int) (noise.Model, error) {
 	}, nil
 }
 
-// RunResult is the outcome of compiling and executing a logical circuit.
+// Submit compiles and executes a batch of jobs, one Result per job in
+// order. Each job gets its own derived random stream (see WithSeed), its
+// own noise-aware placement, and the backend selected by its options;
+// this is the single execution seam of quditkit — every circuit-running
+// code path goes through it.
+func (p *Processor) Submit(jobs ...Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("core: Submit requires at least one job")
+	}
+	results := make([]Result, len(jobs))
+	for i, job := range jobs {
+		res, err := p.runJob(job)
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// SubmitOne is Submit for a single circuit, building the job inline.
+func (p *Processor) SubmitOne(c *circuit.Circuit, opts ...RunOption) (Result, error) {
+	results, err := p.Submit(NewJob(c, opts...))
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}
+
+func (p *Processor) runJob(job Job) (Result, error) {
+	if job.Circuit == nil {
+		return Result{}, fmt.Errorf("core: job has no circuit")
+	}
+	cfg := defaultRunConfig()
+	for _, opt := range job.opts {
+		opt(&cfg)
+	}
+	seed := cfg.seed
+	if !cfg.seedSet {
+		seed = p.jobSeed(job.Circuit)
+	}
+
+	phys, mapping, report, err := p.compileWith(p.mappingRng(seed), job.Circuit)
+	if err != nil {
+		return Result{}, err
+	}
+
+	backend, err := BackendFor(cfg.backend)
+	if err != nil {
+		return Result{}, err
+	}
+	exec, err := backend.Execute(phys, ExecSpec{
+		Noise:   cfg.noise,
+		Shots:   cfg.shots,
+		Seed:    mixSeed(seed, streamSampling),
+		Workers: cfg.workers,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("%s backend: %w", cfg.backend, err)
+	}
+
+	physSpace, err := hilbert.NewSpace(phys.Dims())
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Backend:        cfg.backend,
+		Seed:           seed,
+		Shots:          cfg.shots,
+		State:          exec.State,
+		Density:        exec.Density,
+		PhysicalCounts: exec.Counts,
+		Mapping:        mapping,
+		Report:         report,
+		meanProbs:      exec.MeanProbs,
+		physSpace:      physSpace,
+		logicalWires:   job.Circuit.NumWires(),
+	}
+	if exec.Counts != nil {
+		res.Counts, err = projectCounts(exec.Counts, report.FinalLayout)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return res, nil
+}
+
+// jobSeed is the derived default seed of a job: reproducible, and
+// independent of where the job sits in a batch.
+func (p *Processor) jobSeed(logical *circuit.Circuit) int64 {
+	return mixSeed(p.baseSeed, circuitFingerprint(logical))
+}
+
+// mappingRng returns the placement-annealing stream of a job seed —
+// the single rule shared by Submit, Compile, and Plan, so a planned
+// mapping always matches the compiled one.
+func (p *Processor) mappingRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(mixSeed(seed, streamMapping)))
+}
+
+// mapFor anneals the noise-aware placement for a logical circuit.
+func (p *Processor) mapFor(rng *rand.Rand, logical *circuit.Circuit) (arch.Mapping, error) {
+	edges := interactionEdges(logical)
+	mapping, err := arch.MapNoiseAware(rng, p.Device, logical.NumWires(), edges, arch.MappingOptions{})
+	if err != nil {
+		return arch.Mapping{}, fmt.Errorf("mapping: %w", err)
+	}
+	return mapping, nil
+}
+
+// compileWith places and routes a logical circuit using the given
+// random stream for the annealed placement.
+func (p *Processor) compileWith(rng *rand.Rand, logical *circuit.Circuit) (*circuit.Circuit, arch.Mapping, *arch.RouteReport, error) {
+	mapping, err := p.mapFor(rng, logical)
+	if err != nil {
+		return nil, arch.Mapping{}, nil, err
+	}
+	phys, rep, err := arch.RouteCircuit(p.Device, logical, mapping)
+	if err != nil {
+		return nil, arch.Mapping{}, nil, fmt.Errorf("routing: %w", err)
+	}
+	return phys, mapping, rep, nil
+}
+
+// RunResult is the outcome of the deprecated Compile/Plan/Execute
+// entry points.
+//
+// Deprecated: use Processor.Submit, which returns the richer Result.
 type RunResult struct {
 	// State is the final noiseless state of the routed physical circuit
 	// (nil when only planning was possible).
@@ -75,15 +214,15 @@ type RunResult struct {
 
 // Compile places and routes a logical circuit on the device, using the
 // circuit's own two-qudit structure as the interaction graph.
+//
+// Deprecated: use Processor.Submit; Compile remains as a thin wrapper
+// for one release. Unlike the historical implementation it now draws
+// from a per-circuit derived stream, so repeated compilations of the
+// same circuit agree regardless of call order.
 func (p *Processor) Compile(logical *circuit.Circuit) (*circuit.Circuit, *RunResult, error) {
-	edges := interactionEdges(logical)
-	mapping, err := arch.MapNoiseAware(p.rng, p.Device, logical.NumWires(), edges, arch.MappingOptions{})
+	phys, mapping, rep, err := p.compileWith(p.mappingRng(p.jobSeed(logical)), logical)
 	if err != nil {
-		return nil, nil, fmt.Errorf("mapping: %w", err)
-	}
-	phys, rep, err := arch.RouteCircuit(p.Device, logical, mapping)
-	if err != nil {
-		return nil, nil, fmt.Errorf("routing: %w", err)
+		return nil, nil, err
 	}
 	return phys, &RunResult{Mapping: mapping, Report: rep}, nil
 }
@@ -91,10 +230,9 @@ func (p *Processor) Compile(logical *circuit.Circuit) (*circuit.Circuit, *RunRes
 // Plan places and routes for resource estimation only, with no circuit
 // materialization — usable at any device size.
 func (p *Processor) Plan(logical *circuit.Circuit) (*RunResult, error) {
-	edges := interactionEdges(logical)
-	mapping, err := arch.MapNoiseAware(p.rng, p.Device, logical.NumWires(), edges, arch.MappingOptions{})
+	mapping, err := p.mapFor(p.mappingRng(p.jobSeed(logical)), logical)
 	if err != nil {
-		return nil, fmt.Errorf("mapping: %w", err)
+		return nil, err
 	}
 	rep, err := arch.RoutePlan(p.Device, logical, mapping)
 	if err != nil {
@@ -105,17 +243,15 @@ func (p *Processor) Plan(logical *circuit.Circuit) (*RunResult, error) {
 
 // Execute compiles and runs the circuit noiselessly, returning the final
 // physical state together with the compilation report.
+//
+// Deprecated: use Processor.Submit (Statevector backend), which also
+// provides shot histograms, noise, and batching.
 func (p *Processor) Execute(logical *circuit.Circuit) (*RunResult, error) {
-	phys, res, err := p.Compile(logical)
+	res, err := p.SubmitOne(logical)
 	if err != nil {
 		return nil, err
 	}
-	v, err := phys.Run()
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotSimulable, err)
-	}
-	res.State = v
-	return res, nil
+	return &RunResult{State: res.State, Mapping: res.Mapping, Report: res.Report}, nil
 }
 
 // interactionEdges extracts weighted two-qudit interaction counts from a

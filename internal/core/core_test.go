@@ -11,7 +11,7 @@ import (
 	"quditkit/internal/hilbert"
 )
 
-func TestProcessorExecuteSmall(t *testing.T) {
+func TestProcessorSubmitSmall(t *testing.T) {
 	// Small custom device so the physical register stays simulable.
 	dev := smallTestDevice(2)
 	p, err := NewProcessor(dev, 1)
@@ -25,7 +25,7 @@ func TestProcessorExecuteSmall(t *testing.T) {
 	logical.MustAppend(gates.DFT(3), 0)
 	logical.MustAppend(gates.CSUM(3, 3), 0, 1)
 	logical.MustAppend(gates.CSUM(3, 3), 0, 2)
-	res, err := p.Execute(logical)
+	res, err := p.SubmitOne(logical)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,9 +35,15 @@ func TestProcessorExecuteSmall(t *testing.T) {
 	if res.Report.TwoQuditGates != 2 {
 		t.Errorf("two-qudit gates = %d", res.Report.TwoQuditGates)
 	}
+	if len(res.Report.FinalLayout) != 3 {
+		t.Fatalf("final layout %v", res.Report.FinalLayout)
+	}
 	// GHZ structure survives routing: exactly 3 basis states populated at
 	// 1/3 each.
-	probs := res.State.Probabilities()
+	probs, err := res.Probabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
 	populated := 0
 	for _, pr := range probs {
 		if pr > 1e-9 {
@@ -49,6 +55,15 @@ func TestProcessorExecuteSmall(t *testing.T) {
 	}
 	if populated != 3 {
 		t.Errorf("populated states = %d, want 3", populated)
+	}
+
+	// The deprecated wrapper delegates to Submit and agrees with it.
+	old, err := p.Execute(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.State == nil || old.State.Fidelity(res.State) < 1-1e-9 {
+		t.Error("deprecated Execute disagrees with Submit")
 	}
 }
 
@@ -159,13 +174,4 @@ func TestAllExperimentsQuick(t *testing.T) {
 			}
 		})
 	}
-}
-
-// smallTestDevice returns a chain of nCav cavities with 2 modes each.
-func smallTestDevice(nCav int) (dev archDevice) {
-	d := forecastDeviceForTest(nCav)
-	for i := range d.Cavities {
-		d.Cavities[i].Modes = d.Cavities[i].Modes[:2]
-	}
-	return d
 }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Counts is a shot histogram: outcome key -> number of shots. Keys are
+// per-wire digit strings joined by dots ("0.2.1"), unambiguous for any
+// local dimension.
+type Counts map[string]int
+
+// CountsKey renders a digit string as a histogram key.
+func CountsKey(digits []int) string {
+	parts := make([]string, len(digits))
+	for i, d := range digits {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ".")
+}
+
+// ParseCountsKey recovers the per-wire digits of a histogram key.
+func ParseCountsKey(key string) ([]int, error) {
+	if key == "" {
+		return nil, fmt.Errorf("core: empty counts key")
+	}
+	parts := strings.Split(key, ".")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad counts key %q: %w", key, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// Add records one observation of the given digit string.
+func (c Counts) Add(digits []int) {
+	c[CountsKey(digits)]++
+}
+
+// Total returns the number of shots recorded.
+func (c Counts) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}
+
+// Prob returns the empirical probability of an outcome key.
+func (c Counts) Prob(key string) float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c[key]) / float64(t)
+}
+
+// CountEntry is one (outcome, shots) pair of a sorted histogram view.
+type CountEntry struct {
+	Key string
+	N   int
+}
+
+// Top returns the n most frequent outcomes, ties broken by key, so the
+// ordering is deterministic.
+func (c Counts) Top(n int) []CountEntry {
+	entries := make([]CountEntry, 0, len(c))
+	for k, v := range c {
+		entries = append(entries, CountEntry{Key: k, N: v})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].N != entries[j].N {
+			return entries[i].N > entries[j].N
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	if n > len(entries) {
+		n = len(entries)
+	}
+	return entries[:n]
+}
+
+// Equal reports whether two histograms are identical.
+func (c Counts) Equal(other Counts) bool {
+	if len(c) != len(other) {
+		return false
+	}
+	for k, v := range c {
+		if other[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -325,16 +325,16 @@ func E11CSUM(rng *rand.Rand, quick bool) (*Table, error) {
 	}
 	t.AddNote("paper: 'the timescale of execution of this gate at high fidelity will ultimately determine the viability and scale of the simulation'")
 	// Functional check: the Fourier-conjugation identity behind the
-	// cross-Kerr route.
+	// cross-Kerr route, executed through the statevector backend.
 	c, err := synth.CSUMViaFourier(3)
 	if err != nil {
 		return nil, err
 	}
-	v, err := c.Run()
+	exec, err := StatevectorBackend{}.Execute(c, ExecSpec{})
 	if err != nil {
 		return nil, err
 	}
-	if v == nil {
+	if exec.State == nil {
 		return nil, fmt.Errorf("core: CSUM identity check failed")
 	}
 	t.AddNote("identity CSUM = (I x F†) CZ (I x F) verified functionally")

@@ -7,3 +7,9 @@ type archDevice = arch.Device
 func forecastDeviceForTest(n int) arch.Device {
 	return arch.ForecastDevice(n)
 }
+
+// smallTestDevice returns a chain of nCav cavities with 2 modes each, so
+// routed registers stay simulable.
+func smallTestDevice(nCav int) archDevice {
+	return arch.ForecastDeviceTrimmed(nCav, 2)
+}

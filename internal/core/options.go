@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"quditkit/internal/noise"
+)
+
+// BackendKind names one of the built-in execution backends.
+type BackendKind int
+
+const (
+	// Statevector executes noiselessly on the pure-state simulator — the
+	// fastest backend, exact amplitudes, no noise support.
+	Statevector BackendKind = iota
+	// DensityMatrix executes on the density-matrix simulator with exact
+	// Kraus-channel noise — the reference for noisy results, limited to
+	// small registers.
+	DensityMatrix
+	// Trajectory executes Monte-Carlo quantum-trajectory unravelings of
+	// the noisy circuit, one pure-state simulation per shot, parallelized
+	// across a worker pool — the scalable noisy backend.
+	Trajectory
+)
+
+// String returns the backend's stable name.
+func (k BackendKind) String() string {
+	switch k {
+	case Statevector:
+		return "statevector"
+	case DensityMatrix:
+		return "density-matrix"
+	case Trajectory:
+		return "trajectory"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", int(k))
+	}
+}
+
+// runConfig is the resolved configuration of one job.
+type runConfig struct {
+	backend BackendKind
+	shots   int
+	noise   noise.Model
+	seed    int64
+	seedSet bool
+	workers int
+}
+
+func defaultRunConfig() runConfig {
+	return runConfig{backend: Statevector, workers: 1}
+}
+
+// RunOption configures one job's execution; pass options to NewJob or
+// Processor.SubmitOne.
+type RunOption func(*runConfig)
+
+// WithShots requests a sampled histogram with n measurement shots; the
+// Result's Counts field is populated. On the Trajectory backend the shot
+// count is also the number of trajectories simulated. Zero (the default)
+// skips sampling and returns only the exact state/density output.
+func WithShots(n int) RunOption {
+	return func(c *runConfig) { c.shots = n }
+}
+
+// WithNoise attaches a per-gate noise model to the job. The Statevector
+// backend rejects non-zero noise; DensityMatrix applies it exactly;
+// Trajectory applies it stochastically per shot.
+func WithNoise(m noise.Model) RunOption {
+	return func(c *runConfig) { c.noise = m }
+}
+
+// WithBackend selects the execution backend (default Statevector).
+func WithBackend(k BackendKind) RunOption {
+	return func(c *runConfig) { c.backend = k }
+}
+
+// WithSeed pins the job's random seed. Without it the seed is derived
+// from the processor's base seed and the circuit fingerprint, so results
+// are reproducible and independent of batch order either way; the option
+// exists for explicit replay and decorrelating identical circuits.
+func WithSeed(s int64) RunOption {
+	return func(c *runConfig) { c.seed = s; c.seedSet = true }
+}
+
+// WithWorkers sets the goroutine pool width for backends that can run
+// shots concurrently (Trajectory). Values below 1 select 1. Counts are
+// bit-for-bit independent of the worker count: each trajectory owns a
+// seed-derived stream keyed by its shot index.
+func WithWorkers(n int) RunOption {
+	return func(c *runConfig) { c.workers = n }
+}

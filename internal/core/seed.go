@@ -1,0 +1,60 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"quditkit/internal/circuit"
+)
+
+// Stream salts separating the independent random streams derived from
+// one job seed: placement annealing must not share draws with outcome
+// sampling, or changing the shot count would change the mapping.
+const (
+	streamMapping  = 0x6d617070 // "mapp"
+	streamSampling = 0x73616d70 // "samp"
+)
+
+// mixSeed combines a base seed with a stream tag through a splitmix64
+// finalizer, giving well-separated deterministic substreams.
+func mixSeed(base int64, stream uint64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// DeriveSeed deterministically derives an independent named random
+// stream from a base seed. It is the seed-splitting rule Submit uses
+// internally, exported so drivers can give every consumer (per-job
+// sampling, classical baselines, readout shot noise, ...) its own
+// reproducible stream instead of sharing one mutable rand.Rand whose
+// draws depend on call order.
+func DeriveSeed(base int64, stream string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(stream))
+	return mixSeed(base, h.Sum64())
+}
+
+// circuitFingerprint hashes a circuit's register and op list. Submit
+// folds it into the per-job seed so identical jobs are reproducible and
+// distinct jobs in one batch draw from decorrelated streams, in both
+// cases independent of submission order.
+func circuitFingerprint(c *circuit.Circuit) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, d := range c.Dims() {
+		writeInt(d)
+	}
+	for _, op := range c.Ops() {
+		h.Write([]byte(op.Gate.Name))
+		for _, t := range op.Targets {
+			writeInt(t)
+		}
+	}
+	return h.Sum64()
+}

@@ -22,7 +22,12 @@
 // (internal/cavity), gate synthesis including SNAP-displacement and CSUM
 // compilation (internal/synth), and the device model with noise-aware
 // mapping and routing (internal/arch). Package internal/core ties them
-// into a Processor facade and hosts the experiment registry (E1..E14)
-// that regenerates every quantitative claim; see DESIGN.md and
+// into the unified execution façade — Processor.Submit dispatching Jobs
+// with functional RunOptions (WithShots, WithNoise, WithBackend,
+// WithSeed, WithWorkers) onto pluggable Backends (statevector, density
+// matrix, parallel Monte-Carlo trajectories) and returning unified
+// Results (state/density access, logical shot histograms, marginals,
+// route reports) — and hosts the experiment registry (E1..E14) that
+// regenerates every quantitative claim; see DESIGN.md and
 // EXPERIMENTS.md.
 package quditkit
