@@ -1,0 +1,91 @@
+// Command docscheck enforces the repository's documentation floor: it
+// walks the given directory trees (default internal and cmd) and fails
+// with a non-zero exit when any Go package lacks a package comment —
+// the doc comment immediately preceding a package clause in at least
+// one of its non-test files. CI runs it in the docs job so every
+// package under internal/ and cmd/ stays documented.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck            # check internal/ and cmd/
+//	go run ./cmd/docscheck ./pkg ...  # check explicit trees
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	var bad []string
+	for _, root := range roots {
+		offenders, err := checkTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad = append(bad, offenders...)
+	}
+	if len(bad) > 0 {
+		for _, dir := range bad {
+			fmt.Fprintf(os.Stderr, "docscheck: package in %s has no package comment\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// checkTree walks one directory tree and returns the directories whose
+// packages have no package comment.
+func checkTree(root string) ([]string, error) {
+	var bad []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ok, hasGo, err := dirHasPackageComment(path)
+		if err != nil {
+			return err
+		}
+		if hasGo && !ok {
+			bad = append(bad, path)
+		}
+		return nil
+	})
+	return bad, err
+}
+
+// dirHasPackageComment parses the package clauses of the non-test Go
+// files in one directory. hasGo reports whether any were found; ok
+// reports whether at least one carries a package doc comment.
+func dirHasPackageComment(dir string) (ok, hasGo bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, hasGo, fmt.Errorf("parsing %s: %w", filepath.Join(dir, name), err)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, hasGo, nil
+}

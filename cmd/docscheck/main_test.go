@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckTree(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "good", "doc.go"),
+		"// Package good is documented.\npackage good\n")
+	writeFile(t, filepath.Join(root, "good", "other.go"),
+		"package good\n")
+	writeFile(t, filepath.Join(root, "bad", "bad.go"),
+		"package bad\n")
+	// Test files never satisfy the requirement on their own.
+	writeFile(t, filepath.Join(root, "testonly", "x.go"),
+		"package testonly\n")
+	writeFile(t, filepath.Join(root, "testonly", "x_test.go"),
+		"// Package testonly tests things.\npackage testonly\n")
+	// Directories without Go files are ignored.
+	writeFile(t, filepath.Join(root, "empty", "README.md"), "nothing here\n")
+
+	bad, err := checkTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		filepath.Join(root, "bad"):      true,
+		filepath.Join(root, "testonly"): true,
+	}
+	if len(bad) != len(want) {
+		t.Fatalf("offenders = %v, want %v", bad, want)
+	}
+	for _, dir := range bad {
+		if !want[dir] {
+			t.Errorf("unexpected offender %s", dir)
+		}
+	}
+}
+
+// TestRepositoryIsClean runs the checker against this repository's own
+// internal/ and cmd/ trees — the same invariant CI enforces.
+func TestRepositoryIsClean(t *testing.T) {
+	for _, root := range []string{"../../internal", "../../cmd"} {
+		bad, err := checkTree(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range bad {
+			t.Errorf("package in %s has no package comment", dir)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Command quditd is the quditkit job-service daemon: it fronts one
+// simulated forecast-cavity processor with the asynchronous job queue
+// and content-addressed result cache of internal/serve, exposed as a
+// JSON-over-HTTP API:
+//
+//	POST   /v1/jobs        submit a circuit (add ?wait=1 to block)
+//	GET    /v1/jobs/{id}   poll a job (add ?wait=1 to block)
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /v1/stats       queue and cache counters
+//
+// Example:
+//
+//	quditd -addr :8080 -cavities 2 -modes 2 -seed 1
+//	curl -s localhost:8080/v1/jobs?wait=1 -d '{
+//	  "circuit": {"dims": [3,3,3], "ops": [
+//	    {"gate": "dft",  "targets": [0]},
+//	    {"gate": "csum", "targets": [0,1]},
+//	    {"gate": "csum", "targets": [0,2]}]},
+//	  "shots": 512}'
+//
+// quditd shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
+// requests and queued jobs drain before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"quditkit/internal/core"
+	"quditkit/internal/serve"
+)
+
+// options collects the daemon's flag-configurable parameters.
+type options struct {
+	addr     string
+	cavities int
+	modes    int
+	seed     int64
+	shards   int
+	queue    int
+	batch    int
+	cache    int
+	retain   int
+}
+
+// parseFlags reads options from an argument list (excluding the
+// program name).
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("quditd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.cavities, "cavities", 2, "forecast cavities in the device chain")
+	fs.IntVar(&o.modes, "modes", 2, "modes per cavity (trimmed so routed registers stay simulable)")
+	fs.Int64Var(&o.seed, "seed", 1, "processor base seed (all results derive from it)")
+	fs.IntVar(&o.shards, "shards", 0, "queue/worker shards (0 = default)")
+	fs.IntVar(&o.queue, "queue", 0, "per-shard queue depth (0 = default)")
+	fs.IntVar(&o.batch, "batch", 0, "max jobs per Submit batch (0 = default)")
+	fs.IntVar(&o.cache, "cache", 0, "result-cache entries (0 = default, negative disables)")
+	fs.IntVar(&o.retain, "retain", 0, "settled job records kept for lookup (0 = default, negative keeps all)")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+// newService builds the processor and job service the daemon fronts.
+func newService(o options) (*serve.Service, error) {
+	proc, err := core.NewCompactProcessor(o.cavities, o.modes, o.seed)
+	if err != nil {
+		return nil, fmt.Errorf("building processor: %w", err)
+	}
+	return serve.New(proc, serve.Config{
+		Shards:     o.shards,
+		QueueDepth: o.queue,
+		BatchSize:  o.batch,
+		CacheSize:  o.cache,
+		RetainJobs: o.retain,
+	})
+}
+
+// run serves the API until ctx is cancelled, then shuts down
+// gracefully: the HTTP server drains in-flight requests and the job
+// service drains its queues. If ready is non-nil it receives the bound
+// listen address once the server is accepting connections.
+func run(ctx context.Context, o options, logger *log.Logger, ready chan<- net.Addr) error {
+	svc, err := newService(o)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		svc.Close()
+		return fmt.Errorf("listening on %s: %w", o.addr, err)
+	}
+	server := &http.Server{Handler: serve.NewHandler(svc)}
+
+	logger.Printf("quditd serving on %s (device: %d cavities x %d modes, seed %d)",
+		ln.Addr(), o.cavities, o.modes, o.seed)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("quditd shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutdownErr := server.Shutdown(shutdownCtx)
+	svc.Close() // drain queued jobs after the listener stops
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("quditd stopped")
+	return shutdownErr
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, logger, nil); err != nil {
+		logger.Fatal(err)
+	}
+}

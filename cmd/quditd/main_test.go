@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-cavities", "3", "-cache", "-1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:0" || o.cavities != 3 || o.cache != -1 {
+		t.Errorf("options = %+v", o)
+	}
+	if _, err := parseFlags([]string{"-bogus"}, io.Discard); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestNewServiceRejectsBadDevice(t *testing.T) {
+	if _, err := newService(options{cavities: 0, modes: 0, seed: 1}); err == nil {
+		t.Error("empty device accepted")
+	}
+}
+
+// TestRunStartupServeShutdown is the daemon smoke test: boot on an
+// ephemeral port, serve one job end to end, then shut down gracefully
+// on context cancellation.
+func TestRunStartupServeShutdown(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", "127.0.0.1:0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	logger := log.New(io.Discard, "", 0)
+	go func() { done <- run(ctx, o, logger, ready) }()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr.String()
+
+	body := []byte(`{"circuit":{"dims":[3],"ops":[{"gate":"dft","targets":[0]}]},"shots":16}`)
+	resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || view.State != "done" {
+		t.Fatalf("job response status %d view %+v", resp.StatusCode, view)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

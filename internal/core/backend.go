@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -13,14 +14,25 @@ import (
 )
 
 // ExecSpec is the resolved execution request handed to a Backend: the
-// noise model, the shot budget, the sampling seed, and the worker-pool
-// width. Processor.Submit builds it from the job's RunOptions; backends
-// can also be driven directly on un-routed circuits.
+// cancellation context, the noise model, the shot budget, the sampling
+// seed, and the worker-pool width. Processor.Submit builds it from the
+// job's RunOptions; backends can also be driven directly on un-routed
+// circuits.
 type ExecSpec struct {
+	// Ctx cancels the execution when done; nil means run to completion.
+	Ctx     context.Context
 	Noise   noise.Model
 	Shots   int
 	Seed    int64
 	Workers int
+}
+
+// context returns the spec's context, defaulting to Background.
+func (s ExecSpec) context() context.Context {
+	if s.Ctx == nil {
+		return context.Background()
+	}
+	return s.Ctx
 }
 
 // Execution is a backend's raw output on the register it executed
@@ -70,6 +82,9 @@ func (StatevectorBackend) Kind() BackendKind { return Statevector }
 
 // Execute implements Backend.
 func (StatevectorBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
+	if err := spec.context().Err(); err != nil {
+		return Execution{}, err
+	}
 	if !spec.Noise.IsZero() {
 		return Execution{}, fmt.Errorf("core: %s backend cannot apply noise; use %s or %s",
 			Statevector, DensityMatrix, Trajectory)
@@ -97,6 +112,9 @@ func (DensityMatrixBackend) Kind() BackendKind { return DensityMatrix }
 
 // Execute implements Backend.
 func (DensityMatrixBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
+	if err := spec.context().Err(); err != nil {
+		return Execution{}, err
+	}
 	r, err := c.RunDensity(spec.Noise)
 	if err != nil {
 		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
@@ -123,6 +141,7 @@ func (TrajectoryBackend) Kind() BackendKind { return Trajectory }
 
 // Execute implements Backend.
 func (TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
+	ctx := spec.context()
 	shots := spec.Shots
 	if shots <= 0 {
 		shots = 1
@@ -153,6 +172,12 @@ func (TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, 
 			// Strided shot assignment: deterministic, and it balances the
 			// pool without a shared queue.
 			for t := w; t < shots; t += workers {
+				// Polling between trajectories bounds the cancellation
+				// latency to one shot rather than the whole batch.
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				rng := rand.New(rand.NewSource(mixSeed(spec.Seed, uint64(t))))
 				v, err := c.RunTrajectory(rng, spec.Noise)
 				if err != nil {

@@ -17,7 +17,6 @@ import (
 	"quditkit/internal/circuit"
 	"quditkit/internal/hilbert"
 	"quditkit/internal/noise"
-	"quditkit/internal/state"
 )
 
 // ErrNotSimulable is returned when a routed circuit exceeds the
@@ -74,22 +73,42 @@ func (p *Processor) NoiseModelForDim(d int) (noise.Model, error) {
 	}, nil
 }
 
+// JobError reports which job of a Submit batch failed, wrapping the
+// underlying cause for errors.Is/As. Submit aborts at the first
+// failure, so batch drivers can use Index to keep the prefix of
+// completed Results and resume after the failing job instead of
+// re-executing the whole batch.
+type JobError struct {
+	// Index is the position of the failing job in the submitted batch.
+	Index int
+	// Err is the underlying execution or compilation error.
+	Err error
+}
+
+// Error implements error.
+func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
 // Submit compiles and executes a batch of jobs, one Result per job in
 // order. Each job gets its own derived random stream (see WithSeed), its
 // own noise-aware placement, and the backend selected by its options;
 // this is the single execution seam of quditkit — every circuit-running
-// code path goes through it.
+// code path goes through it. On failure Submit stops at the first
+// failing job and returns the Results completed so far together with a
+// *JobError naming the failing index.
 func (p *Processor) Submit(jobs ...Job) ([]Result, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("core: Submit requires at least one job")
 	}
-	results := make([]Result, len(jobs))
+	results := make([]Result, 0, len(jobs))
 	for i, job := range jobs {
 		res, err := p.runJob(job)
 		if err != nil {
-			return nil, fmt.Errorf("job %d: %w", i, err)
+			return results, &JobError{Index: i, Err: err}
 		}
-		results[i] = res
+		results = append(results, res)
 	}
 	return results, nil
 }
@@ -111,6 +130,11 @@ func (p *Processor) runJob(job Job) (Result, error) {
 	for _, opt := range job.opts {
 		opt(&cfg)
 	}
+	if cfg.ctx != nil {
+		if err := cfg.ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	seed := cfg.seed
 	if !cfg.seedSet {
 		seed = p.jobSeed(job.Circuit)
@@ -126,6 +150,7 @@ func (p *Processor) runJob(job Job) (Result, error) {
 		return Result{}, err
 	}
 	exec, err := backend.Execute(phys, ExecSpec{
+		Ctx:     cfg.ctx,
 		Noise:   cfg.noise,
 		Shots:   cfg.shots,
 		Seed:    mixSeed(seed, streamSampling),
@@ -168,8 +193,8 @@ func (p *Processor) jobSeed(logical *circuit.Circuit) int64 {
 }
 
 // mappingRng returns the placement-annealing stream of a job seed —
-// the single rule shared by Submit, Compile, and Plan, so a planned
-// mapping always matches the compiled one.
+// the single rule shared by Submit and Plan, so a planned mapping
+// always matches the one compiled for the same seed.
 func (p *Processor) mappingRng(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(mixSeed(seed, streamMapping)))
 }
@@ -198,38 +223,22 @@ func (p *Processor) compileWith(rng *rand.Rand, logical *circuit.Circuit) (*circ
 	return phys, mapping, rep, nil
 }
 
-// RunResult is the outcome of the deprecated Compile/Plan/Execute
-// entry points.
-//
-// Deprecated: use Processor.Submit, which returns the richer Result.
-type RunResult struct {
-	// State is the final noiseless state of the routed physical circuit
-	// (nil when only planning was possible).
-	State *state.Vec
+// PlanReport is the outcome of Processor.Plan: the annealed placement
+// and the routing report, with no circuit materialization or execution.
+type PlanReport struct {
 	// Mapping is the noise-aware placement used.
 	Mapping arch.Mapping
 	// Report carries swap counts, duration, and the coherence budget.
 	Report *arch.RouteReport
 }
 
-// Compile places and routes a logical circuit on the device, using the
-// circuit's own two-qudit structure as the interaction graph.
-//
-// Deprecated: use Processor.Submit; Compile remains as a thin wrapper
-// for one release. Unlike the historical implementation it now draws
-// from a per-circuit derived stream, so repeated compilations of the
-// same circuit agree regardless of call order.
-func (p *Processor) Compile(logical *circuit.Circuit) (*circuit.Circuit, *RunResult, error) {
-	phys, mapping, rep, err := p.compileWith(p.mappingRng(p.jobSeed(logical)), logical)
-	if err != nil {
-		return nil, nil, err
-	}
-	return phys, &RunResult{Mapping: mapping, Report: rep}, nil
-}
-
 // Plan places and routes for resource estimation only, with no circuit
-// materialization — usable at any device size.
-func (p *Processor) Plan(logical *circuit.Circuit) (*RunResult, error) {
+// materialization — usable at any device size. It draws from the same
+// per-circuit derived stream as Submit's default seeding, so a planned
+// mapping matches what an unseeded submission of the same circuit
+// would compile; a submission pinned with WithSeed anneals from the
+// explicit seed's stream instead and may place differently.
+func (p *Processor) Plan(logical *circuit.Circuit) (*PlanReport, error) {
 	mapping, err := p.mapFor(p.mappingRng(p.jobSeed(logical)), logical)
 	if err != nil {
 		return nil, err
@@ -238,20 +247,7 @@ func (p *Processor) Plan(logical *circuit.Circuit) (*RunResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("routing: %w", err)
 	}
-	return &RunResult{Mapping: mapping, Report: rep}, nil
-}
-
-// Execute compiles and runs the circuit noiselessly, returning the final
-// physical state together with the compilation report.
-//
-// Deprecated: use Processor.Submit (Statevector backend), which also
-// provides shot histograms, noise, and batching.
-func (p *Processor) Execute(logical *circuit.Circuit) (*RunResult, error) {
-	res, err := p.SubmitOne(logical)
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{State: res.State, Mapping: res.Mapping, Report: res.Report}, nil
+	return &PlanReport{Mapping: mapping, Report: rep}, nil
 }
 
 // interactionEdges extracts weighted two-qudit interaction counts from a

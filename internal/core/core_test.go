@@ -57,13 +57,20 @@ func TestProcessorSubmitSmall(t *testing.T) {
 		t.Errorf("populated states = %d, want 3", populated)
 	}
 
-	// The deprecated wrapper delegates to Submit and agrees with it.
-	old, err := p.Execute(logical)
+	// Plan agrees with the placement Submit used: same derived stream.
+	plan, err := p.Plan(logical)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if old.State == nil || old.State.Fidelity(res.State) < 1-1e-9 {
-		t.Error("deprecated Execute disagrees with Submit")
+	if len(plan.Mapping.LogicalToMode) != len(res.Mapping.LogicalToMode) {
+		t.Fatalf("plan mapping %v vs submit mapping %v",
+			plan.Mapping.LogicalToMode, res.Mapping.LogicalToMode)
+	}
+	for q, mode := range plan.Mapping.LogicalToMode {
+		if res.Mapping.LogicalToMode[q] != mode {
+			t.Errorf("plan and submit place wire %d differently (%d vs %d)",
+				q, mode, res.Mapping.LogicalToMode[q])
+		}
 	}
 }
 

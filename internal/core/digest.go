@@ -1,0 +1,47 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// OptionsDigest hashes the result-determining part of a job's run
+// options into a stable content address: backend kind, shot count,
+// explicit seed (and whether one was set), and every noise-model rate.
+// Two option lists with equal digests submitted for the same circuit to
+// the same processor produce byte-identical Results, which is the
+// contract the job-service result cache relies on.
+//
+// Deliberately excluded: WithWorkers (trajectory counts are
+// bit-identical for any worker count) and WithContext (cancellation
+// never influences a completed result). Submissions differing only in
+// those options therefore share a cache entry.
+func OptionsDigest(opts ...RunOption) uint64 {
+	cfg := defaultRunConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(cfg.backend))
+	writeU64(uint64(cfg.shots))
+	if cfg.seedSet {
+		writeU64(1)
+		writeU64(uint64(cfg.seed))
+	} else {
+		writeU64(0)
+	}
+	for _, rate := range []float64{
+		cfg.noise.Depol1, cfg.noise.Depol2,
+		cfg.noise.Damping, cfg.noise.Dephasing,
+		cfg.noise.IdleDamping, cfg.noise.IdleDephasing,
+	} {
+		writeU64(math.Float64bits(rate))
+	}
+	return h.Sum64()
+}

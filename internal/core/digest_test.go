@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+)
+
+func ghzCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.New(hilbert.Uniform(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	c.MustAppend(gates.CSUM(3, 3), 0, 2)
+	return c
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := ghzCircuit(t)
+	b := ghzCircuit(t)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("identical circuits fingerprint differently")
+	}
+	b.MustAppend(gates.DFT(3), 1)
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Error("distinct circuits share a fingerprint")
+	}
+}
+
+// TestFingerprintParameterSensitivity guards against the name-only
+// hashing bug: gate names drop continuous parameters, so the
+// fingerprint must reach into the unitaries or the result cache would
+// serve one circuit's results for another.
+func TestFingerprintParameterSensitivity(t *testing.T) {
+	single := func(g gates.Gate) *circuit.Circuit {
+		c, err := circuit.New(hilbert.Uniform(1, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.MustAppend(g, 0)
+		return c
+	}
+	pairs := map[string][2]gates.Gate{
+		"phase angle":      {gates.Phase(3, 1, 0.5), gates.Phase(3, 1, 1.5)},
+		"givens angle":     {gates.Givens(3, 0, 1, 0.3, 0), gates.Givens(3, 0, 1, 0.7, 0)},
+		"snap permutation": {gates.SNAP([]float64{0, 1, 2}), gates.SNAP([]float64{2, 1, 0})},
+		"rotor beta":       {gates.RotorMixer(3, 0.0001), gates.RotorMixer(3, 0.0004)},
+	}
+	for name, pair := range pairs {
+		if Fingerprint(single(pair[0])) == Fingerprint(single(pair[1])) {
+			t.Errorf("%s: distinct parameters share a fingerprint", name)
+		}
+	}
+}
+
+func TestOptionsDigest(t *testing.T) {
+	base := OptionsDigest()
+	if OptionsDigest() != base {
+		t.Error("empty digest not stable")
+	}
+	// Result-determining options move the digest.
+	for name, opts := range map[string][]RunOption{
+		"shots":   {WithShots(128)},
+		"backend": {WithBackend(Trajectory)},
+		"seed":    {WithSeed(7)},
+		"noise":   {WithNoise(noise.Model{Damping: 1e-3})},
+	} {
+		if OptionsDigest(opts...) == base {
+			t.Errorf("%s option did not change the digest", name)
+		}
+	}
+	// WithSeed(0) is an explicit seed, distinct from no seed at all.
+	if OptionsDigest(WithSeed(0)) == base {
+		t.Error("explicit zero seed digests like the derived default")
+	}
+	// Execution-only options must NOT move it: workers never change
+	// counts, and a context never changes a completed result.
+	if OptionsDigest(WithWorkers(8)) != base {
+		t.Error("worker count leaked into the digest")
+	}
+	if OptionsDigest(WithContext(context.Background())) != base {
+		t.Error("context leaked into the digest")
+	}
+	// Order independence across distinct options.
+	ab := OptionsDigest(WithShots(64), WithBackend(Trajectory))
+	ba := OptionsDigest(WithBackend(Trajectory), WithShots(64))
+	if ab != ba {
+		t.Error("digest depends on option order")
+	}
+}
+
+// TestSubmitJobErrorAttribution pins the partial-batch contract: a
+// failing mid-batch job yields the completed prefix of Results plus a
+// JobError naming the failing index, so batch drivers can resume
+// without re-executing successful batchmates.
+func TestSubmitJobErrorAttribution(t *testing.T) {
+	dev := smallTestDevice(2)
+	p, err := NewProcessor(dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ghzCircuit(t)
+	results, err := p.Submit(
+		NewJob(good, WithShots(8)),
+		// Statevector rejects noise: deterministic failure at index 1.
+		NewJob(good, WithNoise(noise.Model{Damping: 0.1})),
+		NewJob(good, WithShots(8)),
+	)
+	if err == nil {
+		t.Fatal("bad batch succeeded")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err %T is not a *JobError", err)
+	}
+	if je.Index != 1 {
+		t.Errorf("failing index = %d, want 1", je.Index)
+	}
+	if len(results) != 1 {
+		t.Fatalf("prefix has %d results, want 1", len(results))
+	}
+	if results[0].Counts.Total() != 8 {
+		t.Errorf("prefix result incomplete: %+v", results[0].Counts)
+	}
+}
+
+func TestSubmitContextCancellation(t *testing.T) {
+	dev := smallTestDevice(2)
+	p, err := NewProcessor(dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := ghzCircuit(t)
+	model := noise.Model{Damping: 1e-3, Dephasing: 1e-3}
+
+	// Already-cancelled context: every backend refuses promptly.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, kind := range []BackendKind{Statevector, DensityMatrix, Trajectory} {
+		opts := []RunOption{WithBackend(kind), WithContext(cancelled)}
+		if kind != Statevector {
+			opts = append(opts, WithNoise(model), WithShots(16))
+		}
+		if _, err := p.SubmitOne(logical, opts...); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", kind, err)
+		}
+	}
+
+	// Mid-flight cancellation of a large trajectory job returns well
+	// before all shots would have drained.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.SubmitOne(logical,
+			WithBackend(Trajectory), WithNoise(model),
+			WithShots(1_000_000), WithContext(ctx))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel2()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("mid-flight err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("trajectory job did not observe cancellation promptly")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"quditkit/internal/noise"
@@ -45,6 +46,7 @@ type runConfig struct {
 	seed    int64
 	seedSet bool
 	workers int
+	ctx     context.Context
 }
 
 func defaultRunConfig() runConfig {
@@ -89,4 +91,27 @@ func WithSeed(s int64) RunOption {
 // seed-derived stream keyed by its shot index.
 func WithWorkers(n int) RunOption {
 	return func(c *runConfig) { c.workers = n }
+}
+
+// WithContext attaches a cancellation context to the job. Submit checks
+// it before compiling, and long-running backends (Trajectory) poll it
+// between trajectories, so cancelling the context aborts the job
+// promptly — mid-batch, without waiting for the in-flight shots to
+// drain — returning the context's error. A nil or absent context means
+// the job runs to completion. The context never influences results:
+// it is excluded from OptionsDigest.
+func WithContext(ctx context.Context) RunOption {
+	return func(c *runConfig) { c.ctx = ctx }
+}
+
+// ContextOf resolves the context an option list selects (nil when no
+// WithContext is present). Job-service layers that wrap submissions in
+// their own cancellation context use it to derive that context from
+// the caller's instead of silently overriding it.
+func ContextOf(opts ...RunOption) context.Context {
+	cfg := defaultRunConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg.ctx
 }

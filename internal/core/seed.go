@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"math"
 
 	"quditkit/internal/circuit"
 )
@@ -36,25 +37,41 @@ func DeriveSeed(base int64, stream string) int64 {
 	return mixSeed(base, h.Sum64())
 }
 
-// circuitFingerprint hashes a circuit's register and op list. Submit
-// folds it into the per-job seed so identical jobs are reproducible and
-// distinct jobs in one batch draw from decorrelated streams, in both
-// cases independent of submission order.
-func circuitFingerprint(c *circuit.Circuit) uint64 {
+// Fingerprint hashes a circuit's register dimensions and op list into
+// a stable content address. Every gate's full unitary is hashed, not
+// just its name: gate names drop continuous parameters (a Phase gate
+// prints as "P3(1)" for any phi), so name-only hashing would collide
+// distinct circuits — fatal for a result cache. Submit also folds the
+// fingerprint into the per-job seed, so identical jobs are
+// reproducible and distinct jobs in one batch draw from decorrelated
+// streams, independent of submission order; the job-service result
+// cache keys on (Fingerprint, OptionsDigest) to recognize repeated
+// submissions.
+func Fingerprint(c *circuit.Circuit) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	writeInt := func(v int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
 	for _, d := range c.Dims() {
-		writeInt(d)
+		writeU64(uint64(d))
 	}
 	for _, op := range c.Ops() {
 		h.Write([]byte(op.Gate.Name))
 		for _, t := range op.Targets {
-			writeInt(t)
+			writeU64(uint64(t))
+		}
+		if op.Gate.Matrix != nil {
+			for _, a := range op.Gate.Matrix.Data {
+				writeU64(math.Float64bits(real(a)))
+				writeU64(math.Float64bits(imag(a)))
+			}
 		}
 	}
 	return h.Sum64()
 }
+
+// circuitFingerprint is the internal alias of Fingerprint, kept so seed
+// derivation reads as an implementation detail at its call sites.
+func circuitFingerprint(c *circuit.Circuit) uint64 { return Fingerprint(c) }

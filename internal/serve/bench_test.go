@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/core"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+)
+
+func benchService(b *testing.B, cfg Config) *Service {
+	b.Helper()
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(proc, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+func benchCircuit(b *testing.B) *circuit.Circuit {
+	b.Helper()
+	c, err := circuit.New(hilbert.Uniform(3, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	c.MustAppend(gates.CSUM(3, 3), 0, 2)
+	return c
+}
+
+func benchOpts() []core.RunOption {
+	return []core.RunOption{
+		core.WithBackend(core.Trajectory),
+		core.WithNoise(noise.Model{Damping: 1e-3, Dephasing: 1e-3}),
+		core.WithShots(128),
+		core.WithSeed(42),
+	}
+}
+
+// BenchmarkEnqueueCachedHit measures the repeated-submission fast
+// path: every iteration after the warm-up settles from the
+// content-addressed cache without simulating.
+func BenchmarkEnqueueCachedHit(b *testing.B) {
+	s := benchService(b, Config{})
+	circ := benchCircuit(b)
+	opts := benchOpts()
+	id, err := s.Enqueue(circ, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Await(context.Background(), id); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Enqueue(circ, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Await(context.Background(), id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnqueueCold measures the same submission with caching
+// disabled: every iteration pays for a full noisy trajectory
+// simulation — the work a cache hit saves.
+func BenchmarkEnqueueCold(b *testing.B) {
+	s := benchService(b, Config{CacheSize: -1})
+	circ := benchCircuit(b)
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Enqueue(circ, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Await(context.Background(), id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"quditkit/internal/core"
+)
+
+// cacheKey is the content address of a submission: the circuit
+// fingerprint and the digest of its result-determining run options.
+// Because every quditkit execution is deterministic in (processor seed,
+// circuit, options), equal keys imply byte-identical Results.
+type cacheKey struct {
+	fingerprint uint64
+	options     uint64
+}
+
+// cacheEntry is one cached (key, Result) pair in the LRU list.
+type cacheEntry struct {
+	key cacheKey
+	res core.Result
+}
+
+// resultCache is a bounded LRU of completed Results keyed by content
+// address. Cached Results are shared across callers and must be
+// treated as read-only. A capacity of zero disables the cache.
+type resultCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used
+	byKey     map[cacheKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultCache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached Result for key, recording a hit or miss.
+func (c *resultCache) get(key cacheKey) (core.Result, bool) {
+	return c.lookup(key, true)
+}
+
+// peek is get without miss accounting — for drain-time re-checks of a
+// key whose miss the Enqueue probe already counted, so cold jobs
+// record exactly one miss.
+func (c *resultCache) peek(key cacheKey) (core.Result, bool) {
+	return c.lookup(key, false)
+}
+
+func (c *resultCache) lookup(key cacheKey, countMiss bool) (core.Result, bool) {
+	if c.capacity == 0 {
+		return core.Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		if countMiss {
+			c.misses++
+		}
+		return core.Result{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a Result under key, evicting the least recently used
+// entry when the cache is full.
+func (c *resultCache) put(key cacheKey, res core.Result) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// counters returns the hit/miss/eviction totals.
+func (c *resultCache) counters() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

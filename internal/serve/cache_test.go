@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"quditkit/internal/core"
+	"quditkit/internal/noise"
+)
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	s := newTestService(t, Config{})
+	// Cold submission: exactly one miss — the Enqueue probe; the
+	// worker's drain-time re-check peeks without miss accounting.
+	id1, err := s.Enqueue(ghz(t), core.WithShots(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Await(context.Background(), id1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheHits != 0 {
+		t.Errorf("cold run recorded %d hits", st.CacheHits)
+	}
+	if st.CacheMisses != 1 {
+		t.Errorf("cold run recorded %d misses, want exactly 1", st.CacheMisses)
+	}
+	if st.CacheLen != 1 {
+		t.Errorf("cache len = %d, want 1", st.CacheLen)
+	}
+
+	// Identical resubmission: a hit, settled without queueing.
+	id2, err := s.Enqueue(ghz(t), core.WithShots(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.Status(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != Done || !status.Cached {
+		t.Errorf("resubmission status = %+v, want cached Done", status)
+	}
+	if got := s.Stats().CacheHits; got != 1 {
+		t.Errorf("hits after resubmission = %d, want 1", got)
+	}
+
+	// Different options → different content address → miss.
+	id3, err := s.Enqueue(ghz(t), core.WithShots(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Await(context.Background(), id3); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CacheHits != 1 || st.CacheLen != 2 {
+		t.Errorf("after different-shots run: %+v", st)
+	}
+
+	// Worker count is execution detail, not content: still a hit.
+	id4, err := s.Enqueue(ghz(t), core.WithShots(128), core.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := s.Status(id4); !status.Cached {
+		t.Error("worker-count variation missed the cache")
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	const capacity = 2
+	s := newTestService(t, Config{CacheSize: capacity})
+	// Submit more distinct circuits than the cache holds.
+	for k := 0; k < 5; k++ {
+		id, err := s.Enqueue(shiftCircuit(t, k), core.WithShots(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Await(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CacheLen > capacity {
+		t.Errorf("cache len %d exceeds capacity %d", st.CacheLen, capacity)
+	}
+	if st.CacheEvictions < 3 {
+		t.Errorf("evictions = %d, want >= 3", st.CacheEvictions)
+	}
+	// LRU: the most recent circuit is still cached...
+	id, err := s.Enqueue(shiftCircuit(t, 4), core.WithShots(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := s.Status(id); !status.Cached {
+		t.Error("most recent entry was evicted")
+	}
+	// ...and the oldest is gone.
+	id, err = s.Enqueue(shiftCircuit(t, 0), core.WithShots(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Await(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := s.Status(id); status.Cached {
+		t.Error("oldest entry survived past the bound")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := newTestService(t, Config{CacheSize: -1})
+	for i := 0; i < 2; i++ {
+		id, err := s.Enqueue(ghz(t), core.WithShots(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Await(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+		if status, _ := s.Status(id); status.Cached {
+			t.Error("disabled cache served a hit")
+		}
+	}
+	if st := s.Stats(); st.CacheHits != 0 || st.CacheLen != 0 {
+		t.Errorf("disabled cache stats %+v", st)
+	}
+}
+
+// TestCachedHitByteIdenticalToColdRun pins the cache's core guarantee:
+// under an explicit seed and a noisy stochastic backend, the cached
+// Result serializes byte-for-byte identically to a cold simulation of
+// the same submission, and to the synchronous Submit path.
+func TestCachedHitByteIdenticalToColdRun(t *testing.T) {
+	model := noise.Model{Damping: 1e-3, Dephasing: 1e-3}
+	opts := []core.RunOption{
+		core.WithBackend(core.Trajectory),
+		core.WithNoise(model),
+		core.WithShots(256),
+		core.WithSeed(42),
+	}
+
+	s := newTestService(t, Config{})
+	coldID, err := s.Enqueue(ghz(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s.Await(context.Background(), coldID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitID, err := s.Enqueue(ghz(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := s.Await(context.Background(), hitID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := s.Status(hitID); !status.Cached {
+		t.Fatal("second identical submission was not a cache hit")
+	}
+
+	direct, err := testProcessor(t).SubmitOne(ghz(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldJSON := mustMarshalView(t, cold)
+	hitJSON := mustMarshalView(t, hit)
+	directJSON := mustMarshalView(t, direct)
+	if !bytes.Equal(coldJSON, hitJSON) {
+		t.Errorf("cached hit differs from cold run:\ncold %s\nhit  %s", coldJSON, hitJSON)
+	}
+	if !bytes.Equal(coldJSON, directJSON) {
+		t.Errorf("service run differs from synchronous Submit:\nserve %s\nsync  %s", coldJSON, directJSON)
+	}
+	// Beyond the wire view: the trajectory-averaged distributions agree
+	// exactly too.
+	pc, err := cold.Probabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := hit.Probabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pc {
+		if pc[i] != ph[i] {
+			t.Fatalf("probability %d differs: %v vs %v", i, pc[i], ph[i])
+		}
+	}
+}
+
+func mustMarshalView(t *testing.T, res core.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(NewResultView(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler exposes a Service over a small JSON/HTTP API:
+//
+//	POST   /v1/jobs        submit a JobRequest; 200 with the settled
+//	                       JobView on a cache hit, 202 otherwise
+//	                       (?wait=1 blocks until the job settles)
+//	GET    /v1/jobs/{id}   job status, with the result once done
+//	                       (?wait=1 blocks until the job settles)
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/stats       service and cache counters
+//
+// cmd/quditd serves this handler; tests drive it via httptest.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		// MaxOps gate specs fit comfortably in 8 MiB; anything larger
+		// is hostile or broken, and must not buffer unbounded.
+		body := http.MaxBytesReader(w, r.Body, 8<<20)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		circ, err := BuildCircuit(req.Circuit)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts, err := req.Options(s.proc)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := s.Enqueue(circ, opts...)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		var view JobView
+		if wantWait(r) {
+			// awaitView holds the job record across the wait, so a
+			// concurrent retention prune cannot lose the outcome; the
+			// job's own terminal error lands in the JobView body, and
+			// only the request context expiring is a transport failure.
+			view, err = s.awaitView(r.Context(), id)
+		} else {
+			view, err = s.jobView(id)
+		}
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			httpError(w, http.StatusNotFound, err) // pruned by retention
+			return
+		case err != nil:
+			httpError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		status := http.StatusAccepted
+		if view.State == Done.String() {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, view)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := JobID(r.PathValue("id"))
+		var view JobView
+		var err error
+		if wantWait(r) {
+			view, err = s.awaitView(r.Context(), id)
+		} else {
+			view, err = s.jobView(id)
+		}
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			httpError(w, http.StatusNotFound, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := JobID(r.PathValue("id"))
+		err := s.CancelJob(id)
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			httpError(w, http.StatusNotFound, err)
+			return
+		case errors.Is(err, ErrFinished):
+			httpError(w, http.StatusConflict, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		view, err := s.jobView(id)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	return mux
+}
+
+// jobView assembles the wire view of a job, including its result when
+// settled successfully.
+func (s *Service) jobView(id JobID) (JobView, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	return viewOf(j), nil
+}
+
+// awaitView blocks until the job settles (or ctx expires) and returns
+// its wire view. It resolves the record once up front and holds the
+// pointer across the wait, so retention pruning the job table in the
+// meantime cannot lose the outcome. The returned error is transport
+// only (unknown ID, expired ctx); a job's own failure is reported
+// inside the view.
+func (s *Service) awaitView(ctx context.Context, id JobID) (JobView, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	select {
+	case <-j.done:
+		return viewOf(j), nil
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// viewOf snapshots one job record into the wire view.
+func viewOf(j *job) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	view := JobView{ID: string(j.id), State: j.state.String(), Cached: j.cached}
+	if j.err != nil {
+		view.Error = j.err.Error()
+	}
+	if j.state == Done {
+		res := NewResultView(j.res)
+		view.Result = &res
+	}
+	return view
+}
+
+// wantWait reports whether the request opted into blocking until the
+// job settles: a bare ?wait or any truthy value; explicit falsy values
+// ("0", "false") select the async path.
+func wantWait(r *http.Request) bool {
+	if !r.URL.Query().Has("wait") {
+		return false
+	}
+	v := r.URL.Query().Get("wait")
+	if v == "" {
+		return true
+	}
+	b, err := strconv.ParseBool(v)
+	return err != nil || b
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeJSON marshals v with an application/json content type.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,675 @@
+// Package serve is the asynchronous job-service layer of quditkit —
+// the piece that turns the synchronous core.Processor.Submit façade
+// into a shared near-term resource that many clients can hit at once,
+// the operating model the DSN 2025 paper projects for emerging qudit
+// processors.
+//
+// A Service owns a bounded, sharded job queue in front of one
+// Processor. Submissions enter through Enqueue, are assigned to a
+// shard by circuit fingerprint, and are drained in batches through
+// Processor.Submit by one worker goroutine per shard. Every job walks
+// the lifecycle Queued → Running → Done/Failed/Cancelled; CancelJob
+// aborts a queued job immediately and a running one promptly via the
+// context plumbed through core.WithContext.
+//
+// Completed Results land in a content-addressed LRU cache keyed by
+// (core.Fingerprint, core.OptionsDigest). Because every quditkit
+// execution is deterministic in (processor seed, circuit, options), a
+// cache hit is byte-identical to the re-simulation it replaces, so
+// repeated submissions — the dominant pattern under heavy traffic —
+// complete instantly without touching the simulator. Cached Results
+// are shared across callers and must be treated as read-only.
+//
+// The same Service is exposed over JSON/HTTP by NewHandler (served by
+// cmd/quditd); in-process callers use Enqueue/Await/Status/CancelJob
+// and Stats directly.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/core"
+)
+
+// Service errors distinguishable by callers.
+var (
+	// ErrClosed is returned by Enqueue after Close has begun.
+	ErrClosed = errors.New("serve: service closed")
+	// ErrQueueFull is returned by Enqueue when the target shard's
+	// bounded queue is at capacity — the backpressure signal.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrUnknownJob is returned for job IDs the service never issued.
+	ErrUnknownJob = errors.New("serve: unknown job id")
+	// ErrFinished is returned by CancelJob for jobs already settled.
+	ErrFinished = errors.New("serve: job already finished")
+)
+
+// JobState is one stop in a job's lifecycle.
+type JobState int
+
+const (
+	// Queued means the job sits in its shard's queue (or is being
+	// batch-collected) and has not started executing.
+	Queued JobState = iota
+	// Running means a shard worker is executing the job.
+	Running
+	// Done means the job completed and its Result is available.
+	Done
+	// Failed means execution returned a non-cancellation error.
+	Failed
+	// Cancelled means the job was cancelled before or during execution.
+	Cancelled
+)
+
+// String returns the state's stable lowercase name, used verbatim in
+// the HTTP API.
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// JobID identifies one enqueued job for Await/Status/CancelJob.
+type JobID string
+
+// Config sizes a Service. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// Shards is the number of independent queue+worker pairs. Jobs are
+	// assigned to shards by circuit fingerprint, so identical
+	// submissions serialize onto one shard and dedupe against the
+	// cache instead of re-simulating concurrently. Default 2.
+	Shards int
+	// QueueDepth bounds each shard's queue; Enqueue returns
+	// ErrQueueFull beyond it rather than blocking. Default 64.
+	QueueDepth int
+	// BatchSize caps how many queued jobs a worker drains into one
+	// Processor.Submit call. Default 8.
+	BatchSize int
+	// CacheSize bounds the result cache (LRU entries). Zero selects
+	// the default 256; negative disables caching.
+	CacheSize int
+	// RetainJobs bounds how many settled job records the service keeps
+	// for Status/Await lookups; beyond it the oldest settled jobs are
+	// forgotten (their IDs then return ErrUnknownJob) so a long-lived
+	// daemon's memory stays bounded. Zero selects the default 4096;
+	// negative retains everything.
+	RetainJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 256
+	case c.CacheSize < 0:
+		c.CacheSize = 0 // disabled
+	}
+	switch {
+	case c.RetainJobs == 0:
+		c.RetainJobs = 4096
+	case c.RetainJobs < 0:
+		c.RetainJobs = 0 // unlimited
+	}
+	return c
+}
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	// ID is the job's identifier.
+	ID JobID
+	// State is the lifecycle state at snapshot time.
+	State JobState
+	// Cached reports whether the job's Result came from the cache.
+	Cached bool
+	// Err is the terminal error of a Failed or Cancelled job.
+	Err error
+}
+
+// Stats aggregates service counters for monitoring; served as JSON at
+// GET /v1/stats.
+type Stats struct {
+	// Enqueued counts accepted submissions since startup.
+	Enqueued uint64 `json:"enqueued"`
+	// Completed counts jobs that reached Done.
+	Completed uint64 `json:"completed"`
+	// Failed counts jobs that reached Failed.
+	Failed uint64 `json:"failed"`
+	// Cancelled counts jobs that reached Cancelled.
+	Cancelled uint64 `json:"cancelled"`
+	// Queued and Running are the current in-flight populations.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// CacheHits, CacheMisses, and CacheEvictions are the result-cache
+	// counters; CacheLen/CacheCap its current and maximum size.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheLen       int    `json:"cache_len"`
+	CacheCap       int    `json:"cache_cap"`
+	// Shards, QueueDepth, and BatchSize echo the resolved Config.
+	Shards     int `json:"shards"`
+	QueueDepth int `json:"queue_depth"`
+	BatchSize  int `json:"batch_size"`
+}
+
+// job is the internal record of one submission.
+type job struct {
+	id     JobID
+	circ   *circuit.Circuit
+	opts   []core.RunOption
+	key    cacheKey
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  JobState
+	res    core.Result
+	err    error
+	cached bool
+	done   chan struct{}
+}
+
+// begin transitions a job Queued → Running, updating the population
+// gauges; ok is false if the job already settled (e.g. cancelled while
+// waiting in the queue). It returns the circuit and options snapshotted
+// under the job mutex: finish nils those fields on settlement, so
+// workers must use the snapshot, never read j.circ/j.opts unlocked.
+// Gauge updates also happen under the mutex so they serialize with
+// finish and never go transiently negative.
+func (s *Service) begin(j *job) (circ *circuit.Circuit, opts []core.RunOption, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Queued {
+		return nil, nil, false
+	}
+	j.state = Running
+	s.queuedGauge.Add(-1)
+	s.runningGauge.Add(1)
+	return j.circ, j.opts, true
+}
+
+// settled reports whether the job reached a terminal state.
+func (s JobState) settled() bool {
+	return s == Done || s == Failed || s == Cancelled
+}
+
+// Service is the asynchronous job service over one core.Processor.
+// Create it with New, submit with Enqueue, and stop it with Close. All
+// methods are safe for concurrent use.
+type Service struct {
+	proc  *core.Processor
+	cfg   Config
+	cache *resultCache
+
+	mu      sync.Mutex
+	jobs    map[JobID]*job
+	settled []JobID // settle order, for bounded retention
+	nextID  uint64
+	closed  bool
+
+	shards []chan *job
+	wg     sync.WaitGroup
+
+	enqueued  atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	// queuedGauge/runningGauge track the in-flight populations so
+	// Stats stays O(1) instead of scanning the retained job table.
+	queuedGauge  atomic.Int64
+	runningGauge atomic.Int64
+}
+
+// New starts a Service over proc: one worker goroutine per shard,
+// ready to accept Enqueue calls immediately.
+func New(proc *core.Processor, cfg Config) (*Service, error) {
+	if proc == nil {
+		return nil, errors.New("serve: nil processor")
+	}
+	cfg = cfg.withDefaults()
+	s := &Service{
+		proc:  proc,
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheSize),
+		jobs:  make(map[JobID]*job),
+	}
+	s.shards = make([]chan *job, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = make(chan *job, cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(s.shards[i])
+	}
+	return s, nil
+}
+
+// Close stops the service gracefully: no new submissions are accepted,
+// already-queued jobs drain to completion, and Close returns once
+// every worker has exited. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, sh := range s.shards {
+			close(sh)
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Enqueue submits a circuit with its run options and returns the job
+// ID to Await on. A submission whose content address is already cached
+// settles to Done immediately without entering the queue; otherwise it
+// joins its shard's bounded queue, and Enqueue returns ErrQueueFull
+// (issuing no job) when that queue is at capacity. A caller-supplied
+// core.WithContext is honored: the job's internal context derives from
+// it, so cancelling it aborts the job exactly like CancelJob.
+func (s *Service) Enqueue(c *circuit.Circuit, opts ...core.RunOption) (JobID, error) {
+	if c == nil {
+		return "", errors.New("serve: nil circuit")
+	}
+	key := cacheKey{fingerprint: core.Fingerprint(c), options: core.OptionsDigest(opts...)}
+	base := context.Background()
+	if userCtx := core.ContextOf(opts...); userCtx != nil {
+		base = userCtx
+	}
+	ctx, cancel := context.WithCancel(base)
+	j := &job{
+		circ: c, opts: opts, key: key,
+		ctx: ctx, cancel: cancel,
+		state: Queued, done: make(chan struct{}),
+	}
+
+	// A caller context that is already cancelled settles Cancelled even
+	// on the cache fast path, so the outcome of a cancelled submission
+	// never depends on cache state.
+	if err := ctx.Err(); err != nil {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			cancel()
+			return "", ErrClosed
+		}
+		id := s.issueIDLocked(j)
+		s.mu.Unlock()
+		s.queuedGauge.Add(1)
+		s.enqueued.Add(1)
+		s.finish(j, core.Result{}, err, false)
+		return id, nil
+	}
+
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			cancel()
+			return "", ErrClosed
+		}
+		id := s.issueIDLocked(j)
+		s.mu.Unlock()
+		s.queuedGauge.Add(1)
+		s.enqueued.Add(1)
+		s.finish(j, res, nil, true)
+		return id, nil
+	}
+
+	// A rejected submission is never published to the job table, so
+	// the reject paths below cannot race a concurrent CancelJob and
+	// the gauges move exactly once per accepted job.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	sh := s.shards[key.fingerprint%uint64(len(s.shards))]
+	id := s.issueIDLocked(j)
+	s.queuedGauge.Add(1)
+	select {
+	case sh <- j:
+		s.mu.Unlock()
+		// Counted only here and on the cache-hit path, so Enqueued
+		// reflects accepted submissions, never rejected ones.
+		s.enqueued.Add(1)
+		return id, nil
+	default:
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.queuedGauge.Add(-1)
+		cancel()
+		return "", ErrQueueFull
+	}
+}
+
+// issueIDLocked assigns the next job ID and publishes the record;
+// callers hold s.mu.
+func (s *Service) issueIDLocked(j *job) JobID {
+	s.nextID++
+	id := JobID(fmt.Sprintf("j-%06d", s.nextID))
+	j.id = id
+	s.jobs[id] = j
+	return id
+}
+
+// Await blocks until the job settles or ctx expires, returning the
+// job's Result (read-only when cached) or its terminal error.
+func (s *Service) Await(ctx context.Context, id JobID) (core.Result, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return core.Result{}, err
+	}
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.res, j.err
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
+	}
+}
+
+// Status returns a snapshot of the job's lifecycle state.
+func (s *Service) Status(id JobID) (JobStatus, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{ID: j.id, State: j.state, Cached: j.cached, Err: j.err}, nil
+}
+
+// CancelJob aborts a job: a queued job settles to Cancelled
+// immediately, a running one promptly (its context is cancelled and
+// the trajectory backend polls it between shots). ErrFinished reports
+// a job that already settled.
+func (s *Service) CancelJob(id JobID) error {
+	j, err := s.job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.state.settled() {
+		j.mu.Unlock()
+		return ErrFinished
+	}
+	queued := j.state == Queued
+	j.mu.Unlock()
+
+	j.cancel()
+	if queued {
+		// Settle immediately. If a worker won the race and began the
+		// job, this still settles it as Cancelled (finish is
+		// first-writer-wins, not a no-op) and the cancelled context
+		// ends the in-flight run promptly; the worker's own finish
+		// then finds the job settled and does nothing.
+		s.finish(j, core.Result{}, context.Canceled, false)
+	}
+	return nil
+}
+
+// Stats returns current service counters. It reads only atomic gauges
+// and the cache counters — O(1), never blocking the intake path.
+func (s *Service) Stats() Stats {
+	hits, misses, evictions := s.cache.counters()
+	queued := int(s.queuedGauge.Load())
+	running := int(s.runningGauge.Load())
+	return Stats{
+		Enqueued:       s.enqueued.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		Cancelled:      s.cancelled.Load(),
+		Queued:         queued,
+		Running:        running,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+		CacheLen:       s.cache.len(),
+		CacheCap:       s.cfg.CacheSize,
+		Shards:         s.cfg.Shards,
+		QueueDepth:     s.cfg.QueueDepth,
+		BatchSize:      s.cfg.BatchSize,
+	}
+}
+
+// job looks up a job record by ID.
+func (s *Service) job(id JobID) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// finish settles a job exactly once, releasing its context and
+// bumping the terminal-state counter. Later calls are no-ops, which is
+// what resolves cancel-vs-complete races.
+func (s *Service) finish(j *job, res core.Result, err error, cached bool) {
+	j.mu.Lock()
+	if j.state.settled() {
+		j.mu.Unlock()
+		return
+	}
+	prev := j.state
+	j.res, j.err, j.cached = res, err, cached
+	// Nothing reads the circuit or options after settlement; dropping
+	// them keeps retained job records from pinning gate unitaries.
+	j.circ, j.opts = nil, nil
+	switch {
+	case err == nil:
+		j.state = Done
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = Cancelled
+	default:
+		j.state = Failed
+	}
+	terminal := j.state
+	switch prev {
+	case Queued:
+		s.queuedGauge.Add(-1)
+	case Running:
+		s.runningGauge.Add(-1)
+	}
+	close(j.done)
+	j.mu.Unlock()
+	j.cancel()
+	switch terminal {
+	case Done:
+		s.completed.Add(1)
+	case Cancelled:
+		s.cancelled.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	s.retain(j.id)
+}
+
+// retain records a settled job and prunes the oldest settled records
+// past the RetainJobs bound, so the job table cannot grow without
+// bound under sustained traffic. Callers already awaiting a pruned job
+// keep their reference; only fresh ID lookups forget it.
+func (s *Service) retain(id JobID) {
+	if s.cfg.RetainJobs == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.settled = append(s.settled, id)
+	for len(s.settled) > s.cfg.RetainJobs {
+		delete(s.jobs, s.settled[0])
+		s.settled = s.settled[1:]
+	}
+}
+
+// worker drains one shard: it blocks for the first job, greedily
+// collects up to BatchSize-1 more without blocking, and runs the batch
+// through Processor.Submit.
+func (s *Service) worker(sh chan *job) {
+	defer s.wg.Done()
+	for {
+		j, ok := <-sh
+		if !ok {
+			return
+		}
+		batch := []*job{j}
+	drain:
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case next, ok := <-sh:
+				if !ok {
+					s.runBatch(batch)
+					return
+				}
+				batch = append(batch, next)
+			default:
+				break drain
+			}
+		}
+		s.runBatch(batch)
+	}
+}
+
+// runBatch executes one drained batch: cancelled jobs are skipped,
+// cache hits settle instantly, in-batch duplicates collapse onto one
+// representative run, and the remainder goes through Processor.Submit
+// in a single call (falling back to per-job submission on error, so
+// one failing job cannot doom its batchmates).
+func (s *Service) runBatch(batch []*job) {
+	// runItem pairs a begun job with the circuit/options snapshot taken
+	// under its mutex: finish nils those fields on settlement, so all
+	// post-begin access goes through the snapshot.
+	type runItem struct {
+		j    *job
+		circ *circuit.Circuit
+		opts []core.RunOption
+	}
+	reps := make(map[cacheKey]runItem)
+	dups := make(map[cacheKey][]runItem)
+	var run []runItem
+	for _, j := range batch {
+		circ, opts, ok := s.begin(j)
+		if !ok {
+			continue // settled while queued (cancelled)
+		}
+		if err := j.ctx.Err(); err != nil {
+			s.finish(j, core.Result{}, err, false)
+			continue
+		}
+		if res, ok := s.cache.peek(j.key); ok {
+			s.finish(j, res, nil, true)
+			continue
+		}
+		it := runItem{j: j, circ: circ, opts: opts}
+		if _, ok := reps[j.key]; ok {
+			dups[j.key] = append(dups[j.key], it)
+			continue
+		}
+		reps[j.key] = it
+		run = append(run, it)
+	}
+
+	withCtx := func(it runItem) core.Job {
+		opts := make([]core.RunOption, 0, len(it.opts)+1)
+		opts = append(opts, it.opts...)
+		opts = append(opts, core.WithContext(it.j.ctx))
+		return core.NewJob(it.circ, opts...)
+	}
+
+	if len(run) > 0 {
+		coreJobs := make([]core.Job, len(run))
+		for i, it := range run {
+			coreJobs[i] = withCtx(it)
+		}
+		// Submit stops at the first failing job, returning the prefix
+		// of completed Results plus the failing index (core.JobError).
+		// Settle the prefix, fail that one job, and resume after it —
+		// no batchmate is ever simulated twice.
+		remaining := run
+		jobsLeft := coreJobs
+		for len(remaining) > 0 {
+			results, err := s.proc.Submit(jobsLeft...)
+			for i, res := range results {
+				s.cache.put(remaining[i].j.key, res)
+				s.finish(remaining[i].j, res, nil, false)
+			}
+			if err == nil {
+				break
+			}
+			var je *core.JobError
+			if !errors.As(err, &je) || je.Index >= len(remaining) {
+				// No index attribution available: fail whatever the
+				// prefix didn't cover.
+				for _, it := range remaining[len(results):] {
+					s.finish(it.j, core.Result{}, err, false)
+				}
+				break
+			}
+			s.finish(remaining[je.Index].j, core.Result{}, je.Err, false)
+			remaining = remaining[je.Index+1:]
+			jobsLeft = jobsLeft[je.Index+1:]
+		}
+	}
+
+	for key, waiting := range dups {
+		rep := reps[key].j
+		rep.mu.Lock()
+		repRes, repErr := rep.res, rep.err
+		rep.mu.Unlock()
+		for _, d := range waiting {
+			// A duplicate's own context was never in the representative
+			// run; honor a cancellation that arrived meanwhile instead
+			// of settling the job Done after an acknowledged cancel.
+			if err := d.j.ctx.Err(); err != nil {
+				s.finish(d.j, core.Result{}, err, false)
+				continue
+			}
+			if repErr != nil {
+				// The representative failed or was cancelled; its
+				// outcome is not this job's. Run the duplicate on its
+				// own context instead of inheriting it.
+				rs, jerr := s.proc.Submit(withCtx(d))
+				if jerr != nil {
+					s.finish(d.j, core.Result{}, jerr, false)
+					continue
+				}
+				s.cache.put(d.j.key, rs[0])
+				s.finish(d.j, rs[0], nil, false)
+				continue
+			}
+			if res, ok := s.cache.peek(d.j.key); ok {
+				s.finish(d.j, res, nil, true)
+			} else {
+				// Cache disabled: share the representative's result but
+				// don't claim a cache hit that no cache served.
+				s.finish(d.j, repRes, nil, false)
+			}
+		}
+	}
+}

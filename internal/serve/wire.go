@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/core"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+)
+
+// CircuitSpec is the JSON wire form of a logical circuit: the register
+// dimensions and an ordered gate list.
+type CircuitSpec struct {
+	// Dims lists the local dimension of each logical wire.
+	Dims []int `json:"dims"`
+	// Ops is the gate sequence, applied in order.
+	Ops []OpSpec `json:"ops"`
+}
+
+// OpSpec is one gate application in a CircuitSpec. Gate selects the
+// constructor; the parameter fields are read per gate as documented on
+// the constants below and ignored otherwise.
+type OpSpec struct {
+	// Gate is the lowercase gate name (see GateNames).
+	Gate string `json:"gate"`
+	// Targets are the logical wires the gate acts on, in order.
+	Targets []int `json:"targets"`
+	// K is the shift power of "xpow" and the second level of "givens".
+	K int `json:"k,omitempty"`
+	// Level is the phased level of "phase" and the first level of
+	// "givens".
+	Level int `json:"level,omitempty"`
+	// Theta is the rotation angle of "givens".
+	Theta float64 `json:"theta,omitempty"`
+	// Phi is the phase of "phase" and "givens".
+	Phi float64 `json:"phi,omitempty"`
+	// Beta is the mixing angle of "rotor" and "fourier".
+	Beta float64 `json:"beta,omitempty"`
+	// Phases are the per-level phases of "snap" (length = wire dim).
+	Phases []float64 `json:"phases,omitempty"`
+}
+
+// GateNames lists the wire-format gate vocabulary in stable order:
+// single-qudit "x", "xpow", "z", "dft", "phase", "givens", "snap",
+// "rotor", "fourier" and two-qudit "csum", "csuminv", "cz".
+var GateNames = []string{
+	"x", "xpow", "z", "dft", "phase", "givens", "snap", "rotor", "fourier",
+	"csum", "csuminv", "cz",
+}
+
+// Wire-format admission limits. BuildCircuit materializes gate
+// unitaries (d² or (d₁d₂)² entries each) before any simulability
+// check can run, so untrusted specs must be bounded here or a single
+// request could allocate the daemon to death. The limits sit far above
+// anything the simulators can execute anyway.
+const (
+	// MaxWireDim caps the local dimension of one wire.
+	MaxWireDim = 64
+	// MaxWires caps the logical register width.
+	MaxWires = 64
+	// MaxOps caps the gate count of one circuit.
+	MaxOps = 65536
+	// MaxGateDim caps the product of one gate's target dimensions; a
+	// gate materializes a (product)² unitary, so this bounds the
+	// largest single allocation (256² entries = 1 MiB).
+	MaxGateDim = 256
+	// MaxCircuitMatrixEntries caps the summed unitary entries across a
+	// whole circuit (~128 MiB of complex128 at the bound) — the
+	// per-request allocation budget.
+	MaxCircuitMatrixEntries = 1 << 23
+	// MaxShots caps the per-job shot budget: shots drive both an
+	// outcome buffer allocation and, on the trajectory backend, one
+	// full simulation each.
+	MaxShots = 1 << 20
+	// MaxWorkers caps the requested trajectory pool width.
+	MaxWorkers = 256
+)
+
+// BuildCircuit materializes a CircuitSpec into a logical circuit,
+// validating dimensions, targets, gate parameters, and the admission
+// limits above.
+func BuildCircuit(spec CircuitSpec) (*circuit.Circuit, error) {
+	if len(spec.Dims) == 0 {
+		return nil, fmt.Errorf("serve: circuit has no wires")
+	}
+	if len(spec.Dims) > MaxWires {
+		return nil, fmt.Errorf("serve: %d wires exceeds the limit of %d", len(spec.Dims), MaxWires)
+	}
+	if len(spec.Ops) > MaxOps {
+		return nil, fmt.Errorf("serve: %d ops exceeds the limit of %d", len(spec.Ops), MaxOps)
+	}
+	for i, d := range spec.Dims {
+		if d < 2 {
+			return nil, fmt.Errorf("serve: wire %d has dimension %d, want >= 2", i, d)
+		}
+		if d > MaxWireDim {
+			return nil, fmt.Errorf("serve: wire %d dimension %d exceeds the limit of %d", i, d, MaxWireDim)
+		}
+	}
+	c, err := circuit.New(hilbert.Dims(spec.Dims))
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var totalEntries int64
+	for i, op := range spec.Ops {
+		// Charge the allocation budget before constructing anything:
+		// gate unitaries are materialized dense, ahead of any
+		// simulability check. Invalid targets fall through to
+		// buildGate for a precise error.
+		prod, targetsOK := 1, true
+		for _, t := range op.Targets {
+			if t < 0 || t >= len(spec.Dims) {
+				targetsOK = false
+				break
+			}
+			prod *= spec.Dims[t]
+		}
+		if targetsOK {
+			if prod > MaxGateDim {
+				return nil, fmt.Errorf("serve: op %d (%s): gate dimension %d exceeds the limit of %d",
+					i, op.Gate, prod, MaxGateDim)
+			}
+			totalEntries += int64(prod) * int64(prod)
+			if totalEntries > MaxCircuitMatrixEntries {
+				return nil, fmt.Errorf("serve: circuit exceeds the %d-entry gate-matrix budget at op %d",
+					int64(MaxCircuitMatrixEntries), i)
+			}
+		}
+		g, err := buildGate(spec.Dims, op)
+		if err != nil {
+			return nil, fmt.Errorf("serve: op %d: %w", i, err)
+		}
+		if err := c.Append(g, op.Targets...); err != nil {
+			return nil, fmt.Errorf("serve: op %d (%s): %w", i, op.Gate, err)
+		}
+	}
+	return c, nil
+}
+
+// gateSpec is one gate-vocabulary entry: its arity and constructor.
+// Keeping both in a single table means a new gate cannot be half-added
+// with a mismatched target count. d is the first target's dimension,
+// d2 the second's (zero for single-qudit gates).
+type gateSpec struct {
+	arity int
+	build func(d, d2 int, op OpSpec) (gates.Gate, error)
+}
+
+var gateTable = map[string]gateSpec{
+	"x": {1, func(d, _ int, _ OpSpec) (gates.Gate, error) { return gates.X(d), nil }},
+	"xpow": {1, func(d, _ int, op OpSpec) (gates.Gate, error) {
+		return gates.XPow(d, op.K), nil
+	}},
+	"z":   {1, func(d, _ int, _ OpSpec) (gates.Gate, error) { return gates.Z(d), nil }},
+	"dft": {1, func(d, _ int, _ OpSpec) (gates.Gate, error) { return gates.DFT(d), nil }},
+	"phase": {1, func(d, _ int, op OpSpec) (gates.Gate, error) {
+		if op.Level < 0 || op.Level >= d {
+			return gates.Gate{}, fmt.Errorf("phase level %d outside dimension %d", op.Level, d)
+		}
+		return gates.Phase(d, op.Level, op.Phi), nil
+	}},
+	"givens": {1, func(d, _ int, op OpSpec) (gates.Gate, error) {
+		if op.Level < 0 || op.Level >= d || op.K < 0 || op.K >= d || op.Level == op.K {
+			return gates.Gate{}, fmt.Errorf("givens levels (%d,%d) invalid for dimension %d",
+				op.Level, op.K, d)
+		}
+		return gates.Givens(d, op.Level, op.K, op.Theta, op.Phi), nil
+	}},
+	"snap": {1, func(d, _ int, op OpSpec) (gates.Gate, error) {
+		if len(op.Phases) != d {
+			return gates.Gate{}, fmt.Errorf("snap wants %d phases, got %d", d, len(op.Phases))
+		}
+		return gates.SNAP(op.Phases), nil
+	}},
+	"rotor": {1, func(d, _ int, op OpSpec) (gates.Gate, error) {
+		return gates.RotorMixer(d, op.Beta), nil
+	}},
+	"fourier": {1, func(d, _ int, op OpSpec) (gates.Gate, error) {
+		return gates.FourierMixer(d, op.Beta), nil
+	}},
+	"csum":    {2, func(d, d2 int, _ OpSpec) (gates.Gate, error) { return gates.CSUM(d, d2), nil }},
+	"csuminv": {2, func(d, d2 int, _ OpSpec) (gates.Gate, error) { return gates.CSUMInv(d, d2), nil }},
+	"cz":      {2, func(d, d2 int, _ OpSpec) (gates.Gate, error) { return gates.CZ(d, d2), nil }},
+}
+
+// buildGate resolves one OpSpec against the register dimensions.
+func buildGate(dims []int, op OpSpec) (gates.Gate, error) {
+	name := strings.ToLower(op.Gate)
+	spec, ok := gateTable[name]
+	if !ok {
+		return gates.Gate{}, fmt.Errorf("unknown gate %q (known: %s)",
+			op.Gate, strings.Join(GateNames, ", "))
+	}
+	if len(op.Targets) != spec.arity {
+		return gates.Gate{}, fmt.Errorf("gate %q wants %d target(s), got %d",
+			op.Gate, spec.arity, len(op.Targets))
+	}
+	for _, t := range op.Targets {
+		if t < 0 || t >= len(dims) {
+			return gates.Gate{}, fmt.Errorf("target %d outside register of %d wires",
+				t, len(dims))
+		}
+	}
+	d := dims[op.Targets[0]]
+	d2 := 0
+	if spec.arity == 2 {
+		d2 = dims[op.Targets[1]]
+	}
+	return spec.build(d, d2, op)
+}
+
+// NoiseSpec is the JSON wire form of a per-gate noise model.
+type NoiseSpec struct {
+	Depol1        float64 `json:"depol1,omitempty"`
+	Depol2        float64 `json:"depol2,omitempty"`
+	Damping       float64 `json:"damping,omitempty"`
+	Dephasing     float64 `json:"dephasing,omitempty"`
+	IdleDamping   float64 `json:"idle_damping,omitempty"`
+	IdleDephasing float64 `json:"idle_dephasing,omitempty"`
+}
+
+// model validates and converts the spec to the core noise model.
+// Rates are probabilities: anything outside [0,1] would drive the
+// Kraus decompositions into NaN territory and poison the result
+// cache, so it is rejected at the wire.
+func (n NoiseSpec) model() (noise.Model, error) {
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"depol1", n.Depol1}, {"depol2", n.Depol2},
+		{"damping", n.Damping}, {"dephasing", n.Dephasing},
+		{"idle_damping", n.IdleDamping}, {"idle_dephasing", n.IdleDephasing},
+	} {
+		if r.rate < 0 || r.rate > 1 || r.rate != r.rate {
+			return noise.Model{}, fmt.Errorf("serve: noise rate %s = %v outside [0,1]", r.name, r.rate)
+		}
+	}
+	return noise.Model{
+		Depol1:        n.Depol1,
+		Depol2:        n.Depol2,
+		Damping:       n.Damping,
+		Dephasing:     n.Dephasing,
+		IdleDamping:   n.IdleDamping,
+		IdleDephasing: n.IdleDephasing,
+	}, nil
+}
+
+// JobRequest is the body of POST /v1/jobs: the circuit plus the
+// execution options, mirroring core's RunOptions one field per option.
+type JobRequest struct {
+	// Circuit is the logical circuit to compile and execute.
+	Circuit CircuitSpec `json:"circuit"`
+	// Backend selects "statevector" (default), "density-matrix", or
+	// "trajectory".
+	Backend string `json:"backend,omitempty"`
+	// Shots requests a sampled histogram (core.WithShots).
+	Shots int `json:"shots,omitempty"`
+	// Seed, when present, pins the job seed (core.WithSeed).
+	Seed *int64 `json:"seed,omitempty"`
+	// Workers widens the trajectory pool (core.WithWorkers); never
+	// affects results or the cache key.
+	Workers int `json:"workers,omitempty"`
+	// Noise attaches an explicit per-gate noise model.
+	Noise *NoiseSpec `json:"noise,omitempty"`
+	// DeriveNoiseDim, when positive, derives the device's physical
+	// noise model for qudits of this dimension
+	// (Processor.NoiseModelForDim) instead of an explicit Noise block.
+	DeriveNoiseDim int `json:"derive_noise_dim,omitempty"`
+}
+
+// ParseBackend resolves a wire-format backend name, defaulting the
+// empty string to Statevector.
+func ParseBackend(name string) (core.BackendKind, error) {
+	switch strings.ToLower(name) {
+	case "", "statevector":
+		return core.Statevector, nil
+	case "density-matrix", "densitymatrix":
+		return core.DensityMatrix, nil
+	case "trajectory":
+		return core.Trajectory, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown backend %q (statevector, density-matrix, trajectory)", name)
+	}
+}
+
+// Options resolves the request's execution options against the
+// processor (needed when the noise model is device-derived).
+func (r JobRequest) Options(proc *core.Processor) ([]core.RunOption, error) {
+	kind, err := ParseBackend(r.Backend)
+	if err != nil {
+		return nil, err
+	}
+	opts := []core.RunOption{core.WithBackend(kind)}
+	if r.Shots < 0 {
+		return nil, fmt.Errorf("serve: negative shots %d", r.Shots)
+	}
+	if r.Shots > MaxShots {
+		return nil, fmt.Errorf("serve: %d shots exceeds the limit of %d", r.Shots, MaxShots)
+	}
+	if r.Shots > 0 {
+		opts = append(opts, core.WithShots(r.Shots))
+	}
+	if r.Seed != nil {
+		opts = append(opts, core.WithSeed(*r.Seed))
+	}
+	if r.Workers > MaxWorkers {
+		return nil, fmt.Errorf("serve: %d workers exceeds the limit of %d", r.Workers, MaxWorkers)
+	}
+	if r.Workers > 0 {
+		opts = append(opts, core.WithWorkers(r.Workers))
+	}
+	if r.Noise != nil && r.DeriveNoiseDim > 0 {
+		return nil, fmt.Errorf("serve: noise and derive_noise_dim are mutually exclusive")
+	}
+	if r.Noise != nil {
+		model, err := r.Noise.model()
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithNoise(model))
+	}
+	if r.DeriveNoiseDim > 0 {
+		model, err := proc.NoiseModelForDim(r.DeriveNoiseDim)
+		if err != nil {
+			return nil, fmt.Errorf("serve: deriving noise: %w", err)
+		}
+		opts = append(opts, core.WithNoise(model))
+	}
+	return opts, nil
+}
+
+// ResultView is the JSON projection of a core.Result: the histogram
+// and compilation report, without the raw state vectors (which grow
+// with the Hilbert dimension and rarely belong on the wire).
+type ResultView struct {
+	// Backend is the backend that executed the job.
+	Backend string `json:"backend"`
+	// Seed is the effective job seed.
+	Seed int64 `json:"seed"`
+	// Shots is the number of recorded measurement shots.
+	Shots int `json:"shots"`
+	// Counts is the logical-register shot histogram ("0.2.1" keys).
+	Counts map[string]int `json:"counts,omitempty"`
+	// Mapping is the initial logical-to-mode placement.
+	Mapping []int `json:"mapping,omitempty"`
+	// FinalLayout is the post-routing logical-to-mode layout.
+	FinalLayout []int `json:"final_layout,omitempty"`
+	// SwapsInserted counts routing swaps.
+	SwapsInserted int `json:"swaps_inserted"`
+	// DurationSec is the serial physical duration estimate.
+	DurationSec float64 `json:"duration_sec"`
+	// FidelityEstimate is the coherence-budget fidelity estimate.
+	FidelityEstimate float64 `json:"fidelity_estimate"`
+}
+
+// NewResultView projects a Result onto the wire format.
+func NewResultView(res core.Result) ResultView {
+	view := ResultView{
+		Backend: res.Backend.String(),
+		Seed:    res.Seed,
+		Shots:   res.Shots,
+		Counts:  res.Counts,
+		Mapping: res.Mapping.LogicalToMode,
+	}
+	if res.Report != nil {
+		view.FinalLayout = res.Report.FinalLayout
+		view.SwapsInserted = res.Report.SwapsInserted
+		view.DurationSec = res.Report.DurationSec
+		view.FidelityEstimate = res.Report.FidelityEstimate
+	}
+	return view
+}
+
+// JobView is the JSON projection of one job's status, the body of
+// POST /v1/jobs and GET /v1/jobs/{id} responses.
+type JobView struct {
+	// ID is the job identifier to poll.
+	ID string `json:"id"`
+	// State is the lifecycle state ("queued", "running", "done",
+	// "failed", "cancelled").
+	State string `json:"state"`
+	// Cached reports whether the result was served from the cache.
+	Cached bool `json:"cached"`
+	// Error is the terminal error message of a failed job.
+	Error string `json:"error,omitempty"`
+	// Result is present once the job is done.
+	Result *ResultView `json:"result,omitempty"`
+}

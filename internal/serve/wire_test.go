@@ -1,0 +1,17 @@
+package serve
+
+import "testing"
+
+// TestGateNamesMatchTable pins the advertised vocabulary to the
+// dispatch table, so a gate cannot be added to one and forgotten in
+// the other.
+func TestGateNamesMatchTable(t *testing.T) {
+	if len(GateNames) != len(gateTable) {
+		t.Errorf("GateNames has %d entries, gateTable %d", len(GateNames), len(gateTable))
+	}
+	for _, name := range GateNames {
+		if _, ok := gateTable[name]; !ok {
+			t.Errorf("GateNames lists %q but gateTable lacks it", name)
+		}
+	}
+}
