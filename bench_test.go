@@ -184,6 +184,7 @@ func BenchmarkSubmitTrajectories(b *testing.B) {
 	workerSet := []int{1, 4, runtime.NumCPU()}
 	for _, workers := range workerSet {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := proc.SubmitOne(c,
 					core.WithBackend(core.Trajectory),
@@ -199,6 +200,55 @@ func BenchmarkSubmitTrajectories(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkTrajectoryPlanShot measures one compiled noisy trajectory
+// shot on a 4-qutrit GHZ circuit — the Plan engine's per-shot cost,
+// which must stay allocation-free (allocs/op is the tracked number).
+func BenchmarkTrajectoryPlanShot(b *testing.B) {
+	c := ghzCircuit(b, 4)
+	model := noise.Model{Depol1: 1e-4, Depol2: 1e-3, Damping: 2e-3, Dephasing: 1e-3}
+	plan, err := c.Compile(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, err := plan.NewWorkspace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(0))
+	var sampler qmath.CDFSampler
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(core.DeriveSeed(int64(i), "bench-shot"))
+		if _, err := plan.RunShot(ws, rng); err != nil {
+			b.Fatal(err)
+		}
+		sampler.Load(ws.BornProbabilities())
+		sampler.Draw(rng)
+	}
+}
+
+// BenchmarkTrajectoryInterpretedShot is the legacy per-op interpreter
+// on the identical workload, kept as the ablation baseline for the
+// compiled-plan speedup recorded in BENCH_3.json.
+func BenchmarkTrajectoryInterpretedShot(b *testing.B) {
+	c := ghzCircuit(b, 4)
+	model := noise.Model{Depol1: 1e-4, Depol2: 1e-3, Damping: 2e-3, Dephasing: 1e-3}
+	rng := rand.New(rand.NewSource(0))
+	var sampler qmath.CDFSampler
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Seed(core.DeriveSeed(int64(i), "bench-shot"))
+		v, err := c.RunTrajectory(rng, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampler.Load(v.Probabilities())
+		sampler.Draw(rng)
 	}
 }
 

@@ -14,7 +14,6 @@ import (
 	"quditkit/internal/gates"
 	"quditkit/internal/hilbert"
 	"quditkit/internal/noise"
-	"quditkit/internal/qmath"
 	"quditkit/internal/state"
 )
 
@@ -202,16 +201,15 @@ func (c *Circuit) RunOn(v *state.Vec) error {
 //
 // Gate noise channels are applied to each touched wire after each gate;
 // when the model has idle rates, idle channels are applied to untouched
-// wires once per ASAP moment.
+// wires once per ASAP moment. Execution goes through a compiled Plan so
+// the noise channels are resolved once instead of rebuilt per gate; the
+// result is identical to the interpreted RunDensityOn.
 func (c *Circuit) RunDensity(model noise.Model) (*density.DM, error) {
-	r, err := density.NewZero(c.space.Dims())
+	p, err := c.Compile(model)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.RunDensityOn(r, model); err != nil {
-		return nil, err
-	}
-	return r, nil
+	return p.RunDensity()
 }
 
 // RunDensityOn executes the circuit on an existing density matrix in place
@@ -306,73 +304,36 @@ func (c *Circuit) RunTrajectory(rng *rand.Rand, model noise.Model) (*state.Vec, 
 // applyChannelStochastic samples one Kraus branch according to the Born
 // probabilities ||K_k psi||^2 and applies it with renormalization.
 //
-// The branch probabilities are computed from the wire's reduced density
-// matrix, p_k = Tr(K_k rho_w K_k†), which costs O(D d^2) once instead of
-// materializing every branch state — the difference between usable and
-// unusable trajectory sampling on large registers.
+// The branch probabilities never materialize a branch state: monomial
+// Kraus sets (every built-in channel) need only the wire's marginal
+// populations, O(D), and dense ones fall back to the wire's reduced
+// density matrix, O(D d^2). The state's amplitudes are accessed
+// zero-copy — this path used to clone the full vector per channel
+// application. It compiles the channel on every call and shares the
+// sampling/application code with the Plan engine, which caches that
+// compilation; the two are therefore byte-identical for a fixed rng.
 func applyChannelStochastic(rng *rand.Rand, v *state.Vec, ch noise.Channel, wire int) error {
+	cc, err := compileChannel(ch)
+	if err != nil {
+		return err
+	}
 	sp := v.Space()
-	d := sp.Dim(wire)
-	stride := sp.Stride(wire)
-	rhoW := qmath.NewMatrix(d, d)
-	amps := v.Amplitudes()
-	sp.SubspaceIter([]int{wire}, func(base int) {
-		for i := 0; i < d; i++ {
-			ai := amps[base+i*stride]
-			if ai == 0 {
-				continue
-			}
-			for j := 0; j < d; j++ {
-				aj := amps[base+j*stride]
-				rhoW.Set(i, j, rhoW.At(i, j)+ai*complex(real(aj), -imag(aj)))
-			}
-		}
-	})
-	probs := make([]float64, len(ch.Kraus))
-	var total float64
-	for k, kop := range ch.Kraus {
-		p := real(kop.Mul(rhoW).Mul(kop.Dagger()).Trace())
-		if p < 0 {
-			p = 0
-		}
-		probs[k] = p
-		total += p
+	pc := &plannedChannel{
+		compiledChannel: cc,
+		wire:            wire,
+		stride:          sp.Stride(wire),
+		free:            newCoset(sp, []int{wire}),
 	}
-	chosen := len(probs) - 1
-	r := rng.Float64() * total
-	var acc float64
-	for i, p := range probs {
-		acc += p
-		if r < acc {
-			chosen = i
-			break
-		}
-	}
-	if err := v.ApplyMatrix(ch.Kraus[chosen], []int{wire}); err != nil {
-		return err
-	}
-	if err := v.RenormalizeInPlace(); err != nil {
-		return err
-	}
-	return nil
+	return pc.applyStochastic(rng, v.RawAmplitudes(), newChanScratch(sp.NumWires(), cc))
 }
 
 // AverageTrajectories runs n stochastic trajectories and returns the
-// averaged density matrix, for cross-validation against RunDensity.
+// averaged density matrix, for cross-validation against RunDensity. The
+// shots run through a compiled Plan with one reused workspace.
 func (c *Circuit) AverageTrajectories(rng *rand.Rand, model noise.Model, n int) (*density.DM, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("circuit: trajectory count must be positive")
+	p, err := c.Compile(model)
+	if err != nil {
+		return nil, err
 	}
-	dim := c.space.Total()
-	acc := qmath.NewMatrix(dim, dim)
-	for i := 0; i < n; i++ {
-		v, err := c.RunTrajectory(rng, model)
-		if err != nil {
-			return nil, err
-		}
-		amps := v.Amplitudes()
-		acc.AddInPlace(amps.Outer(amps))
-	}
-	acc = acc.Scale(complex(1/float64(n), 0))
-	return density.FromMatrix(c.space.Dims(), acc)
+	return p.AverageTrajectories(rng, n)
 }

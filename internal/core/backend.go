@@ -10,6 +10,7 @@ import (
 	"quditkit/internal/density"
 	"quditkit/internal/hilbert"
 	"quditkit/internal/noise"
+	"quditkit/internal/qmath"
 	"quditkit/internal/state"
 )
 
@@ -80,7 +81,10 @@ type StatevectorBackend struct{}
 // Kind implements Backend.
 func (StatevectorBackend) Kind() BackendKind { return Statevector }
 
-// Execute implements Backend.
+// Execute implements Backend. The circuit runs through a cached
+// compiled Plan; sampling shares the qmath binary-search sampler and a
+// reusable digit decoder, so the per-shot cost is one rng draw, one
+// O(log D) lookup, and one histogram insert.
 func (StatevectorBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
 	if err := spec.context().Err(); err != nil {
 		return Execution{}, err
@@ -89,14 +93,26 @@ func (StatevectorBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution,
 		return Execution{}, fmt.Errorf("core: %s backend cannot apply noise; use %s or %s",
 			Statevector, DensityMatrix, Trajectory)
 	}
-	v, err := c.Run()
+	plan, err := planFor(c, noise.Model{})
 	if err != nil {
 		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
 	}
+	ws, err := plan.NewWorkspace()
+	if err != nil {
+		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
+	}
+	v := plan.RunPure(ws)
 	out := Execution{State: v}
 	if spec.Shots > 0 {
 		rng := rand.New(rand.NewSource(spec.Seed))
-		out.Counts = countsFromIndices(v.Space(), v.Sample(rng, spec.Shots))
+		var sampler qmath.CDFSampler
+		sampler.Load(ws.BornProbabilities())
+		dec := hilbert.NewDigitDecoder(plan.Space())
+		counts := make(Counts)
+		for s := 0; s < spec.Shots; s++ {
+			counts.Add(dec.Decode(sampler.Draw(rng)))
+		}
+		out.Counts = counts
 	}
 	return out, nil
 }
@@ -110,12 +126,18 @@ type DensityMatrixBackend struct{}
 // Kind implements Backend.
 func (DensityMatrixBackend) Kind() BackendKind { return DensityMatrix }
 
-// Execute implements Backend.
+// Execute implements Backend. Execution goes through a cached compiled
+// Plan, whose resolved Kraus sets spare the per-gate channel rebuilds of
+// the interpreted path.
 func (DensityMatrixBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
 	if err := spec.context().Err(); err != nil {
 		return Execution{}, err
 	}
-	r, err := c.RunDensity(spec.Noise)
+	plan, err := planFor(c, spec.Noise)
+	if err != nil {
+		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
+	}
+	r, err := plan.RunDensity()
 	if err != nil {
 		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
 	}
@@ -134,66 +156,167 @@ func (DensityMatrixBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Executio
 // histogram is identical for any worker count. MeanProbs carries the
 // trajectory-averaged basis probabilities; State is additionally set at
 // zero noise, where every trajectory is the same deterministic pure run.
-type TrajectoryBackend struct{}
+//
+// Shots execute through a cached compiled circuit.Plan with one reused
+// workspace per worker: the state vector is reset, not reallocated, per
+// shot, probabilities accumulate into worker-local buffers, and outcome
+// sampling reuses one binary-search CDF — O(1) amortized allocations
+// per shot. Probabilities accumulate into fixed stripes (shot index mod
+// stripe count, merged in stripe order), so MeanProbs is byte-identical
+// at any worker count, not just statistically equivalent.
+type TrajectoryBackend struct {
+	// Interpreted forces the legacy per-op interpreter
+	// (Circuit.RunTrajectory) instead of the compiled Plan engine. Both
+	// produce byte-identical Counts and MeanProbs for a fixed seed —
+	// the differential tests rely on exactly that — so the flag exists
+	// for verification and debugging, never for performance.
+	Interpreted bool
+}
 
 // Kind implements Backend.
 func (TrajectoryBackend) Kind() BackendKind { return Trajectory }
 
+// Trajectory probabilities accumulate into at most trajStripeCap
+// stripes, bounded overall to trajStripeMem floats so wide registers
+// don't multiply their footprint; the stripe count depends only on
+// (shots, dimension), never on the worker count, which is what keeps
+// MeanProbs bit-for-bit worker-invariant. Workers beyond the stripe
+// count would idle, so the pool is clamped to it. The cap is sized
+// past realistic pool widths without inflating the accumulator block
+// on narrow runs; on very large registers the memory bound
+// deliberately trades parallelism for footprint (a multi-million-dim
+// register gets 16 stripes under the 128 MiB budget) — accepting
+// worker-dependent accumulator layouts instead would break the
+// MeanProbs byte-determinism contract.
+const (
+	trajStripeCap = 64
+	trajStripeMem = 1 << 24 // floats across all stripes (128 MiB)
+)
+
+func trajectoryStripes(shots, dim int) int {
+	s := trajStripeCap
+	if m := trajStripeMem / dim; m < s {
+		s = m
+	}
+	if s < 1 {
+		s = 1
+	}
+	if shots < s {
+		s = shots
+	}
+	return s
+}
+
 // Execute implements Backend.
-func (TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
+func (b TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, error) {
 	ctx := spec.context()
 	shots := spec.Shots
 	if shots <= 0 {
 		shots = 1
 	}
+	// The interpreter needs no plan (and must not occupy a plan-cache
+	// slot or allocate unused workspaces); it only needs the index space.
+	var plan *circuit.Plan
+	var sp *hilbert.Space
+	if b.Interpreted {
+		var err error
+		sp, err = hilbert.NewSpace(c.Dims())
+		if err != nil {
+			return Execution{}, err
+		}
+	} else {
+		var err error
+		plan, err = planFor(c, spec.Noise)
+		if err != nil {
+			return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
+		}
+		sp = plan.Space()
+	}
+	dim := sp.Total()
+	stripes := trajectoryStripes(shots, dim)
 	workers := spec.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > shots {
-		workers = shots
+	if workers > stripes {
+		workers = stripes
 	}
-	sp, err := hilbert.NewSpace(c.Dims())
-	if err != nil {
-		return Execution{}, err
-	}
-	dim := sp.Total()
 
 	outcomes := make([]int, shots)
-	partials := make([][]float64, workers)
+	noiseless := spec.Noise.IsZero()
+	// One contiguous block for all stripe accumulators: workers write
+	// disjoint stripe rows, and the in-order merge walks it linearly.
+	partialBlock := make([]float64, stripes*dim)
+	partials := make([][]float64, stripes)
+	for s := range partials {
+		partials[s] = partialBlock[s*dim : (s+1)*dim]
+	}
 	errs := make([]error, workers)
+	// Shot 0 lives in stripe 0, which worker 0 owns, so this is written
+	// by exactly one goroutine and read only after Wait.
 	var first *state.Vec
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			local := make([]float64, dim)
-			// Strided shot assignment: deterministic, and it balances the
-			// pool without a shared queue.
-			for t := w; t < shots; t += workers {
-				// Polling between trajectories bounds the cancellation
-				// latency to one shot rather than the whole batch.
-				if err := ctx.Err(); err != nil {
-					errs[w] = err
-					return
-				}
-				rng := rand.New(rand.NewSource(mixSeed(spec.Seed, uint64(t))))
-				v, err := c.RunTrajectory(rng, spec.Noise)
+			var ws *circuit.Workspace
+			if !b.Interpreted {
+				var err error
+				ws, err = plan.NewWorkspace()
 				if err != nil {
-					errs[w] = fmt.Errorf("trajectory %d: %w: %v", t, ErrNotSimulable, err)
+					errs[w] = fmt.Errorf("%w: %v", ErrNotSimulable, err)
 					return
-				}
-				probs := v.Probabilities()
-				for i, p := range probs {
-					local[i] += p
-				}
-				outcomes[t] = sampleIndex(rng, probs)
-				if t == 0 {
-					first = v
 				}
 			}
-			partials[w] = local
+			var sampler qmath.CDFSampler
+			// One reseeded rng per worker replaces one allocation per
+			// shot; Seed(k) restarts the exact stream NewSource(k) would.
+			rng := rand.New(rand.NewSource(0))
+			// Strided stripe assignment: deterministic, and it balances
+			// the pool without a shared queue.
+			for s := w; s < stripes; s += workers {
+				local := partials[s]
+				for t := s; t < shots; t += stripes {
+					// Polling between trajectories bounds the cancellation
+					// latency to one shot rather than the whole batch.
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+					rng.Seed(mixSeed(spec.Seed, uint64(t)))
+					var probs []float64
+					if b.Interpreted {
+						v, err := c.RunTrajectory(rng, spec.Noise)
+						if err != nil {
+							errs[w] = fmt.Errorf("trajectory %d: %w: %v", t, ErrNotSimulable, err)
+							return
+						}
+						probs = v.Probabilities()
+						if t == 0 && noiseless {
+							first = v
+						}
+					} else {
+						v, err := plan.RunShot(ws, rng)
+						if err != nil {
+							errs[w] = fmt.Errorf("trajectory %d: %w: %v", t, ErrNotSimulable, err)
+							return
+						}
+						probs = ws.BornProbabilities()
+						// The workspace state is recycled next shot, so a
+						// snapshot must clone — only worth it when the
+						// noiseless Execution will actually expose it.
+						if t == 0 && noiseless {
+							first = v.Clone()
+						}
+					}
+					for i, p := range probs {
+						local[i] += p
+					}
+					sampler.Load(probs)
+					outcomes[t] = sampler.Draw(rng)
+				}
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -203,6 +326,8 @@ func (TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, 
 		}
 	}
 
+	// Merging in stripe order keeps the floating-point sum independent
+	// of which worker computed which stripe.
 	mean := make([]float64, dim)
 	for _, local := range partials {
 		for i, p := range local {
@@ -213,51 +338,27 @@ func (TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution, 
 		mean[i] /= float64(shots)
 	}
 	out := Execution{MeanProbs: mean}
-	if spec.Noise.IsZero() {
+	if noiseless {
 		out.State = first
 	}
 	if spec.Shots > 0 {
 		counts := make(Counts, len(outcomes))
+		dec := hilbert.NewDigitDecoder(sp)
 		for _, idx := range outcomes {
-			counts.Add(sp.Digits(idx))
+			counts.Add(dec.Decode(idx))
 		}
 		out.Counts = counts
 	}
 	return out, nil
 }
 
-// sampleIndex draws one index from an (unnormalized) probability vector.
-func sampleIndex(rng *rand.Rand, probs []float64) int {
-	var total float64
-	for _, p := range probs {
-		if p > 0 {
-			total += p
-		}
-	}
-	r := rng.Float64() * total
-	var acc float64
-	// Rounding can push r to exactly total, past every `r < acc` test;
-	// falling back to the last POSITIVE entry keeps impossible outcomes
-	// out of the histogram.
-	last := 0
-	for i, p := range probs {
-		if p <= 0 {
-			continue
-		}
-		acc += p
-		if r < acc {
-			return i
-		}
-		last = i
-	}
-	return last
-}
-
-// countsFromIndices builds a histogram from sampled flat basis indices.
+// countsFromIndices builds a histogram from sampled flat basis indices,
+// decoding digits through one reusable buffer.
 func countsFromIndices(sp *hilbert.Space, idxs []int) Counts {
 	counts := make(Counts)
+	dec := hilbert.NewDigitDecoder(sp)
 	for _, k := range idxs {
-		counts.Add(sp.Digits(k))
+		counts.Add(dec.Decode(k))
 	}
 	return counts
 }

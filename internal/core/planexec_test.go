@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"quditkit/internal/noise"
+)
+
+// TestTrajectoryCompiledMatchesInterpreted: the compiled Plan engine and
+// the legacy interpreter must produce byte-identical Counts and
+// MeanProbs for a fixed seed, at every worker count. This is the
+// differential guarantee the Interpreted flag exists for.
+func TestTrajectoryCompiledMatchesInterpreted(t *testing.T) {
+	c := randomQutritCircuit(t, 2024, 3)
+	model := noise.Model{Depol1: 0.01, Depol2: 0.05, Damping: 0.03, Dephasing: 0.02}
+	spec := ExecSpec{Noise: model, Shots: 96, Seed: 17}
+
+	var base Execution
+	for i, workers := range []int{1, 4, 8} {
+		spec.Workers = workers
+		compiled, err := TrajectoryBackend{}.Execute(c, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interpreted, err := TrajectoryBackend{Interpreted: true}.Execute(c, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !compiled.Counts.Equal(interpreted.Counts) {
+			t.Fatalf("workers=%d: compiled counts %v != interpreted %v",
+				workers, compiled.Counts, interpreted.Counts)
+		}
+		for k := range compiled.MeanProbs {
+			if compiled.MeanProbs[k] != interpreted.MeanProbs[k] {
+				t.Fatalf("workers=%d basis %d: compiled mean %v != interpreted %v",
+					workers, k, compiled.MeanProbs[k], interpreted.MeanProbs[k])
+			}
+		}
+		if i == 0 {
+			base = compiled
+			continue
+		}
+		if !base.Counts.Equal(compiled.Counts) {
+			t.Fatalf("counts differ between 1 and %d workers", workers)
+		}
+		for k := range base.MeanProbs {
+			if base.MeanProbs[k] != compiled.MeanProbs[k] {
+				t.Fatalf("MeanProbs differ between 1 and %d workers at basis %d", workers, k)
+			}
+		}
+	}
+}
+
+// TestStatevectorCompiledMatchesInterpreted: the plan-backed statevector
+// backend must match a direct interpreted Run plus shared-sampler
+// sampling, probability-bit for probability-bit.
+func TestStatevectorCompiledMatchesInterpreted(t *testing.T) {
+	c := randomQutritCircuit(t, 555, 4)
+	exec, err := StatevectorBackend{}.Execute(c, ExecSpec{Shots: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, pw := exec.State.Probabilities(), want.Probabilities()
+	for i := range pg {
+		if pg[i] != pw[i] {
+			t.Fatalf("basis %d: compiled %v vs interpreted %v", i, pg[i], pw[i])
+		}
+	}
+	if exec.Counts.Total() != 200 {
+		t.Fatalf("counts total %d", exec.Counts.Total())
+	}
+}
+
+// TestDensityCompiledMatchesInterpreted: the plan-backed density backend
+// must equal the interpreted RunDensityOn exactly.
+func TestDensityCompiledMatchesInterpreted(t *testing.T) {
+	c := ghzQutritCircuit(t, 3)
+	model := noise.Model{Depol2: 0.04, Damping: 0.02, IdleDamping: 0.01}
+	exec, err := DensityMatrixBackend{}.Execute(c, ExecSpec{Noise: model, Shots: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.RunDensity(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, w := exec.Density.Matrix(), want.Matrix()
+	for i, x := range g.Data {
+		if x != w.Data[i] {
+			t.Fatalf("density entry %d: compiled %v vs interpreted %v", i, x, w.Data[i])
+		}
+	}
+}
+
+// TestPlanCacheReusesPlans: repeated executions of the same circuit and
+// model must hit the process-wide plan cache instead of recompiling.
+func TestPlanCacheReusesPlans(t *testing.T) {
+	c := randomQutritCircuit(t, 777, 2)
+	model := noise.Model{Damping: 0.02}
+	p1, err := planFor(c, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, _, _ := PlanCacheStats()
+	p2, err := planFor(c, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("identical (circuit, model) did not reuse the cached plan")
+	}
+	hits1, _, entries := PlanCacheStats()
+	if hits1 <= hits0 {
+		t.Errorf("plan cache hits did not advance: %d -> %d", hits0, hits1)
+	}
+	if entries < 1 {
+		t.Errorf("plan cache empty after compile")
+	}
+	// A different model is a different plan.
+	p3, err := planFor(c, noise.Model{Damping: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("distinct noise models shared one plan")
+	}
+}

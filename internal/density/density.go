@@ -333,31 +333,15 @@ func (r *DM) WireProbabilities(wire int) []float64 {
 	return out
 }
 
-// Sample draws n basis-state indices from the diagonal distribution.
+// Sample draws n basis-state indices from the diagonal distribution
+// through the shared binary-search sampler (which clamps the negative
+// numerical dust a Kraus cascade can leave on the diagonal).
 func (r *DM) Sample(rng *rand.Rand, n int) []int {
-	probs := r.Probabilities()
-	cdf := make([]float64, len(probs))
-	var acc float64
-	for i, p := range probs {
-		if p < 0 {
-			p = 0 // numerical dust
-		}
-		acc += p
-		cdf[i] = acc
-	}
+	var sampler qmath.CDFSampler
+	sampler.Load(r.Probabilities())
 	out := make([]int, n)
 	for s := 0; s < n; s++ {
-		target := rng.Float64() * acc
-		lo, hi := 0, len(cdf)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cdf[mid] < target {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		out[s] = lo
+		out[s] = sampler.Draw(rng)
 	}
 	return out
 }

@@ -151,6 +151,27 @@ func (s *Space) DigitsInto(idx int, dst []int) {
 	}
 }
 
+// DigitDecoder converts flat basis indices to per-wire digit strings
+// through one reusable buffer, so histogram builders that decode
+// thousands of sampled indices do not allocate per sample.
+type DigitDecoder struct {
+	sp  *Space
+	buf []int
+}
+
+// NewDigitDecoder returns a decoder for the given space.
+func NewDigitDecoder(sp *Space) *DigitDecoder {
+	return &DigitDecoder{sp: sp, buf: make([]int, sp.NumWires())}
+}
+
+// Decode returns the per-wire digits of idx. The returned slice is the
+// decoder's internal buffer: it is overwritten by the next Decode call,
+// so callers must consume (or copy) it before decoding again.
+func (d *DigitDecoder) Decode(idx int) []int {
+	d.sp.DigitsInto(idx, d.buf)
+	return d.buf
+}
+
 // Digit extracts the digit of wire w from a flat index.
 func (s *Space) Digit(idx, w int) int {
 	return (idx / s.strides[w]) % s.dims[w]

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"quditkit/internal/hilbert"
 	"quditkit/internal/noise"
+	"quditkit/internal/qmath"
 )
 
 // NDAROptions configures the Noise-Directed Adaptive Remapping loop
@@ -98,16 +100,28 @@ func RunNDAR(rng *rand.Rand, g *Graph, colors int, opts NDAROptions) (*NDARResul
 		if err != nil {
 			return nil, err
 		}
+		// The gauge circuit is fixed for the whole round: compile it once
+		// and run every shot allocation-free through one workspace.
+		plan, err := qc.Compile(opts.Noise)
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		ws, err := plan.NewWorkspace()
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", round, err)
+		}
+		var sampler qmath.CDFSampler
+		dec := hilbert.NewDigitDecoder(plan.Space())
 		stat := NDARRound{Round: round}
 		attractor := res.BestProper // quality the gauge currently points at
 		optHits, attHits := 0, 0
 		var sum float64
 		for shot := 0; shot < opts.Shots; shot++ {
-			v, err := qc.RunTrajectory(rng, opts.Noise)
-			if err != nil {
+			if _, err := plan.RunShot(ws, rng); err != nil {
 				return nil, fmt.Errorf("round %d shot %d: %w", round, shot, err)
 			}
-			digits := v.SampleDigits(rng, 1)[0]
+			sampler.Load(ws.BornProbabilities())
+			digits := dec.Decode(sampler.Draw(rng))
 			assign := col.Decode(digits)
 			score := g.ProperEdges(assign)
 			sum += float64(score)

@@ -1,0 +1,116 @@
+package qmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCDFSamplerSkipsZeroWeights: indices with zero (or negative,
+// clamped) weight must never be drawn, including at the r == Total
+// rounding edge.
+func TestCDFSamplerSkipsZeroWeights(t *testing.T) {
+	var s CDFSampler
+	s.Load([]float64{0, 1, 0, 2, -0.5, 0})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		idx := s.Draw(rng)
+		if idx != 1 && idx != 3 {
+			t.Fatalf("drew zero-weight index %d", idx)
+		}
+	}
+}
+
+// TestCDFSamplerDistribution: empirical frequencies match the
+// normalized weights.
+func TestCDFSamplerDistribution(t *testing.T) {
+	weights := []float64{1, 3, 0, 6}
+	var s CDFSampler
+	s.Load(weights)
+	if s.Total() != 10 {
+		t.Fatalf("total %v", s.Total())
+	}
+	rng := rand.New(rand.NewSource(11))
+	n := 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[s.Draw(rng)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / float64(n)
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d: frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestCDFSamplerReload: reusing one sampler across loads must not leak
+// state from the previous table.
+func TestCDFSamplerReload(t *testing.T) {
+	var s CDFSampler
+	s.Load([]float64{1, 1, 1, 1, 1, 1, 1, 1})
+	s.Load([]float64{0, 0, 5})
+	if s.Len() != 3 {
+		t.Fatalf("len %d after reload", s.Len())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if idx := s.Draw(rng); idx != 2 {
+			t.Fatalf("drew %d from point mass at 2", idx)
+		}
+	}
+}
+
+// zeroSource is a rand.Source whose Float64 is exactly 0.0 — the
+// 2^-53 edge a random-seed test cannot reach.
+type zeroSource struct{}
+
+func (zeroSource) Int63() int64    { return 0 }
+func (zeroSource) Seed(seed int64) {}
+
+// TestCDFSamplerZeroDrawSkipsLeadingZeros: r == 0.0 must not land on a
+// zero-weight prefix.
+func TestCDFSamplerZeroDrawSkipsLeadingZeros(t *testing.T) {
+	var s CDFSampler
+	s.Load([]float64{0, 0, 4, 1})
+	rng := rand.New(zeroSource{})
+	if r := rng.Float64(); r != 0 {
+		t.Fatalf("zeroSource Float64 = %v, want exactly 0", r)
+	}
+	rng = rand.New(zeroSource{})
+	if idx := s.Draw(rng); idx != 2 {
+		t.Errorf("r=0 draw = %d, want first positive-weight index 2", idx)
+	}
+}
+
+// TestCDFSamplerAllZero: a degenerate all-zero table draws index 0
+// instead of panicking — the caller guards against it, but the sampler
+// must stay total.
+func TestCDFSamplerAllZero(t *testing.T) {
+	var s CDFSampler
+	s.Load([]float64{0, 0, 0})
+	rng := rand.New(rand.NewSource(1))
+	if idx := s.Draw(rng); idx != 0 {
+		t.Fatalf("all-zero draw = %d", idx)
+	}
+}
+
+// TestCDFSamplerLoadAllocFree: reloading a warm sampler of constant
+// size must not allocate — the trajectory hot loop reloads per shot.
+func TestCDFSamplerLoadAllocFree(t *testing.T) {
+	weights := make([]float64, 512)
+	for i := range weights {
+		weights[i] = float64(i % 7)
+	}
+	var s CDFSampler
+	s.Load(weights)
+	rng := rand.New(rand.NewSource(3))
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Load(weights)
+		s.Draw(rng)
+	})
+	if allocs > 0 {
+		t.Errorf("warm Load+Draw allocates %.1f times, want 0", allocs)
+	}
+}

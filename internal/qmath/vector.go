@@ -104,11 +104,20 @@ func (v Vector) Normalize() float64 {
 
 // Probabilities returns |v_i|^2 for each amplitude.
 func (v Vector) Probabilities() []float64 {
-	out := make([]float64, len(v))
-	for i, x := range v {
-		out[i] = real(x)*real(x) + imag(x)*imag(x)
+	return v.ProbabilitiesInto(make([]float64, len(v)))
+}
+
+// ProbabilitiesInto writes |v_i|^2 into dst, which must have the same
+// length as v, and returns dst. It is the allocation-free variant of
+// Probabilities for per-shot hot paths.
+func (v Vector) ProbabilitiesInto(dst []float64) []float64 {
+	if len(dst) != len(v) {
+		panic(fmt.Sprintf("qmath: ProbabilitiesInto length mismatch %d vs %d", len(dst), len(v)))
 	}
-	return out
+	for i, x := range v {
+		dst[i] = real(x)*real(x) + imag(x)*imag(x)
+	}
+	return dst
 }
 
 // Outer returns the outer product |v><w| as a len(v) x len(w) matrix.

@@ -74,14 +74,42 @@ func BenchmarkEnqueueCachedHit(b *testing.B) {
 
 // BenchmarkEnqueueCold measures the same submission with caching
 // disabled: every iteration pays for a full noisy trajectory
-// simulation — the work a cache hit saves.
+// simulation — the work a cache hit saves. The simulation itself runs
+// through the compiled-plan trajectory engine (allocs/op tracks it).
 func BenchmarkEnqueueCold(b *testing.B) {
 	s := benchService(b, Config{CacheSize: -1})
 	circ := benchCircuit(b)
 	opts := benchOpts()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id, err := s.Enqueue(circ, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Await(context.Background(), id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnqueueTrajectoryPlanCached measures distinct submissions of
+// one circuit under varying seeds with the result cache disabled: every
+// job re-simulates (the result cache cannot help), but the compiled
+// execution plan is shared through the process-wide plan cache, so the
+// per-job cost is pure trajectory work plus routing.
+func BenchmarkEnqueueTrajectoryPlanCached(b *testing.B) {
+	s := benchService(b, Config{CacheSize: -1})
+	circ := benchCircuit(b)
+	model := noise.Model{Damping: 1e-3, Dephasing: 1e-3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Enqueue(circ,
+			core.WithBackend(core.Trajectory),
+			core.WithNoise(model),
+			core.WithShots(128),
+			core.WithSeed(int64(i)))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -171,6 +171,13 @@ type Stats struct {
 	CacheEvictions uint64 `json:"cache_evictions"`
 	CacheLen       int    `json:"cache_len"`
 	CacheCap       int    `json:"cache_cap"`
+	// PlanCacheHits, PlanCacheMisses, and PlanCacheLen mirror the
+	// process-wide compiled-execution-plan cache (core.PlanCacheStats):
+	// repeated circuit content skips recompilation even when differing
+	// options force a fresh simulation.
+	PlanCacheHits   uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses uint64 `json:"plan_cache_misses"`
+	PlanCacheLen    int    `json:"plan_cache_len"`
 	// Shards, QueueDepth, and BatchSize echo the resolved Config.
 	Shards     int `json:"shards"`
 	QueueDepth int `json:"queue_depth"`
@@ -437,23 +444,27 @@ func (s *Service) CancelJob(id JobID) error {
 // and the cache counters — O(1), never blocking the intake path.
 func (s *Service) Stats() Stats {
 	hits, misses, evictions := s.cache.counters()
+	planHits, planMisses, planLen := core.PlanCacheStats()
 	queued := int(s.queuedGauge.Load())
 	running := int(s.runningGauge.Load())
 	return Stats{
-		Enqueued:       s.enqueued.Load(),
-		Completed:      s.completed.Load(),
-		Failed:         s.failed.Load(),
-		Cancelled:      s.cancelled.Load(),
-		Queued:         queued,
-		Running:        running,
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		CacheLen:       s.cache.len(),
-		CacheCap:       s.cfg.CacheSize,
-		Shards:         s.cfg.Shards,
-		QueueDepth:     s.cfg.QueueDepth,
-		BatchSize:      s.cfg.BatchSize,
+		Enqueued:        s.enqueued.Load(),
+		Completed:       s.completed.Load(),
+		Failed:          s.failed.Load(),
+		Cancelled:       s.cancelled.Load(),
+		Queued:          queued,
+		Running:         running,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEvictions:  evictions,
+		CacheLen:        s.cache.len(),
+		CacheCap:        s.cfg.CacheSize,
+		PlanCacheHits:   planHits,
+		PlanCacheMisses: planMisses,
+		PlanCacheLen:    planLen,
+		Shards:          s.cfg.Shards,
+		QueueDepth:      s.cfg.QueueDepth,
+		BatchSize:       s.cfg.BatchSize,
 	}
 }
 

@@ -93,6 +93,23 @@ func (v *Vec) Dim() int { return v.space.Total() }
 // Amplitudes returns a copy of the amplitude vector.
 func (v *Vec) Amplitudes() qmath.Vector { return v.amps.Clone() }
 
+// RawAmplitudes returns the state's backing amplitude slice without
+// copying. The slice aliases the state: writes through it mutate v, and
+// it stays valid for the life of v. It exists for execution engines
+// (compiled circuit plans, stochastic channel application) that must
+// touch every amplitude per gate without per-call clones; such callers
+// own the normalization invariant. Everyone else wants Amplitudes.
+func (v *Vec) RawAmplitudes() qmath.Vector { return v.amps }
+
+// ResetZero resets the state to |0...0> in place, reusing the existing
+// amplitude storage — the per-shot reset of the trajectory engine.
+func (v *Vec) ResetZero() {
+	for i := range v.amps {
+		v.amps[i] = 0
+	}
+	v.amps[0] = 1
+}
+
 // Amplitude returns the amplitude of flat basis index k.
 func (v *Vec) Amplitude(k int) complex128 { return v.amps[k] }
 
@@ -191,6 +208,12 @@ func (v *Vec) RenormalizeInPlace() error {
 // Probabilities returns the Born-rule probabilities of all basis states.
 func (v *Vec) Probabilities() []float64 { return v.amps.Probabilities() }
 
+// ProbabilitiesInto writes the Born-rule probabilities into dst (which
+// must have length Dim) and returns it, allocating nothing.
+func (v *Vec) ProbabilitiesInto(dst []float64) []float64 {
+	return v.amps.ProbabilitiesInto(dst)
+}
+
 // WireProbabilities returns the marginal outcome distribution of one wire.
 func (v *Vec) WireProbabilities(wire int) []float64 {
 	d := v.space.Dim(wire)
@@ -216,19 +239,14 @@ func (v *Vec) ExpectationHermitian(m *qmath.Matrix, targets []int) (float64, err
 	return real(v.InnerProduct(w)), nil
 }
 
-// Sample draws n basis-state indices from the Born distribution.
+// Sample draws n basis-state indices from the Born distribution through
+// the shared binary-search sampler.
 func (v *Vec) Sample(rng *rand.Rand, n int) []int {
-	probs := v.Probabilities()
-	cdf := make([]float64, len(probs))
-	var acc float64
-	for i, p := range probs {
-		acc += p
-		cdf[i] = acc
-	}
+	var sampler qmath.CDFSampler
+	sampler.Load(v.Probabilities())
 	out := make([]int, n)
 	for s := 0; s < n; s++ {
-		r := rng.Float64() * acc
-		out[s] = searchCDF(cdf, r)
+		out[s] = sampler.Draw(rng)
 	}
 	return out
 }
@@ -282,19 +300,6 @@ func (v *Vec) MostProbable() int {
 		}
 	}
 	return best
-}
-
-func searchCDF(cdf []float64, r float64) int {
-	lo, hi := 0, len(cdf)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if cdf[mid] < r {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }
 
 // GlobalPhaseAlign multiplies v by the phase that makes <w|v> real
