@@ -1,0 +1,221 @@
+// Command benchdiff guards against benchmark regressions in CI: it
+// parses `go test -bench -benchmem` output and compares every tracked
+// benchmark against the committed BENCH_*.json baselines, failing when a
+// metric regresses past its threshold.
+//
+// Usage:
+//
+//	benchdiff [-baseline 'BENCH_*.json'] [-threshold 0.25]
+//	          [-ns-threshold X] [bench-output.txt]
+//
+// The bench output is read from the named file, or stdin when no file
+// is given. Baselines are the per-PR BENCH_N.json reports already
+// committed at the repo root: each "benchmarks" entry's "after" block
+// carries the reference ns_op / b_op / allocs_op; when several baseline
+// files track the same benchmark, the highest-numbered (most recent)
+// file wins. Benchmarks present in the output but in no baseline — or
+// vice versa — are reported and skipped, never failed: the tracked set
+// is exactly the intersection.
+//
+// Allocation metrics (allocs/op, B/op) are deterministic across
+// machines, so they get the tight default threshold. Wall-clock ns/op
+// varies with the host CPU; -ns-threshold loosens only that metric
+// (zero means "use -threshold", a negative value skips ns comparison
+// entirely).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// baselineEntry is the reference measurement of one benchmark.
+type baselineEntry struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// baselineFile is the subset of a BENCH_N.json report benchdiff reads.
+type baselineFile struct {
+	Benchmarks map[string]struct {
+		After *baselineEntry `json:"after"`
+	} `json:"benchmarks"`
+}
+
+// measurement is one parsed `go test -bench -benchmem` result line.
+type measurement struct {
+	NsOp     float64
+	BOp      float64
+	AllocsOp float64
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo/sub=1-4  100  12345 ns/op  678 B/op  9 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so names match the
+// baseline keys.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	pattern := fs.String("baseline", "BENCH_*.json", "glob of committed baseline reports")
+	threshold := fs.Float64("threshold", 0.25, "allowed fractional regression for B/op and allocs/op")
+	nsThreshold := fs.Float64("ns-threshold", 0, "allowed fractional regression for ns/op (0 = -threshold, negative skips ns)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nsTol := *nsThreshold
+	if nsTol == 0 {
+		nsTol = *threshold
+	}
+
+	baseline, err := loadBaselines(*pattern)
+	if err != nil {
+		return err
+	}
+	if len(baseline) == 0 {
+		return fmt.Errorf("no baseline benchmarks found under %q", *pattern)
+	}
+
+	var in io.Reader = stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	compared := 0
+	for _, name := range names {
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(stdout, "SKIP %s: not in any baseline\n", name)
+			continue
+		}
+		got := measured[name]
+		compared++
+		check := func(metric string, gotV, baseV, tol float64) {
+			if baseV <= 0 || tol < 0 {
+				return // untracked metric (e.g. 0 allocs) or skipped
+			}
+			ratio := gotV/baseV - 1
+			status := "ok"
+			if ratio > tol {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s %s: %.0f vs baseline %.0f (+%.0f%%, limit +%.0f%%)",
+					name, metric, gotV, baseV, ratio*100, tol*100))
+			}
+			fmt.Fprintf(stdout, "%-10s %s %s: %.0f vs %.0f (%+.1f%%)\n",
+				status, name, metric, gotV, baseV, ratio*100)
+		}
+		check("ns/op", got.NsOp, base.NsOp, nsTol)
+		check("B/op", got.BOp, base.BOp, *threshold)
+		check("allocs/op", got.AllocsOp, base.AllocsOp, *threshold)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no measured benchmark matched a baseline entry")
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stdout, "FAIL", f)
+		}
+		return fmt.Errorf("%d benchmark metric(s) regressed past the threshold", len(failures))
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d benchmark(s) within thresholds\n", compared)
+	return nil
+}
+
+// loadBaselines merges all matching baseline files; files sort
+// lexically and later (higher-numbered) files win per benchmark.
+func loadBaselines(pattern string) (map[string]baselineEntry, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make(map[string]baselineEntry)
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var bf baselineFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for name, b := range bf.Benchmarks {
+			if b.After == nil {
+				continue // benchmark retired in this report
+			}
+			out[name] = *b.After
+		}
+	}
+	return out, nil
+}
+
+// parseBench extracts measurements from `go test -bench` output. A
+// benchmark appearing more than once keeps its best (minimum) ns/op —
+// the conventional stance that noise only ever slows a run down.
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	out := make(map[string]measurement)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		var bop, allocs float64
+		if m[3] != "" {
+			bop, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			allocs, _ = strconv.ParseFloat(m[4], 64)
+		}
+		got := measurement{NsOp: ns, BOp: bop, AllocsOp: allocs}
+		if prev, ok := out[name]; ok && prev.NsOp <= got.NsOp {
+			continue
+		}
+		out[name] = got
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineJSON = `{
+  "benchmarks": {
+    "BenchmarkFast": {"after": {"ns_op": 1000, "b_op": 512, "allocs_op": 8}},
+    "BenchmarkSub/workers=2": {"after": {"ns_op": 2000, "b_op": 0, "allocs_op": 0}},
+    "BenchmarkRetired": {"before": {"ns_op": 1}, "after": null}
+  }
+}`
+
+const newerBaselineJSON = `{
+  "benchmarks": {
+    "BenchmarkFast": {"after": {"ns_op": 1200, "b_op": 512, "allocs_op": 8}}
+  }
+}`
+
+func writeBaselines(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), []byte(baselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_4.json"), []byte(newerBaselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "BENCH_*.json")
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	glob := writeBaselines(t)
+	// 1300 vs the newer baseline 1200: +8%, inside 25%; the -8 suffix is
+	// the GOMAXPROCS tag and must strip.
+	bench := `goos: linux
+BenchmarkFast-8   	1000	1300 ns/op	512 B/op	8 allocs/op
+BenchmarkSub/workers=2-8	500	2100 ns/op	0 B/op	0 allocs/op
+PASS`
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", glob}, strings.NewReader(bench), &out); err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 benchmark(s) within thresholds") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	glob := writeBaselines(t)
+	bench := "BenchmarkFast-8   	1000	9999 ns/op	512 B/op	8 allocs/op\n"
+	var out bytes.Buffer
+	err := run([]string{"-baseline", glob}, strings.NewReader(bench), &out)
+	if err == nil {
+		t.Fatalf("ns/op regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestAllocRegressionFailsEvenWithLooseNs(t *testing.T) {
+	glob := writeBaselines(t)
+	bench := "BenchmarkFast-8   	1000	1100 ns/op	512 B/op	80 allocs/op\n"
+	var out bytes.Buffer
+	err := run([]string{"-baseline", glob, "-ns-threshold", "-1"}, strings.NewReader(bench), &out)
+	if err == nil {
+		t.Fatalf("allocs/op regression passed:\n%s", out.String())
+	}
+}
+
+func TestLooseNsThresholdSkipsWallClock(t *testing.T) {
+	glob := writeBaselines(t)
+	bench := "BenchmarkFast-8   	1000	99999 ns/op	512 B/op	8 allocs/op\n"
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", glob, "-ns-threshold", "-1"}, strings.NewReader(bench), &out); err != nil {
+		t.Fatalf("ns skipped but still failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	glob := writeBaselines(t)
+	bench := "BenchmarkFast-8   	1000	500 ns/op	100 B/op	2 allocs/op\n"
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", glob}, strings.NewReader(bench), &out); err != nil {
+		t.Fatalf("improvement failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestUntrackedBenchmarkSkips(t *testing.T) {
+	glob := writeBaselines(t)
+	bench := `BenchmarkFast-8   	1000	1200 ns/op	512 B/op	8 allocs/op
+BenchmarkBrandNew-8	100	77 ns/op	0 B/op	0 allocs/op`
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", glob}, strings.NewReader(bench), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SKIP BenchmarkBrandNew") {
+		t.Errorf("untracked benchmark not reported: %s", out.String())
+	}
+}
+
+func TestBestOfRepeatedRunsWins(t *testing.T) {
+	glob := writeBaselines(t)
+	bench := `BenchmarkFast-8   	1000	9999 ns/op	512 B/op	8 allocs/op
+BenchmarkFast-8   	1000	1100 ns/op	512 B/op	8 allocs/op`
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", glob}, strings.NewReader(bench), &out); err != nil {
+		t.Fatalf("best-of-N not applied: %v\n%s", err, out.String())
+	}
+}
+
+func TestErrorsOnEmptyInputs(t *testing.T) {
+	glob := writeBaselines(t)
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", glob}, strings.NewReader("no bench lines"), &out); err == nil {
+		t.Error("empty bench output accepted")
+	}
+	if err := run([]string{"-baseline", filepath.Join(t.TempDir(), "none_*.json")},
+		strings.NewReader("BenchmarkFast 1 1 ns/op"), &out); err == nil {
+		t.Error("missing baselines accepted")
+	}
+	bench := "BenchmarkBrandNew-8	100	77 ns/op\n"
+	if err := run([]string{"-baseline", glob}, strings.NewReader(bench), &out); err == nil {
+		t.Error("zero-intersection run accepted")
+	}
+}
+
+// TestRealBaselineParses guards the committed repo baselines against
+// schema drift: every BENCH_*.json at the repo root must load.
+func TestRealBaselineParses(t *testing.T) {
+	entries, err := loadBaselines(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no benchmarks parsed from committed baselines")
+	}
+	if _, ok := entries["BenchmarkTrajectoryPlanShot"]; !ok {
+		t.Error("BenchmarkTrajectoryPlanShot missing from committed baselines")
+	}
+}

@@ -1,0 +1,170 @@
+// Command quditc is the quditkit client-side compiler tool. Its
+// transpile subcommand lowers a wire-format circuit onto a forecast
+// device through the transpile pipeline — exactly as quditd would for a
+// job carrying the same "device" stanza — and prints the physical
+// circuit with its cost report, without executing anything.
+//
+// Usage:
+//
+//	quditc transpile [-cavities N] [-modes M] [-level 0|1|2] [-seed S]
+//	                 [-json] [circuit.json]
+//
+// The circuit is read from the named file, or stdin when no file is
+// given, in the same JSON wire format POST /v1/jobs accepts:
+//
+//	{"dims": [3,3,3], "ops": [
+//	  {"gate": "dft",  "targets": [0]},
+//	  {"gate": "csum", "targets": [0,1]},
+//	  {"gate": "csum", "targets": [0,2]}]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"quditkit/internal/core"
+	"quditkit/internal/serve"
+	"quditkit/internal/transpile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quditc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: quditc transpile [flags] [circuit.json]")
+	}
+	switch args[0] {
+	case "transpile":
+		return runTranspile(args[1:], stdin, stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (have: transpile)", args[0])
+	}
+}
+
+// jsonReport is the machine-readable projection of a transpile run.
+type jsonReport struct {
+	Level         string           `json:"level"`
+	Passes        []string         `json:"passes"`
+	LogicalOps    int              `json:"logical_ops"`
+	PhysicalOps   int              `json:"physical_ops"`
+	Mapping       []int            `json:"mapping"`
+	FinalLayout   []int            `json:"final_layout"`
+	SwapsInserted int              `json:"swaps_inserted"`
+	OneQuditGates int              `json:"one_qudit_gates"`
+	TwoQuditGates int              `json:"two_qudit_gates"`
+	DepthBefore   int              `json:"depth_before"`
+	DepthAfter    int              `json:"depth_after"`
+	DurationSec   float64          `json:"duration_sec"`
+	Fidelity      float64          `json:"fidelity_estimate"`
+	Noise         *serve.NoiseSpec `json:"noise,omitempty"`
+	Ops           []serveOpDump    `json:"ops"`
+}
+
+// serveOpDump is one physical op in the JSON dump.
+type serveOpDump struct {
+	Gate    string `json:"gate"`
+	Targets []int  `json:"targets"`
+}
+
+func runTranspile(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("quditc transpile", flag.ContinueOnError)
+	cavities := fs.Int("cavities", 2, "forecast cavities in the target chain")
+	modes := fs.Int("modes", 2, "modes per cavity (0 = full forecast module)")
+	level := fs.Int("level", int(transpile.LevelNative), "transpile level: 0 route, 1 +native decomposition, 2 +device noise")
+	seed := fs.Int64("seed", 0, "placement seed (0 = derive from the circuit, like an unseeded submission)")
+	asJSON := fs.Bool("json", false, "emit a JSON report instead of the listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var in io.Reader = stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var spec serve.CircuitSpec
+	if err := json.NewDecoder(in).Decode(&spec); err != nil {
+		return fmt.Errorf("decoding circuit: %w", err)
+	}
+	logical, err := serve.BuildCircuit(spec)
+	if err != nil {
+		return err
+	}
+	lvl, err := transpile.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+
+	// The processor seed only matters for unseeded placement derivation;
+	// 1 matches quditd's default.
+	proc, err := core.NewCompactProcessor(*cavities, *modes, 1)
+	if err != nil {
+		return err
+	}
+	opts := []core.RunOption{core.WithTranspile(lvl)}
+	if *seed != 0 {
+		opts = append(opts, core.WithSeed(*seed))
+	}
+	res, err := proc.Transpile(logical, opts...)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		rep := jsonReport{
+			Level:         lvl.String(),
+			Passes:        res.Passes,
+			LogicalOps:    logical.Len(),
+			PhysicalOps:   res.Physical.Len(),
+			Mapping:       res.Mapping.LogicalToMode,
+			FinalLayout:   res.Report.FinalLayout,
+			SwapsInserted: res.Report.SwapsInserted,
+			OneQuditGates: res.Report.OneQuditGates,
+			TwoQuditGates: res.Report.TwoQuditGates,
+			DepthBefore:   res.Report.DepthBefore,
+			DepthAfter:    res.Report.DepthAfter,
+			DurationSec:   res.Report.DurationSec,
+			Fidelity:      res.Report.FidelityEstimate,
+		}
+		if res.Noise != nil {
+			rep.Noise = serve.NoiseSpecFrom(*res.Noise)
+		}
+		for _, op := range res.Physical.Ops() {
+			rep.Ops = append(rep.Ops, serveOpDump{Gate: op.Gate.Name, Targets: op.Targets})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+
+	fmt.Fprintf(stdout, "target: %d cavities x %d modes, transpile level %d (%s)\n",
+		*cavities, *modes, int(lvl), lvl)
+	fmt.Fprintf(stdout, "passes: %v\n", res.Passes)
+	fmt.Fprintf(stdout, "ops: %d logical -> %d physical (%d 1q, %d 2q, %d swaps)\n",
+		logical.Len(), res.Physical.Len(),
+		res.Report.OneQuditGates, res.Report.TwoQuditGates, res.Report.SwapsInserted)
+	fmt.Fprintf(stdout, "depth: %d -> %d\n", res.Report.DepthBefore, res.Report.DepthAfter)
+	fmt.Fprintf(stdout, "placement: %v  final layout: %v\n",
+		res.Mapping.LogicalToMode, res.Report.FinalLayout)
+	fmt.Fprintf(stdout, "duration: %.1f us   fidelity budget: %.4f\n",
+		res.Report.DurationSec*1e6, res.Report.FidelityEstimate)
+	if res.Noise != nil {
+		fmt.Fprintf(stdout, "device noise: depol1=%.2e depol2=%.2e damping=%.2e dephasing=%.2e idle=(%.2e,%.2e)\n",
+			res.Noise.Depol1, res.Noise.Depol2, res.Noise.Damping, res.Noise.Dephasing,
+			res.Noise.IdleDamping, res.Noise.IdleDephasing)
+	}
+	fmt.Fprintf(stdout, "\n%s", res.Physical.String())
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const ghzSpec = `{"dims": [3,3,3], "ops": [
+  {"gate": "dft",  "targets": [0]},
+  {"gate": "csum", "targets": [0,1]},
+  {"gate": "csum", "targets": [0,2]}]}`
+
+func TestTranspileListing(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"transpile", "-level", "1"}, strings.NewReader(ghzSpec), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"passes:", "decompose", "depth:", "fidelity budget:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTranspileJSONLevel2(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"transpile", "-level", "2", "-json"}, strings.NewReader(ghzSpec), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Level != "noise" {
+		t.Errorf("level = %q, want noise", rep.Level)
+	}
+	if rep.Noise == nil || rep.Noise.Damping <= 0 {
+		t.Errorf("expected device-derived noise, got %+v", rep.Noise)
+	}
+	if rep.PhysicalOps <= rep.LogicalOps {
+		t.Errorf("decomposition did not expand ops: %d -> %d", rep.LogicalOps, rep.PhysicalOps)
+	}
+	if len(rep.Ops) != rep.PhysicalOps {
+		t.Errorf("ops dump has %d entries, report says %d", len(rep.Ops), rep.PhysicalOps)
+	}
+}
+
+func TestTranspileDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"transpile", "-level", "1"}, strings.NewReader(ghzSpec), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"transpile", "-level", "1"}, strings.NewReader(ghzSpec), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("repeated transpile runs differ")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"transpile"}, strings.NewReader("{not json"), &out); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	if err := run([]string{"transpile", "-level", "9"}, strings.NewReader(ghzSpec), &out); err == nil {
+		t.Error("undefined level accepted")
+	}
+}

@@ -18,6 +18,11 @@
 //	    {"gate": "csum", "targets": [0,2]}]},
 //	  "shots": 512}'
 //
+// A "device" stanza ({"cavities": N, "modes": M, "level": 0|1|2})
+// transpiles the job against a wire-requested forecast chain; the
+// response then carries the route report and, at level 2, the counts
+// degraded by (and a copy of) the device-derived noise model.
+//
 // quditd shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
 // requests and queued jobs drain before the process exits.
 package main

@@ -1,0 +1,120 @@
+// Example transpile walks the device-targeting pipeline: one logical
+// GHZ circuit lowered against a forecast cavity chain at each
+// transpile level, then executed under the device-derived noise model
+// — the "what would the machine actually return" study the paper's
+// application-engineering framing asks for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/core"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/transpile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 3-qutrit GHZ state: DFT on the control, CSUM fan-out.
+	logical, err := circuit.New(hilbert.Dims{3, 3, 3})
+	if err != nil {
+		return err
+	}
+	logical.MustAppend(gates.DFT(3), 0)
+	logical.MustAppend(gates.CSUM(3, 3), 0, 1)
+	logical.MustAppend(gates.CSUM(3, 3), 0, 2)
+
+	// The target: 2 forecast cavities trimmed to 2 modes each, so the
+	// routed register stays simulable end to end.
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("=== lowering one GHZ circuit through each transpile level ===")
+	for _, level := range []transpile.Level{
+		transpile.LevelRoute, transpile.LevelNative, transpile.LevelNoise,
+	} {
+		res, err := proc.Transpile(logical, core.WithTranspile(level))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nlevel %d (%s):\n", int(level), level)
+		fmt.Printf("  ops %d -> %d   depth %d -> %d   swaps %d\n",
+			logical.Len(), res.Physical.Len(),
+			res.Report.DepthBefore, res.Report.DepthAfter, res.Report.SwapsInserted)
+		fmt.Printf("  duration %.1f us   fidelity budget %.4f\n",
+			res.Report.DurationSec*1e6, res.Report.FidelityEstimate)
+		if res.Noise != nil {
+			fmt.Printf("  device noise: damping %.2e, dephasing %.2e, idle (%.2e, %.2e)\n",
+				res.Noise.Damping, res.Noise.Dephasing,
+				res.Noise.IdleDamping, res.Noise.IdleDephasing)
+		}
+	}
+
+	// Execute the device-noise level on the trajectory backend and
+	// compare against the ideal histogram: only |000> and the GHZ
+	// companions survive noiselessly; the device smears the rest.
+	fmt.Println("\n=== executing under device-realistic noise ===")
+	ideal, err := proc.SubmitOne(logical, core.WithShots(512))
+	if err != nil {
+		return err
+	}
+	noisy, err := proc.SubmitOne(logical,
+		core.WithShots(512),
+		core.WithBackend(core.Trajectory),
+		core.WithTranspile(transpile.LevelNoise),
+		core.WithWorkers(4))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ideal statevector counts:   %s\n", topCounts(ideal.Counts, 4))
+	fmt.Printf("device-noise trajectories:  %s\n", topCounts(noisy.Counts, 4))
+	fmt.Printf("applied noise model: damping %.2e (from the %s-level pipeline)\n",
+		noisy.Noise.Damping, noisy.Transpile)
+
+	ghzWeight := 0
+	for _, key := range []string{"0.0.0", "1.1.1", "2.2.2"} {
+		ghzWeight += noisy.Counts[key]
+	}
+	fmt.Printf("GHZ-subspace weight under device noise: %d / %d shots\n", ghzWeight, 512)
+	return nil
+}
+
+// topCounts renders the k most frequent outcomes.
+func topCounts(counts core.Counts, k int) string {
+	type kv struct {
+		key string
+		n   int
+	}
+	all := make([]kv, 0, len(counts))
+	for key, n := range counts {
+		all = append(all, kv{key, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].key < all[j].key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := ""
+	for i, e := range all {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s:%d", e.key, e.n)
+	}
+	return out
+}

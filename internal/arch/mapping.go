@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+
+	"quditkit/internal/circuit"
 )
 
 // InteractionEdge is one weighted logical interaction: Weight counts how
@@ -12,6 +15,35 @@ import (
 type InteractionEdge struct {
 	U, V   int
 	Weight float64
+}
+
+// CircuitEdges extracts the weighted two-qudit interaction graph of a
+// logical circuit — the input MapNoiseAware optimizes over. Edges are
+// returned sorted by (U, V) so the extraction is deterministic; gates of
+// arity other than 2 contribute nothing.
+func CircuitEdges(c *circuit.Circuit) []InteractionEdge {
+	weights := make(map[[2]int]float64)
+	for _, op := range c.Ops() {
+		if op.Gate.Arity() != 2 {
+			continue
+		}
+		u, v := op.Targets[0], op.Targets[1]
+		if u > v {
+			u, v = v, u
+		}
+		weights[[2]int{u, v}]++
+	}
+	out := make([]InteractionEdge, 0, len(weights))
+	for k, w := range weights {
+		out = append(out, InteractionEdge{U: k[0], V: k[1], Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
 }
 
 // Mapping assigns logical qudits to physical modes.

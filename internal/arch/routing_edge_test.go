@@ -1,0 +1,111 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+)
+
+// TestSingleCavityNoInterCavitySwaps: on a one-cavity device every mode
+// pair is co-located, so routing must never insert a swap no matter how
+// the circuit entangles its wires.
+func TestSingleCavityNoInterCavitySwaps(t *testing.T) {
+	dev := ForecastDeviceTrimmed(1, 3)
+	c, err := circuit.New(hilbert.Dims{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-to-all entanglement, both orientations.
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	c.MustAppend(gates.CSUM(3, 3), 1, 2)
+	c.MustAppend(gates.CSUM(3, 3), 2, 0)
+	c.MustAppend(gates.CSUM(3, 3), 0, 2)
+
+	rng := rand.New(rand.NewSource(5))
+	mapping, err := MapNoiseAware(rng, dev, 3, CircuitEdges(c), MappingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, rep, err := RouteCircuit(dev, c, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SwapsInserted != 0 {
+		t.Errorf("single-cavity routing inserted %d swaps", rep.SwapsInserted)
+	}
+	for i, op := range phys.Ops() {
+		if op.Gate.Name == gates.SWAP(3).Name {
+			t.Errorf("op %d is a SWAP on a single-cavity device", i)
+		}
+	}
+	if rep.TwoQuditGates != 4 {
+		t.Errorf("two-qudit count %d, want 4", rep.TwoQuditGates)
+	}
+}
+
+// TestCircuitWiderThanDevice: more logical wires than physical modes
+// must produce an error from every entry point, never a panic.
+func TestCircuitWiderThanDevice(t *testing.T) {
+	dev := ForecastDeviceTrimmed(1, 2) // 2 modes
+	c, err := circuit.New(hilbert.Dims{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MapNoiseAware(rng, dev, 3, CircuitEdges(c), MappingOptions{}); err == nil {
+		t.Error("MapNoiseAware accepted 3 logical qudits on 2 modes")
+	}
+	if _, err := MapIdentity(dev, 3); err == nil {
+		t.Error("MapIdentity accepted 3 logical qudits on 2 modes")
+	}
+	// A mapping of the wrong width must be rejected by routing checks.
+	mapping := Mapping{LogicalToMode: []int{0, 1}}
+	if _, _, err := RouteCircuit(dev, c, mapping); err == nil {
+		t.Error("RouteCircuit accepted a mapping narrower than the circuit")
+	}
+	// And one that indexes outside the device must error, not panic.
+	bad := Mapping{LogicalToMode: []int{0, 1, 7}}
+	if _, _, err := RouteCircuit(dev, c, bad); err == nil {
+		t.Error("RouteCircuit accepted an out-of-range mode index")
+	}
+}
+
+// TestCircuitEdgesDeterministic: edge extraction is sorted, so repeated
+// calls agree element-wise (the property placement determinism builds
+// on).
+func TestCircuitEdgesDeterministic(t *testing.T) {
+	c, err := circuit.New(hilbert.Dims{3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustAppend(gates.CSUM(3, 3), 2, 3)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	c.MustAppend(gates.CSUM(3, 3), 3, 2) // same pair, reversed orientation
+	c.MustAppend(gates.CSUM(3, 3), 1, 2)
+	c.MustAppend(gates.DFT(3), 0) // arity 1: ignored
+
+	a := CircuitEdges(c)
+	b := CircuitEdges(c)
+	if len(a) != 3 {
+		t.Fatalf("edge count %d, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs between calls: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && (a[i].U < a[i-1].U || (a[i].U == a[i-1].U && a[i].V <= a[i-1].V)) {
+			t.Fatalf("edges not sorted: %+v", a)
+		}
+	}
+	// The (2,3) pair was hit twice, once per orientation.
+	for _, e := range a {
+		if e.U == 2 && e.V == 3 && e.Weight != 2 {
+			t.Errorf("edge (2,3) weight %g, want 2", e.Weight)
+		}
+	}
+}

@@ -26,6 +26,11 @@ type ExecSpec struct {
 	Shots   int
 	Seed    int64
 	Workers int
+	// TranspileFP is the fingerprint of the transpile pipeline that
+	// produced the circuit (zero for untranspiled circuits); it is part
+	// of the compiled-plan cache key, so plans lowered against different
+	// devices or transpile levels never alias.
+	TranspileFP uint64
 }
 
 // context returns the spec's context, defaulting to Background.
@@ -93,7 +98,7 @@ func (StatevectorBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution,
 		return Execution{}, fmt.Errorf("core: %s backend cannot apply noise; use %s or %s",
 			Statevector, DensityMatrix, Trajectory)
 	}
-	plan, err := planFor(c, noise.Model{})
+	plan, err := planFor(c, noise.Model{}, spec.TranspileFP)
 	if err != nil {
 		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
 	}
@@ -133,7 +138,7 @@ func (DensityMatrixBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Executio
 	if err := spec.context().Err(); err != nil {
 		return Execution{}, err
 	}
-	plan, err := planFor(c, spec.Noise)
+	plan, err := planFor(c, spec.Noise, spec.TranspileFP)
 	if err != nil {
 		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
 	}
@@ -226,7 +231,7 @@ func (b TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution
 		}
 	} else {
 		var err error
-		plan, err = planFor(c, spec.Noise)
+		plan, err = planFor(c, spec.Noise, spec.TranspileFP)
 		if err != nil {
 			return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
 		}

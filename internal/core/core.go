@@ -13,10 +13,10 @@ import (
 	"math/rand"
 
 	"quditkit/internal/arch"
-	"quditkit/internal/cavity"
 	"quditkit/internal/circuit"
 	"quditkit/internal/hilbert"
 	"quditkit/internal/noise"
+	"quditkit/internal/transpile"
 )
 
 // ErrNotSimulable is returned when a routed circuit exceeds the
@@ -56,21 +56,15 @@ func NewCompactProcessor(nCavities, modesPerCavity int, seed int64) (*Processor,
 
 // NoiseModelForDim derives the per-gate error model for qudits of
 // dimension d from the device's physical parameters: photon loss over
-// each gate duration plus a small depolarizing floor for control errors.
+// each gate duration plus a small depolarizing floor for control
+// errors. It shares the transpiler's derivation (one source of truth),
+// evaluated against the first module's own coherence times with no
+// idle rates — the historical model the experiment tables are pinned
+// to; the transpile.LevelNoise annotation uses the stricter worst-case
+// transpile.DeviceNoiseModel instead.
 func (p *Processor) NoiseModelForDim(d int) (noise.Model, error) {
 	module := p.Device.Cavities[0]
-	oneQDur := module.SNAPDurationSec() + 2*module.DisplacementDurationSec()
-	twoQDur, err := module.CSUMDurationSec(d, cavity.RouteCrossKerr)
-	if err != nil {
-		return noise.Model{}, err
-	}
-	t1 := module.Modes[0].T1Sec
-	return noise.Model{
-		Depol1:    1e-4,
-		Depol2:    1e-3,
-		Damping:   cavity.LossPerGate(twoQDur, t1),
-		Dephasing: cavity.LossPerGate(oneQDur, module.Modes[0].T2Sec),
-	}, nil
+	return transpile.ModuleNoiseModel(module, d, module.Modes[0].T1Sec, module.Modes[0].T2Sec)
 }
 
 // JobError reports which job of a Submit batch failed, wrapping the
@@ -140,9 +134,17 @@ func (p *Processor) runJob(job Job) (Result, error) {
 		seed = p.jobSeed(job.Circuit)
 	}
 
-	phys, mapping, report, err := p.compileWith(p.mappingRng(seed), job.Circuit)
+	lowered, pipe, err := p.transpileWith(cfg, seed, job.Circuit)
 	if err != nil {
 		return Result{}, err
+	}
+	phys, mapping, report := lowered.Physical, lowered.Mapping, lowered.Report
+
+	// An explicit WithNoise always wins; otherwise a LevelNoise pipeline
+	// supplies the device-derived model.
+	model := cfg.noise
+	if !cfg.noiseSet && lowered.Noise != nil {
+		model = *lowered.Noise
 	}
 
 	backend, err := BackendFor(cfg.backend)
@@ -150,11 +152,12 @@ func (p *Processor) runJob(job Job) (Result, error) {
 		return Result{}, err
 	}
 	exec, err := backend.Execute(phys, ExecSpec{
-		Ctx:     cfg.ctx,
-		Noise:   cfg.noise,
-		Shots:   cfg.shots,
-		Seed:    mixSeed(seed, streamSampling),
-		Workers: cfg.workers,
+		Ctx:         cfg.ctx,
+		Noise:       model,
+		Shots:       cfg.shots,
+		Seed:        mixSeed(seed, streamSampling),
+		Workers:     cfg.workers,
+		TranspileFP: pipe.Fingerprint(),
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("%s backend: %w", cfg.backend, err)
@@ -173,6 +176,8 @@ func (p *Processor) runJob(job Job) (Result, error) {
 		PhysicalCounts: exec.Counts,
 		Mapping:        mapping,
 		Report:         report,
+		Noise:          model,
+		Transpile:      cfg.level,
 		meanProbs:      exec.MeanProbs,
 		physSpace:      physSpace,
 		logicalWires:   job.Circuit.NumWires(),
@@ -184,6 +189,50 @@ func (p *Processor) runJob(job Job) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// transpileWith runs the job's transpile pipeline: the target device is
+// the processor's own unless WithDevice overrides it, the pass set is
+// selected by WithTranspile, and the placement annealing draws from the
+// job seed's mapping stream — the same derivation Submit has always
+// used, so default-level lowering is bit-identical to the historical
+// place-and-route path.
+func (p *Processor) transpileWith(cfg runConfig, seed int64, logical *circuit.Circuit) (*transpile.Result, *transpile.Pipeline, error) {
+	dev := p.Device
+	if cfg.device != nil {
+		dev = *cfg.device
+	}
+	pipe, err := transpile.New(dev, cfg.level)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := pipe.Run(p.mappingRng(seed), logical)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, pipe, nil
+}
+
+// Transpile lowers a logical circuit through the same pipeline a
+// submitted job would use — device, level, and seed resolved from the
+// options identically — without executing it. It is the inspection
+// seam behind `quditc transpile`: the physical circuit, placement,
+// route report, and (at transpile.LevelNoise) derived noise model come
+// back exactly as Submit would compile them.
+func (p *Processor) Transpile(logical *circuit.Circuit, opts ...RunOption) (*transpile.Result, error) {
+	if logical == nil {
+		return nil, fmt.Errorf("core: Transpile requires a circuit")
+	}
+	cfg := defaultRunConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	seed := cfg.seed
+	if !cfg.seedSet {
+		seed = p.jobSeed(logical)
+	}
+	res, _, err := p.transpileWith(cfg, seed, logical)
+	return res, err
 }
 
 // jobSeed is the derived default seed of a job: reproducible, and
@@ -201,26 +250,12 @@ func (p *Processor) mappingRng(seed int64) *rand.Rand {
 
 // mapFor anneals the noise-aware placement for a logical circuit.
 func (p *Processor) mapFor(rng *rand.Rand, logical *circuit.Circuit) (arch.Mapping, error) {
-	edges := interactionEdges(logical)
+	edges := arch.CircuitEdges(logical)
 	mapping, err := arch.MapNoiseAware(rng, p.Device, logical.NumWires(), edges, arch.MappingOptions{})
 	if err != nil {
 		return arch.Mapping{}, fmt.Errorf("mapping: %w", err)
 	}
 	return mapping, nil
-}
-
-// compileWith places and routes a logical circuit using the given
-// random stream for the annealed placement.
-func (p *Processor) compileWith(rng *rand.Rand, logical *circuit.Circuit) (*circuit.Circuit, arch.Mapping, *arch.RouteReport, error) {
-	mapping, err := p.mapFor(rng, logical)
-	if err != nil {
-		return nil, arch.Mapping{}, nil, err
-	}
-	phys, rep, err := arch.RouteCircuit(p.Device, logical, mapping)
-	if err != nil {
-		return nil, arch.Mapping{}, nil, fmt.Errorf("routing: %w", err)
-	}
-	return phys, mapping, rep, nil
 }
 
 // PlanReport is the outcome of Processor.Plan: the annealed placement
@@ -248,25 +283,4 @@ func (p *Processor) Plan(logical *circuit.Circuit) (*PlanReport, error) {
 		return nil, fmt.Errorf("routing: %w", err)
 	}
 	return &PlanReport{Mapping: mapping, Report: rep}, nil
-}
-
-// interactionEdges extracts weighted two-qudit interaction counts from a
-// logical circuit.
-func interactionEdges(c *circuit.Circuit) []arch.InteractionEdge {
-	weights := make(map[[2]int]float64)
-	for _, op := range c.Ops() {
-		if op.Gate.Arity() != 2 {
-			continue
-		}
-		u, v := op.Targets[0], op.Targets[1]
-		if u > v {
-			u, v = v, u
-		}
-		weights[[2]int{u, v}]++
-	}
-	out := make([]arch.InteractionEdge, 0, len(weights))
-	for k, w := range weights {
-		out = append(out, arch.InteractionEdge{U: k[0], V: k[1], Weight: w})
-	}
-	return out
 }

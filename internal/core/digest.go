@@ -4,14 +4,20 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"math"
+
+	"quditkit/internal/transpile"
 )
 
 // OptionsDigest hashes the result-determining part of a job's run
 // options into a stable content address: backend kind, shot count,
-// explicit seed (and whether one was set), and every noise-model rate.
-// Two option lists with equal digests submitted for the same circuit to
-// the same processor produce byte-identical Results, which is the
-// contract the job-service result cache relies on.
+// explicit seed (and whether one was set), every noise-model rate (and
+// whether an explicit model was set — explicit zero noise suppresses
+// LevelNoise annotation, so the flag is result-determining), the
+// transpile level, and the target-device fingerprint when WithDevice
+// overrides the processor's own. Two option lists with equal digests
+// submitted for the same circuit to the same processor produce
+// byte-identical Results, which is the contract the job-service result
+// cache relies on.
 //
 // Deliberately excluded: WithWorkers (trajectory counts are
 // bit-identical for any worker count) and WithContext (cancellation
@@ -36,12 +42,24 @@ func OptionsDigest(opts ...RunOption) uint64 {
 	} else {
 		writeU64(0)
 	}
+	if cfg.noiseSet {
+		writeU64(1)
+	} else {
+		writeU64(0)
+	}
 	for _, rate := range []float64{
 		cfg.noise.Depol1, cfg.noise.Depol2,
 		cfg.noise.Damping, cfg.noise.Dephasing,
 		cfg.noise.IdleDamping, cfg.noise.IdleDephasing,
 	} {
 		writeU64(math.Float64bits(rate))
+	}
+	writeU64(uint64(cfg.level))
+	if cfg.device != nil {
+		writeU64(1)
+		writeU64(transpile.DeviceFingerprint(*cfg.device))
+	} else {
+		writeU64(0)
 	}
 	return h.Sum64()
 }

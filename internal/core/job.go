@@ -7,8 +7,10 @@ import (
 	"quditkit/internal/circuit"
 	"quditkit/internal/density"
 	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
 	"quditkit/internal/qmath"
 	"quditkit/internal/state"
+	"quditkit/internal/transpile"
 )
 
 // Job is one logical circuit plus the options governing its execution.
@@ -53,6 +55,13 @@ type Result struct {
 	// Report carries swap counts, duration, the coherence budget, and the
 	// final logical-to-mode layout after routing swaps.
 	Report *arch.RouteReport
+	// Noise is the effective noise model the job executed under: the
+	// explicit WithNoise model, or the device-derived one when the job
+	// transpiled at transpile.LevelNoise without an explicit model.
+	Noise noise.Model
+	// Transpile is the transpile level the job's circuit was lowered
+	// through.
+	Transpile transpile.Level
 
 	// meanProbs is the trajectory-averaged physical basis distribution.
 	meanProbs []float64

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 
+	"quditkit/internal/arch"
 	"quditkit/internal/noise"
+	"quditkit/internal/transpile"
 )
 
 // BackendKind names one of the built-in execution backends.
@@ -40,13 +42,16 @@ func (k BackendKind) String() string {
 
 // runConfig is the resolved configuration of one job.
 type runConfig struct {
-	backend BackendKind
-	shots   int
-	noise   noise.Model
-	seed    int64
-	seedSet bool
-	workers int
-	ctx     context.Context
+	backend  BackendKind
+	shots    int
+	noise    noise.Model
+	noiseSet bool
+	seed     int64
+	seedSet  bool
+	workers  int
+	device   *arch.Device
+	level    transpile.Level
+	ctx      context.Context
 }
 
 func defaultRunConfig() runConfig {
@@ -67,9 +72,32 @@ func WithShots(n int) RunOption {
 
 // WithNoise attaches a per-gate noise model to the job. The Statevector
 // backend rejects non-zero noise; DensityMatrix applies it exactly;
-// Trajectory applies it stochastically per shot.
+// Trajectory applies it stochastically per shot. An explicit model
+// always wins over the device-derived one a transpile.LevelNoise
+// pipeline would attach — passing the zero model therefore forces a
+// noiseless run even at that level.
 func WithNoise(m noise.Model) RunOption {
-	return func(c *runConfig) { c.noise = m }
+	return func(c *runConfig) { c.noise = m; c.noiseSet = true }
+}
+
+// WithDevice targets the job at an explicit device instead of the
+// processor's own: placement, routing, duration and fidelity budgets,
+// and (at transpile.LevelNoise) the derived noise model all evaluate
+// against it. The device fingerprint is part of OptionsDigest, so jobs
+// targeting different devices never share a cached result.
+func WithDevice(dev arch.Device) RunOption {
+	return func(c *runConfig) { d := dev; c.device = &d }
+}
+
+// WithTranspile selects the transpile level the job's circuit is
+// lowered through before compilation (default transpile.LevelRoute —
+// placement and routing only, the behavior Submit has always had).
+// transpile.LevelNative additionally rewrites gates into the
+// cavity-native set; transpile.LevelNoise additionally attaches the
+// device-derived noise model, which the Statevector backend will then
+// reject (use DensityMatrix or Trajectory for device-noise runs).
+func WithTranspile(level transpile.Level) RunOption {
+	return func(c *runConfig) { c.level = level }
 }
 
 // WithBackend selects the execution backend (default Statevector).

@@ -14,12 +14,16 @@ import (
 // quditd comfortably.
 const planCacheCap = 128
 
-// planKey addresses a compiled plan by circuit content and noise model.
-// noise.Model is a flat comparable struct, so the pair is a map key
-// directly; the fingerprint is the same content address the job-service
-// result cache uses.
+// planKey addresses a compiled plan by circuit content, the transpile
+// pipeline that produced it, and the noise model. noise.Model is a flat
+// comparable struct, so the triple is a map key directly; the circuit
+// fingerprint is the same content address the job-service result cache
+// uses, and the transpile fingerprint (zero for untranspiled direct
+// backend use) keeps plans lowered against different devices or levels
+// from ever aliasing through a circuit-fingerprint collision.
 type planKey struct {
 	fp    uint64
+	tfp   uint64
 	model noise.Model
 }
 
@@ -35,12 +39,13 @@ var planCache = struct {
 	misses atomic.Uint64
 }{plans: make(map[planKey]*circuit.Plan)}
 
-// planFor returns the compiled plan for (circuit, model), compiling and
-// caching on miss. A fingerprint collision between genuinely different
-// circuits is caught by the dimension check and recompiled without
-// caching (the same collision tolerance the result cache accepts).
-func planFor(c *circuit.Circuit, model noise.Model) (*circuit.Plan, error) {
-	key := planKey{fp: Fingerprint(c), model: model}
+// planFor returns the compiled plan for (circuit, transpile
+// fingerprint, model), compiling and caching on miss. A fingerprint
+// collision between genuinely different circuits is caught by the
+// dimension check and recompiled without caching (the same collision
+// tolerance the result cache accepts).
+func planFor(c *circuit.Circuit, model noise.Model, transpileFP uint64) (*circuit.Plan, error) {
+	key := planKey{fp: Fingerprint(c), tfp: transpileFP, model: model}
 	planCache.mu.Lock()
 	if p, ok := planCache.plans[key]; ok {
 		planCache.mu.Unlock()

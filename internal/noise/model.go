@@ -41,6 +41,18 @@ func (m Model) ScaleGateError(f float64) Model {
 	return out
 }
 
+// WithIdle returns a copy of m with the idle-decoherence rates set.
+// Idle channels are applied to untouched wires once per circuit moment;
+// the transpiler's noise-annotation pass uses this to extend a
+// gate-error model with the spectator decoherence the device's T1/T2
+// imply over one gate duration.
+func (m Model) WithIdle(damping, dephasing float64) Model {
+	out := m
+	out.IdleDamping = clamp01(damping)
+	out.IdleDephasing = clamp01(dephasing)
+	return out
+}
+
 // GateChannels returns the channels to apply to a wire of dimension d
 // after a gate of the given arity. A nil slice means no noise.
 func (m Model) GateChannels(d, arity int) []Channel {

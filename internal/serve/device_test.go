@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+
+	"quditkit/internal/core"
+)
+
+// deviceGHZRequest is the acceptance scenario: a noisy GHZ job lowered
+// against a wire-requested device at the noise-annotating level.
+func deviceGHZRequest(workers int) JobRequest {
+	req := ghzRequest()
+	req.Backend = "trajectory"
+	req.Workers = workers
+	req.Device = &DeviceSpec{Cavities: 2, Modes: 2, Level: 2}
+	return req
+}
+
+// TestHTTPDeviceStanzaRouteReportAndNoise: a device-stanza job returns
+// the route report (layout, swaps, fidelity budget) alongside
+// device-noise-degraded counts, byte-identical across repeated
+// submissions at any worker count, with the resubmission settling from
+// the result cache and the plan cache re-hitting the transpiled plan.
+func TestHTTPDeviceStanzaRouteReportAndNoise(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	first, status := postJob(t, ts.URL+"/v1/jobs?wait=1", deviceGHZRequest(1))
+	if status != http.StatusOK || first.State != "done" || first.Result == nil {
+		t.Fatalf("submit: status %d view %+v", status, first)
+	}
+	res := first.Result
+	if res.Transpile != "noise" {
+		t.Errorf("transpile level %q, want noise", res.Transpile)
+	}
+	if res.Noise == nil || res.Noise.Damping <= 0 {
+		t.Errorf("missing device-derived noise: %+v", res.Noise)
+	}
+	if len(res.FinalLayout) != 3 || len(res.Mapping) != 3 {
+		t.Errorf("missing layouts: %+v", res)
+	}
+	if res.FidelityEstimate <= 0 || res.FidelityEstimate >= 1 {
+		t.Errorf("fidelity budget %g outside (0,1)", res.FidelityEstimate)
+	}
+	if res.TwoQuditGates == 0 || res.OneQuditGates == 0 || res.DepthAfter == 0 {
+		t.Errorf("route report incomplete: %+v", res)
+	}
+	if countTotal(res.Counts) != 256 {
+		t.Errorf("counts total %d, want 256", countTotal(res.Counts))
+	}
+
+	// The same job without the stanza runs noiselessly on the default
+	// device: the stanza must actually change the execution.
+	clean, status := postJob(t, ts.URL+"/v1/jobs?wait=1", func() JobRequest {
+		r := ghzRequest()
+		r.Backend = "trajectory"
+		return r
+	}())
+	if status != http.StatusOK {
+		t.Fatalf("clean submit status %d", status)
+	}
+	if reflect.DeepEqual(clean.Result.Counts, res.Counts) {
+		t.Error("device noise did not degrade the histogram")
+	}
+
+	planHits0, _, _ := core.PlanCacheStats()
+	// Resubmission at a different worker count: same digest (workers are
+	// excluded), so it settles byte-identically from the result cache.
+	second, status := postJob(t, ts.URL+"/v1/jobs?wait=1", deviceGHZRequest(4))
+	if status != http.StatusOK || !second.Cached {
+		t.Fatalf("resubmission not served from cache: status %d view %+v", status, second)
+	}
+	if !reflect.DeepEqual(second.Result.Counts, res.Counts) {
+		t.Error("cached resubmission differs from the original")
+	}
+
+	// A distinct-seed resubmission misses the result cache but re-hits
+	// the compiled plan of the transpiled circuit.
+	reseeded := deviceGHZRequest(2)
+	seed := int64(99)
+	reseeded.Seed = &seed
+	third, status := postJob(t, ts.URL+"/v1/jobs?wait=1", reseeded)
+	if status != http.StatusOK || third.Cached {
+		t.Fatalf("reseeded submission: status %d view %+v", status, third)
+	}
+	planHits1, _, _ := core.PlanCacheStats()
+	if planHits1 <= planHits0 {
+		t.Errorf("transpiled resubmission did not hit the plan cache: hits %d -> %d", planHits0, planHits1)
+	}
+
+	if got := s.Stats().Completed; got < 3 {
+		t.Errorf("completed jobs %d, want >= 3", got)
+	}
+}
+
+// TestHTTPDeviceStanzaDeterministicAcrossRestart: two services over
+// identically seeded processors produce byte-identical device-stanza
+// results — the property that makes the content-addressed cache safe.
+func TestHTTPDeviceStanzaDeterministicAcrossRestart(t *testing.T) {
+	_, tsA := newTestServer(t)
+	_, tsB := newTestServer(t)
+	a, statusA := postJob(t, tsA.URL+"/v1/jobs?wait=1", deviceGHZRequest(3))
+	b, statusB := postJob(t, tsB.URL+"/v1/jobs?wait=1", deviceGHZRequest(1))
+	if statusA != http.StatusOK || statusB != http.StatusOK {
+		t.Fatalf("statuses %d, %d", statusA, statusB)
+	}
+	if !reflect.DeepEqual(a.Result.Counts, b.Result.Counts) {
+		t.Error("independent services disagree on device-stanza counts")
+	}
+	if !reflect.DeepEqual(a.Result.FinalLayout, b.Result.FinalLayout) ||
+		a.Result.SwapsInserted != b.Result.SwapsInserted {
+		t.Error("independent services disagree on the route report")
+	}
+}
+
+// TestDeviceSpecAdmission: hostile or malformed stanzas are rejected at
+// the wire, before any allocation.
+func TestDeviceSpecAdmission(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		mutate func(*JobRequest)
+	}{
+		{"zero cavities", func(r *JobRequest) { r.Device.Cavities = 0 }},
+		{"too many cavities", func(r *JobRequest) { r.Device.Cavities = MaxDeviceCavities + 1 }},
+		{"negative modes", func(r *JobRequest) { r.Device.Modes = -1 }},
+		{"undefined level", func(r *JobRequest) { r.Device.Level = 9 }},
+		{"register blowup", func(r *JobRequest) {
+			// 8 untrimmed forecast cavities: 32 modes at dim 3 is far
+			// over the routed-register budget.
+			r.Device.Cavities = 8
+			r.Device.Modes = 0
+		}},
+		{"derive_noise_dim with device", func(r *JobRequest) {
+			// The daemon-device derivation would mismatch the stanza
+			// device's route report; level 2 is the supported spelling.
+			r.DeriveNoiseDim = 3
+		}},
+	}
+	for _, tc := range cases {
+		req := deviceGHZRequest(1)
+		tc.mutate(&req)
+		view, status := postJob(t, ts.URL+"/v1/jobs?wait=1", req)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (view %+v), want 400", tc.name, status, view)
+		}
+	}
+}

@@ -2,13 +2,16 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
+	"quditkit/internal/arch"
 	"quditkit/internal/circuit"
 	"quditkit/internal/core"
 	"quditkit/internal/gates"
 	"quditkit/internal/hilbert"
 	"quditkit/internal/noise"
+	"quditkit/internal/transpile"
 )
 
 // CircuitSpec is the JSON wire form of a logical circuit: the register
@@ -77,6 +80,17 @@ const (
 	MaxShots = 1 << 20
 	// MaxWorkers caps the requested trajectory pool width.
 	MaxWorkers = 256
+	// MaxDeviceCavities caps the chain length of a wire-requested
+	// device (see DeviceSpec); forecast modules carry at most 4 modes,
+	// so this also bounds the physical register width at 32 modes.
+	MaxDeviceCavities = 8
+	// MaxRoutedLog2Dim caps the joint Hilbert dimension of the routed
+	// physical register a wire-requested device implies: routing
+	// rebuilds the circuit on one wire per device mode at the logical
+	// dimension, and the statevector workspace allocates the full 2^22
+	// * 16-byte amplitude block per worker, so an unbounded device
+	// stanza would be an allocation amplifier.
+	MaxRoutedLog2Dim = 22
 )
 
 // BuildCircuit materializes a CircuitSpec into a logical circuit,
@@ -249,11 +263,29 @@ func (n NoiseSpec) model() (noise.Model, error) {
 	}, nil
 }
 
+// DeviceSpec is the JSON wire form of a transpile target: a forecast
+// cavity chain the job's circuit is lowered onto instead of the
+// daemon's default device, plus the transpile level to lower through.
+type DeviceSpec struct {
+	// Cavities is the chain length (required, 1..MaxDeviceCavities).
+	Cavities int `json:"cavities"`
+	// Modes trims each cavity to this many modes; zero keeps the full
+	// forecast module (4 modes).
+	Modes int `json:"modes,omitempty"`
+	// Level is the transpile level: 0 place+route (default), 1 +native
+	// decomposition, 2 +device-derived noise annotation.
+	Level int `json:"level,omitempty"`
+}
+
 // JobRequest is the body of POST /v1/jobs: the circuit plus the
 // execution options, mirroring core's RunOptions one field per option.
 type JobRequest struct {
 	// Circuit is the logical circuit to compile and execute.
 	Circuit CircuitSpec `json:"circuit"`
+	// Device, when present, transpiles the job against this device
+	// (core.WithDevice + core.WithTranspile) and the result carries the
+	// route report against it.
+	Device *DeviceSpec `json:"device,omitempty"`
 	// Backend selects "statevector" (default), "density-matrix", or
 	// "trajectory".
 	Backend string `json:"backend,omitempty"`
@@ -316,6 +348,15 @@ func (r JobRequest) Options(proc *core.Processor) ([]core.RunOption, error) {
 	if r.Noise != nil && r.DeriveNoiseDim > 0 {
 		return nil, fmt.Errorf("serve: noise and derive_noise_dim are mutually exclusive")
 	}
+	// derive_noise_dim derives from the DAEMON's device; combining it
+	// with a device stanza would degrade counts by one device's noise
+	// while reporting another device's route costs — reject rather than
+	// answer inconsistently. (An explicit "noise" block with a stanza
+	// is fine: the caller is pinning rates on purpose, and core gives
+	// an explicit model precedence over level-2 annotation.)
+	if r.Device != nil && r.DeriveNoiseDim > 0 {
+		return nil, fmt.Errorf("serve: derive_noise_dim and device are mutually exclusive; use device.level = 2 for device-derived noise")
+	}
 	if r.Noise != nil {
 		model, err := r.Noise.model()
 		if err != nil {
@@ -330,7 +371,44 @@ func (r JobRequest) Options(proc *core.Processor) ([]core.RunOption, error) {
 		}
 		opts = append(opts, core.WithNoise(model))
 	}
+	if r.Device != nil {
+		devOpts, err := r.Device.options(r.Circuit)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, devOpts...)
+	}
 	return opts, nil
+}
+
+// options validates a device stanza against the admission limits and
+// resolves it into the core run options.
+func (d DeviceSpec) options(circ CircuitSpec) ([]core.RunOption, error) {
+	if d.Cavities < 1 || d.Cavities > MaxDeviceCavities {
+		return nil, fmt.Errorf("serve: device cavities %d outside [1,%d]", d.Cavities, MaxDeviceCavities)
+	}
+	if d.Modes < 0 {
+		return nil, fmt.Errorf("serve: negative device modes %d", d.Modes)
+	}
+	level, err := transpile.ParseLevel(d.Level)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	dev := arch.ForecastDeviceTrimmed(d.Cavities, d.Modes)
+	// Routing rebuilds the circuit on one wire per device mode at the
+	// logical dimension; bound the joint dimension of that register
+	// before anything is allocated.
+	maxDim := 2
+	for _, wd := range circ.Dims {
+		if wd > maxDim {
+			maxDim = wd
+		}
+	}
+	if log2Dim := float64(dev.NumModes()) * math.Log2(float64(maxDim)); log2Dim > MaxRoutedLog2Dim {
+		return nil, fmt.Errorf("serve: routed register of %d modes at dimension %d exceeds the 2^%d limit",
+			dev.NumModes(), maxDim, MaxRoutedLog2Dim)
+	}
+	return []core.RunOption{core.WithDevice(dev), core.WithTranspile(level)}, nil
 }
 
 // ResultView is the JSON projection of a core.Result: the histogram
@@ -351,28 +429,64 @@ type ResultView struct {
 	FinalLayout []int `json:"final_layout,omitempty"`
 	// SwapsInserted counts routing swaps.
 	SwapsInserted int `json:"swaps_inserted"`
+	// OneQuditGates and TwoQuditGates count the routed circuit's gates
+	// by arity (swaps excluded).
+	OneQuditGates int `json:"one_qudit_gates,omitempty"`
+	TwoQuditGates int `json:"two_qudit_gates,omitempty"`
+	// DepthBefore and DepthAfter are the ASAP depths of the logical and
+	// routed circuits.
+	DepthBefore int `json:"depth_before,omitempty"`
+	DepthAfter  int `json:"depth_after,omitempty"`
 	// DurationSec is the serial physical duration estimate.
 	DurationSec float64 `json:"duration_sec"`
 	// FidelityEstimate is the coherence-budget fidelity estimate.
 	FidelityEstimate float64 `json:"fidelity_estimate"`
+	// Transpile is the transpile level the circuit was lowered through
+	// ("route", "native", "noise").
+	Transpile string `json:"transpile,omitempty"`
+	// Noise is the effective noise model the job executed under —
+	// device-derived at transpile level 2 — omitted when noiseless.
+	Noise *NoiseSpec `json:"noise,omitempty"`
 }
 
 // NewResultView projects a Result onto the wire format.
 func NewResultView(res core.Result) ResultView {
 	view := ResultView{
-		Backend: res.Backend.String(),
-		Seed:    res.Seed,
-		Shots:   res.Shots,
-		Counts:  res.Counts,
-		Mapping: res.Mapping.LogicalToMode,
+		Backend:   res.Backend.String(),
+		Seed:      res.Seed,
+		Shots:     res.Shots,
+		Counts:    res.Counts,
+		Mapping:   res.Mapping.LogicalToMode,
+		Transpile: res.Transpile.String(),
 	}
 	if res.Report != nil {
 		view.FinalLayout = res.Report.FinalLayout
 		view.SwapsInserted = res.Report.SwapsInserted
+		view.OneQuditGates = res.Report.OneQuditGates
+		view.TwoQuditGates = res.Report.TwoQuditGates
+		view.DepthBefore = res.Report.DepthBefore
+		view.DepthAfter = res.Report.DepthAfter
 		view.DurationSec = res.Report.DurationSec
 		view.FidelityEstimate = res.Report.FidelityEstimate
 	}
+	view.Noise = NoiseSpecFrom(res.Noise)
 	return view
+}
+
+// NoiseSpecFrom projects a noise model onto the wire form; a zero
+// (noiseless) model projects to nil so it is omitted from responses.
+func NoiseSpecFrom(m noise.Model) *NoiseSpec {
+	if m.IsZero() {
+		return nil
+	}
+	return &NoiseSpec{
+		Depol1:        m.Depol1,
+		Depol2:        m.Depol2,
+		Damping:       m.Damping,
+		Dephasing:     m.Dephasing,
+		IdleDamping:   m.IdleDamping,
+		IdleDephasing: m.IdleDephasing,
+	}
 }
 
 // JobView is the JSON projection of one job's status, the body of

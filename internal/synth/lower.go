@@ -1,0 +1,129 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/qmath"
+)
+
+// nativePhaseTol is the threshold below which a residual diagonal phase
+// is considered identity and elided from a lowering.
+const nativePhaseTol = 1e-12
+
+// LowerSingleQudit factors an arbitrary single-qudit gate into the
+// cavity-native primitive set: one SNAP diagonal followed by two-level
+// rotations on ADJACENT levels (the daggered Givens eliminations of
+// GivensDecompose, replayed in reverse order). The returned gates applied
+// in slice order reproduce g.Matrix exactly up to floating-point round-off:
+//
+//	g = Ops[0]† ... Ops[k-1]† diag(phases)  (see Decomposition)
+//
+// so the emission order is diag first, then Ops[k-1]† down to Ops[0]†.
+// Gates that are already native pass through unchanged; see NativeSingleQudit.
+func LowerSingleQudit(g gates.Gate) ([]gates.Gate, error) {
+	if g.Arity() != 1 {
+		return nil, fmt.Errorf("synth: LowerSingleQudit wants arity 1, gate %s has %d", g.Name, g.Arity())
+	}
+	if NativeSingleQudit(g) {
+		return []gates.Gate{g}, nil
+	}
+	dec, err := GivensDecompose(g.Matrix)
+	if err != nil {
+		return nil, fmt.Errorf("synth: lowering %s: %w", g.Name, err)
+	}
+	d := dec.Dim
+	out := make([]gates.Gate, 0, len(dec.Ops)+1)
+	angles := make([]float64, d)
+	maxAngle := 0.0
+	for i, p := range dec.Phases {
+		angles[i] = math.Atan2(imag(p), real(p))
+		if a := math.Abs(angles[i]); a > maxAngle {
+			maxAngle = a
+		}
+	}
+	if maxAngle > nativePhaseTol {
+		out = append(out, gates.SNAP(angles))
+	}
+	for i := len(dec.Ops) - 1; i >= 0; i-- {
+		op := dec.Ops[i]
+		out = append(out, gates.Gate{
+			Name: fmt.Sprintf("G2_%d[%d,%d]", d, op.I, op.J),
+			Dims: []int{d},
+			// The decomposition records eliminations; execution applies
+			// their daggers.
+			Matrix: op.Embed(d).Dagger(),
+		})
+	}
+	return out, nil
+}
+
+// NativeSingleQudit reports whether a single-qudit gate is directly
+// realizable on a cavity mode without synthesis: a diagonal unitary
+// (SNAP class — number-selective phases) or a unitary supported on two
+// adjacent Fock levels (single-photon sideband class). Nativeness is
+// decided from the matrix structure, never the gate name, so custom
+// gates classify correctly.
+func NativeSingleQudit(g gates.Gate) bool {
+	if g.Arity() != 1 || g.Matrix == nil {
+		return false
+	}
+	m := g.Matrix
+	d := m.Rows
+	if isDiagonal(m) {
+		return true
+	}
+	// Supported on adjacent levels (i, i+1): identity everywhere else.
+	support := -1
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			v := m.At(i, j)
+			want := complex(0, 0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(v-want) <= nativePhaseTol {
+				continue
+			}
+			// Off-identity entry: must sit inside one adjacent 2x2 block.
+			lo := i
+			if j < lo {
+				lo = j
+			}
+			hi := i
+			if j > hi {
+				hi = j
+			}
+			if hi-lo > 1 {
+				return false
+			}
+			if support == -1 {
+				support = lo
+			}
+			if lo < support || hi > support+1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NativeTwoQudit reports whether a two-qudit gate is directly realizable
+// across a mode pair: any diagonal unitary (conditional-phase class,
+// driven by the cross-Kerr interaction).
+func NativeTwoQudit(g gates.Gate) bool {
+	return g.Arity() == 2 && g.Matrix != nil && isDiagonal(g.Matrix)
+}
+
+func isDiagonal(m *qmath.Matrix) bool {
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j && cmplx.Abs(m.At(i, j)) > nativePhaseTol {
+				return false
+			}
+		}
+	}
+	return true
+}

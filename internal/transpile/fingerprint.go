@@ -1,0 +1,56 @@
+package transpile
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"quditkit/internal/arch"
+)
+
+// DeviceFingerprint hashes every physical parameter of a device into a
+// stable content address: chain length, per-cavity mode list (dimension,
+// frequency, T1, T2), transmon parameters, and coupling rates. Two
+// devices with equal fingerprints transpile any circuit identically, so
+// the fingerprint can stand in for the device in cache keys and option
+// digests.
+func DeviceFingerprint(dev arch.Device) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
+	writeU64(uint64(len(dev.Cavities)))
+	for _, cav := range dev.Cavities {
+		writeU64(uint64(len(cav.Modes)))
+		for _, m := range cav.Modes {
+			writeU64(uint64(m.Dim))
+			writeF64(m.FreqGHz)
+			writeF64(m.T1Sec)
+			writeF64(m.T2Sec)
+		}
+		writeF64(cav.Transmon.T1Sec)
+		writeF64(cav.Transmon.T2Sec)
+		writeF64(cav.Transmon.ChiHz)
+		writeF64(cav.Transmon.AnharmHz)
+		writeF64(cav.BeamsplitterHz)
+		writeF64(cav.CrossKerrHz)
+	}
+	return h.Sum64()
+}
+
+// Fingerprint is the content address of the whole pipeline: the device
+// fingerprint mixed with the transpile level. core folds it into the
+// compiled-plan cache key and the job options digest, so results and
+// plans transpiled against different devices or levels never alias.
+func (p *Pipeline) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(p.level)+1)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], DeviceFingerprint(p.dev))
+	h.Write(buf[:])
+	return h.Sum64()
+}

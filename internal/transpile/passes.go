@@ -1,0 +1,272 @@
+package transpile
+
+import (
+	"fmt"
+	"math/cmplx"
+	"strings"
+
+	"quditkit/internal/arch"
+	"quditkit/internal/cavity"
+	"quditkit/internal/circuit"
+	"quditkit/internal/gates"
+	"quditkit/internal/noise"
+	"quditkit/internal/qmath"
+	"quditkit/internal/synth"
+)
+
+// decomposePass rewrites every gate into the cavity-native set:
+// single-qudit gates become SNAP diagonals plus adjacent-level two-level
+// rotations (synth.LowerSingleQudit); CSUM-family entanglers become
+// their Fourier-conjugated conditional-phase realization (the cross-Kerr
+// route, synth.CSUMViaFourier's identity) with the Fourier wings lowered
+// recursively; diagonal two-qudit gates are native as-is. Gates the
+// lowering does not cover (non-CSUM dense entanglers, unequal control
+// and target dimensions, arity > 2) pass through unchanged — routing
+// and execution handle them exactly as before.
+type decomposePass struct{}
+
+func (decomposePass) Name() string { return "decompose" }
+
+func (decomposePass) Run(ctx *Context) error {
+	in := ctx.Circuit
+	out, err := circuit.New(in.Dims())
+	if err != nil {
+		return err
+	}
+	for i, op := range in.Ops() {
+		if err := appendLowered(out, op); err != nil {
+			return fmt.Errorf("op %d (%s): %w", i, op.Gate.Name, err)
+		}
+	}
+	ctx.Circuit = out
+	return nil
+}
+
+// appendLowered emits the native realization of one op onto out.
+func appendLowered(out *circuit.Circuit, op circuit.Op) error {
+	switch op.Gate.Arity() {
+	case 1:
+		lowered, err := synth.LowerSingleQudit(op.Gate)
+		if err != nil {
+			return err
+		}
+		for _, g := range lowered {
+			if err := out.Append(g, op.Targets...); err != nil {
+				return err
+			}
+		}
+		return nil
+	case 2:
+		if synth.NativeTwoQudit(op.Gate) {
+			return out.Append(op.Gate, op.Targets...)
+		}
+		if d, inv, ok := csumShape(op.Gate); ok {
+			return appendCSUM(out, d, inv, op.Targets)
+		}
+		return out.Append(op.Gate, op.Targets...)
+	default:
+		return out.Append(op.Gate, op.Targets...)
+	}
+}
+
+// csumShape recognizes the CSUM family on equal dimensions, the one
+// non-diagonal entangler with a constructive native realization. The
+// name prefix is only a cheap pre-filter: the matrix itself must equal
+// the canonical CSUM (or its inverse), so a custom gate that merely
+// borrows the name is passed through instead of silently rewritten —
+// classification stays a matrix-structure decision.
+func csumShape(g gates.Gate) (d int, inv, ok bool) {
+	if g.Arity() != 2 || g.Dims[0] != g.Dims[1] {
+		return 0, false, false
+	}
+	if !strings.HasPrefix(g.Name, "CSUM") {
+		return 0, false, false
+	}
+	d = g.Dims[0]
+	if sameMatrix(g.Matrix, gates.CSUM(d, d).Matrix) {
+		return d, false, true
+	}
+	if sameMatrix(g.Matrix, gates.CSUMInv(d, d).Matrix) {
+		return d, true, true
+	}
+	return 0, false, false
+}
+
+// sameMatrix reports element-wise equality within the native tolerance.
+func sameMatrix(a, b *qmath.Matrix) bool {
+	if a == nil || b == nil || a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if cmplx.Abs(v-b.Data[i]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendCSUM emits CSUM = F_t† · CZ · F_t (synth.CSUMViaFourier's
+// identity, in circuit order F_t first) with both Fourier wings lowered
+// to natives; the inverse swaps CZ for its dagger.
+func appendCSUM(out *circuit.Circuit, d int, inv bool, targets []int) error {
+	ctrl, tgt := targets[0], targets[1]
+	entangler := gates.CZ(d, d)
+	if inv {
+		entangler = entangler.Dagger()
+	}
+	dft := gates.DFT(d)
+	for _, step := range []struct {
+		g       gates.Gate
+		targets []int
+		single  bool
+	}{
+		{dft, []int{tgt}, true},
+		{entangler, []int{ctrl, tgt}, false},
+		{dft.Dagger(), []int{tgt}, true},
+	} {
+		if !step.single {
+			if err := out.Append(step.g, step.targets...); err != nil {
+				return err
+			}
+			continue
+		}
+		lowered, err := synth.LowerSingleQudit(step.g)
+		if err != nil {
+			return err
+		}
+		for _, g := range lowered {
+			if err := out.Append(g, step.targets...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// placePass anneals the noise-aware initial placement of logical qudits
+// onto physical modes, weighting the circuit's two-qudit interaction
+// graph against communication distance and per-mode T1.
+type placePass struct{}
+
+func (placePass) Name() string { return "place" }
+
+func (p placePass) Run(ctx *Context) error {
+	edges := arch.CircuitEdges(ctx.Circuit)
+	mapping, err := arch.MapNoiseAware(ctx.Rng, ctx.Device, ctx.Circuit.NumWires(), edges, arch.MappingOptions{})
+	if err != nil {
+		return err
+	}
+	ctx.Mapping = mapping
+	return nil
+}
+
+// routePass lowers the placed circuit onto the device chain, inserting
+// swap networks for distant two-qudit gates, and replaces the context
+// circuit with the physical one.
+type routePass struct{}
+
+func (routePass) Name() string { return "route" }
+
+func (routePass) Run(ctx *Context) error {
+	phys, rep, err := arch.RouteCircuit(ctx.Device, ctx.Circuit, ctx.Mapping)
+	if err != nil {
+		return err
+	}
+	ctx.Circuit = phys
+	ctx.Report = rep
+	return nil
+}
+
+// annotateNoisePass derives the device-realistic error model of the
+// routed circuit: photon loss over the two-qudit gate duration and
+// dephasing over the single-qudit duration, evaluated against the WORST
+// T1/T2 on the chain (a fidelity budget must not assume the best mode),
+// plus the depolarizing floors for control errors and idle-decoherence
+// rates charged to spectator modes once per moment.
+type annotateNoisePass struct{}
+
+func (annotateNoisePass) Name() string { return "annotate-noise" }
+
+func (annotateNoisePass) Run(ctx *Context) error {
+	if ctx.Report == nil {
+		return fmt.Errorf("annotate-noise requires a routed circuit")
+	}
+	dims := ctx.Circuit.Dims()
+	if len(dims) == 0 {
+		return fmt.Errorf("empty physical register")
+	}
+	model, err := DeviceNoiseModel(ctx.Device, dims[0])
+	if err != nil {
+		return err
+	}
+	ctx.Noise = &model
+	return nil
+}
+
+// moduleDurations returns the single- and two-qudit gate durations of
+// one module for qudits of dimension d — the time base every derived
+// error rate is charged over.
+func moduleDurations(module cavity.ModuleParams, d int) (oneQ, twoQ float64, err error) {
+	oneQ = module.SNAPDurationSec() + 2*module.DisplacementDurationSec()
+	twoQ, err = module.CSUMDurationSec(d, cavity.RouteCrossKerr)
+	return oneQ, twoQ, err
+}
+
+// ModuleNoiseModel derives the per-gate error model of one module
+// against explicit coherence times: photon loss over the two-qudit
+// duration, dephasing over the single-qudit duration, and the
+// depolarizing floors for control errors. No idle rates — callers that
+// charge spectator decoherence add them (see DeviceNoiseModel). This is
+// the single source of the derivation; core.Processor.NoiseModelForDim
+// delegates here.
+func ModuleNoiseModel(module cavity.ModuleParams, d int, t1, t2 float64) (noise.Model, error) {
+	oneQDur, twoQDur, err := moduleDurations(module, d)
+	if err != nil {
+		return noise.Model{}, err
+	}
+	return noise.Model{
+		Depol1:    1e-4,
+		Depol2:    1e-3,
+		Damping:   cavity.LossPerGate(twoQDur, t1),
+		Dephasing: cavity.LossPerGate(oneQDur, t2),
+	}, nil
+}
+
+// DeviceNoiseModel derives the per-gate error model a device imposes on
+// qudits of dimension d. Gate rates come from ModuleNoiseModel with
+// coherence times taken as the worst across the chain, so multi-cavity
+// fidelity budgets are never optimistic; idle rates charge one
+// single-qudit duration of decoherence to spectator modes per moment.
+func DeviceNoiseModel(dev arch.Device, d int) (noise.Model, error) {
+	if err := dev.Validate(); err != nil {
+		return noise.Model{}, err
+	}
+	t1, t2 := worstCoherence(dev)
+	model, err := ModuleNoiseModel(dev.Cavities[0], d, t1, t2)
+	if err != nil {
+		return noise.Model{}, err
+	}
+	oneQDur, _, err := moduleDurations(dev.Cavities[0], d)
+	if err != nil {
+		return noise.Model{}, err
+	}
+	return model.WithIdle(
+		cavity.LossPerGate(oneQDur, t1),
+		cavity.LossPerGate(oneQDur, t2),
+	), nil
+}
+
+// worstCoherence returns the minimum T1 and T2 across all modes.
+func worstCoherence(dev arch.Device) (t1, t2 float64) {
+	for _, cav := range dev.Cavities {
+		for _, m := range cav.Modes {
+			if t1 == 0 || m.T1Sec < t1 {
+				t1 = m.T1Sec
+			}
+			if t2 == 0 || m.T2Sec < t2 {
+				t2 = m.T2Sec
+			}
+		}
+	}
+	return t1, t2
+}

@@ -1,0 +1,186 @@
+// Package transpile lowers logical qudit circuits onto the forecast
+// multi-cavity device through a pass manager — the "application
+// engineering" bridge the paper identifies between algorithm-level
+// circuits and what the hardware natively runs. A Pipeline composes up
+// to four passes, selected by Level:
+//
+//  1. decompose — rewrite every gate into the cavity-native set
+//     (SNAP-class diagonals, adjacent-level two-level rotations,
+//     conditional-phase entanglers) via the synth Givens machinery;
+//  2. place — anneal a noise-aware initial layout of logical qudits
+//     onto physical modes (arch.MapNoiseAware);
+//  3. route — insert swap networks so every two-qudit gate acts on
+//     co-located or adjacent modes, emitting the physical circuit and a
+//     RouteReport with swap counts, duration, and the coherence-budget
+//     fidelity estimate (arch.RouteCircuit);
+//  4. annotate-noise — derive a device-realistic noise.Model (gate and
+//     idle rates from the worst T1/T2 on the chain) so the transpiled
+//     circuit simulates with the error the device would impose.
+//
+// The pipeline is deterministic for a fixed placement rng: repeated runs
+// produce byte-identical physical circuits, which is what lets compiled
+// execution plans of transpiled circuits be cached and re-hit across
+// submissions. core.Processor drives it for every job (see WithDevice /
+// WithTranspile); cmd/quditc drives it standalone.
+package transpile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quditkit/internal/arch"
+	"quditkit/internal/circuit"
+	"quditkit/internal/noise"
+)
+
+// Level selects how much of the pipeline runs. Levels are cumulative:
+// each one adds passes in front of or behind the previous.
+type Level int
+
+const (
+	// LevelRoute places and routes the circuit as written — the lowering
+	// every execution needs just to be device-addressable. This is the
+	// default of core.Processor.Submit.
+	LevelRoute Level = iota
+	// LevelNative additionally rewrites non-native gates into the
+	// cavity-native set before placement, so swap networks and duration
+	// estimates price the gates the hardware actually plays.
+	LevelNative
+	// LevelNoise additionally derives a device-realistic noise model
+	// after routing, so simulation error tracks the physical chain.
+	LevelNoise
+)
+
+// MaxLevel is the highest defined transpile level.
+const MaxLevel = LevelNoise
+
+// String returns the level's stable name.
+func (l Level) String() string {
+	switch l {
+	case LevelRoute:
+		return "route"
+	case LevelNative:
+		return "native"
+	case LevelNoise:
+		return "noise"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParseLevel validates an integer wire/flag value as a Level.
+func ParseLevel(n int) (Level, error) {
+	if n < 0 || n > int(MaxLevel) {
+		return 0, fmt.Errorf("transpile: level %d outside [0,%d]", n, int(MaxLevel))
+	}
+	return Level(n), nil
+}
+
+// Context is the mutable state threaded through the passes of one
+// pipeline run. Passes read and update it in place.
+type Context struct {
+	// Device is the target machine; fixed for the run.
+	Device arch.Device
+	// Rng drives the placement annealing; the pipeline never draws from
+	// it outside the place pass, so pass composition cannot silently
+	// shift downstream random streams.
+	Rng *rand.Rand
+	// Circuit is the current circuit: logical until the route pass
+	// replaces it with the physical one.
+	Circuit *circuit.Circuit
+	// Mapping is the initial placement once the place pass has run.
+	Mapping arch.Mapping
+	// Report is the routing cost report once the route pass has run.
+	Report *arch.RouteReport
+	// Noise is the device-derived error model once the annotation pass
+	// has run; nil otherwise.
+	Noise *noise.Model
+}
+
+// Pass is one composable transformation of a pipeline run.
+type Pass interface {
+	// Name identifies the pass in traces and error messages.
+	Name() string
+	// Run applies the pass to the context in place.
+	Run(*Context) error
+}
+
+// Result is the outcome of one pipeline run.
+type Result struct {
+	// Physical is the routed circuit, one wire per device mode, ready
+	// for any execution backend.
+	Physical *circuit.Circuit
+	// Mapping is the noise-aware initial placement.
+	Mapping arch.Mapping
+	// Report carries swap counts, gate counts, depths, the serial
+	// duration, the fidelity budget, and the final layout.
+	Report *arch.RouteReport
+	// Noise is the device-derived error model (nil below LevelNoise).
+	Noise *noise.Model
+	// Passes lists the pass names that ran, in execution order.
+	Passes []string
+}
+
+// Pipeline is a validated pass sequence against one device.
+type Pipeline struct {
+	dev    arch.Device
+	level  Level
+	passes []Pass
+}
+
+// New builds the pipeline for a device at the given level.
+func New(dev arch.Device, level Level) (*Pipeline, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := ParseLevel(int(level)); err != nil {
+		return nil, err
+	}
+	var passes []Pass
+	if level >= LevelNative {
+		passes = append(passes, decomposePass{})
+	}
+	passes = append(passes, placePass{}, routePass{})
+	if level >= LevelNoise {
+		passes = append(passes, annotateNoisePass{})
+	}
+	return &Pipeline{dev: dev, level: level, passes: passes}, nil
+}
+
+// Level returns the pipeline's transpile level.
+func (p *Pipeline) Level() Level { return p.level }
+
+// Device returns the pipeline's target device.
+func (p *Pipeline) Device() arch.Device { return p.dev }
+
+// PassNames lists the composed passes in execution order.
+func (p *Pipeline) PassNames() []string {
+	names := make([]string, len(p.passes))
+	for i, ps := range p.passes {
+		names[i] = ps.Name()
+	}
+	return names
+}
+
+// Run lowers a logical circuit through the pipeline. The rng drives
+// placement annealing only; pass it fresh from a job-derived seed so
+// repeated runs are byte-identical (core derives it from the job seed,
+// exactly as unpipelined Submit always has).
+func (p *Pipeline) Run(rng *rand.Rand, logical *circuit.Circuit) (*Result, error) {
+	if logical == nil {
+		return nil, fmt.Errorf("transpile: nil circuit")
+	}
+	ctx := &Context{Device: p.dev, Rng: rng, Circuit: logical}
+	for _, pass := range p.passes {
+		if err := pass.Run(ctx); err != nil {
+			return nil, fmt.Errorf("transpile: %s pass: %w", pass.Name(), err)
+		}
+	}
+	return &Result{
+		Physical: ctx.Circuit,
+		Mapping:  ctx.Mapping,
+		Report:   ctx.Report,
+		Noise:    ctx.Noise,
+		Passes:   p.PassNames(),
+	}, nil
+}
