@@ -63,3 +63,110 @@ func TestRepositoryIsClean(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckExportedTree(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, filepath.Join(root, "x.go"), `// Package pkg is a fixture.
+package pkg
+
+type Undoc struct{}
+
+// Doc is documented.
+func Doc() {}
+
+func NoDoc() {}
+
+func (Undoc) Method() {}
+
+type hidden struct{}
+
+func (hidden) Exported() {}
+
+// Group constants share one comment.
+const (
+	A = 1
+	B = 2
+)
+
+const (
+	C = 3 // C has a line comment.
+	D = 4
+)
+`)
+	bad, err := checkExportedTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSuffixes := []string{"Undoc", "NoDoc", "Undoc.Method", "D"}
+	if len(bad) != len(wantSuffixes) {
+		t.Fatalf("offenders = %v, want %d entries", bad, len(wantSuffixes))
+	}
+	for i, suffix := range wantSuffixes {
+		if got := bad[i]; len(got) < len(suffix) || got[len(got)-len(suffix):] != suffix {
+			t.Errorf("offender %d = %q, want suffix %q", i, got, suffix)
+		}
+	}
+}
+
+// TestExportedTreesAreClean runs the strict exported-identifier check
+// against the service-surface packages — the invariant the CI docs job
+// enforces.
+func TestExportedTreesAreClean(t *testing.T) {
+	for _, root := range []string{"../../internal/cluster", "../../internal/serve", "../../internal/core"} {
+		bad, err := checkExportedTree(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ident := range bad {
+			t.Errorf("exported identifier without doc comment: %s", ident)
+		}
+	}
+}
+
+// TestCollectBinaryFlags parses the real cmd/ tree: the fleet flags
+// this repo documents must be seen by the checker, or the flagrefs
+// gate would reject the docs that describe them.
+func TestCollectBinaryFlags(t *testing.T) {
+	byBinary, err := collectBinaryFlags("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bin, want := range map[string][]string{
+		"quditd": {"addr", "role", "coordinator", "advertise", "id", "heartbeat", "heartbeat-ttl", "cache", "seed"},
+		"quditc": {"addr", "watch", "json", "cavities", "level"},
+	} {
+		flags := byBinary[bin]
+		if flags == nil {
+			t.Fatalf("binary %s not found", bin)
+		}
+		for _, f := range want {
+			if !flags[f] {
+				t.Errorf("%s: flag -%s not collected (have %v)", bin, f, flags)
+			}
+		}
+	}
+}
+
+func TestFlagRefsIn(t *testing.T) {
+	byBinary := map[string]map[string]bool{
+		"quditd": {"addr": true, "role": true},
+		"quditc": {"watch": true},
+	}
+	union := map[string]bool{"addr": true, "role": true, "watch": true}
+	doc := "Start with `quditd -addr :8080 -role worker`.\n" + // ok
+		"Then `quditd -bogus`.\n" + // unknown flag for quditd
+		"The `-watch` flag streams events.\n" + // bare span, known
+		"The `-missing` flag does not exist.\n" + // bare span, unknown
+		"Ignore `curl -s http://x` and prose-dashes - like this.\n" + // no binary named
+		"```\nquditd -role coordinator\ncurl -fsS url -d '{}'\nquditc submit -watch job.json\n```\n"
+	refs := flagRefsIn(doc, byBinary, union)
+	if len(refs) != 2 {
+		t.Fatalf("refs = %+v, want 2", refs)
+	}
+	if refs[0].flag != "bogus" || refs[0].line != 2 {
+		t.Errorf("first ref = %+v", refs[0])
+	}
+	if refs[1].flag != "missing" || refs[1].line != 4 {
+		t.Errorf("second ref = %+v", refs[1])
+	}
+}

@@ -1,29 +1,37 @@
-// Command quditc is the quditkit client-side compiler tool. Its
-// transpile subcommand lowers a wire-format circuit onto a forecast
-// device through the transpile pipeline — exactly as quditd would for a
-// job carrying the same "device" stanza — and prints the physical
-// circuit with its cost report, without executing anything.
+// Command quditc is the quditkit client tool: a compiler front end and
+// a job-service client in one binary.
 //
-// Usage:
+// The transpile subcommand lowers a wire-format circuit onto a
+// forecast device through the transpile pipeline — exactly as quditd
+// would for a job carrying the same "device" stanza — and prints the
+// physical circuit with its cost report, without executing anything:
 //
 //	quditc transpile [-cavities N] [-modes M] [-level 0|1|2] [-seed S]
 //	                 [-json] [circuit.json]
 //
-// The circuit is read from the named file, or stdin when no file is
-// given, in the same JSON wire format POST /v1/jobs accepts:
+// The submit subcommand posts a full JobRequest (the POST /v1/jobs
+// body: circuit plus backend/shots/noise/device stanzas) to a quditd
+// node or cluster coordinator, and the watch subcommand attaches to a
+// job's Server-Sent-Events stream, printing each state transition as
+// it happens instead of long-polling:
 //
-//	{"dims": [3,3,3], "ops": [
-//	  {"gate": "dft",  "targets": [0]},
-//	  {"gate": "csum", "targets": [0,1]},
-//	  {"gate": "csum", "targets": [0,2]}]}
+//	quditc submit [-addr URL] [-watch] [-json] [job.json]
+//	quditc watch  [-addr URL] [-json] <job-id>
+//
+// With -watch, submit streams the new job's events until it settles
+// and exits non-zero if the terminal state is not "done". Input is
+// read from the named file, or stdin when no file is given.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"quditkit/internal/core"
 	"quditkit/internal/serve"
@@ -39,13 +47,157 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: quditc transpile [flags] [circuit.json]")
+		return fmt.Errorf("usage: quditc transpile|submit|watch [flags] [input]")
 	}
 	switch args[0] {
 	case "transpile":
 		return runTranspile(args[1:], stdin, stdout)
+	case "submit":
+		return runSubmit(args[1:], stdin, stdout)
+	case "watch":
+		return runWatch(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (have: transpile)", args[0])
+		return fmt.Errorf("unknown subcommand %q (have: transpile, submit, watch)", args[0])
+	}
+}
+
+// runSubmit posts one JobRequest and either prints the returned view
+// or (with -watch) follows the job's event stream to settlement.
+func runSubmit(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("quditc submit", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "quditd or coordinator base URL")
+	watch := fs.Bool("watch", false, "stream the job's events until it settles")
+	asJSON := fs.Bool("json", false, "print raw JSON instead of the human summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	body, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var view serve.JobView
+	if err := json.Unmarshal(raw, &view); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if !*watch {
+		if *asJSON {
+			fmt.Fprintln(stdout, string(raw))
+		} else {
+			fmt.Fprintf(stdout, "job %s: %s\n", view.ID, view.State)
+		}
+		return nil
+	}
+	return watchJob(*addr, view.ID, *asJSON, stdout)
+}
+
+// runWatch attaches to an existing job's event stream.
+func runWatch(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("quditc watch", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "quditd or coordinator base URL")
+	asJSON := fs.Bool("json", false, "print raw event JSON instead of the human summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: quditc watch [-addr URL] [-json] <job-id>")
+	}
+	return watchJob(*addr, fs.Arg(0), *asJSON, stdout)
+}
+
+// watchJob consumes the SSE stream of one job until its terminal
+// event, printing each transition. It returns an error when the job
+// settles anywhere but "done", so scripts can gate on the exit code.
+func watchJob(addr, id string, asJSON bool, stdout io.Writer) error {
+	url := strings.TrimSuffix(addr, "/") + "/v1/jobs/" + id + "/events"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("events returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var final string
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	eventName := ""
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			eventName = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			if asJSON {
+				fmt.Fprintln(stdout, data)
+			}
+			var ev serve.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				continue
+			}
+			if eventName == "requeued" {
+				if !asJSON {
+					fmt.Fprintf(stdout, "%s  %s\n", id, "requeued onto another worker")
+				}
+				continue
+			}
+			if !asJSON {
+				printEvent(stdout, id, ev)
+			}
+			switch ev.State {
+			case "done", "failed", "cancelled":
+				final = ev.State
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	if final == "" {
+		return fmt.Errorf("event stream for %s ended before the job settled", id)
+	}
+	if final != "done" {
+		return fmt.Errorf("job %s settled %s", id, final)
+	}
+	return nil
+}
+
+// printEvent renders one transition for the human-readable stream.
+func printEvent(stdout io.Writer, id string, ev serve.Event) {
+	switch {
+	case ev.State == "done" && ev.Result != nil:
+		cached := ""
+		if ev.Cached {
+			cached = " (cached)"
+		}
+		fmt.Fprintf(stdout, "%s  done%s: backend=%s seed=%d shots=%d counts=%d\n",
+			id, cached, ev.Result.Backend, ev.Result.Seed, ev.Result.Shots, len(ev.Result.Counts))
+	case ev.Error != "":
+		fmt.Fprintf(stdout, "%s  %s: %s\n", id, ev.State, ev.Error)
+	default:
+		fmt.Fprintf(stdout, "%s  %s\n", id, ev.State)
 	}
 }
 

@@ -3,8 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"quditkit/internal/core"
+	"quditkit/internal/serve"
 )
 
 const ghzSpec = `{"dims": [3,3,3], "ops": [
@@ -76,5 +80,76 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"transpile", "-level", "9"}, strings.NewReader(ghzSpec), &out); err == nil {
 		t.Error("undefined level accepted")
+	}
+}
+
+// newJobServer boots an in-process quditd service for the client
+// subcommands to talk to.
+func newJobServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := serve.New(proc, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewHandler(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+const jobSpec = `{"circuit": ` + ghzSpec + `, "shots": 64}`
+
+func TestSubmitAndWatch(t *testing.T) {
+	ts := newJobServer(t)
+
+	// Plain submit returns the job view.
+	var out bytes.Buffer
+	if err := run([]string{"submit", "-addr", ts.URL}, strings.NewReader(jobSpec), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "job j-") {
+		t.Fatalf("submit output %q", out.String())
+	}
+
+	// submit -watch streams transitions to settlement.
+	out.Reset()
+	if err := run([]string{"submit", "-addr", ts.URL, "-watch"}, strings.NewReader(jobSpec), &out); err != nil {
+		t.Fatalf("watch failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "done") {
+		t.Fatalf("watch output lacks terminal state:\n%s", out.String())
+	}
+
+	// watch re-attaches to the settled job and replays to the terminal
+	// event; -json emits raw event objects.
+	id := strings.Fields(strings.TrimSpace(out.String()))[0]
+	out.Reset()
+	if err := run([]string{"watch", "-addr", ts.URL, "-json", id}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("re-watch failed: %v\n%s", err, out.String())
+	}
+	var ev serve.Event
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &ev); err != nil || ev.State != "done" {
+		t.Fatalf("last watch event %q err %v", lines[len(lines)-1], err)
+	}
+}
+
+func TestWatchErrors(t *testing.T) {
+	ts := newJobServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"watch", "-addr", ts.URL, "j-999999"}, strings.NewReader(""), &out); err == nil {
+		t.Error("watching an unknown job succeeded")
+	}
+	if err := run([]string{"watch", "-addr", ts.URL}, strings.NewReader(""), &out); err == nil {
+		t.Error("watch without a job id succeeded")
+	}
+	if err := run([]string{"submit", "-addr", ts.URL}, strings.NewReader(`{"circuit":{"dims":[3],"ops":[{"gate":"nope","targets":[0]}]}}`), &out); err == nil {
+		t.Error("submitting an invalid job succeeded")
 	}
 }

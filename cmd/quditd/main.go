@@ -3,10 +3,11 @@
 // and content-addressed result cache of internal/serve, exposed as a
 // JSON-over-HTTP API:
 //
-//	POST   /v1/jobs        submit a circuit (add ?wait=1 to block)
-//	GET    /v1/jobs/{id}   poll a job (add ?wait=1 to block)
-//	DELETE /v1/jobs/{id}   cancel a job
-//	GET    /v1/stats       queue and cache counters
+//	POST   /v1/jobs               submit a circuit (add ?wait=1 to block)
+//	GET    /v1/jobs/{id}          poll a job (add ?wait=1 to block)
+//	GET    /v1/jobs/{id}/events   stream state transitions (SSE)
+//	DELETE /v1/jobs/{id}          cancel a job
+//	GET    /v1/stats              queue and cache counters
 //
 // Example:
 //
@@ -23,8 +24,21 @@
 // response then carries the route report and, at level 2, the counts
 // degraded by (and a copy of) the device-derived noise model.
 //
+// The -role flag selects the topology (see internal/cluster and
+// docs/OPERATIONS.md):
+//
+//	-role standalone    one node, queue + cache + simulator (default)
+//	-role coordinator   fleet front door: same /v1/jobs API, jobs
+//	                    consistent-hashed across registered workers
+//	                    (-heartbeat-ttl tunes liveness)
+//	-role worker        a standalone node that also registers with
+//	                    -coordinator, heartbeats, and drains on
+//	                    shutdown (-advertise, -id, -heartbeat)
+//
 // quditd shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
-// requests and queued jobs drain before the process exits.
+// requests and queued jobs drain before the process exits; a worker
+// first deregisters and waits for the coordinator to collect its
+// results.
 package main
 
 import (
@@ -41,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"quditkit/internal/cluster"
 	"quditkit/internal/core"
 	"quditkit/internal/serve"
 )
@@ -56,6 +71,13 @@ type options struct {
 	batch    int
 	cache    int
 	retain   int
+
+	role        string
+	coordinator string
+	advertise   string
+	id          string
+	heartbeat   time.Duration
+	hbTTL       time.Duration
 }
 
 // parseFlags reads options from an argument list (excluding the
@@ -73,8 +95,24 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.batch, "batch", 0, "max jobs per Submit batch (0 = default)")
 	fs.IntVar(&o.cache, "cache", 0, "result-cache entries (0 = default, negative disables)")
 	fs.IntVar(&o.retain, "retain", 0, "settled job records kept for lookup (0 = default, negative keeps all)")
+	fs.StringVar(&o.role, "role", "standalone", "node role: standalone, coordinator, or worker")
+	fs.StringVar(&o.coordinator, "coordinator", "", "coordinator base URL (required for -role worker)")
+	fs.StringVar(&o.advertise, "advertise", "", "base URL the coordinator dispatches to (worker; default http://<bound addr>)")
+	fs.StringVar(&o.id, "id", "", "stable worker name (worker; default <bound addr>)")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "worker heartbeat interval (0 = accept the coordinator's suggestion)")
+	fs.DurationVar(&o.hbTTL, "heartbeat-ttl", 5*time.Second, "coordinator: missed-heartbeat window before a worker is reaped")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
+	}
+	switch o.role {
+	case "standalone", "coordinator", "worker":
+	default:
+		fmt.Fprintf(stderr, "quditd: unknown role %q (standalone, coordinator, worker)\n", o.role)
+		return options{}, fmt.Errorf("unknown role %q", o.role)
+	}
+	if o.role == "worker" && o.coordinator == "" {
+		fmt.Fprintln(stderr, "quditd: -role worker requires -coordinator")
+		return options{}, errors.New("-role worker requires -coordinator")
 	}
 	return o, nil
 }
@@ -95,10 +133,19 @@ func newService(o options) (*serve.Service, error) {
 }
 
 // run serves the API until ctx is cancelled, then shuts down
-// gracefully: the HTTP server drains in-flight requests and the job
-// service drains its queues. If ready is non-nil it receives the bound
-// listen address once the server is accepting connections.
+// gracefully. If ready is non-nil it receives the bound listen address
+// once the server is accepting connections.
 func run(ctx context.Context, o options, logger *log.Logger, ready chan<- net.Addr) error {
+	if o.role == "coordinator" {
+		return runCoordinator(ctx, o, logger, ready)
+	}
+	return runNode(ctx, o, logger, ready)
+}
+
+// runNode serves a standalone or worker node: the full queue + cache +
+// simulator stack, plus (for workers) the cluster agent that makes it
+// part of a fleet.
+func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- net.Addr) error {
 	svc, err := newService(o)
 	if err != nil {
 		return err
@@ -110,14 +157,41 @@ func run(ctx context.Context, o options, logger *log.Logger, ready chan<- net.Ad
 	}
 	server := &http.Server{Handler: serve.NewHandler(svc)}
 
-	logger.Printf("quditd serving on %s (device: %d cavities x %d modes, seed %d)",
-		ln.Addr(), o.cavities, o.modes, o.seed)
-	if ready != nil {
-		ready <- ln.Addr()
-	}
+	logger.Printf("quditd %s serving on %s (device: %d cavities x %d modes, seed %d)",
+		o.role, ln.Addr(), o.cavities, o.modes, o.seed)
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.Serve(ln) }()
+
+	var agent *cluster.Agent
+	if o.role == "worker" {
+		id := o.id
+		if id == "" {
+			id = ln.Addr().String()
+		}
+		advertise := o.advertise
+		if advertise == "" {
+			advertise = "http://" + ln.Addr().String()
+		}
+		agent, err = cluster.StartAgent(cluster.AgentConfig{
+			CoordinatorURL: o.coordinator,
+			ID:             id,
+			AdvertiseURL:   advertise,
+			Interval:       o.heartbeat,
+			Logger:         logger,
+		})
+		if err != nil {
+			server.Close()
+			svc.Close()
+			<-errc
+			return err
+		}
+	}
+	// Readiness is signalled only after registration, so a fleet's
+	// worker is routable the moment it reports ready.
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 
 	select {
 	case err := <-errc:
@@ -129,12 +203,69 @@ func run(ctx context.Context, o options, logger *log.Logger, ready chan<- net.Ad
 	logger.Printf("quditd shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if agent != nil {
+		// Deregister before closing the listener: the drain blocks
+		// until the coordinator has collected every result this worker
+		// still owes, and that collection needs our HTTP surface up.
+		if err := agent.Drain(shutdownCtx); err != nil {
+			logger.Printf("quditd drain: %v", err)
+		}
+	}
 	shutdownErr := server.Shutdown(shutdownCtx)
 	svc.Close() // drain queued jobs after the listener stops
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	logger.Printf("quditd stopped")
+	return shutdownErr
+}
+
+// runCoordinator serves the fleet front door: same job API, no
+// simulator — every job is dispatched to a registered worker.
+func runCoordinator(ctx context.Context, o options, logger *log.Logger, ready chan<- net.Addr) error {
+	proc, err := core.NewCompactProcessor(o.cavities, o.modes, o.seed)
+	if err != nil {
+		return fmt.Errorf("building processor: %w", err)
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Proc:         proc,
+		HeartbeatTTL: o.hbTTL,
+		RetainJobs:   o.retain,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		coord.Close()
+		return fmt.Errorf("listening on %s: %w", o.addr, err)
+	}
+	server := &http.Server{Handler: cluster.Handler(coord)}
+
+	logger.Printf("quditd coordinator serving on %s (heartbeat TTL %v)", ln.Addr(), o.hbTTL)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		coord.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("quditd coordinator shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutdownErr := server.Shutdown(shutdownCtx)
+	coord.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("quditd coordinator stopped")
 	return shutdownErr
 }
 

@@ -90,3 +90,100 @@ func TestRunStartupServeShutdown(t *testing.T) {
 		t.Fatal("server did not shut down")
 	}
 }
+
+func TestParseFlagsRoles(t *testing.T) {
+	if _, err := parseFlags([]string{"-role", "boss"}, io.Discard); err == nil {
+		t.Error("unknown role accepted")
+	}
+	if _, err := parseFlags([]string{"-role", "worker"}, io.Discard); err == nil {
+		t.Error("worker without -coordinator accepted")
+	}
+	o, err := parseFlags([]string{"-role", "worker", "-coordinator", "http://127.0.0.1:1", "-id", "w7"}, io.Discard)
+	if err != nil || o.role != "worker" || o.id != "w7" {
+		t.Errorf("worker flags: %+v err %v", o, err)
+	}
+	o, err = parseFlags([]string{"-role", "coordinator", "-heartbeat-ttl", "2s"}, io.Discard)
+	if err != nil || o.role != "coordinator" || o.hbTTL != 2*time.Second {
+		t.Errorf("coordinator flags: %+v err %v", o, err)
+	}
+}
+
+// TestRunFleetSmoke boots a coordinator and a worker through run() —
+// the same code path the binary takes — submits one job through the
+// coordinator, and shuts both down gracefully (worker first, draining
+// through deregistration).
+func TestRunFleetSmoke(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+
+	coordOpts, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-role", "coordinator", "-heartbeat-ttl", "2s"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordCtx, coordCancel := context.WithCancel(context.Background())
+	coordReady := make(chan net.Addr, 1)
+	coordDone := make(chan error, 1)
+	go func() { coordDone <- run(coordCtx, coordOpts, logger, coordReady) }()
+	var coordAddr net.Addr
+	select {
+	case coordAddr = <-coordReady:
+	case err := <-coordDone:
+		t.Fatalf("coordinator exited: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator never ready")
+	}
+	coordBase := "http://" + coordAddr.String()
+
+	workerOpts, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-role", "worker", "-coordinator", coordBase, "-id", "smoke-w1",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCtx, workerCancel := context.WithCancel(context.Background())
+	workerReady := make(chan net.Addr, 1)
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- run(workerCtx, workerOpts, logger, workerReady) }()
+	select {
+	case <-workerReady:
+	case err := <-workerDone:
+		t.Fatalf("worker exited: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never ready")
+	}
+
+	body := []byte(`{"circuit":{"dims":[3],"ops":[{"gate":"dft","targets":[0]}]},"shots":16}`)
+	resp, err := http.Post(coordBase+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		State  string `json:"state"`
+		Worker string `json:"worker"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || view.State != "done" || view.Worker != "smoke-w1" {
+		t.Fatalf("fleet job: status %d view %+v", resp.StatusCode, view)
+	}
+
+	workerCancel()
+	select {
+	case err := <-workerDone:
+		if err != nil {
+			t.Fatalf("worker shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not shut down")
+	}
+	coordCancel()
+	select {
+	case err := <-coordDone:
+		if err != nil {
+			t.Fatalf("coordinator shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not shut down")
+	}
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AgentConfig configures a worker's cluster agent.
+type AgentConfig struct {
+	// CoordinatorURL is the coordinator's base URL (required).
+	CoordinatorURL string
+	// ID is the worker's stable name (required); quditd defaults it to
+	// host:port of the bound listener.
+	ID string
+	// AdvertiseURL is the base URL the coordinator should dispatch to
+	// (required) — the worker's own /v1/jobs surface as reachable from
+	// the coordinator, which may differ from the bind address behind
+	// NAT or container networking.
+	AdvertiseURL string
+	// Interval overrides the heartbeat interval; zero accepts the
+	// coordinator's suggestion from the register response.
+	Interval time.Duration
+	// Client is the HTTP client for control traffic; nil selects a
+	// client with a 10s timeout.
+	Client *http.Client
+	// Logger receives agent lifecycle lines; nil discards them.
+	Logger *log.Logger
+}
+
+// Agent is the worker-side cluster membership loop: it registers with
+// the coordinator, heartbeats on an interval (re-registering if the
+// coordinator forgets it, e.g. across a coordinator restart), and on
+// Drain deregisters — blocking until the coordinator has collected
+// every result this worker still owes the fleet.
+type Agent struct {
+	cfg      AgentConfig
+	client   *http.Client
+	interval time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartAgent registers with the coordinator (retrying briefly, so
+// worker and coordinator can boot in any order) and starts the
+// heartbeat loop.
+func StartAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.CoordinatorURL == "" || cfg.ID == "" || cfg.AdvertiseURL == "" {
+		return nil, errors.New("cluster: agent needs coordinator URL, id, and advertise URL")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	a := &Agent{
+		cfg:    cfg,
+		client: cfg.Client,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	var regErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if regErr = a.register(); regErr == nil {
+			break
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	if regErr != nil {
+		return nil, fmt.Errorf("cluster: registering with %s: %w", cfg.CoordinatorURL, regErr)
+	}
+	go a.loop()
+	return a, nil
+}
+
+// register announces the worker and adopts the coordinator's suggested
+// heartbeat interval unless the config pinned one.
+func (a *Agent) register() error {
+	body, _ := json.Marshal(RegisterRequest{ID: a.cfg.ID, URL: a.cfg.AdvertiseURL})
+	resp, err := a.client.Post(a.cfg.CoordinatorURL+"/v1/cluster/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("register returned %d", resp.StatusCode)
+	}
+	var ack RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return err
+	}
+	a.interval = a.cfg.Interval
+	if a.interval <= 0 {
+		a.interval = time.Duration(ack.IntervalMS) * time.Millisecond
+	}
+	if a.interval <= 0 {
+		a.interval = time.Second
+	}
+	a.logf("registered with coordinator %s as %q (heartbeat every %v)",
+		a.cfg.CoordinatorURL, a.cfg.ID, a.interval)
+	return nil
+}
+
+// loop heartbeats until Drain; a 404 (coordinator forgot us) triggers
+// re-registration so the fleet self-heals across coordinator restarts.
+func (a *Agent) loop() {
+	defer close(a.done)
+	t := time.NewTicker(a.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			switch err := a.beat(); {
+			case err == nil:
+			case errors.Is(err, errUnknownWorker):
+				a.logf("coordinator forgot worker %q; re-registering", a.cfg.ID)
+				if rerr := a.register(); rerr != nil {
+					a.logf("re-register failed: %v", rerr)
+				}
+			default:
+				a.logf("heartbeat failed: %v", err)
+			}
+		case <-a.stop:
+			return
+		}
+	}
+}
+
+// errUnknownWorker distinguishes a coordinator that lost our
+// registration from a transport failure.
+var errUnknownWorker = errors.New("cluster: coordinator does not know this worker")
+
+// beat sends one heartbeat.
+func (a *Agent) beat() error {
+	body, _ := json.Marshal(HeartbeatRequest{ID: a.cfg.ID})
+	resp, err := a.client.Post(a.cfg.CoordinatorURL+"/v1/cluster/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusNotFound:
+		return errUnknownWorker
+	default:
+		return fmt.Errorf("heartbeat returned %d", resp.StatusCode)
+	}
+}
+
+// Drain stops heartbeating and deregisters. The call blocks — bounded
+// by ctx — until the coordinator has collected every unsettled result
+// this worker owns, so the worker can shut its HTTP listener down the
+// moment Drain returns without losing results. Safe to call once;
+// later calls return immediately.
+func (a *Agent) Drain(ctx context.Context) error {
+	var err error
+	a.stopOnce.Do(func() {
+		close(a.stop)
+		<-a.done
+		body, _ := json.Marshal(DeregisterRequest{ID: a.cfg.ID})
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost,
+			a.cfg.CoordinatorURL+"/v1/cluster/deregister", bytes.NewReader(body))
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		// The drain blocks while the coordinator collects, so it runs
+		// on a timeout-free client; ctx bounds it instead.
+		client := *a.client
+		client.Timeout = 0
+		resp, derr := client.Do(req)
+		if derr != nil {
+			err = fmt.Errorf("cluster: deregistering: %w", derr)
+			return
+		}
+		defer resp.Body.Close()
+		var ack DeregisterResponse
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&ack) == nil {
+			a.logf("drained: coordinator collected %d result(s), requeued %d", ack.Collected, ack.Requeued)
+		}
+	})
+	return err
+}
+
+// logf writes one agent log line when a logger is configured.
+func (a *Agent) logf(format string, args ...interface{}) {
+	if a.cfg.Logger != nil {
+		a.cfg.Logger.Printf("cluster agent: "+format, args...)
+	}
+}

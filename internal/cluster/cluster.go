@@ -1,0 +1,59 @@
+// Package cluster is the horizontal scale-out layer of quditkit: a
+// coordinator/worker topology that shards jobs across a fleet of
+// quditd worker nodes while preserving the single-node determinism
+// contract — the same submission returns byte-identical counts whether
+// it runs standalone or through a fleet.
+//
+// The Coordinator fronts the fleet with the same /v1/jobs HTTP API a
+// standalone quditd serves. Each submission is content-addressed by
+// JobKey — the combination of core.Fingerprint, core.OptionsDigest,
+// and core.TranspileKey — and routed over a consistent-hash Ring, so
+// an identical submission always lands on the same worker and settles
+// from that worker's result cache (and its compiled-plan cache stays
+// hot for near-identical ones). When the owning worker's queue is
+// full, the job spills to the next replica on the ring; when a worker
+// misses heartbeats, its unsettled jobs are requeued onto the
+// survivors, which is safe because execution is deterministic and the
+// result cache is checked before anything re-simulates.
+//
+// Workers run an ordinary serve.Service and announce themselves with
+// an Agent: register on startup, heartbeat on an interval, and drain
+// on shutdown — deregistration blocks until the coordinator has
+// collected every unsettled result the worker still owns.
+//
+// cmd/quditd wires all three roles behind one flag:
+// -role standalone|coordinator|worker.
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// JobKey combines a submission's three content addresses — the circuit
+// fingerprint (core.Fingerprint), the run-options digest
+// (core.OptionsDigest), and the transpile key (core.TranspileKey) —
+// into the single routing key the coordinator hashes onto the Ring.
+// Submissions with equal JobKeys produce byte-identical results on any
+// worker, so routing them to the same node turns the per-node result
+// cache into a fleet-wide dedupe layer.
+func JobKey(fingerprint, optionsDigest, transpileKey uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range [...]uint64{fingerprint, optionsDigest, transpileKey} {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a cheap avalanche step that
+// spreads structured hash inputs uniformly over the ring circle.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,562 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quditkit/internal/core"
+	"quditkit/internal/serve"
+)
+
+// Coordinator errors distinguishable by callers.
+var (
+	// ErrNoWorkers is returned when a job cannot be dispatched because
+	// no live, non-draining worker accepted it.
+	ErrNoWorkers = errors.New("cluster: no worker available")
+	// ErrUnknownJob is returned for coordinator job IDs never issued
+	// (or pruned by retention).
+	ErrUnknownJob = errors.New("cluster: unknown job id")
+)
+
+// CoordinatorConfig sizes a Coordinator. The zero value of each field
+// selects the default noted on it; Proc is required.
+type CoordinatorConfig struct {
+	// Proc validates incoming jobs at the edge (admission limits,
+	// derived noise) and anchors key derivation. It never executes
+	// anything — the fleet's workers do — so it should be built with
+	// the same device flags as the workers.
+	Proc *core.Processor
+	// HeartbeatTTL is how long a worker may go without a heartbeat
+	// before it is declared dead and its jobs are requeued.
+	// Default 5s.
+	HeartbeatTTL time.Duration
+	// MonitorInterval is how often the liveness monitor scans for dead
+	// workers. Zero selects HeartbeatTTL/2; negative disables the
+	// monitor goroutine (tests then drive CheckWorkers directly).
+	MonitorInterval time.Duration
+	// DrainTimeout bounds how long a deregistration waits for each
+	// uncollected job on the draining worker. Default 30s.
+	DrainTimeout time.Duration
+	// MaxRequeues bounds how many times one job is re-dispatched after
+	// worker losses before it settles Failed. Default 3.
+	MaxRequeues int
+	// VNodes is the consistent-hash virtual-node count per worker
+	// (DefaultVNodes when zero).
+	VNodes int
+	// RetainJobs bounds the settled job records kept for lookup,
+	// mirroring serve.Config.RetainJobs. Zero selects 4096; negative
+	// retains everything.
+	RetainJobs int
+	// Client is the HTTP client used for worker traffic; nil selects a
+	// client with a 30s timeout. Event streams and ?wait=1 proxies use
+	// a timeout-free copy so long waits are bounded by the caller's
+	// context, not the transport.
+	Client *http.Client
+
+	// now is the clock, overridable by tests.
+	now func() time.Time
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.HeartbeatTTL <= 0 {
+		c.HeartbeatTTL = 5 * time.Second
+	}
+	if c.MonitorInterval == 0 {
+		c.MonitorInterval = c.HeartbeatTTL / 2
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxRequeues <= 0 {
+		c.MaxRequeues = 3
+	}
+	switch {
+	case c.RetainJobs == 0:
+		c.RetainJobs = 4096
+	case c.RetainJobs < 0:
+		c.RetainJobs = 0 // unlimited
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// workerNode is the coordinator's record of one registered worker.
+type workerNode struct {
+	id       string
+	url      string
+	lastBeat time.Time
+	draining bool
+	// assigned holds the unsettled job records routed to this worker,
+	// the set requeued if it dies.
+	assigned map[string]*jobRecord
+}
+
+// jobRecord tracks one accepted submission across dispatch, spill,
+// requeue, and settlement.
+type jobRecord struct {
+	id  string
+	key uint64
+
+	mu sync.Mutex
+	// payload is the original request body, kept until settlement so
+	// the job can be re-dispatched verbatim after a worker loss.
+	payload  []byte
+	workerID string
+	remoteID string // the worker-issued job ID
+	requeues int
+	// requeueing serializes concurrent observers of one worker
+	// failure: while a requeue is in flight every other caller skips,
+	// so one loss burns one requeue, not one per long-poller.
+	requeueing bool
+	settled    *JobView
+}
+
+// snapshot returns the record's routing state under its mutex.
+func (rec *jobRecord) snapshot() (workerID, remoteID string, requeues int, settled *JobView) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.workerID, rec.remoteID, rec.requeues, rec.settled
+}
+
+// Coordinator routes jobs across a fleet of quditd workers: consistent
+// hashing by JobKey, spill-on-backpressure, heartbeat liveness with
+// automatic requeue, and drain-on-deregister. Create it with
+// NewCoordinator, expose it with Handler, and stop it with Close.
+type Coordinator struct {
+	cfg      CoordinatorConfig
+	client   *http.Client // bounded-timeout client for control traffic
+	streamer *http.Client // timeout-free client for waits and SSE relays
+
+	mu           sync.Mutex
+	workers      map[string]*workerNode
+	ring         *Ring
+	jobs         map[string]*jobRecord
+	settledOrder []string
+	nextID       uint64
+	closed       bool
+
+	stopMonitor chan struct{}
+	monitorDone chan struct{}
+
+	dispatched atomic.Uint64
+	spills     atomic.Uint64
+	requeued   atomic.Uint64
+	settled    atomic.Uint64
+}
+
+// NewCoordinator builds a coordinator and, unless the monitor is
+// disabled, starts its liveness loop.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Proc == nil {
+		return nil, errors.New("cluster: coordinator needs a processor for admission")
+	}
+	cfg = cfg.withDefaults()
+	streamer := *cfg.Client
+	streamer.Timeout = 0
+	c := &Coordinator{
+		cfg:      cfg,
+		client:   cfg.Client,
+		streamer: &streamer,
+		workers:  make(map[string]*workerNode),
+		ring:     NewRing(cfg.VNodes),
+		jobs:     make(map[string]*jobRecord),
+	}
+	if cfg.MonitorInterval > 0 {
+		c.stopMonitor = make(chan struct{})
+		c.monitorDone = make(chan struct{})
+		go c.monitor()
+	}
+	return c, nil
+}
+
+// Close stops the liveness monitor. It does not contact workers: a
+// coordinator restart is survivable because workers re-register on
+// their next failed heartbeat.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	closed := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	if c.stopMonitor != nil {
+		close(c.stopMonitor)
+		<-c.monitorDone
+	}
+}
+
+// monitor periodically reaps workers that missed their heartbeat TTL.
+func (c *Coordinator) monitor() {
+	defer close(c.monitorDone)
+	t := time.NewTicker(c.cfg.MonitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.CheckWorkers(c.cfg.now())
+		case <-c.stopMonitor:
+			return
+		}
+	}
+}
+
+// Register adds or refreshes a worker. Re-registering an existing ID
+// updates its URL and revives it (a worker that restarted faster than
+// the TTL keeps its ring position, so its cache keys keep routing to
+// it).
+func (c *Coordinator) Register(id, url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.workers[id]
+	if n == nil {
+		n = &workerNode{id: id, assigned: make(map[string]*jobRecord)}
+		c.workers[id] = n
+	}
+	n.url = url
+	n.draining = false
+	n.lastBeat = c.cfg.now()
+	c.ring.Add(id)
+}
+
+// Heartbeat refreshes a worker's liveness clock; false reports an
+// unknown ID, the signal for the worker to re-register.
+func (c *Coordinator) Heartbeat(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.workers[id]
+	if n == nil {
+		return false
+	}
+	n.lastBeat = c.cfg.now()
+	return true
+}
+
+// CheckWorkers reaps every worker whose last heartbeat is older than
+// the TTL at time now, requeueing its unsettled jobs onto survivors.
+// It returns the reaped worker IDs. The monitor goroutine calls this
+// on its interval; tests call it directly with a synthetic clock.
+func (c *Coordinator) CheckWorkers(now time.Time) []string {
+	type orphan struct {
+		rec    *jobRecord
+		worker string
+	}
+	c.mu.Lock()
+	var dead []string
+	var orphaned []orphan
+	for id, n := range c.workers {
+		if n.draining || now.Sub(n.lastBeat) <= c.cfg.HeartbeatTTL {
+			continue
+		}
+		dead = append(dead, id)
+		for _, rec := range n.assigned {
+			orphaned = append(orphaned, orphan{rec: rec, worker: id})
+		}
+		c.ring.Remove(id)
+		delete(c.workers, id)
+	}
+	c.mu.Unlock()
+	for _, o := range orphaned {
+		c.requeue(o.rec, o.worker)
+	}
+	return dead
+}
+
+// requeue re-dispatches one orphaned job after its worker (failed)
+// was observed failing. It never double-executes a finished job: a
+// record that already settled is skipped outright, and a
+// re-dispatched payload goes through the target worker's Enqueue,
+// whose content-addressed result-cache check settles it instantly if
+// that worker has ever produced this result — the idempotency that
+// makes requeue safe under at-least-once dispatch. Concurrent
+// observers of one failure collapse to one requeue: callers whose
+// observed worker no longer owns the record (someone already moved
+// it), or who find a requeue already in flight, return without
+// touching the budget.
+func (c *Coordinator) requeue(rec *jobRecord, failed string) {
+	rec.mu.Lock()
+	if rec.settled != nil || rec.requeueing || (failed != "" && rec.workerID != failed) {
+		rec.mu.Unlock()
+		return
+	}
+	rec.requeueing = true
+	rec.requeues++
+	n := rec.requeues
+	rec.mu.Unlock()
+	defer func() {
+		rec.mu.Lock()
+		rec.requeueing = false
+		rec.mu.Unlock()
+	}()
+	if n > c.cfg.MaxRequeues {
+		c.settle(rec, &JobView{JobView: serve.JobView{
+			ID:    rec.id,
+			State: serve.Failed.String(),
+			Error: fmt.Sprintf("cluster: job lost %d workers; giving up", n),
+		}, Requeues: n})
+		return
+	}
+	c.requeued.Add(1)
+	if _, err := c.dispatch(rec, failed); err != nil {
+		c.settle(rec, &JobView{JobView: serve.JobView{
+			ID:    rec.id,
+			State: serve.Failed.String(),
+			Error: fmt.Sprintf("cluster: requeue failed: %v", err),
+		}, Requeues: n})
+	}
+}
+
+// settle records a job's terminal view exactly once, releases its
+// payload, and removes it from its worker's assigned set.
+func (c *Coordinator) settle(rec *jobRecord, view *JobView) {
+	rec.mu.Lock()
+	if rec.settled != nil {
+		rec.mu.Unlock()
+		return
+	}
+	rec.settled = view
+	rec.payload = nil
+	worker := rec.workerID
+	rec.mu.Unlock()
+	c.settled.Add(1)
+	c.mu.Lock()
+	if n := c.workers[worker]; n != nil {
+		delete(n.assigned, rec.id)
+	}
+	if c.cfg.RetainJobs > 0 {
+		c.settledOrder = append(c.settledOrder, rec.id)
+		for len(c.settledOrder) > c.cfg.RetainJobs {
+			delete(c.jobs, c.settledOrder[0])
+			c.settledOrder = c.settledOrder[1:]
+		}
+	}
+	c.mu.Unlock()
+}
+
+// assign points a record at a worker, maintaining the assigned sets.
+// It refuses (returning false, record untouched) when the worker has
+// vanished or started draining since the caller picked it: its drain
+// snapshot has already been taken, so a record assigned now would
+// never be collected or requeued — the caller must treat the dispatch
+// as failed and try the next candidate.
+func (c *Coordinator) assign(rec *jobRecord, workerID, remoteID string) bool {
+	c.mu.Lock()
+	n := c.workers[workerID]
+	if n == nil || n.draining {
+		c.mu.Unlock()
+		return false
+	}
+	rec.mu.Lock()
+	old := rec.workerID
+	rec.workerID, rec.remoteID = workerID, remoteID
+	rec.mu.Unlock()
+	if old != "" && old != workerID {
+		if prev := c.workers[old]; prev != nil {
+			delete(prev.assigned, rec.id)
+		}
+	}
+	n.assigned[rec.id] = rec
+	c.mu.Unlock()
+	return true
+}
+
+// workerURL resolves a worker's base URL ("" when unknown).
+func (c *Coordinator) workerURL(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.workers[id]; n != nil {
+		return n.url
+	}
+	return ""
+}
+
+// dispatch routes a record's payload to the owner of its key, spilling
+// along ring successors on queue-full backpressure. exclude names one
+// worker to skip (the one just observed failing). A worker's 4xx
+// rejection (other than 429) fails the dispatch outright — the fleet
+// validated the job once at the coordinator edge, so a per-worker
+// rejection would reject everywhere.
+func (c *Coordinator) dispatch(rec *jobRecord, exclude string) (serve.JobView, error) {
+	type candidate struct{ id, url string }
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return serve.JobView{}, ErrNoWorkers
+	}
+	ordered := c.ring.Successors(rec.key, c.ring.Len())
+	var cands []candidate
+	for _, id := range ordered {
+		n := c.workers[id]
+		if n == nil || n.draining || id == exclude {
+			continue
+		}
+		cands = append(cands, candidate{id, n.url})
+	}
+	c.mu.Unlock()
+	rec.mu.Lock()
+	payload := rec.payload
+	rec.mu.Unlock()
+	if len(cands) == 0 {
+		return serve.JobView{}, ErrNoWorkers
+	}
+
+	var lastErr error = ErrNoWorkers
+	for i, w := range cands {
+		resp, err := c.client.Post(w.url+"/v1/jobs", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+			var view serve.JobView
+			if err := json.Unmarshal(body, &view); err != nil {
+				lastErr = fmt.Errorf("cluster: decoding worker response: %w", err)
+				continue
+			}
+			if !c.assign(rec, w.id, view.ID) {
+				// The worker vanished or began draining between the
+				// candidate snapshot and the assignment; it accepted
+				// the job but nothing would ever collect it. Treat
+				// this as a failed dispatch and move on — the stray
+				// execution is harmless (deterministic, cache-keyed).
+				lastErr = fmt.Errorf("cluster: worker %s left the fleet mid-dispatch", w.id)
+				continue
+			}
+			if i > 0 {
+				c.spills.Add(1)
+			}
+			if stateTerminal(view.State) {
+				c.settle(rec, c.wrap(rec, view))
+			}
+			return view, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			// The owner's queue is full: backpressure, not failure.
+			// Spill to the next replica on the ring.
+			lastErr = fmt.Errorf("cluster: worker %s queue full", w.id)
+			continue
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			return serve.JobView{}, fmt.Errorf("cluster: worker %s rejected job: %s", w.id, string(bytes.TrimSpace(body)))
+		default:
+			lastErr = fmt.Errorf("cluster: worker %s returned %d", w.id, resp.StatusCode)
+			continue
+		}
+	}
+	return serve.JobView{}, lastErr
+}
+
+// wrap projects a worker view into the coordinator's wire view,
+// rewriting the job ID to the coordinator-issued one.
+func (c *Coordinator) wrap(rec *jobRecord, view serve.JobView) *JobView {
+	workerID, _, requeues, _ := rec.snapshot()
+	out := JobView{JobView: view, Worker: workerID, Requeues: requeues}
+	out.ID = rec.id
+	return &out
+}
+
+// stateTerminal reports whether a wire state string is terminal.
+func stateTerminal(state string) bool {
+	switch state {
+	case serve.Done.String(), serve.Failed.String(), serve.Cancelled.String():
+		return true
+	}
+	return false
+}
+
+// Stats aggregates fleet state: registry liveness plus each worker's
+// own /v1/stats gauges, scraped live (2s timeout per worker).
+func (c *Coordinator) Stats() Stats {
+	now := c.cfg.now()
+	c.mu.Lock()
+	rows := make([]WorkerStats, 0, len(c.workers))
+	urls := make([]string, 0, len(c.workers))
+	for _, n := range c.workers {
+		rows = append(rows, WorkerStats{
+			ID:              n.id,
+			URL:             n.url,
+			Alive:           now.Sub(n.lastBeat) <= c.cfg.HeartbeatTTL,
+			Draining:        n.draining,
+			LastHeartbeatMS: now.Sub(n.lastBeat).Milliseconds(),
+			Assigned:        len(n.assigned),
+		})
+		urls = append(urls, n.url)
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			var ws serve.Stats
+			if err := c.getJSON(ctx, urls[i]+"/v1/stats", &ws); err != nil {
+				rows[i].StatsError = err.Error()
+				return
+			}
+			rows[i].QueueDepth = ws.Queued
+			rows[i].Running = ws.Running
+			rows[i].InflightShots = ws.InflightShots
+			rows[i].CacheHits = ws.CacheHits
+			rows[i].CacheMisses = ws.CacheMisses
+			if total := ws.CacheHits + ws.CacheMisses; total > 0 {
+				rows[i].CacheHitRate = float64(ws.CacheHits) / float64(total)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	return Stats{
+		Role:           "coordinator",
+		Workers:        rows,
+		Dispatched:     c.dispatched.Load(),
+		Spills:         c.spills.Load(),
+		Requeued:       c.requeued.Load(),
+		Settled:        c.settled.Load(),
+		HeartbeatTTLMS: c.cfg.HeartbeatTTL.Milliseconds(),
+	}
+}
+
+// getJSON fetches one JSON document.
+func (c *Coordinator) getJSON(ctx context.Context, url string, v interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: GET %s returned %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// record looks up a job record by coordinator ID.
+func (c *Coordinator) record(id string) (*jobRecord, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return rec, nil
+}

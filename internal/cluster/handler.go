@@ -1,0 +1,533 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"quditkit/internal/core"
+	"quditkit/internal/serve"
+)
+
+// Handler exposes the coordinator over HTTP. The job surface mirrors a
+// standalone quditd exactly — clients need not know they are talking
+// to a fleet:
+//
+//	POST   /v1/jobs               validate, hash, dispatch to a worker
+//	                              (?wait=1 blocks until settled,
+//	                              surviving worker loss via requeue)
+//	GET    /v1/jobs/{id}          proxied status (?wait=1 blocks)
+//	GET    /v1/jobs/{id}/events   SSE relay of the owning worker's
+//	                              event stream; emits a "requeued"
+//	                              event and re-attaches on worker loss
+//	DELETE /v1/jobs/{id}          proxied cancel
+//	GET    /v1/stats              fleet aggregate with per-worker gauges
+//
+// plus the control plane workers use:
+//
+//	POST /v1/cluster/register     worker announce/refresh
+//	POST /v1/cluster/heartbeat    worker liveness beat
+//	POST /v1/cluster/deregister   drain: collect results, then release
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Stats())
+	})
+	mux.HandleFunc("POST /v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/deregister", c.handleDeregister)
+	return mux
+}
+
+// handleSubmit validates a submission at the edge, derives its routing
+// key, and dispatches it. Validation happens here — with the same
+// admission limits a standalone quditd applies — so a malformed job
+// burns no worker round-trip and the client sees one consistent 4xx
+// surface in both topologies.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	var req serve.JobRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	circ, err := serve.BuildCircuit(req.Circuit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.Options(c.cfg.Proc)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := JobKey(core.Fingerprint(circ), core.OptionsDigest(opts...), core.TranspileKey(opts...))
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, ErrNoWorkers)
+		return
+	}
+	c.nextID++
+	rec := &jobRecord{id: fmt.Sprintf("c-%06d", c.nextID), key: key, payload: payload}
+	c.jobs[rec.id] = rec
+	c.mu.Unlock()
+
+	view, err := c.dispatch(rec, "")
+	if err != nil {
+		c.mu.Lock()
+		delete(c.jobs, rec.id)
+		c.mu.Unlock()
+		switch {
+		case errors.Is(err, ErrNoWorkers):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case strings.Contains(err.Error(), "queue full"):
+			httpError(w, http.StatusTooManyRequests, err)
+		default:
+			httpError(w, http.StatusBadGateway, err)
+		}
+		return
+	}
+	c.dispatched.Add(1)
+
+	out := c.wrap(rec, view)
+	if wantWait(r) && !stateTerminal(out.State) {
+		settled, err := c.await(r, rec)
+		if err != nil {
+			httpError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		out = settled
+	}
+	status := http.StatusAccepted
+	if out.State == serve.Done.String() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, out)
+}
+
+// await blocks until the record settles, following it across requeues:
+// a long-poll against the current worker that dies with the worker is
+// retried against the replacement, so ?wait=1 survives mid-wait worker
+// loss transparently.
+func (c *Coordinator) await(r *http.Request, rec *jobRecord) (*JobView, error) {
+	for attempt := 0; attempt <= c.cfg.MaxRequeues+1; attempt++ {
+		workerID, remoteID, _, settled := rec.snapshot()
+		if settled != nil {
+			return settled, nil
+		}
+		url := c.workerURL(workerID)
+		if url == "" {
+			// The worker vanished between snapshot and resolve; let the
+			// requeue machinery move the record and try again.
+			c.requeue(rec, workerID)
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			url+"/v1/jobs/"+remoteID+"?wait=1", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.streamer.Do(req)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return nil, r.Context().Err()
+			}
+			// Transport failure mid-wait: the worker likely died. The
+			// requeue path skips already-settled records and the target
+			// worker's result cache absorbs re-dispatch, so this is
+			// safe even against a worker that merely stalled. The pause
+			// keeps a caller whose requeue was deduped (another
+			// observer is already moving the job) from burning its
+			// attempts before the move lands.
+			c.requeue(rec, workerID)
+			pause(r.Context(), 100*time.Millisecond)
+			continue
+		}
+		var view serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			c.requeue(rec, workerID)
+			pause(r.Context(), 100*time.Millisecond)
+			continue
+		}
+		if stateTerminal(view.State) {
+			c.settle(rec, c.wrap(rec, view))
+			_, _, _, settled := rec.snapshot()
+			return settled, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: job %s did not settle within the requeue budget", rec.id)
+}
+
+// handleStatus proxies a status read to the owning worker; a settled
+// record answers from the coordinator's own view without any worker
+// round-trip (which is also what makes results of drained workers
+// durable).
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rec, err := c.record(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if wantWait(r) {
+		view, err := c.await(r, rec)
+		if err != nil {
+			httpError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	workerID, remoteID, requeues, settled := rec.snapshot()
+	if settled != nil {
+		writeJSON(w, http.StatusOK, settled)
+		return
+	}
+	url := c.workerURL(workerID)
+	if url != "" {
+		var view serve.JobView
+		ctx := r.Context()
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/jobs/"+remoteID, nil)
+		if rerr == nil {
+			if resp, derr := c.client.Do(req); derr == nil {
+				err = json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+				if err == nil && resp.StatusCode == http.StatusOK {
+					if stateTerminal(view.State) {
+						c.settle(rec, c.wrap(rec, view))
+					}
+					writeJSON(w, http.StatusOK, c.wrap(rec, view))
+					return
+				}
+			}
+		}
+	}
+	// The owning worker is unreachable: requeue now rather than wait
+	// for the monitor, then report the job as re-queued.
+	c.requeue(rec, workerID)
+	if _, _, _, settled := rec.snapshot(); settled != nil {
+		writeJSON(w, http.StatusOK, settled)
+		return
+	}
+	workerID, _, requeues, _ = rec.snapshot()
+	writeJSON(w, http.StatusOK, &JobView{
+		JobView:  serve.JobView{ID: rec.id, State: serve.Queued.String()},
+		Worker:   workerID,
+		Requeues: requeues,
+	})
+}
+
+// handleCancel proxies a cancellation to the owning worker.
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec, err := c.record(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	workerID, remoteID, _, settled := rec.snapshot()
+	if settled != nil {
+		httpError(w, http.StatusConflict, errors.New("cluster: job already finished"))
+		return
+	}
+	url := c.workerURL(workerID)
+	if url == "" {
+		httpError(w, http.StatusBadGateway, fmt.Errorf("cluster: worker %s unavailable", workerID))
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, url+"/v1/jobs/"+remoteID, nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body)
+		return
+	}
+	var view serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	if stateTerminal(view.State) {
+		c.settle(rec, c.wrap(rec, view))
+	}
+	writeJSON(w, http.StatusOK, c.wrap(rec, view))
+}
+
+// handleEvents relays the owning worker's SSE stream. If the stream
+// breaks before a terminal event, the coordinator requeues the job,
+// emits a "requeued" event naming the new worker, and re-attaches to
+// the replacement's stream (which replays from its own sequence 0).
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	rec, err := c.record(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("cluster: response writer cannot stream"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for attempt := 0; attempt <= c.cfg.MaxRequeues+1; attempt++ {
+		workerID, remoteID, requeues, settled := rec.snapshot()
+		if settled != nil {
+			// Settled records answer from the coordinator: synthesize
+			// the terminal event a late subscriber needs.
+			ev := serve.Event{State: settled.State, Cached: settled.Cached, Error: settled.Error, Result: settled.Result}
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: state\ndata: %s\n\n", data)
+			flusher.Flush()
+			return
+		}
+		url := c.workerURL(workerID)
+		if url != "" {
+			terminal := c.relayWorkerStream(w, flusher, r, rec, url, remoteID)
+			if terminal || r.Context().Err() != nil {
+				return
+			}
+		}
+		// Stream broke (or worker unknown): move the job and tell the
+		// subscriber before re-attaching.
+		c.requeue(rec, workerID)
+		newWorker, _, newRequeues, _ := rec.snapshot()
+		if newRequeues != requeues {
+			fmt.Fprintf(w, "event: requeued\ndata: {\"worker\":%q,\"requeues\":%d}\n\n", newWorker, newRequeues)
+			flusher.Flush()
+		} else {
+			// Another observer is moving the job; give the move a beat
+			// before re-resolving instead of spinning the attempts.
+			pause(r.Context(), 100*time.Millisecond)
+		}
+	}
+}
+
+// pause waits briefly between failover attempts, returning early if
+// the caller's context ends.
+func pause(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// relayWorkerStream copies one worker SSE stream through verbatim,
+// watching the data frames for a terminal state (which also settles
+// the coordinator's record). It reports whether a terminal event was
+// relayed.
+func (c *Coordinator) relayWorkerStream(w http.ResponseWriter, flusher http.Flusher, r *http.Request, rec *jobRecord, url, remoteID string) bool {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url+"/v1/jobs/"+remoteID+"/events", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.streamer.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	terminal := false
+	for scanner.Scan() {
+		line := scanner.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var ev serve.Event
+			if json.Unmarshal([]byte(data), &ev) == nil && stateTerminal(ev.State) {
+				terminal = true
+				c.settle(rec, c.wrap(rec, serve.JobView{
+					State: ev.State, Cached: ev.Cached, Error: ev.Error, Result: ev.Result,
+				}))
+			}
+		}
+		fmt.Fprintf(w, "%s\n", line)
+		if line == "" {
+			flusher.Flush()
+			if terminal {
+				return true
+			}
+		}
+	}
+	flusher.Flush()
+	return terminal
+}
+
+// handleRegister admits a worker into the fleet.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" || req.URL == "" {
+		httpError(w, http.StatusBadRequest, errors.New("cluster: register needs id and url"))
+		return
+	}
+	c.Register(req.ID, strings.TrimSuffix(req.URL, "/"))
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		HeartbeatTTLMS: c.cfg.HeartbeatTTL.Milliseconds(),
+		IntervalMS:     (c.cfg.HeartbeatTTL / 3).Milliseconds(),
+	})
+}
+
+// handleHeartbeat refreshes a worker's liveness; 404 tells the worker
+// to re-register (e.g. after a coordinator restart).
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !c.Heartbeat(req.ID) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown worker %q", req.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleDeregister drains a worker: new dispatches stop immediately,
+// every unsettled job it owns is collected (or requeued), and only
+// then does the response release the worker to exit.
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var req DeregisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	collected, requeued, err := c.Drain(req.ID)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeregisterResponse{Collected: collected, Requeued: requeued})
+}
+
+// Drain removes a worker from routing, collects the unsettled results
+// it still owns (bounded by DrainTimeout each), requeues whatever it
+// could not collect, and forgets the worker. It returns the collected
+// and requeued counts.
+func (c *Coordinator) Drain(id string) (collected, requeued int, err error) {
+	c.mu.Lock()
+	n := c.workers[id]
+	if n == nil {
+		c.mu.Unlock()
+		return 0, 0, fmt.Errorf("cluster: unknown worker %q", id)
+	}
+	n.draining = true
+	c.ring.Remove(id)
+	url := n.url
+	pending := make([]*jobRecord, 0, len(n.assigned))
+	for _, rec := range n.assigned {
+		pending = append(pending, rec)
+	}
+	c.mu.Unlock()
+
+	for _, rec := range pending {
+		_, remoteID, _, settled := rec.snapshot()
+		if settled != nil {
+			continue
+		}
+		view, gerr := c.collectOne(url, remoteID)
+		if gerr != nil || !stateTerminal(view.State) {
+			c.requeue(rec, id)
+			requeued++
+			continue
+		}
+		c.settle(rec, c.wrap(rec, view))
+		collected++
+	}
+
+	c.mu.Lock()
+	delete(c.workers, id)
+	c.mu.Unlock()
+	return collected, requeued, nil
+}
+
+// collectOne long-polls one job on a draining worker.
+func (c *Coordinator) collectOne(url, remoteID string) (serve.JobView, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.DrainTimeout)
+	defer cancel()
+	var view serve.JobView
+	err := c.getJSONWith(ctx, c.streamer, url+"/v1/jobs/"+remoteID+"?wait=1", &view)
+	return view, err
+}
+
+// getJSONWith fetches one JSON document with an explicit client.
+func (c *Coordinator) getJSONWith(ctx context.Context, client *http.Client, url string, v interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: GET %s returned %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// wantWait mirrors serve's ?wait parsing: bare ?wait or any truthy
+// value blocks; explicit falsy values select the async path.
+func wantWait(r *http.Request) bool {
+	if !r.URL.Query().Has("wait") {
+		return false
+	}
+	v := r.URL.Query().Get("wait")
+	if v == "" {
+		return true
+	}
+	b, err := strconv.ParseBool(v)
+	return err != nil || b
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeJSON marshals v with an application/json content type.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

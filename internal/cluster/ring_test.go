@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys returns a deterministic spread of routing keys.
+func testKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = JobKey(uint64(i)*2654435761, uint64(i)*40503, uint64(i))
+	}
+	return keys
+}
+
+func ringWith(members ...string) *Ring {
+	r := NewRing(0)
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+func ownerMap(r *Ring, keys []uint64) map[uint64]string {
+	m := make(map[uint64]string, len(keys))
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			panic("empty ring")
+		}
+		m[k] = o
+	}
+	return m
+}
+
+// TestRingRemoveMovesOnlyVictimKeys is the consistent-hashing
+// stability contract: removing one member reassigns exactly the keys
+// that member owned — every other key keeps its owner, so surviving
+// workers' caches stay hot through membership churn.
+func TestRingRemoveMovesOnlyVictimKeys(t *testing.T) {
+	keys := testKeys(2000)
+	r := ringWith("a", "b", "c")
+	before := ownerMap(r, keys)
+	r.Remove("c")
+	after := ownerMap(r, keys)
+	moved := 0
+	for _, k := range keys {
+		switch {
+		case before[k] == "c":
+			moved++
+			if after[k] == "c" {
+				t.Fatalf("key %d still owned by removed member", k)
+			}
+		case before[k] != after[k]:
+			t.Fatalf("key %d moved %s -> %s though its owner %s survived",
+				k, before[k], after[k], before[k])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; distribution is broken")
+	}
+}
+
+// TestRingAddMovesOnlyToNewMember: adding a member steals keys only
+// for itself; no key moves between pre-existing members.
+func TestRingAddMovesOnlyToNewMember(t *testing.T) {
+	keys := testKeys(2000)
+	r := ringWith("a", "b")
+	before := ownerMap(r, keys)
+	r.Add("c")
+	after := ownerMap(r, keys)
+	gained := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			if after[k] != "c" {
+				t.Fatalf("key %d moved %s -> %s on adding c", k, before[k], after[k])
+			}
+			gained++
+		}
+	}
+	if gained == 0 {
+		t.Fatal("new member gained no keys")
+	}
+	// The minimal-movement bound: a third member should take roughly a
+	// third of the keys, certainly not most of them.
+	if gained > len(keys)*2/3 {
+		t.Fatalf("adding one member moved %d of %d keys", gained, len(keys))
+	}
+}
+
+// TestRingBalance: virtual nodes keep the per-member load within a
+// loose factor of even.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(6000)
+	r := ringWith("a", "b", "c")
+	load := map[string]int{}
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		load[o]++
+	}
+	for m, n := range load {
+		if n < len(keys)/3/3 || n > len(keys)*2/3 {
+			t.Fatalf("member %s owns %d of %d keys: distribution too skewed (%v)", m, n, len(keys), load)
+		}
+	}
+}
+
+// TestRingSuccessorsDistinctAndStable: the spill order lists each
+// member once, starts at the owner, and is deterministic.
+func TestRingSuccessorsDistinctAndStable(t *testing.T) {
+	r := ringWith("a", "b", "c")
+	for _, k := range testKeys(50) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("want 3 successors, got %v", succ)
+		}
+		owner, _ := r.Owner(k)
+		if succ[0] != owner {
+			t.Fatalf("successors %v do not start at owner %s", succ, owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("duplicate member in successors %v", succ)
+			}
+			seen[m] = true
+		}
+		again := r.Successors(k, 3)
+		if fmt.Sprint(succ) != fmt.Sprint(again) {
+			t.Fatalf("successors not deterministic: %v vs %v", succ, again)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate memberships.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner(42); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if got := r.Successors(42, 2); got != nil {
+		t.Fatalf("empty ring returned successors %v", got)
+	}
+	r.Add("only")
+	for _, k := range testKeys(20) {
+		if o, ok := r.Owner(k); !ok || o != "only" {
+			t.Fatalf("single-member ring routed key %d to %q", k, o)
+		}
+	}
+	if got := r.Successors(7, 5); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single-member successors = %v", got)
+	}
+	// Double add/remove are no-ops.
+	r.Add("only")
+	if len(r.points) != DefaultVNodes {
+		t.Fatalf("double Add duplicated points: %d", len(r.points))
+	}
+	r.Remove("ghost")
+	if r.Len() != 1 {
+		t.Fatalf("removing absent member changed membership: %d", r.Len())
+	}
+}

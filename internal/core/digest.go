@@ -63,3 +63,35 @@ func OptionsDigest(opts ...RunOption) uint64 {
 	}
 	return h.Sum64()
 }
+
+// TranspileKey hashes the transpile-determining part of a job's run
+// options — the transpile level and the target-device fingerprint (zero
+// when the job runs on the processor's own device) — into a stable
+// content address. It is the option-level projection of
+// ExecSpec.TranspileFP: two option lists with equal TranspileKeys lower
+// a given circuit through the same pipeline. Today these fields are a
+// subset of what OptionsDigest hashes, so equal digests imply equal
+// TranspileKeys; the cluster routing key (cluster.JobKey) still takes
+// it as an explicit third component so the routing contract mirrors
+// the plan-cache key shape (Fingerprint, TranspileFP, model) and stays
+// correct even if OptionsDigest's coverage evolves.
+func TranspileKey(opts ...RunOption) uint64 {
+	cfg := defaultRunConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(cfg.level))
+	if cfg.device != nil {
+		writeU64(1)
+		writeU64(transpile.DeviceFingerprint(*cfg.device))
+	} else {
+		writeU64(0)
+	}
+	return h.Sum64()
+}

@@ -143,3 +143,16 @@ func ContextOf(opts ...RunOption) context.Context {
 	}
 	return cfg.ctx
 }
+
+// ShotsOf resolves the shot count an option list selects (zero when no
+// WithShots is present). Job-service layers use it for load gauges —
+// the inflight-shot count is the best single predictor of how much
+// simulation work a queue holds, since trajectory cost scales with
+// shots while exact backends run one pass regardless.
+func ShotsOf(opts ...RunOption) int {
+	cfg := defaultRunConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg.shots
+}

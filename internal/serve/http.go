@@ -11,13 +11,17 @@ import (
 
 // NewHandler exposes a Service over a small JSON/HTTP API:
 //
-//	POST   /v1/jobs        submit a JobRequest; 200 with the settled
-//	                       JobView on a cache hit, 202 otherwise
-//	                       (?wait=1 blocks until the job settles)
-//	GET    /v1/jobs/{id}   job status, with the result once done
-//	                       (?wait=1 blocks until the job settles)
-//	DELETE /v1/jobs/{id}   cancel a queued or running job
-//	GET    /v1/stats       service and cache counters
+//	POST   /v1/jobs               submit a JobRequest; 200 with the
+//	                              settled JobView on a cache hit, 202
+//	                              otherwise (?wait=1 blocks until the
+//	                              job settles)
+//	GET    /v1/jobs/{id}          job status, with the result once done
+//	                              (?wait=1 blocks until the job settles)
+//	GET    /v1/jobs/{id}/events   Server-Sent Events stream of the
+//	                              job's state transitions, ending with
+//	                              the terminal event (result included)
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /v1/stats              service and cache counters
 //
 // cmd/quditd serves this handler; tests drive it via httptest.
 func NewHandler(s *Service) http.Handler {
@@ -76,6 +80,10 @@ func NewHandler(s *Service) http.Handler {
 			status = http.StatusOK
 		}
 		writeJSON(w, status, view)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		s.serveEvents(w, r, JobID(r.PathValue("id")))
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {

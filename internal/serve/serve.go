@@ -164,6 +164,9 @@ type Stats struct {
 	// Queued and Running are the current in-flight populations.
 	Queued  int `json:"queued"`
 	Running int `json:"running"`
+	// InflightShots sums the shot budgets of currently Running jobs —
+	// the per-worker load gauge the cluster coordinator aggregates.
+	InflightShots int64 `json:"inflight_shots"`
 	// CacheHits, CacheMisses, and CacheEvictions are the result-cache
 	// counters; CacheLen/CacheCap its current and maximum size.
 	CacheHits      uint64 `json:"cache_hits"`
@@ -190,6 +193,7 @@ type job struct {
 	circ   *circuit.Circuit
 	opts   []core.RunOption
 	key    cacheKey
+	shots  int
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -199,6 +203,10 @@ type job struct {
 	err    error
 	cached bool
 	done   chan struct{}
+	// events records every state transition for replay; subs are the
+	// live subscriber channels (see Subscribe in events.go).
+	events []Event
+	subs   []chan Event
 }
 
 // begin transitions a job Queued → Running, updating the population
@@ -217,6 +225,8 @@ func (s *Service) begin(j *job) (circ *circuit.Circuit, opts []core.RunOption, o
 	j.state = Running
 	s.queuedGauge.Add(-1)
 	s.runningGauge.Add(1)
+	s.inflightShots.Add(int64(j.shots))
+	j.publishLocked(Event{State: Running.String()})
 	return j.circ, j.opts, true
 }
 
@@ -247,9 +257,12 @@ type Service struct {
 	failed    atomic.Uint64
 	cancelled atomic.Uint64
 	// queuedGauge/runningGauge track the in-flight populations so
-	// Stats stays O(1) instead of scanning the retained job table.
-	queuedGauge  atomic.Int64
-	runningGauge atomic.Int64
+	// Stats stays O(1) instead of scanning the retained job table;
+	// inflightShots sums the shot budgets of Running jobs, the load
+	// signal the cluster coordinator reads per worker.
+	queuedGauge   atomic.Int64
+	runningGauge  atomic.Int64
+	inflightShots atomic.Int64
 }
 
 // New starts a Service over proc: one worker goroutine per shard,
@@ -308,8 +321,12 @@ func (s *Service) Enqueue(c *circuit.Circuit, opts ...core.RunOption) (JobID, er
 	ctx, cancel := context.WithCancel(base)
 	j := &job{
 		circ: c, opts: opts, key: key,
-		ctx: ctx, cancel: cancel,
+		shots: core.ShotsOf(opts...),
+		ctx:   ctx, cancel: cancel,
 		state: Queued, done: make(chan struct{}),
+		// The queued event is recorded at creation — no subscriber can
+		// exist before the ID is issued, so no fan-out is needed.
+		events: []Event{{Seq: 0, State: Queued.String()}},
 	}
 
 	// A caller context that is already cancelled settles Cancelled even
@@ -454,6 +471,7 @@ func (s *Service) Stats() Stats {
 		Cancelled:       s.cancelled.Load(),
 		Queued:          queued,
 		Running:         running,
+		InflightShots:   s.inflightShots.Load(),
 		CacheHits:       hits,
 		CacheMisses:     misses,
 		CacheEvictions:  evictions,
@@ -507,7 +525,9 @@ func (s *Service) finish(j *job, res core.Result, err error, cached bool) {
 		s.queuedGauge.Add(-1)
 	case Running:
 		s.runningGauge.Add(-1)
+		s.inflightShots.Add(-int64(j.shots))
 	}
+	j.publishLocked(j.terminalEventLocked())
 	close(j.done)
 	j.mu.Unlock()
 	j.cancel()
