@@ -15,16 +15,29 @@
 // job's Server-Sent-Events stream, printing each state transition as
 // it happens instead of long-polling:
 //
-//	quditc submit [-addr URL] [-watch] [-json] [job.json]
-//	quditc watch  [-addr URL] [-json] <job-id>
+//	quditc submit [-addr URL] [-watch] [-json] [-timeout D] [job.json]
+//	quditc watch  [-addr URL] [-json] [-timeout D] <job-id>
 //
 // With -watch, submit streams the new job's events until it settles
 // and exits non-zero if the terminal state is not "done". Input is
 // read from the named file, or stdin when no file is given.
+//
+// The sweep subcommand posts a SweepRequest (the POST /v1/sweeps body:
+// kind, shots, seed, and one of the rb/qaoa/sqed/qrc grid specs) and,
+// with -watch, streams per-cell settlements and the final server-side
+// aggregate:
+//
+//	quditc sweep [-addr URL] [-watch] [-json] [-timeout D] [sweep.json]
+//
+// Every watch survives dropped streams: the client reconnects with the
+// standard Last-Event-ID header and resumes where it left off, so a
+// coordinator restart mid-sweep only pauses the output. -timeout
+// bounds the total watch (0 waits forever).
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,8 +45,10 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"quditkit/internal/core"
+	"quditkit/internal/experiment"
 	"quditkit/internal/serve"
 	"quditkit/internal/transpile"
 )
@@ -47,7 +62,7 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: quditc transpile|submit|watch [flags] [input]")
+		return fmt.Errorf("usage: quditc transpile|submit|watch|sweep [flags] [input]")
 	}
 	switch args[0] {
 	case "transpile":
@@ -56,8 +71,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return runSubmit(args[1:], stdin, stdout)
 	case "watch":
 		return runWatch(args[1:], stdout)
+	case "sweep":
+		return runSweep(args[1:], stdin, stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (have: transpile, submit, watch)", args[0])
+		return fmt.Errorf("unknown subcommand %q (have: transpile, submit, watch, sweep)", args[0])
 	}
 }
 
@@ -68,6 +85,7 @@ func runSubmit(args []string, stdin io.Reader, stdout io.Writer) error {
 	addr := fs.String("addr", "http://127.0.0.1:8080", "quditd or coordinator base URL")
 	watch := fs.Bool("watch", false, "stream the job's events until it settles")
 	asJSON := fs.Bool("json", false, "print raw JSON instead of the human summary")
+	timeout := fs.Duration("timeout", 0, "total watch budget across reconnects (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,7 +126,7 @@ func runSubmit(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		return nil
 	}
-	return watchJob(*addr, view.ID, *asJSON, stdout)
+	return watchJob(*addr, view.ID, *asJSON, *timeout, stdout)
 }
 
 // runWatch attaches to an existing job's event stream.
@@ -116,63 +134,128 @@ func runWatch(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("quditc watch", flag.ContinueOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "quditd or coordinator base URL")
 	asJSON := fs.Bool("json", false, "print raw event JSON instead of the human summary")
+	timeout := fs.Duration("timeout", 0, "total watch budget across reconnects (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: quditc watch [-addr URL] [-json] <job-id>")
+		return fmt.Errorf("usage: quditc watch [-addr URL] [-json] [-timeout D] <job-id>")
 	}
-	return watchJob(*addr, fs.Arg(0), *asJSON, stdout)
+	return watchJob(*addr, fs.Arg(0), *asJSON, *timeout, stdout)
+}
+
+// streamSSE follows a Server-Sent-Events endpoint until handle reports
+// the terminal event, reconnecting on dropped streams with the
+// standard Last-Event-ID header so already-seen events are not
+// replayed. The first connection failure and any non-200 answer return
+// immediately (the target is unreachable or unknown — retrying cannot
+// help); once a stream has been established, drops retry until timeout
+// (zero = forever).
+func streamSSE(url string, timeout time.Duration, handle func(event, data string) bool) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	lastID := ""
+	connected := false
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("watch timed out after %v", timeout)
+			}
+			if !connected {
+				return err
+			}
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return fmt.Errorf("events returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		}
+		connected = true
+		terminal := consumeSSE(resp.Body, &lastID, handle)
+		resp.Body.Close()
+		if terminal {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("watch timed out after %v", timeout)
+		}
+		// The stream dropped mid-flight; resume after the last seen
+		// event.
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// consumeSSE scans one SSE connection, tracking event IDs for
+// resumption and dispatching each complete frame. It returns true when
+// handle signalled the terminal event, false when the stream dropped.
+func consumeSSE(r io.Reader, lastID *string, handle func(event, data string) bool) bool {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			*lastID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if data != "" && handle(event, data) {
+				return true
+			}
+			event, data = "", ""
+		}
+	}
+	return false
 }
 
 // watchJob consumes the SSE stream of one job until its terminal
 // event, printing each transition. It returns an error when the job
 // settles anywhere but "done", so scripts can gate on the exit code.
-func watchJob(addr, id string, asJSON bool, stdout io.Writer) error {
+func watchJob(addr, id string, asJSON bool, timeout time.Duration, stdout io.Writer) error {
 	url := strings.TrimSuffix(addr, "/") + "/v1/jobs/" + id + "/events"
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("events returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
-	}
 	var final string
-	scanner := bufio.NewScanner(resp.Body)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	eventName := ""
-	for scanner.Scan() {
-		line := scanner.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			eventName = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			data := strings.TrimPrefix(line, "data: ")
-			if asJSON {
-				fmt.Fprintln(stdout, data)
-			}
-			var ev serve.Event
-			if err := json.Unmarshal([]byte(data), &ev); err != nil {
-				continue
-			}
-			if eventName == "requeued" {
-				if !asJSON {
-					fmt.Fprintf(stdout, "%s  %s\n", id, "requeued onto another worker")
-				}
-				continue
-			}
-			if !asJSON {
-				printEvent(stdout, id, ev)
-			}
-			switch ev.State {
-			case "done", "failed", "cancelled":
-				final = ev.State
-			}
+	err := streamSSE(url, timeout, func(name, data string) bool {
+		if asJSON {
+			fmt.Fprintln(stdout, data)
 		}
-	}
-	if err := scanner.Err(); err != nil {
+		var ev serve.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return false
+		}
+		if name == "requeued" {
+			if !asJSON {
+				fmt.Fprintf(stdout, "%s  %s\n", id, "requeued onto another worker")
+			}
+			return false
+		}
+		if !asJSON {
+			printEvent(stdout, id, ev)
+		}
+		switch ev.State {
+		case "done", "failed", "cancelled":
+			final = ev.State
+			return true
+		}
+		return false
+	})
+	if err != nil {
 		return err
 	}
 	if final == "" {
@@ -182,6 +265,153 @@ func watchJob(addr, id string, asJSON bool, stdout io.Writer) error {
 		return fmt.Errorf("job %s settled %s", id, final)
 	}
 	return nil
+}
+
+// runSweep posts one SweepRequest and either prints the accepted view
+// or (with -watch) follows the sweep's event stream to settlement.
+func runSweep(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("quditc sweep", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "quditd or coordinator base URL")
+	watch := fs.Bool("watch", false, "stream cell settlements until the sweep settles")
+	asJSON := fs.Bool("json", false, "print raw JSON instead of the human summary")
+	timeout := fs.Duration("timeout", 0, "total watch budget across reconnects (0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var in io.Reader = stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	body, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("sweep submit returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var view experiment.SweepView
+	if err := json.Unmarshal(raw, &view); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if !*watch {
+		if *asJSON {
+			fmt.Fprintln(stdout, string(raw))
+		} else {
+			fmt.Fprintf(stdout, "sweep %s: %s (%d cells, kind %s)\n", view.ID, view.State, view.TotalCells, view.Kind)
+		}
+		return nil
+	}
+	return watchSweep(*addr, view.ID, *asJSON, *timeout, stdout)
+}
+
+// watchSweep consumes a sweep's SSE stream until the terminal event,
+// printing cell settlements as progress and the final aggregate. The
+// exit code gates on the sweep completing (failed cells are reported
+// but tolerated — that is the sweep contract).
+func watchSweep(addr, id string, asJSON bool, timeout time.Duration, stdout io.Writer) error {
+	url := strings.TrimSuffix(addr, "/") + "/v1/sweeps/" + id + "/events"
+	var final *experiment.SweepView
+	settled := 0
+	err := streamSSE(url, timeout, func(_, data string) bool {
+		if asJSON {
+			fmt.Fprintln(stdout, data)
+		}
+		var ev experiment.SweepEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return false
+		}
+		switch {
+		case ev.Type == experiment.EventCell && ev.Cell != nil:
+			settled++
+			if !asJSON {
+				printCell(stdout, id, settled, ev.Cell)
+			}
+			return false
+		case ev.Type == experiment.EventSweep && ev.State != experiment.SweepRunning:
+			if ev.Sweep != nil {
+				final = ev.Sweep
+			}
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	if final == nil {
+		return fmt.Errorf("event stream for %s ended before the sweep settled", id)
+	}
+	if !asJSON {
+		printAggregate(stdout, id, final)
+	}
+	if final.State != experiment.SweepCompleted {
+		return fmt.Errorf("sweep %s settled %s", id, final.State)
+	}
+	return nil
+}
+
+// printCell renders one settled cell for the human-readable stream.
+func printCell(stdout io.Writer, id string, settled int, cv *experiment.CellView) {
+	suffix := ""
+	if cv.Cached {
+		suffix = " (cached)"
+	}
+	switch {
+	case cv.Metric != nil:
+		fmt.Fprintf(stdout, "%s  cell %d [%d settled]: %s metric=%.6f%s\n", id, cv.Index, settled, cv.State, *cv.Metric, suffix)
+	case cv.Error != "":
+		fmt.Fprintf(stdout, "%s  cell %d [%d settled]: %s: %s\n", id, cv.Index, settled, cv.State, cv.Error)
+	default:
+		fmt.Fprintf(stdout, "%s  cell %d [%d settled]: %s%s\n", id, cv.Index, settled, cv.State, suffix)
+	}
+}
+
+// printAggregate renders the settled sweep and its kind's aggregate.
+func printAggregate(stdout io.Writer, id string, v *experiment.SweepView) {
+	fmt.Fprintf(stdout, "%s  %s: %d done / %d failed / %d cancelled of %d cells (%d cached)\n",
+		id, v.State, v.DoneCells, v.FailedCells, v.CancelledCells, v.TotalCells, v.CachedCells)
+	if v.AggregateError != "" {
+		fmt.Fprintf(stdout, "%s  aggregate error: %s\n", id, v.AggregateError)
+	}
+	if v.Aggregate == nil {
+		return
+	}
+	switch {
+	case v.Aggregate.RB != nil:
+		rb := v.Aggregate.RB
+		fmt.Fprintf(stdout, "%s  rb: decay_rate=%.6f avg_gate_infidelity=%.6f over %d lengths\n",
+			id, rb.DecayRate, rb.AvgGateInfidelity, len(rb.Points))
+	case v.Aggregate.QAOA != nil:
+		qa := v.Aggregate.QAOA
+		fmt.Fprintf(stdout, "%s  qaoa: best_ratio=%.4f at gamma=%.4f beta=%.4f (%d grid points, %d edges)\n",
+			id, qa.BestRatio, qa.BestGamma, qa.BestBeta, len(qa.Surface), qa.Edges)
+	case v.Aggregate.SQED != nil:
+		sq := v.Aggregate.SQED
+		if sq.FitError != "" {
+			fmt.Fprintf(stdout, "%s  sqed: %d samples, fit failed: %s\n", id, len(sq.Times), sq.FitError)
+		} else {
+			fmt.Fprintf(stdout, "%s  sqed: omega=%.4f residual=%.4f over %d samples\n",
+				id, sq.Omega, sq.Residual, len(sq.Times))
+		}
+	case v.Aggregate.QRC != nil:
+		qr := v.Aggregate.QRC
+		fmt.Fprintf(stdout, "%s  qrc: train_nmse=%.4f eval_nmse=%.4f (%d train / %d eval cells, %d features)\n",
+			id, qr.TrainNMSE, qr.EvalNMSE, qr.TrainCells, qr.EvalCells, qr.Features)
+	}
 }
 
 // printEvent renders one transition for the human-readable stream.

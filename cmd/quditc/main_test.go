@@ -3,11 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"quditkit/internal/core"
+	"quditkit/internal/experiment"
 	"quditkit/internal/serve"
 )
 
@@ -151,5 +156,185 @@ func TestWatchErrors(t *testing.T) {
 	}
 	if err := run([]string{"submit", "-addr", ts.URL}, strings.NewReader(`{"circuit":{"dims":[3],"ops":[{"gate":"nope","targets":[0]}]}}`), &out); err == nil {
 		t.Error("submitting an invalid job succeeded")
+	}
+}
+
+// newSweepServer boots the full standalone sweep stack (job service +
+// experiment manager) for the sweep subcommand to talk to.
+func newSweepServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := serve.New(proc, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := experiment.NewManager(experiment.ServeRunner{Service: svc}, experiment.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(experiment.NewHandler(mgr, serve.NewHandler(svc)))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+const sweepSpec = `{"kind": "rb", "shots": 32, "seed": 5,
+  "rb": {"dim": 3, "lengths": [1, 2], "sequences": 2}}`
+
+func TestSweepSubmitAndWatch(t *testing.T) {
+	ts := newSweepServer(t)
+
+	// Plain submit prints the accepted view and returns immediately.
+	var out bytes.Buffer
+	if err := run([]string{"sweep", "-addr", ts.URL}, strings.NewReader(sweepSpec), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sweep s-") || !strings.Contains(out.String(), "4 cells") {
+		t.Fatalf("sweep output %q", out.String())
+	}
+
+	// -watch streams cell settlements and the aggregate summary.
+	out.Reset()
+	if err := run([]string{"sweep", "-addr", ts.URL, "-watch"}, strings.NewReader(sweepSpec), &out); err != nil {
+		t.Fatalf("sweep -watch: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"cell", "completed: 4 done", "decay_rate="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("watch output missing %q:\n%s", want, s)
+		}
+	}
+	// Every cell of the resubmission settles from the result cache.
+	if !strings.Contains(s, "(4 cached)") {
+		t.Errorf("resubmitted sweep not fully cached:\n%s", s)
+	}
+
+	// -json emits raw event objects; the last is the terminal sweep
+	// event carrying the aggregate.
+	out.Reset()
+	if err := run([]string{"sweep", "-addr", ts.URL, "-watch", "-json"}, strings.NewReader(sweepSpec), &out); err != nil {
+		t.Fatalf("sweep -watch -json: %v\n%s", err, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var ev experiment.SweepEvent
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &ev); err != nil {
+		t.Fatalf("last event %q: %v", lines[len(lines)-1], err)
+	}
+	if ev.State != experiment.SweepCompleted || ev.Sweep == nil || ev.Sweep.Aggregate == nil {
+		t.Fatalf("terminal event %+v", ev)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	ts := newSweepServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"sweep", "-addr", ts.URL}, strings.NewReader(`{"kind":"rb"}`), &out); err == nil {
+		t.Error("invalid sweep accepted")
+	}
+	if err := run([]string{"sweep", "-addr", ts.URL, "/does/not/exist.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing request file accepted")
+	}
+	if err := run([]string{"sweep", "-addr", "http://127.0.0.1:1"}, strings.NewReader(sweepSpec), &out); err == nil {
+		t.Error("unreachable server accepted")
+	}
+	if err := watchSweep(ts.URL, "s-999999", false, 0, &out); err == nil {
+		t.Error("watching an unknown sweep succeeded")
+	}
+}
+
+// TestStreamSSEReconnect drops the first connection mid-stream; the
+// client must reconnect with Last-Event-ID and resume where it left
+// off without replaying event 0.
+func TestStreamSSEReconnect(t *testing.T) {
+	var conns atomic.Int32
+	var gotLastID atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		if n == 1 {
+			// First connection: one event, then drop.
+			fmt.Fprintf(w, "id: 0\nevent: cell\ndata: {\"seq\":0}\n\n")
+			return
+		}
+		gotLastID.Store(r.Header.Get("Last-Event-ID"))
+		fmt.Fprintf(w, "id: 1\nevent: sweep\ndata: {\"seq\":1}\n\n")
+	}))
+	defer srv.Close()
+
+	var seqs []int
+	err := streamSSE(srv.URL, 30*time.Second, func(event, data string) bool {
+		var ev struct {
+			Seq int `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad data %q: %v", data, err)
+		}
+		seqs = append(seqs, ev.Seq)
+		return event == "sweep"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 1 {
+		t.Fatalf("events %v, want [0 1]", seqs)
+	}
+	if got := gotLastID.Load(); got != "0" {
+		t.Fatalf("reconnect sent Last-Event-ID %v, want 0", got)
+	}
+}
+
+// TestStreamSSETimeout bounds a stream that never reaches its terminal
+// event.
+func TestStreamSSETimeout(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "id: 0\nevent: cell\ndata: {\"seq\":0}\n\n")
+		// Never send the terminal event; the deadline must fire.
+	}))
+	defer srv.Close()
+	err := streamSSE(srv.URL, 300*time.Millisecond, func(event, data string) bool { return false })
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+// TestPrintAggregate renders every kind's summary line.
+func TestPrintAggregate(t *testing.T) {
+	metric := 0.5
+	cases := []struct {
+		agg  experiment.Aggregate
+		want string
+	}{
+		{experiment.Aggregate{RB: &experiment.RBAggregate{DecayRate: 0.9}}, "decay_rate=0.9"},
+		{experiment.Aggregate{QAOA: &experiment.QAOAAggregate{BestRatio: 0.7}}, "best_ratio=0.7"},
+		{experiment.Aggregate{SQED: &experiment.SQEDAggregate{Omega: 1.2}}, "omega=1.2"},
+		{experiment.Aggregate{SQED: &experiment.SQEDAggregate{FitError: "flat"}}, "fit failed: flat"},
+		{experiment.Aggregate{QRC: &experiment.QRCAggregate{EvalNMSE: 0.3}}, "eval_nmse=0.3"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		agg := c.agg
+		printAggregate(&out, "s-000001", &experiment.SweepView{
+			State: experiment.SweepCompleted, Aggregate: &agg, AggregateError: "partial",
+		})
+		if !strings.Contains(out.String(), c.want) {
+			t.Errorf("aggregate output missing %q:\n%s", c.want, out.String())
+		}
+	}
+	// Cells without an aggregate still render.
+	var out bytes.Buffer
+	printCell(&out, "s-000001", 1, &experiment.CellView{Index: 0, State: "done", Metric: &metric, Cached: true})
+	printCell(&out, "s-000001", 2, &experiment.CellView{Index: 1, State: "failed", Error: "boom"})
+	printCell(&out, "s-000001", 3, &experiment.CellView{Index: 2, State: "cancelled"})
+	for _, want := range []string{"metric=0.5", "(cached)", "failed: boom", "cancelled"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("cell output missing %q:\n%s", want, out.String())
+		}
 	}
 }

@@ -8,6 +8,17 @@
 //	GET    /v1/jobs/{id}/events   stream state transitions (SSE)
 //	DELETE /v1/jobs/{id}          cancel a job
 //	GET    /v1/stats              queue and cache counters
+//	POST   /v1/sweeps             submit a parameterized experiment sweep
+//	GET    /v1/sweeps/{id}        poll a sweep (add ?wait=1 to block)
+//	GET    /v1/sweeps/{id}/events stream cell settlements + aggregate (SSE)
+//	DELETE /v1/sweeps/{id}        cancel a sweep (reaps unsettled cells)
+//
+// Sweeps (internal/experiment) expand one request — an RB decay curve,
+// a QAOA (gamma, beta) grid, an sQED Trotter scan, or a QRC series —
+// into many content-addressed jobs, run them through this node's queue
+// (or fan them across the fleet under -role coordinator), and fold the
+// results into the kind's aggregate server-side. -sweep-parallel tunes
+// how many cells one sweep keeps in flight.
 //
 // Example:
 //
@@ -57,6 +68,7 @@ import (
 
 	"quditkit/internal/cluster"
 	"quditkit/internal/core"
+	"quditkit/internal/experiment"
 	"quditkit/internal/serve"
 )
 
@@ -78,6 +90,8 @@ type options struct {
 	id          string
 	heartbeat   time.Duration
 	hbTTL       time.Duration
+
+	sweepParallel int
 }
 
 // parseFlags reads options from an argument list (excluding the
@@ -101,6 +115,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.id, "id", "", "stable worker name (worker; default <bound addr>)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "worker heartbeat interval (0 = accept the coordinator's suggestion)")
 	fs.DurationVar(&o.hbTTL, "heartbeat-ttl", 5*time.Second, "coordinator: missed-heartbeat window before a worker is reaped")
+	fs.IntVar(&o.sweepParallel, "sweep-parallel", 0, "cells one sweep keeps in flight (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -150,12 +165,19 @@ func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- ne
 	if err != nil {
 		return err
 	}
+	mgr, err := experiment.NewManager(experiment.ServeRunner{Service: svc},
+		experiment.Config{Parallel: o.sweepParallel})
+	if err != nil {
+		svc.Close()
+		return err
+	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
+		mgr.Close()
 		svc.Close()
 		return fmt.Errorf("listening on %s: %w", o.addr, err)
 	}
-	server := &http.Server{Handler: serve.NewHandler(svc)}
+	server := &http.Server{Handler: experiment.NewHandler(mgr, serve.NewHandler(svc))}
 
 	logger.Printf("quditd %s serving on %s (device: %d cavities x %d modes, seed %d)",
 		o.role, ln.Addr(), o.cavities, o.modes, o.seed)
@@ -182,6 +204,7 @@ func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- ne
 		})
 		if err != nil {
 			server.Close()
+			mgr.Close()
 			svc.Close()
 			<-errc
 			return err
@@ -195,6 +218,7 @@ func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- ne
 
 	select {
 	case err := <-errc:
+		mgr.Close()
 		svc.Close()
 		return err
 	case <-ctx.Done():
@@ -212,6 +236,7 @@ func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- ne
 		}
 	}
 	shutdownErr := server.Shutdown(shutdownCtx)
+	mgr.Close() // cancel running sweeps before their backing service stops
 	svc.Close() // drain queued jobs after the listener stops
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
@@ -235,12 +260,18 @@ func runCoordinator(ctx context.Context, o options, logger *log.Logger, ready ch
 	if err != nil {
 		return err
 	}
+	mgr, err := experiment.NewManager(coord, experiment.Config{Parallel: o.sweepParallel})
+	if err != nil {
+		coord.Close()
+		return err
+	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
+		mgr.Close()
 		coord.Close()
 		return fmt.Errorf("listening on %s: %w", o.addr, err)
 	}
-	server := &http.Server{Handler: cluster.Handler(coord)}
+	server := &http.Server{Handler: experiment.NewHandler(mgr, cluster.Handler(coord))}
 
 	logger.Printf("quditd coordinator serving on %s (heartbeat TTL %v)", ln.Addr(), o.hbTTL)
 	if ready != nil {
@@ -252,6 +283,7 @@ func runCoordinator(ctx context.Context, o options, logger *log.Logger, ready ch
 
 	select {
 	case err := <-errc:
+		mgr.Close()
 		coord.Close()
 		return err
 	case <-ctx.Done():
@@ -261,6 +293,7 @@ func runCoordinator(ctx context.Context, o options, logger *log.Logger, ready ch
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	shutdownErr := server.Shutdown(shutdownCtx)
+	mgr.Close() // reap running sweeps before the dispatch fabric closes
 	coord.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

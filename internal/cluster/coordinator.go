@@ -460,6 +460,95 @@ func (c *Coordinator) dispatch(rec *jobRecord, exclude string) (serve.JobView, e
 	return serve.JobView{}, lastErr
 }
 
+// RunJob dispatches one job across the fleet and blocks until it
+// settles or ctx ends — the in-process submission path the experiment
+// sweep layer drives, validated with the same admission limits as the
+// HTTP edge. The wait survives worker loss via the requeue machinery.
+// When ctx ends first, the remote job is cancelled best-effort before
+// the context error returns, so reaping a sweep also reaps its
+// worker-side sub-jobs.
+func (c *Coordinator) RunJob(ctx context.Context, req serve.JobRequest) (serve.JobView, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return serve.JobView{}, fmt.Errorf("cluster: encoding job: %w", err)
+	}
+	circ, err := serve.BuildCircuit(req.Circuit)
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	opts, err := req.Options(c.cfg.Proc)
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	key := JobKey(core.Fingerprint(circ), core.OptionsDigest(opts...), core.TranspileKey(opts...))
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return serve.JobView{}, ErrNoWorkers
+	}
+	c.nextID++
+	rec := &jobRecord{id: fmt.Sprintf("c-%06d", c.nextID), key: key, payload: payload}
+	c.jobs[rec.id] = rec
+	c.mu.Unlock()
+
+	view, err := c.dispatch(rec, "")
+	if err != nil {
+		c.mu.Lock()
+		delete(c.jobs, rec.id)
+		c.mu.Unlock()
+		return serve.JobView{}, err
+	}
+	c.dispatched.Add(1)
+	if stateTerminal(view.State) {
+		return c.wrap(rec, view).JobView, nil
+	}
+	settled, err := c.await(ctx, rec)
+	if err != nil {
+		if ctx.Err() != nil {
+			c.cancelRemote(rec)
+			return serve.JobView{}, ctx.Err()
+		}
+		return serve.JobView{}, err
+	}
+	return settled.JobView, nil
+}
+
+// cancelRemote best-effort cancels a record's current remote job so an
+// abandoned wait does not leave a worker simulating for nobody, then
+// briefly polls for the terminal view so the record settles instead of
+// lingering in the assigned set. Failures are ignored: the worker's
+// own lifecycle (or a later drain) settles the job eventually.
+func (c *Coordinator) cancelRemote(rec *jobRecord) {
+	workerID, remoteID, _, settled := rec.snapshot()
+	if settled != nil {
+		return
+	}
+	url := c.workerURL(workerID)
+	if url == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url+"/v1/jobs/"+remoteID, nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	var view serve.JobView
+	if err := c.getJSONWith(ctx, c.streamer, url+"/v1/jobs/"+remoteID+"?wait=1", &view); err != nil {
+		return
+	}
+	if stateTerminal(view.State) {
+		c.settle(rec, c.wrap(rec, view))
+	}
+}
+
 // wrap projects a worker view into the coordinator's wire view,
 // rewriting the job ID to the coordinator-issued one.
 func (c *Coordinator) wrap(rec *jobRecord, view serve.JobView) *JobView {

@@ -108,7 +108,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	out := c.wrap(rec, view)
 	if wantWait(r) && !stateTerminal(out.State) {
-		settled, err := c.await(r, rec)
+		settled, err := c.await(r.Context(), rec)
 		if err != nil {
 			httpError(w, http.StatusGatewayTimeout, err)
 			return
@@ -124,9 +124,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // await blocks until the record settles, following it across requeues:
 // a long-poll against the current worker that dies with the worker is
-// retried against the replacement, so ?wait=1 survives mid-wait worker
-// loss transparently.
-func (c *Coordinator) await(r *http.Request, rec *jobRecord) (*JobView, error) {
+// retried against the replacement, so waiting survives mid-wait worker
+// loss transparently. ctx bounds the whole wait (HTTP handlers pass the
+// request context; RunJob passes the sweep-cell context).
+func (c *Coordinator) await(ctx context.Context, rec *jobRecord) (*JobView, error) {
 	for attempt := 0; attempt <= c.cfg.MaxRequeues+1; attempt++ {
 		workerID, remoteID, _, settled := rec.snapshot()
 		if settled != nil {
@@ -139,15 +140,15 @@ func (c *Coordinator) await(r *http.Request, rec *jobRecord) (*JobView, error) {
 			c.requeue(rec, workerID)
 			continue
 		}
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 			url+"/v1/jobs/"+remoteID+"?wait=1", nil)
 		if err != nil {
 			return nil, err
 		}
 		resp, err := c.streamer.Do(req)
 		if err != nil {
-			if r.Context().Err() != nil {
-				return nil, r.Context().Err()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
 			}
 			// Transport failure mid-wait: the worker likely died. The
 			// requeue path skips already-settled records and the target
@@ -157,7 +158,7 @@ func (c *Coordinator) await(r *http.Request, rec *jobRecord) (*JobView, error) {
 			// observer is already moving the job) from burning its
 			// attempts before the move lands.
 			c.requeue(rec, workerID)
-			pause(r.Context(), 100*time.Millisecond)
+			pause(ctx, 100*time.Millisecond)
 			continue
 		}
 		var view serve.JobView
@@ -165,7 +166,7 @@ func (c *Coordinator) await(r *http.Request, rec *jobRecord) (*JobView, error) {
 		resp.Body.Close()
 		if err != nil || resp.StatusCode != http.StatusOK {
 			c.requeue(rec, workerID)
-			pause(r.Context(), 100*time.Millisecond)
+			pause(ctx, 100*time.Millisecond)
 			continue
 		}
 		if stateTerminal(view.State) {
@@ -188,7 +189,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wantWait(r) {
-		view, err := c.await(r, rec)
+		view, err := c.await(r.Context(), rec)
 		if err != nil {
 			httpError(w, http.StatusGatewayTimeout, err)
 			return

@@ -1,0 +1,487 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quditkit/internal/qaoa"
+	"quditkit/internal/qrc"
+	"quditkit/internal/serve"
+)
+
+// Grid admission limits, layered on top of serve's per-circuit wire
+// limits. They bound what one POST /v1/sweeps can make the fleet do,
+// the same way serve.MaxOps bounds one POST /v1/jobs.
+const (
+	// DefaultMaxCells is the per-sweep cell budget when Config.MaxCells
+	// is zero.
+	DefaultMaxCells = 1024
+	// MaxAxisPoints caps one grid axis of a QAOA sweep.
+	MaxAxisPoints = 64
+	// MaxRBLength caps one RB forward sequence length.
+	MaxRBLength = 512
+	// MaxRBSequences caps the random sequences averaged per RB length.
+	MaxRBSequences = 64
+	// MaxSQEDSteps caps the Trotter step count of an sQED sweep.
+	MaxSQEDSteps = 256
+	// MaxQRCLength caps the QRC series length.
+	MaxQRCLength = 4096
+)
+
+// cell is one expanded grid point: its parameters and the serve job
+// that measures it.
+type cell struct {
+	index  int
+	params map[string]float64
+	job    serve.JobRequest
+}
+
+// expansion is the product of expanding one SweepRequest: the ordered
+// cells and the aggregator that folds their results.
+type expansion struct {
+	kind  string
+	cells []cell
+	agg   aggregator
+}
+
+// cellSeed derives a per-cell job seed from the master sweep seed with
+// a splitmix64-style hash, so every cell is independently seeded and
+// the derivation is identical on every node — aggregates match across
+// topologies regardless of worker-local seeding.
+func cellSeed(master int64, index int) int64 {
+	z := uint64(master) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// expand validates a SweepRequest and materializes its grid.
+func expand(req SweepRequest, maxCells int) (*expansion, error) {
+	if maxCells <= 0 {
+		maxCells = DefaultMaxCells
+	}
+	if _, err := serve.ParseBackend(req.Backend); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSweep, err)
+	}
+	if req.Shots < 1 {
+		return nil, fmt.Errorf("%w: shots %d < 1 (aggregates need histograms)", ErrBadSweep, req.Shots)
+	}
+	if req.Shots > serve.MaxShots {
+		return nil, fmt.Errorf("%w: %d shots exceeds the limit of %d", ErrBadSweep, req.Shots, serve.MaxShots)
+	}
+	specs := 0
+	for _, set := range []bool{req.RB != nil, req.QAOA != nil, req.SQED != nil, req.QRC != nil} {
+		if set {
+			specs++
+		}
+	}
+	if specs != 1 {
+		return nil, fmt.Errorf("%w: exactly one grid spec (rb/qaoa/sqed/qrc) must be set, got %d", ErrBadSweep, specs)
+	}
+	switch req.Kind {
+	case KindRB:
+		if req.RB == nil {
+			return nil, fmt.Errorf("%w: kind %q needs the rb spec", ErrBadSweep, req.Kind)
+		}
+		return expandRB(req, maxCells)
+	case KindQAOA:
+		if req.QAOA == nil {
+			return nil, fmt.Errorf("%w: kind %q needs the qaoa spec", ErrBadSweep, req.Kind)
+		}
+		return expandQAOA(req, maxCells)
+	case KindSQED:
+		if req.SQED == nil {
+			return nil, fmt.Errorf("%w: kind %q needs the sqed spec", ErrBadSweep, req.Kind)
+		}
+		return expandSQED(req, maxCells)
+	case KindQRC:
+		if req.QRC == nil {
+			return nil, fmt.Errorf("%w: kind %q needs the qrc spec", ErrBadSweep, req.Kind)
+		}
+		return expandQRC(req, maxCells)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q (rb, qaoa, sqed, qrc)", ErrBadSweep, req.Kind)
+	}
+}
+
+// masterSeed resolves the sweep seed, defaulting zero to 1 so sweeps
+// are reproducible without the caller pinning anything.
+func masterSeed(req SweepRequest) int64 {
+	if req.Seed != 0 {
+		return req.Seed
+	}
+	return 1
+}
+
+// baseJob returns the shared execution options of one cell's job; the
+// backend defaults to density-matrix under noise (exact expectation
+// values per shot histogram) and statevector otherwise.
+func baseJob(req SweepRequest, index int) serve.JobRequest {
+	backend := req.Backend
+	if backend == "" {
+		if req.Noise != nil {
+			backend = "density-matrix"
+		} else {
+			backend = "statevector"
+		}
+	}
+	seed := cellSeed(masterSeed(req), index)
+	return serve.JobRequest{
+		Backend: backend,
+		Shots:   req.Shots,
+		Seed:    &seed,
+		Workers: req.Workers,
+		Noise:   req.Noise,
+	}
+}
+
+// expandRB expands a motion-reversal benchmarking sweep: one cell per
+// (length, sequence), each a random native-gate sequence followed by
+// its exact inverses on a single qudit.
+func expandRB(req SweepRequest, maxCells int) (*expansion, error) {
+	spec := *req.RB
+	if spec.Dim < 2 || spec.Dim > 8 {
+		return nil, fmt.Errorf("%w: rb dim %d outside [2,8]", ErrBadSweep, spec.Dim)
+	}
+	if spec.Sequences == 0 {
+		spec.Sequences = 4
+	}
+	if spec.Sequences < 1 || spec.Sequences > MaxRBSequences {
+		return nil, fmt.Errorf("%w: rb sequences %d outside [1,%d]", ErrBadSweep, spec.Sequences, MaxRBSequences)
+	}
+	if len(spec.Lengths) < 2 || len(spec.Lengths) > MaxRBSequences {
+		return nil, fmt.Errorf("%w: rb needs 2..%d lengths, got %d", ErrBadSweep, MaxRBSequences, len(spec.Lengths))
+	}
+	distinct := make(map[int]bool, len(spec.Lengths))
+	for _, m := range spec.Lengths {
+		if m < 1 || m > MaxRBLength {
+			return nil, fmt.Errorf("%w: rb length %d outside [1,%d]", ErrBadSweep, m, MaxRBLength)
+		}
+		distinct[m] = true
+	}
+	if len(distinct) < 2 {
+		return nil, fmt.Errorf("%w: rb needs at least two distinct lengths", ErrBadSweep)
+	}
+	total := len(spec.Lengths) * spec.Sequences
+	if total > maxCells {
+		return nil, fmt.Errorf("%w: %d cells exceeds the budget of %d", ErrBadSweep, total, maxCells)
+	}
+
+	exp := &expansion{kind: KindRB, agg: &rbAggregator{dim: spec.Dim}}
+	master := masterSeed(req)
+	for _, m := range spec.Lengths {
+		for s := 0; s < spec.Sequences; s++ {
+			idx := len(exp.cells)
+			rng := rand.New(rand.NewSource(cellSeed(master, idx)))
+			job := baseJob(req, idx)
+			job.Circuit = serve.CircuitSpec{Dims: []int{spec.Dim}, Ops: rbSequence(spec.Dim, m, rng)}
+			exp.cells = append(exp.cells, cell{
+				index:  idx,
+				params: map[string]float64{"length": float64(m), "sequence": float64(s)},
+				job:    job,
+			})
+		}
+	}
+	return exp, nil
+}
+
+// rbSequence draws length random native gates and appends their exact
+// inverses in reverse order, so the ideal circuit is the identity and
+// any survival loss is noise.
+func rbSequence(d, length int, rng *rand.Rand) []serve.OpSpec {
+	fwd := make([]serve.OpSpec, 0, length)
+	inv := make([]serve.OpSpec, 0, length)
+	for i := 0; i < length; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			k := 1 + rng.Intn(d-1)
+			fwd = append(fwd, serve.OpSpec{Gate: "xpow", Targets: []int{0}, K: k})
+			inv = append(inv, serve.OpSpec{Gate: "xpow", Targets: []int{0}, K: d - k})
+		case 1:
+			lvl := rng.Intn(d)
+			phi := 2 * math.Pi * rng.Float64()
+			fwd = append(fwd, serve.OpSpec{Gate: "phase", Targets: []int{0}, Level: lvl, Phi: phi})
+			inv = append(inv, serve.OpSpec{Gate: "phase", Targets: []int{0}, Level: lvl, Phi: -phi})
+		default:
+			j := rng.Intn(d)
+			k := rng.Intn(d - 1)
+			if k >= j {
+				k++
+			}
+			theta := math.Pi * rng.Float64()
+			phi := 2 * math.Pi * rng.Float64()
+			fwd = append(fwd, serve.OpSpec{Gate: "givens", Targets: []int{0}, Level: j, K: k, Theta: theta, Phi: phi})
+			inv = append(inv, serve.OpSpec{Gate: "givens", Targets: []int{0}, Level: j, K: k, Theta: -theta, Phi: phi})
+		}
+	}
+	ops := fwd
+	for i := len(inv) - 1; i >= 0; i-- {
+		ops = append(ops, inv[i])
+	}
+	return ops
+}
+
+// expandQAOA expands a (gamma, beta) grid over single-instance qudit
+// QAOA coloring: colors are qudit levels, the phase separator is
+// "eqphase" per edge, and the mixer is "rotor" per vertex.
+func expandQAOA(req SweepRequest, maxCells int) (*expansion, error) {
+	spec := *req.QAOA
+	if spec.Nodes < 2 || spec.Nodes > 8 {
+		return nil, fmt.Errorf("%w: qaoa nodes %d outside [2,8]", ErrBadSweep, spec.Nodes)
+	}
+	if spec.Chords < 0 || spec.Chords > spec.Nodes {
+		return nil, fmt.Errorf("%w: qaoa chords %d outside [0,%d]", ErrBadSweep, spec.Chords, spec.Nodes)
+	}
+	if spec.Colors < 2 || spec.Colors > 6 {
+		return nil, fmt.Errorf("%w: qaoa colors %d outside [2,6]", ErrBadSweep, spec.Colors)
+	}
+	if spec.Layers == 0 {
+		spec.Layers = 1
+	}
+	if spec.Layers < 1 || spec.Layers > 8 {
+		return nil, fmt.Errorf("%w: qaoa layers %d outside [1,8]", ErrBadSweep, spec.Layers)
+	}
+	gammas, err := spec.Gammas.resolve("gammas", MaxAxisPoints)
+	if err != nil {
+		return nil, err
+	}
+	betas, err := spec.Betas.resolve("betas", MaxAxisPoints)
+	if err != nil {
+		return nil, err
+	}
+	if total := len(gammas) * len(betas); total > maxCells {
+		return nil, fmt.Errorf("%w: %d cells exceeds the budget of %d", ErrBadSweep, total, maxCells)
+	}
+
+	// The instance is derived from the master seed alone, so every
+	// node — and every resubmission — sweeps the same graph.
+	rng := rand.New(rand.NewSource(masterSeed(req)))
+	graph, err := qaoa.RandomRegularish(rng, spec.Nodes, spec.Chords)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSweep, err)
+	}
+
+	dims := make([]int, spec.Nodes)
+	for i := range dims {
+		dims[i] = spec.Colors
+	}
+	exp := &expansion{kind: KindQAOA, agg: &qaoaAggregator{graph: graph}}
+	for _, gamma := range gammas {
+		for _, beta := range betas {
+			idx := len(exp.cells)
+			ops := make([]serve.OpSpec, 0, spec.Nodes+spec.Layers*(len(graph.Edges)+spec.Nodes))
+			for v := 0; v < spec.Nodes; v++ {
+				ops = append(ops, serve.OpSpec{Gate: "dft", Targets: []int{v}})
+			}
+			for layer := 0; layer < spec.Layers; layer++ {
+				for _, e := range graph.Edges {
+					ops = append(ops, serve.OpSpec{Gate: "eqphase", Targets: []int{e.U, e.V}, Phi: gamma})
+				}
+				for v := 0; v < spec.Nodes; v++ {
+					ops = append(ops, serve.OpSpec{Gate: "rotor", Targets: []int{v}, Beta: beta})
+				}
+			}
+			job := baseJob(req, idx)
+			job.Circuit = serve.CircuitSpec{Dims: dims, Ops: ops}
+			exp.cells = append(exp.cells, cell{
+				index:  idx,
+				params: map[string]float64{"gamma": gamma, "beta": beta},
+				job:    job,
+			})
+		}
+	}
+	return exp, nil
+}
+
+// expandSQED expands a Trotter-step scan of a rotor-chain quench: cell
+// s runs s Trotter steps from the |m=-l, ..., m=-l> product state (the
+// all-zeros register) and measures <Lz_0>.
+func expandSQED(req SweepRequest, maxCells int) (*expansion, error) {
+	spec := *req.SQED
+	if spec.Sites < 2 || spec.Sites > 4 {
+		return nil, fmt.Errorf("%w: sqed sites %d outside [2,4]", ErrBadSweep, spec.Sites)
+	}
+	if spec.Ell < 1 || spec.Ell > 3 {
+		return nil, fmt.Errorf("%w: sqed ell %d outside [1,3]", ErrBadSweep, spec.Ell)
+	}
+	if spec.Dt <= 0 || spec.Dt != spec.Dt {
+		return nil, fmt.Errorf("%w: sqed dt %v must be positive", ErrBadSweep, spec.Dt)
+	}
+	if spec.G2 != spec.G2 || spec.X != spec.X {
+		return nil, fmt.Errorf("%w: sqed couplings must be finite", ErrBadSweep)
+	}
+	if spec.Steps < 8 || spec.Steps > MaxSQEDSteps {
+		return nil, fmt.Errorf("%w: sqed steps %d outside [8,%d] (the spectral fit needs >= 8 points)", ErrBadSweep, spec.Steps, MaxSQEDSteps)
+	}
+	if spec.Steps > maxCells {
+		return nil, fmt.Errorf("%w: %d cells exceeds the budget of %d", ErrBadSweep, spec.Steps, maxCells)
+	}
+
+	d := 2*spec.Ell + 1
+	phases := make([]float64, d)
+	for k := 0; k < d; k++ {
+		m := float64(k - spec.Ell)
+		phases[k] = -spec.Dt * spec.G2 / 2 * m * m
+	}
+	dims := make([]int, spec.Sites)
+	for i := range dims {
+		dims[i] = d
+	}
+	exp := &expansion{kind: KindSQED, agg: &sqedAggregator{ell: spec.Ell}}
+	for s := 1; s <= spec.Steps; s++ {
+		idx := len(exp.cells)
+		ops := make([]serve.OpSpec, 0, s*(2*spec.Sites-1))
+		for step := 0; step < s; step++ {
+			for site := 0; site < spec.Sites; site++ {
+				ops = append(ops, serve.OpSpec{Gate: "snap", Targets: []int{site}, Phases: phases})
+			}
+			for b := 0; b+1 < spec.Sites; b++ {
+				ops = append(ops, serve.OpSpec{Gate: "hop", Targets: []int{b, b + 1}, Theta: spec.Dt * spec.X})
+			}
+		}
+		job := baseJob(req, idx)
+		job.Circuit = serve.CircuitSpec{Dims: dims, Ops: ops}
+		exp.cells = append(exp.cells, cell{
+			index:  idx,
+			params: map[string]float64{"steps": float64(s), "time": float64(s) * spec.Dt},
+			job:    job,
+		})
+	}
+	return exp, nil
+}
+
+// expandQRC expands a reservoir-computing series: one cell per
+// timestep, each encoding the sliding input window into a fixed random
+// qudit reservoir (input-scaled rotors, CSUM entanglers, seeded Givens
+// scramblers) and measuring the outcome histogram as the feature
+// vector.
+func expandQRC(req SweepRequest, maxCells int) (*expansion, error) {
+	spec := *req.QRC
+	if spec.Task == "" {
+		spec.Task = "narma2"
+	}
+	if spec.Window == 0 {
+		spec.Window = 3
+	}
+	if spec.Qudits == 0 {
+		spec.Qudits = 2
+	}
+	if spec.Dim == 0 {
+		spec.Dim = 3
+	}
+	if spec.Lambda == 0 {
+		spec.Lambda = 1e-6
+	}
+	if spec.Length < 32 || spec.Length > MaxQRCLength {
+		return nil, fmt.Errorf("%w: qrc length %d outside [32,%d]", ErrBadSweep, spec.Length, MaxQRCLength)
+	}
+	if spec.Washout == 0 {
+		spec.Washout = 4
+	}
+	if spec.Washout < 0 || spec.Washout >= spec.Length {
+		return nil, fmt.Errorf("%w: qrc washout %d outside [0,%d)", ErrBadSweep, spec.Washout, spec.Length)
+	}
+	if spec.Window < 1 || spec.Window > 8 {
+		return nil, fmt.Errorf("%w: qrc window %d outside [1,8]", ErrBadSweep, spec.Window)
+	}
+	if spec.Qudits < 1 || spec.Qudits > 4 {
+		return nil, fmt.Errorf("%w: qrc qudits %d outside [1,4]", ErrBadSweep, spec.Qudits)
+	}
+	if spec.Dim < 2 || spec.Dim > 4 {
+		return nil, fmt.Errorf("%w: qrc dim %d outside [2,4]", ErrBadSweep, spec.Dim)
+	}
+	if spec.Lambda < 0 || spec.Lambda != spec.Lambda {
+		return nil, fmt.Errorf("%w: qrc lambda %v must be >= 0", ErrBadSweep, spec.Lambda)
+	}
+	cellsTotal := spec.Length - spec.Washout
+	if cellsTotal > maxCells {
+		return nil, fmt.Errorf("%w: %d cells exceeds the budget of %d", ErrBadSweep, cellsTotal, maxCells)
+	}
+	if spec.Train < 4 || cellsTotal-spec.Train < 4 {
+		return nil, fmt.Errorf("%w: qrc needs >= 4 train and >= 4 eval cells (train %d of %d)", ErrBadSweep, spec.Train, cellsTotal)
+	}
+
+	master := masterSeed(req)
+	var inputs, targets []float64
+	switch spec.Task {
+	case "narma2":
+		inputs, targets = qrc.NARMA2(rand.New(rand.NewSource(master)), spec.Length)
+	case "narma10":
+		inputs, targets = qrc.NARMA10(rand.New(rand.NewSource(master)), spec.Length)
+	case "mackey-glass":
+		series, err := qrc.MackeyGlass(spec.Length+1, 17)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSweep, err)
+		}
+		// One-step-ahead prediction: input x(t), target x(t+1).
+		inputs, targets = series[:spec.Length], series[1:spec.Length+1]
+	default:
+		return nil, fmt.Errorf("%w: unknown qrc task %q (narma2, narma10, mackey-glass)", ErrBadSweep, spec.Task)
+	}
+
+	// The reservoir itself — per-wire input scales and per-(window,
+	// wire) scrambler angles — is fixed across cells and derived from
+	// the master seed, so every cell probes the same dynamical system.
+	resRng := rand.New(rand.NewSource(master + 1))
+	scales := make([]float64, spec.Qudits)
+	for w := range scales {
+		scales[w] = 0.5 + resRng.Float64()
+	}
+	thetas := make([][]float64, spec.Window)
+	phis := make([][]float64, spec.Window)
+	for i := range thetas {
+		thetas[i] = make([]float64, spec.Qudits)
+		phis[i] = make([]float64, spec.Qudits)
+		for w := range thetas[i] {
+			thetas[i][w] = math.Pi * resRng.Float64()
+			phis[i][w] = 2 * math.Pi * resRng.Float64()
+		}
+	}
+
+	dims := make([]int, spec.Qudits)
+	histSize := 1
+	for i := range dims {
+		dims[i] = spec.Dim
+		histSize *= spec.Dim
+	}
+	agg := &qrcAggregator{
+		targets:  make([]float64, 0, cellsTotal),
+		train:    spec.Train,
+		histSize: histSize,
+		dim:      spec.Dim,
+		lambda:   spec.Lambda,
+	}
+	exp := &expansion{kind: KindQRC, agg: agg}
+	for t := spec.Washout; t < spec.Length; t++ {
+		idx := len(exp.cells)
+		ops := make([]serve.OpSpec, 0, spec.Window*(2*spec.Qudits+1))
+		for i := 0; i < spec.Window; i++ {
+			ti := t - spec.Window + 1 + i
+			v := 0.0
+			if ti >= 0 {
+				v = inputs[ti]
+			}
+			for w := 0; w < spec.Qudits; w++ {
+				ops = append(ops, serve.OpSpec{Gate: "rotor", Targets: []int{w}, Beta: math.Pi * v * scales[w]})
+			}
+			for w := 0; w+1 < spec.Qudits; w++ {
+				ops = append(ops, serve.OpSpec{Gate: "csum", Targets: []int{w, w + 1}})
+			}
+			for w := 0; w < spec.Qudits; w++ {
+				ops = append(ops, serve.OpSpec{Gate: "givens", Targets: []int{w}, Level: 0, K: 1, Theta: thetas[i][w], Phi: phis[i][w]})
+			}
+		}
+		job := baseJob(req, idx)
+		job.Circuit = serve.CircuitSpec{Dims: dims, Ops: ops}
+		agg.targets = append(agg.targets, targets[t])
+		agg.inputs = append(agg.inputs, inputs[t])
+		exp.cells = append(exp.cells, cell{
+			index:  idx,
+			params: map[string]float64{"t": float64(t), "u": inputs[t]},
+			job:    job,
+		})
+	}
+	return exp, nil
+}

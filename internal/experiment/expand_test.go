@@ -1,0 +1,249 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"quditkit/internal/serve"
+)
+
+func rbReq() SweepRequest {
+	return SweepRequest{
+		Kind:  KindRB,
+		Shots: 64,
+		Seed:  7,
+		RB:    &RBSpec{Dim: 3, Lengths: []int{1, 2, 4}, Sequences: 2},
+	}
+}
+
+func qaoaReq() SweepRequest {
+	return SweepRequest{
+		Kind:  KindQAOA,
+		Shots: 64,
+		Seed:  7,
+		QAOA: &QAOASpec{
+			Nodes: 4, Colors: 3,
+			Gammas: Axis{From: 0.2, To: 0.8, N: 2},
+			Betas:  Axis{From: 0.1, To: 0.5, N: 2},
+		},
+	}
+}
+
+func sqedReq() SweepRequest {
+	return SweepRequest{
+		Kind:  KindSQED,
+		Shots: 64,
+		Seed:  7,
+		SQED:  &SQEDSpec{Sites: 2, Ell: 1, G2: 1.2, X: 0.8, Dt: 0.25, Steps: 8},
+	}
+}
+
+func qrcReq() SweepRequest {
+	return SweepRequest{
+		Kind:  KindQRC,
+		Shots: 64,
+		Seed:  7,
+		QRC:   &QRCSpec{Length: 32, Train: 14},
+	}
+}
+
+// TestExpandDeterministic re-expands every kind and demands identical
+// grids: cell order, parameters, circuits, and seeds. This is the
+// foundation of cross-topology reproducibility — a coordinator and a
+// standalone node must derive the same jobs from the same request.
+func TestExpandDeterministic(t *testing.T) {
+	for _, req := range []SweepRequest{rbReq(), qaoaReq(), sqedReq(), qrcReq()} {
+		a, err := expand(req, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", req.Kind, err)
+		}
+		b, err := expand(req, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", req.Kind, err)
+		}
+		if len(a.cells) == 0 || len(a.cells) != len(b.cells) {
+			t.Fatalf("%s: expansions sized %d vs %d", req.Kind, len(a.cells), len(b.cells))
+		}
+		if !reflect.DeepEqual(a.cells, b.cells) {
+			t.Fatalf("%s: re-expansion diverged", req.Kind)
+		}
+	}
+}
+
+// TestExpandCellShapes spot-checks the expanded grids: cell counts,
+// parameter names, per-cell seeds, and the backend default.
+func TestExpandCellShapes(t *testing.T) {
+	rb, err := expand(rbReq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.cells) != 6 {
+		t.Fatalf("rb cells = %d, want lengths*sequences = 6", len(rb.cells))
+	}
+	seeds := map[int64]bool{}
+	for i, c := range rb.cells {
+		if c.index != i {
+			t.Fatalf("cell %d indexed %d", i, c.index)
+		}
+		if c.job.Seed == nil {
+			t.Fatalf("cell %d has no pinned seed", i)
+		}
+		seeds[*c.job.Seed] = true
+		if c.job.Backend != "statevector" {
+			t.Fatalf("cell %d backend %q, want noiseless default statevector", i, c.job.Backend)
+		}
+		// A motion-reversal sequence of forward length m has 2m ops.
+		m := int(c.params["length"])
+		if len(c.job.Circuit.Ops) != 2*m {
+			t.Fatalf("cell %d: %d ops for length %d", i, len(c.job.Circuit.Ops), m)
+		}
+	}
+	if len(seeds) != len(rb.cells) {
+		t.Fatalf("per-cell seeds collide: %d distinct of %d", len(seeds), len(rb.cells))
+	}
+
+	noisy := rbReq()
+	noisy.Noise = &serve.NoiseSpec{Depol1: 0.05}
+	nexp, err := expand(noisy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nexp.cells[0].job.Backend != "density-matrix" {
+		t.Fatalf("noisy default backend %q, want density-matrix", nexp.cells[0].job.Backend)
+	}
+
+	qa, err := expand(qaoaReq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qa.cells) != 4 {
+		t.Fatalf("qaoa cells = %d, want 2x2 grid", len(qa.cells))
+	}
+	for _, c := range qa.cells {
+		if _, ok := c.params["gamma"]; !ok {
+			t.Fatalf("qaoa cell lacks gamma: %v", c.params)
+		}
+		if len(c.job.Circuit.Dims) != 4 || c.job.Circuit.Dims[0] != 3 {
+			t.Fatalf("qaoa dims %v", c.job.Circuit.Dims)
+		}
+	}
+
+	sq, err := expand(sqedReq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sq.cells) != 8 {
+		t.Fatalf("sqed cells = %d, want Steps", len(sq.cells))
+	}
+	if got := sq.cells[3].params["time"]; got != 4*0.25 {
+		t.Fatalf("sqed cell 3 time %v, want 1.0", got)
+	}
+
+	qr, err := expand(qrcReq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.cells) != 32-4 {
+		t.Fatalf("qrc cells = %d, want length-washout", len(qr.cells))
+	}
+	agg := qr.agg.(*qrcAggregator)
+	if len(agg.targets) != len(qr.cells) || len(agg.inputs) != len(qr.cells) {
+		t.Fatalf("qrc aggregator tracks %d targets / %d inputs for %d cells",
+			len(agg.targets), len(agg.inputs), len(qr.cells))
+	}
+}
+
+// TestExpandRejections drives the validation surface: every bad request
+// must fail with ErrBadSweep before anything runs.
+func TestExpandRejections(t *testing.T) {
+	mutations := []struct {
+		name string
+		req  SweepRequest
+	}{
+		{"unknown kind", func() SweepRequest { r := rbReq(); r.Kind = "tomography"; return r }()},
+		{"no spec", SweepRequest{Kind: KindRB, Shots: 64}},
+		{"kind/spec mismatch", func() SweepRequest { r := rbReq(); r.RB = nil; r.QAOA = qaoaReq().QAOA; return r }()},
+		{"two specs", func() SweepRequest { r := rbReq(); r.QAOA = qaoaReq().QAOA; return r }()},
+		{"zero shots", func() SweepRequest { r := rbReq(); r.Shots = 0; return r }()},
+		{"excessive shots", func() SweepRequest { r := rbReq(); r.Shots = serve.MaxShots + 1; return r }()},
+		{"bad backend", func() SweepRequest { r := rbReq(); r.Backend = "tensor-network"; return r }()},
+		{"rb dim", func() SweepRequest { r := rbReq(); r.RB.Dim = 1; return r }()},
+		{"rb one length", func() SweepRequest { r := rbReq(); r.RB.Lengths = []int{4}; return r }()},
+		{"rb repeated length", func() SweepRequest { r := rbReq(); r.RB.Lengths = []int{4, 4}; return r }()},
+		{"rb length range", func() SweepRequest { r := rbReq(); r.RB.Lengths = []int{1, MaxRBLength + 1}; return r }()},
+		{"rb sequences", func() SweepRequest { r := rbReq(); r.RB.Sequences = MaxRBSequences + 1; return r }()},
+		{"qaoa nodes", func() SweepRequest { r := qaoaReq(); r.QAOA.Nodes = 1; return r }()},
+		{"qaoa colors", func() SweepRequest { r := qaoaReq(); r.QAOA.Colors = 7; return r }()},
+		{"qaoa empty axis", func() SweepRequest { r := qaoaReq(); r.QAOA.Gammas = Axis{}; return r }()},
+		{"qaoa ambiguous axis", func() SweepRequest {
+			r := qaoaReq()
+			r.QAOA.Gammas = Axis{Values: []float64{0.1}, N: 3}
+			return r
+		}()},
+		{"qaoa axis limit", func() SweepRequest {
+			r := qaoaReq()
+			r.QAOA.Betas = Axis{From: 0, To: 1, N: MaxAxisPoints + 1}
+			return r
+		}()},
+		{"sqed dt", func() SweepRequest { r := sqedReq(); r.SQED.Dt = 0; return r }()},
+		{"sqed steps floor", func() SweepRequest { r := sqedReq(); r.SQED.Steps = 4; return r }()},
+		{"qrc short", func() SweepRequest { r := qrcReq(); r.QRC.Length = 8; return r }()},
+		{"qrc split", func() SweepRequest { r := qrcReq(); r.QRC.Train = 26; return r }()},
+		{"qrc task", func() SweepRequest { r := qrcReq(); r.QRC.Task = "lorenz"; return r }()},
+	}
+	for _, m := range mutations {
+		if _, err := expand(m.req, 0); err == nil {
+			t.Errorf("%s: expansion accepted", m.name)
+		} else if !strings.Contains(err.Error(), "invalid sweep request") {
+			t.Errorf("%s: error %v does not wrap ErrBadSweep", m.name, err)
+		}
+	}
+
+	// The cell budget rejects oversized grids with the configured cap.
+	if _, err := expand(rbReq(), 5); err == nil {
+		t.Error("6-cell sweep accepted under a 5-cell budget")
+	}
+}
+
+// TestCellSeedSpreads checks the seed derivation: distinct per cell,
+// stable across calls, and never negative (serve rejects negative
+// seeds).
+func TestCellSeedSpreads(t *testing.T) {
+	seen := map[int64]bool{}
+	for idx := 0; idx < 2048; idx++ {
+		s := cellSeed(42, idx)
+		if s < 0 {
+			t.Fatalf("cellSeed(42,%d) = %d is negative", idx, s)
+		}
+		if seen[s] {
+			t.Fatalf("cellSeed(42,%d) = %d collides", idx, s)
+		}
+		seen[s] = true
+		if s != cellSeed(42, idx) {
+			t.Fatalf("cellSeed(42,%d) unstable", idx)
+		}
+	}
+	if cellSeed(1, 0) == cellSeed(2, 0) {
+		t.Fatal("master seed does not separate streams")
+	}
+}
+
+// TestRBSequenceInverts builds every RB cell circuit and checks the
+// mirror property: the composed circuit acts as the identity, so the
+// ideal survival probability is exactly 1.
+func TestRBSequenceInverts(t *testing.T) {
+	exp, err := expand(rbReq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range exp.cells {
+		circ, err := serve.BuildCircuit(c.job.Circuit)
+		if err != nil {
+			t.Fatalf("cell %d: %v", c.index, err)
+		}
+		if circ == nil {
+			t.Fatalf("cell %d: nil circuit", c.index)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// maxSweepBody bounds the request body of POST /v1/sweeps.
+const maxSweepBody = 1 << 20
+
+// NewHandler exposes a Manager over JSON/HTTP in front of a base
+// handler (the serve or cluster API), which receives every request
+// outside /v1/sweeps. Routes:
+//
+//	POST   /v1/sweeps             submit a sweep (?wait=1 blocks for settlement)
+//	GET    /v1/sweeps/{id}        sweep status with cells (?wait=1 blocks)
+//	GET    /v1/sweeps/{id}/events SSE stream of cell settlements and the terminal view
+//	DELETE /v1/sweeps/{id}        cancel a running sweep
+func NewHandler(m *Manager, base http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", m.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", m.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		m.serveSweepEvents(w, r, r.PathValue("id"))
+	})
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", m.handleCancel)
+	mux.Handle("/", base)
+	return mux
+}
+
+// handleSubmit decodes a SweepRequest, expands it, and answers 202 with
+// the running view (or, with ?wait=1, blocks and answers 200 with the
+// settled view).
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep request: "+err.Error())
+		return
+	}
+	id, err := m.Submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrManagerClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	if wantWait(r) {
+		view, err := m.Await(r.Context(), id)
+		if err != nil {
+			httpError(w, http.StatusGatewayTimeout, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	view, err := m.Status(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// handleStatus answers the sweep view; ?wait=1 blocks until
+// settlement.
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var (
+		view SweepView
+		err  error
+	)
+	if wantWait(r) {
+		view, err = m.Await(r.Context(), id)
+	} else {
+		view, err = m.Status(id)
+	}
+	switch {
+	case errors.Is(err, ErrUnknownSweep):
+		httpError(w, http.StatusNotFound, err.Error())
+	case err != nil:
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, view)
+	}
+}
+
+// handleCancel aborts a running sweep: 202 with the current view on
+// success, 404 for unknown IDs, 409 for sweeps already settled.
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	err := m.Cancel(id)
+	switch {
+	case errors.Is(err, ErrUnknownSweep):
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	case errors.Is(err, ErrSweepFinished):
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	view, err := m.Status(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// wantWait reports whether the request opted into blocking semantics.
+func wantWait(r *http.Request) bool {
+	v := strings.ToLower(r.URL.Query().Get("wait"))
+	return v == "1" || v == "true"
+}
+
+// errorBody is the JSON error envelope, matching the serve API.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

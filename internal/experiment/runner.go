@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"quditkit/internal/core"
+	"quditkit/internal/serve"
+)
+
+// Runner executes one expanded sweep cell as a serve job and blocks
+// until it settles or ctx ends. Both execution topologies implement it:
+// ServeRunner drains cells through a standalone serve.Service, and
+// cluster.Coordinator.RunJob fans them across the worker ring — the
+// sweep layer is identical above either.
+type Runner interface {
+	// RunJob submits the request and returns its settled view. A
+	// returned error is transport-level (validation, dispatch, expired
+	// ctx); a job's own failure is reported inside the view.
+	RunJob(ctx context.Context, req serve.JobRequest) (serve.JobView, error)
+}
+
+// ServeRunner adapts a standalone serve.Service to the Runner
+// interface: cells enqueue into the service's sharded queue and dedupe
+// through its content-addressed result cache exactly like HTTP
+// submissions.
+type ServeRunner struct {
+	// Service executes the cells.
+	Service *serve.Service
+}
+
+// RunJob validates the request against the service's processor,
+// enqueues it with the cell context attached (so cancelling the sweep
+// cancels the job), and waits for settlement. Queue-full backpressure
+// is absorbed by retrying until the context ends — a sweep throttles
+// itself rather than failing cells on a momentarily full queue.
+func (r ServeRunner) RunJob(ctx context.Context, req serve.JobRequest) (serve.JobView, error) {
+	circ, err := serve.BuildCircuit(req.Circuit)
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	opts, err := req.Options(r.Service.Processor())
+	if err != nil {
+		return serve.JobView{}, err
+	}
+	// The job context derives from the cell context, so sweep
+	// cancellation settles the job itself; the digest excludes the
+	// context, so the cache key is unchanged.
+	opts = append(opts, core.WithContext(ctx))
+	var id serve.JobID
+	for {
+		id, err = r.Service.Enqueue(circ, opts...)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, serve.ErrQueueFull) {
+			return serve.JobView{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return serve.JobView{}, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	// Await on the background context: a cancelled cell context settles
+	// the job itself (Cancelled), so this wait always returns promptly
+	// with the settled view rather than racing the cancellation.
+	return r.Service.AwaitView(context.Background(), id)
+}

@@ -1,0 +1,344 @@
+package experiment
+
+import (
+	"fmt"
+
+	"quditkit/internal/fit"
+	"quditkit/internal/serve"
+)
+
+// Sweep kinds, the values of SweepRequest.Kind. Each selects one of the
+// paper's application workloads and the matching parameter-grid spec.
+const (
+	// KindRB sweeps motion-reversal (mirror) benchmarking sequence
+	// lengths and fits the exponential survival decay.
+	KindRB = "rb"
+	// KindQAOA sweeps a QAOA graph-coloring (gamma, beta) grid and
+	// reports the approximation-ratio surface.
+	KindQAOA = "qaoa"
+	// KindSQED sweeps Trotter step counts of a lattice-gauge rotor
+	// quench and fits the oscillation frequency of <Lz_0>(t).
+	KindSQED = "sqed"
+	// KindQRC sweeps a quantum-reservoir time series, one cell per
+	// timestep, and reports train/eval NMSE of the ridge readout.
+	KindQRC = "qrc"
+)
+
+// Sweep lifecycle states, the values of SweepView.State.
+const (
+	// SweepRunning means cells are still executing.
+	SweepRunning = "running"
+	// SweepCompleted means every cell settled and aggregation ran; a
+	// completed sweep may still contain failed cells.
+	SweepCompleted = "completed"
+	// SweepCancelled means the sweep was cancelled; every cell that had
+	// not settled was reaped as cancelled and no aggregate is computed.
+	SweepCancelled = "cancelled"
+)
+
+// Axis is one sweep dimension: either an explicit value list or a
+// linear range resolved with fit.Linspace. Exactly one form must be
+// given (Values, or From/To/N).
+type Axis struct {
+	// Values lists the grid points explicitly.
+	Values []float64 `json:"values,omitempty"`
+	// From is the inclusive range start of the linspace form.
+	From float64 `json:"from,omitempty"`
+	// To is the inclusive range end of the linspace form.
+	To float64 `json:"to,omitempty"`
+	// N is the point count of the linspace form.
+	N int `json:"n,omitempty"`
+}
+
+// resolve materializes the axis into its grid points, bounding the
+// count.
+func (a Axis) resolve(name string, maxN int) ([]float64, error) {
+	switch {
+	case len(a.Values) > 0:
+		if a.N != 0 {
+			return nil, fmt.Errorf("%w: axis %s has both values and n", ErrBadSweep, name)
+		}
+		if len(a.Values) > maxN {
+			return nil, fmt.Errorf("%w: axis %s has %d values, limit %d", ErrBadSweep, name, len(a.Values), maxN)
+		}
+		for _, v := range a.Values {
+			if v != v {
+				return nil, fmt.Errorf("%w: axis %s contains NaN", ErrBadSweep, name)
+			}
+		}
+		return append([]float64(nil), a.Values...), nil
+	case a.N > 0:
+		if a.N > maxN {
+			return nil, fmt.Errorf("%w: axis %s has n=%d, limit %d", ErrBadSweep, name, a.N, maxN)
+		}
+		if a.From != a.From || a.To != a.To {
+			return nil, fmt.Errorf("%w: axis %s range contains NaN", ErrBadSweep, name)
+		}
+		return fit.Linspace(a.From, a.To, a.N), nil
+	default:
+		return nil, fmt.Errorf("%w: axis %s needs values or from/to/n", ErrBadSweep, name)
+	}
+}
+
+// RBSpec parameterizes a KindRB sweep: motion-reversal benchmarking on
+// one qudit, where each cell runs a random sequence of native gates
+// followed by its exact inverses and measures the survival probability
+// of |0>. Noiseless sweeps decay to nothing (survival 1); attach a
+// NoiseSpec to measure a decay constant.
+type RBSpec struct {
+	// Dim is the qudit dimension (2..8).
+	Dim int `json:"dim"`
+	// Lengths lists the forward sequence lengths to sweep (at least two
+	// distinct values, each 1..512).
+	Lengths []int `json:"lengths"`
+	// Sequences is the number of random sequences averaged per length
+	// (default 4, max 64).
+	Sequences int `json:"sequences,omitempty"`
+}
+
+// QAOASpec parameterizes a KindQAOA sweep: single-level qudit QAOA for
+// max-k-coloring on a cycle-plus-chords graph, one cell per (gamma,
+// beta) grid point, each measuring the approximation ratio (properly
+// colored edge fraction).
+type QAOASpec struct {
+	// Nodes is the vertex count (2..8); each vertex is one qudit of
+	// dimension Colors.
+	Nodes int `json:"nodes"`
+	// Chords adds this many random chords to the base cycle (seeded by
+	// the sweep seed); zero sweeps the plain cycle.
+	Chords int `json:"chords,omitempty"`
+	// Colors is the color count = qudit dimension (2..6).
+	Colors int `json:"colors"`
+	// Layers is the QAOA depth p; every layer shares the cell's
+	// (gamma, beta). Default 1, max 8.
+	Layers int `json:"layers,omitempty"`
+	// Gammas is the phase-separator angle axis.
+	Gammas Axis `json:"gammas"`
+	// Betas is the mixer angle axis.
+	Betas Axis `json:"betas"`
+}
+
+// SQEDSpec parameterizes a KindSQED sweep: a truncated-rotor chain
+// quenched from the |m=-l...> product state, one cell per Trotter step
+// count s = 1..Steps, each measuring <Lz_0> after s steps. The
+// aggregate fits a damped cosine to the resulting time series.
+type SQEDSpec struct {
+	// Sites is the chain length (2..4).
+	Sites int `json:"sites"`
+	// Ell is the angular-momentum truncation l; the local dimension is
+	// 2l+1 (1..3).
+	Ell int `json:"ell"`
+	// G2 is the electric coupling g^2.
+	G2 float64 `json:"g2"`
+	// X is the hopping coupling.
+	X float64 `json:"x"`
+	// Dt is the Trotter step (positive).
+	Dt float64 `json:"dt"`
+	// Steps is the largest step count; the sweep runs one cell per
+	// s = 1..Steps (8..256, the floor set by the spectral fit).
+	Steps int `json:"steps"`
+}
+
+// QRCSpec parameterizes a KindQRC sweep: quantum-reservoir computing on
+// a generated time series, one cell per timestep. Each cell encodes a
+// sliding input window into a fixed random qudit reservoir and measures
+// its outcome histogram; the aggregate trains a ridge readout on the
+// first Train cells and reports train/eval NMSE.
+type QRCSpec struct {
+	// Task selects the series: "narma2" (default), "narma10", or
+	// "mackey-glass".
+	Task string `json:"task,omitempty"`
+	// Length is the series length (32..4096).
+	Length int `json:"length"`
+	// Washout drops this many leading timesteps before the first cell
+	// (default 4).
+	Washout int `json:"washout,omitempty"`
+	// Train is the number of post-washout cells used to fit the
+	// readout; the rest evaluate it (at least 4 of each).
+	Train int `json:"train"`
+	// Window is the sliding input window width (default 3, max 8).
+	Window int `json:"window,omitempty"`
+	// Qudits is the reservoir width (default 2, max 4).
+	Qudits int `json:"qudits,omitempty"`
+	// Dim is the reservoir qudit dimension (default 3, max 4).
+	Dim int `json:"dim,omitempty"`
+	// Lambda is the ridge regularizer (default 1e-6).
+	Lambda float64 `json:"lambda,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweeps: a kind, the shared
+// execution options every cell inherits, and the kind's grid spec
+// (exactly one of RB/QAOA/SQED/QRC, matching Kind).
+type SweepRequest struct {
+	// Kind selects the workload (KindRB, KindQAOA, KindSQED, KindQRC).
+	Kind string `json:"kind"`
+	// Backend selects the serve backend for every cell; empty defaults
+	// to "density-matrix" when Noise is set and "statevector" otherwise.
+	Backend string `json:"backend,omitempty"`
+	// Shots is the per-cell shot budget (required: every aggregate is
+	// computed from outcome histograms).
+	Shots int `json:"shots"`
+	// Seed is the master sweep seed; every cell derives its own job
+	// seed from it, so aggregates are reproducible and identical across
+	// topologies. Zero selects 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers widens each cell's trajectory pool (never affects results
+	// or cache keys).
+	Workers int `json:"workers,omitempty"`
+	// Noise attaches a per-gate noise model to every cell.
+	Noise *serve.NoiseSpec `json:"noise,omitempty"`
+	// RB is the KindRB grid spec.
+	RB *RBSpec `json:"rb,omitempty"`
+	// QAOA is the KindQAOA grid spec.
+	QAOA *QAOASpec `json:"qaoa,omitempty"`
+	// SQED is the KindSQED grid spec.
+	SQED *SQEDSpec `json:"sqed,omitempty"`
+	// QRC is the KindQRC grid spec.
+	QRC *QRCSpec `json:"qrc,omitempty"`
+}
+
+// CellView is the wire projection of one sweep cell.
+type CellView struct {
+	// Index is the cell's position in the expansion order.
+	Index int `json:"index"`
+	// Params are the cell's grid-point parameters (e.g. length,
+	// sequence, gamma, beta, steps, time, t, u).
+	Params map[string]float64 `json:"params,omitempty"`
+	// State is the cell lifecycle state ("pending", "running", "done",
+	// "failed", "cancelled").
+	State string `json:"state"`
+	// Cached reports whether the cell's job was served from a result
+	// cache.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the terminal error of a failed or cancelled cell.
+	Error string `json:"error,omitempty"`
+	// Metric is the cell's scalar observable (survival probability,
+	// approximation ratio, <Lz_0>, zero-state probability), present on
+	// done cells.
+	Metric *float64 `json:"metric,omitempty"`
+}
+
+// RBPoint is one length of the fitted RB decay curve.
+type RBPoint struct {
+	// Length is the forward sequence length.
+	Length int `json:"length"`
+	// Survival is the mean |0> survival probability over the done
+	// sequences of this length.
+	Survival float64 `json:"survival"`
+}
+
+// RBAggregate is the KindRB sweep aggregate: the survival curve and its
+// exponential-decay fit y = A p^m + 1/d.
+type RBAggregate struct {
+	// Points is the survival curve, ordered by length.
+	Points []RBPoint `json:"points"`
+	// DecayRate is the fitted per-gate decay p (clamped to [0,1]).
+	DecayRate float64 `json:"decay_rate"`
+	// AvgGateInfidelity is (1-p)(d-1)/d, the standard RB report.
+	AvgGateInfidelity float64 `json:"avg_gate_infidelity"`
+}
+
+// QAOAPoint is one (gamma, beta) grid point of the ratio surface.
+type QAOAPoint struct {
+	// Gamma is the phase-separator angle.
+	Gamma float64 `json:"gamma"`
+	// Beta is the mixer angle.
+	Beta float64 `json:"beta"`
+	// Ratio is the measured approximation ratio at this point.
+	Ratio float64 `json:"ratio"`
+}
+
+// QAOAAggregate is the KindQAOA sweep aggregate: the full ratio surface
+// and its maximizer.
+type QAOAAggregate struct {
+	// Surface lists every done grid point in expansion order.
+	Surface []QAOAPoint `json:"surface"`
+	// BestGamma and BestBeta locate the highest-ratio grid point
+	// (first-wins on ties).
+	BestGamma float64 `json:"best_gamma"`
+	// BestBeta is the mixer angle of the best grid point.
+	BestBeta float64 `json:"best_beta"`
+	// BestRatio is the highest measured approximation ratio.
+	BestRatio float64 `json:"best_ratio"`
+	// Edges is the instance's edge count (the ratio denominator).
+	Edges int `json:"edges"`
+}
+
+// SQEDAggregate is the KindSQED sweep aggregate: the <Lz_0>(t) series
+// and its damped-cosine fit.
+type SQEDAggregate struct {
+	// Times lists t = steps*dt for every done cell, ordered by steps.
+	Times []float64 `json:"times"`
+	// Signal lists <Lz_0>(t) for every done cell.
+	Signal []float64 `json:"signal"`
+	// Omega is the fitted oscillation frequency (the quench gap
+	// estimate); zero when the fit failed.
+	Omega float64 `json:"omega,omitempty"`
+	// Residual is the RMS misfit of the damped-cosine fit.
+	Residual float64 `json:"residual,omitempty"`
+	// FitError reports a failed spectral fit; the series above is still
+	// valid.
+	FitError string `json:"fit_error,omitempty"`
+}
+
+// QRCAggregate is the KindQRC sweep aggregate: the ridge-readout
+// train/eval scores.
+type QRCAggregate struct {
+	// TrainCells and EvalCells count the done cells in each split.
+	TrainCells int `json:"train_cells"`
+	// EvalCells counts the done evaluation cells.
+	EvalCells int `json:"eval_cells"`
+	// Features is the per-cell feature width (histogram + input +
+	// bias).
+	Features int `json:"features"`
+	// TrainNMSE is the normalized MSE on the training split.
+	TrainNMSE float64 `json:"train_nmse"`
+	// EvalNMSE is the normalized MSE on the held-out split.
+	EvalNMSE float64 `json:"eval_nmse"`
+}
+
+// Aggregate is the kind-tagged sweep aggregate; exactly one member is
+// set, matching the sweep's kind.
+type Aggregate struct {
+	// RB is the KindRB aggregate.
+	RB *RBAggregate `json:"rb,omitempty"`
+	// QAOA is the KindQAOA aggregate.
+	QAOA *QAOAAggregate `json:"qaoa,omitempty"`
+	// SQED is the KindSQED aggregate.
+	SQED *SQEDAggregate `json:"sqed,omitempty"`
+	// QRC is the KindQRC aggregate.
+	QRC *QRCAggregate `json:"qrc,omitempty"`
+}
+
+// SweepView is the wire projection of one sweep, the body of
+// POST /v1/sweeps and GET /v1/sweeps/{id} responses.
+type SweepView struct {
+	// ID is the sweep identifier to poll.
+	ID string `json:"id"`
+	// Kind is the sweep's workload kind.
+	Kind string `json:"kind"`
+	// State is the sweep lifecycle state (SweepRunning, SweepCompleted,
+	// SweepCancelled).
+	State string `json:"state"`
+	// TotalCells is the expanded grid size.
+	TotalCells int `json:"total_cells"`
+	// SettledCells counts cells in any terminal state.
+	SettledCells int `json:"settled_cells"`
+	// DoneCells, FailedCells, and CancelledCells break settlement down
+	// by outcome.
+	DoneCells int `json:"done_cells"`
+	// FailedCells counts cells that settled failed.
+	FailedCells int `json:"failed_cells"`
+	// CancelledCells counts cells reaped by cancellation.
+	CancelledCells int `json:"cancelled_cells"`
+	// CachedCells counts cells served from a result cache.
+	CachedCells int `json:"cached_cells"`
+	// Cells lists every cell in expansion order.
+	Cells []CellView `json:"cells,omitempty"`
+	// Aggregate is the server-side aggregate, present once the sweep
+	// completes (possibly partial alongside AggregateError).
+	Aggregate *Aggregate `json:"aggregate,omitempty"`
+	// AggregateError reports a failed aggregation (e.g. too few done
+	// cells to fit); the sweep itself still completes.
+	AggregateError string `json:"aggregate_error,omitempty"`
+}

@@ -1,0 +1,121 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestRidgeSingularSystem feeds Ridge a rank-deficient design matrix
+// (two identical columns): positive lambda regularizes the singular
+// normal equations into a finite solution that still predicts well and
+// splits the degenerate weight symmetrically.
+func TestRidgeSingularSystem(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 12; i++ {
+		v := float64(i)
+		x = append(x, []float64{v, v, 1}) // col0 == col1: rank 2 of 3
+		y = append(y, 3*v+2)
+	}
+	w, err := Ridge(x, y, 1e-6)
+	if err != nil {
+		t.Fatalf("ridge on singular system: %v", err)
+	}
+	for i, wi := range w {
+		if math.IsNaN(wi) || math.IsInf(wi, 0) {
+			t.Fatalf("w[%d] = %v", i, wi)
+		}
+	}
+	nmse, err := NMSE(Predict(x, w), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmse > 1e-6 {
+		t.Fatalf("regularized fit NMSE = %v", nmse)
+	}
+	// The two identical columns share the weight symmetrically under
+	// the ridge penalty.
+	if math.Abs(w[0]-w[1]) > 1e-6 {
+		t.Fatalf("degenerate columns weighted asymmetrically: %v vs %v", w[0], w[1])
+	}
+}
+
+// TestRidgeUnderdetermined has fewer rows than features — the shape the
+// QRC readout hits when histograms outnumber training cells. Positive
+// lambda must still produce a finite interpolating solution.
+func TestRidgeUnderdetermined(t *testing.T) {
+	x := [][]float64{
+		{1, 0, 2, 1, 0.5},
+		{0, 1, 1, 2, 0.3},
+		{1, 1, 0, 1, 0.9},
+	}
+	y := []float64{1, 2, 3}
+	w, err := Ridge(x, y, 1e-8)
+	if err != nil {
+		t.Fatalf("ridge on under-determined system: %v", err)
+	}
+	preds := Predict(x, w)
+	for i := range y {
+		if math.Abs(preds[i]-y[i]) > 1e-3 {
+			t.Fatalf("row %d predicts %v, want %v", i, preds[i], y[i])
+		}
+	}
+}
+
+// TestRidgeNegativeLambda rejects a penalty that would un-regularize
+// the normal equations.
+func TestRidgeNegativeLambda(t *testing.T) {
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	y := []float64{1, 2, 3}
+	if _, err := Ridge(x, y, -1e-3); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+// TestNMSEEdgeCases sweeps the rejection surface: empty inputs, length
+// mismatch in both directions, and the error identity.
+func TestNMSEEdgeCases(t *testing.T) {
+	cases := []struct {
+		name         string
+		pred, target []float64
+	}{
+		{"both empty", nil, nil},
+		{"pred longer", []float64{1, 2, 3}, []float64{1, 2}},
+		{"target longer", []float64{1, 2}, []float64{1, 2, 3}},
+		{"empty pred", nil, []float64{1, 2}},
+		{"constant target", []float64{1, 2}, []float64{5, 5}},
+	}
+	for _, c := range cases {
+		_, err := NMSE(c.pred, c.target)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: error %v does not wrap ErrBadInput", c.name, err)
+		}
+	}
+}
+
+// TestDominantFrequencyShortSeries rejects series too short for a
+// spectrum and non-positive sample spacing.
+func TestDominantFrequencyShortSeries(t *testing.T) {
+	for n := 0; n < 4; n++ {
+		xs := make([]float64, n)
+		if _, err := DominantFrequency(xs, 0.1); !errors.Is(err, ErrBadInput) {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+	xs := []float64{1, 0, -1, 0, 1, 0, -1, 0}
+	if _, err := DominantFrequency(xs, 0); !errors.Is(err, ErrBadInput) {
+		t.Error("dt=0 accepted")
+	}
+	if _, err := DominantFrequency(xs, -0.1); !errors.Is(err, ErrBadInput) {
+		t.Error("negative dt accepted")
+	}
+	// Exactly 4 samples is the floor and must work.
+	if _, err := DominantFrequency([]float64{1, 0, -1, 0}, 0.1); err != nil {
+		t.Errorf("4-sample floor rejected: %v", err)
+	}
+}

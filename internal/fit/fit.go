@@ -78,6 +78,9 @@ func Ridge(x [][]float64, y []float64, lambda float64) ([]float64, error) {
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrBadInput, len(x), len(y))
 	}
+	if lambda < 0 || lambda != lambda {
+		return nil, fmt.Errorf("%w: lambda %v must be >= 0", ErrBadInput, lambda)
+	}
 	cols := len(x[0])
 	xm := qmath.NewMatrix(len(x), cols)
 	for i, row := range x {

@@ -1,0 +1,56 @@
+package gates
+
+import (
+	"testing"
+
+	"quditkit/internal/qmath"
+)
+
+func TestHopIsUnitary(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		g := Hop(d, 0.37)
+		if err := g.Validate(tol); err != nil {
+			t.Errorf("d=%d: %v", d, err)
+		}
+		if g.Dims[0] != d || g.Dims[1] != d {
+			t.Errorf("d=%d: dims %v", d, g.Dims)
+		}
+	}
+}
+
+func TestHopZeroAngleIsIdentity(t *testing.T) {
+	if !Hop(3, 0).Matrix.ApproxEqual(qmath.Identity(9), tol) {
+		t.Error("Hop(d, 0) != I")
+	}
+}
+
+func TestHopInverseNegatesAngle(t *testing.T) {
+	fwd, bwd := Hop(3, 0.61), Hop(3, -0.61)
+	if !fwd.Matrix.Mul(bwd.Matrix).ApproxEqual(qmath.Identity(9), tol) {
+		t.Error("Hop(d, t) Hop(d, -t) != I")
+	}
+}
+
+// TestHopMatchesSQEDBond pins the convention the sweep expander relies
+// on: for the rotor-chain hopping bond h = -x (U†⊗U + U⊗U†) with U the
+// unit-subdiagonal raising operator, one Trotter slice exp(-i dt h)
+// equals Hop(d, dt*x).
+func TestHopMatchesSQEDBond(t *testing.T) {
+	const (
+		d  = 3
+		x  = 0.8
+		dt = 0.25
+	)
+	u := qmath.NewMatrix(d, d)
+	for k := 0; k+1 < d; k++ {
+		u.Set(k+1, k, 1)
+	}
+	h := qmath.Kron(u.Dagger(), u).Add(qmath.Kron(u, u.Dagger())).Scale(complex(-x, 0))
+	want, err := qmath.ExpHermitian(h, complex(0, -dt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Hop(d, dt*x).Matrix.ApproxEqual(want, tol) {
+		t.Error("Hop(d, dt*x) != exp(-i dt h) for the sQED hopping bond")
+	}
+}

@@ -88,6 +88,27 @@ func EqualityPhase(d int, gamma float64) Gate {
 	return Gate{Name: fmt.Sprintf("EqPhase%d(%.3f)", d, gamma), Dims: []int{d, d}, Matrix: m}
 }
 
+// Hop returns the two-qudit hopping propagator exp(i t (U†⊗U + U⊗U†))
+// with U the truncated raising operator — the bond step of the
+// lattice-gauge rotor Trotter circuit. For a rotor bond Hamiltonian
+// h = -x (U†⊗U + U⊗U†) evolved for a Trotter step dt, the propagator
+// exp(-i dt h) is Hop(d, dt*x).
+func Hop(d int, t float64) Gate {
+	checkDim(d)
+	u := qmath.NewMatrix(d, d)
+	for k := 0; k+1 < d; k++ {
+		u.Set(k+1, k, 1)
+	}
+	h := qmath.Kron(u.Dagger(), u).Add(qmath.Kron(u, u.Dagger()))
+	m, err := qmath.ExpHermitian(h, complex(0, t))
+	if err != nil {
+		// h is Hermitian by construction; failure indicates a broken
+		// invariant in qmath rather than bad input.
+		panic(fmt.Sprintf("gates: Hop exp failed: %v", err))
+	}
+	return Gate{Name: fmt.Sprintf("HOP%d(%.3f)", d, t), Dims: []int{d, d}, Matrix: m}
+}
+
 // SWAP returns the swap gate between two wires of equal dimension d.
 func SWAP(d int) Gate {
 	checkDim(d)

@@ -59,11 +59,11 @@ func NewHandler(s *Service) http.Handler {
 		}
 		var view JobView
 		if wantWait(r) {
-			// awaitView holds the job record across the wait, so a
+			// AwaitView holds the job record across the wait, so a
 			// concurrent retention prune cannot lose the outcome; the
 			// job's own terminal error lands in the JobView body, and
 			// only the request context expiring is a transport failure.
-			view, err = s.awaitView(r.Context(), id)
+			view, err = s.AwaitView(r.Context(), id)
 		} else {
 			view, err = s.jobView(id)
 		}
@@ -91,7 +91,7 @@ func NewHandler(s *Service) http.Handler {
 		var view JobView
 		var err error
 		if wantWait(r) {
-			view, err = s.awaitView(r.Context(), id)
+			view, err = s.AwaitView(r.Context(), id)
 		} else {
 			view, err = s.jobView(id)
 		}
@@ -145,13 +145,13 @@ func (s *Service) jobView(id JobID) (JobView, error) {
 	return viewOf(j), nil
 }
 
-// awaitView blocks until the job settles (or ctx expires) and returns
+// AwaitView blocks until the job settles (or ctx expires) and returns
 // its wire view. It resolves the record once up front and holds the
 // pointer across the wait, so retention pruning the job table in the
 // meantime cannot lose the outcome. The returned error is transport
 // only (unknown ID, expired ctx); a job's own failure is reported
 // inside the view.
-func (s *Service) awaitView(ctx context.Context, id JobID) (JobView, error) {
+func (s *Service) AwaitView(ctx context.Context, id JobID) (JobView, error) {
 	j, err := s.job(id)
 	if err != nil {
 		return JobView{}, err

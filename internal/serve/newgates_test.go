@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/qmath"
+)
+
+// TestEqphaseWireGate builds the QAOA phase separator through the wire
+// vocabulary and checks it against the gates constructor.
+func TestEqphaseWireGate(t *testing.T) {
+	spec := CircuitSpec{
+		Dims: []int{3, 3},
+		Ops:  []OpSpec{{Gate: "eqphase", Targets: []int{0, 1}, Phi: 0.7}},
+	}
+	circ, err := BuildCircuit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if circ == nil {
+		t.Fatal("nil circuit")
+	}
+	want := gates.EqualityPhase(3, 0.7)
+	got := circ.Ops()[0].Gate
+	if !got.Matrix.ApproxEqual(want.Matrix, 1e-12) {
+		t.Error("wire eqphase diverges from gates.EqualityPhase")
+	}
+
+	// Mixed dimensions are rejected: equality is only defined on equal
+	// local spaces.
+	bad := CircuitSpec{
+		Dims: []int{3, 4},
+		Ops:  []OpSpec{{Gate: "eqphase", Targets: []int{0, 1}, Phi: 0.7}},
+	}
+	if _, err := BuildCircuit(bad); err == nil {
+		t.Error("eqphase accepted mixed dimensions")
+	}
+}
+
+// TestHopWireGate builds the sQED hopping slice through the wire
+// vocabulary: unitary, angle-faithful, and rejected on mixed
+// dimensions.
+func TestHopWireGate(t *testing.T) {
+	spec := CircuitSpec{
+		Dims: []int{3, 3},
+		Ops:  []OpSpec{{Gate: "hop", Targets: []int{0, 1}, Theta: 0.31}},
+	}
+	circ, err := BuildCircuit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := circ.Ops()[0].Gate
+	if !got.Matrix.ApproxEqual(gates.Hop(3, 0.31).Matrix, 1e-12) {
+		t.Error("wire hop diverges from gates.Hop")
+	}
+	if !got.Matrix.IsUnitary(1e-10) {
+		t.Error("wire hop not unitary")
+	}
+	inv := gates.Hop(3, -0.31)
+	if !got.Matrix.Mul(inv.Matrix).ApproxEqual(qmath.Identity(9), 1e-10) {
+		t.Error("hop(theta) hop(-theta) != I")
+	}
+
+	bad := CircuitSpec{
+		Dims: []int{3, 4},
+		Ops:  []OpSpec{{Gate: "hop", Targets: []int{0, 1}, Theta: 0.31}},
+	}
+	if _, err := BuildCircuit(bad); err == nil {
+		t.Error("hop accepted mixed dimensions")
+	}
+}

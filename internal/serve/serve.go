@@ -287,6 +287,11 @@ func New(proc *core.Processor, cfg Config) (*Service, error) {
 	return s, nil
 }
 
+// Processor returns the processor the service executes on, for callers
+// that need to resolve request options (JobRequest.Options) against the
+// same device the service runs — e.g. the experiment sweep layer.
+func (s *Service) Processor() *core.Processor { return s.proc }
+
 // Close stops the service gracefully: no new submissions are accepted,
 // already-queued jobs drain to completion, and Close returns once
 // every worker has exited. Safe to call more than once.

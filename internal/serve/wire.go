@@ -36,9 +36,11 @@ type OpSpec struct {
 	// Level is the phased level of "phase" and the first level of
 	// "givens".
 	Level int `json:"level,omitempty"`
-	// Theta is the rotation angle of "givens".
+	// Theta is the rotation angle of "givens" and the hopping angle of
+	// "hop".
 	Theta float64 `json:"theta,omitempty"`
-	// Phi is the phase of "phase" and "givens".
+	// Phi is the phase of "phase" and "givens" and the penalty angle of
+	// "eqphase".
 	Phi float64 `json:"phi,omitempty"`
 	// Beta is the mixing angle of "rotor" and "fourier".
 	Beta float64 `json:"beta,omitempty"`
@@ -48,10 +50,11 @@ type OpSpec struct {
 
 // GateNames lists the wire-format gate vocabulary in stable order:
 // single-qudit "x", "xpow", "z", "dft", "phase", "givens", "snap",
-// "rotor", "fourier" and two-qudit "csum", "csuminv", "cz".
+// "rotor", "fourier" and two-qudit "csum", "csuminv", "cz", "eqphase",
+// "hop".
 var GateNames = []string{
 	"x", "xpow", "z", "dft", "phase", "givens", "snap", "rotor", "fourier",
-	"csum", "csuminv", "cz",
+	"csum", "csuminv", "cz", "eqphase", "hop",
 }
 
 // Wire-format admission limits. BuildCircuit materializes gate
@@ -198,6 +201,18 @@ var gateTable = map[string]gateSpec{
 	"csum":    {2, func(d, d2 int, _ OpSpec) (gates.Gate, error) { return gates.CSUM(d, d2), nil }},
 	"csuminv": {2, func(d, d2 int, _ OpSpec) (gates.Gate, error) { return gates.CSUMInv(d, d2), nil }},
 	"cz":      {2, func(d, d2 int, _ OpSpec) (gates.Gate, error) { return gates.CZ(d, d2), nil }},
+	"eqphase": {2, func(d, d2 int, op OpSpec) (gates.Gate, error) {
+		if d != d2 {
+			return gates.Gate{}, fmt.Errorf("eqphase requires equal dimensions, got %d and %d", d, d2)
+		}
+		return gates.EqualityPhase(d, op.Phi), nil
+	}},
+	"hop": {2, func(d, d2 int, op OpSpec) (gates.Gate, error) {
+		if d != d2 {
+			return gates.Gate{}, fmt.Errorf("hop requires equal dimensions, got %d and %d", d, d2)
+		}
+		return gates.Hop(d, op.Theta), nil
+	}},
 }
 
 // buildGate resolves one OpSpec against the register dimensions.
