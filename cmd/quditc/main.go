@@ -29,10 +29,12 @@
 //
 //	quditc sweep [-addr URL] [-watch] [-json] [-timeout D] [sweep.json]
 //
-// Every watch survives dropped streams: the client reconnects with the
-// standard Last-Event-ID header and resumes where it left off, so a
-// coordinator restart mid-sweep only pauses the output. -timeout
-// bounds the total watch (0 waits forever).
+// Every watch survives dropped connections: the client reconnects
+// with the standard Last-Event-ID header and resumes where it left
+// off. Job and sweep state is held in server memory, so a restarted
+// node no longer knows the ID — that watch ends with a "stream lost"
+// error rather than hanging. -timeout bounds the total watch (0 waits
+// forever).
 package main
 
 import (
@@ -147,10 +149,12 @@ func runWatch(args []string, stdout io.Writer) error {
 // streamSSE follows a Server-Sent-Events endpoint until handle reports
 // the terminal event, reconnecting on dropped streams with the
 // standard Last-Event-ID header so already-seen events are not
-// replayed. The first connection failure and any non-200 answer return
-// immediately (the target is unreachable or unknown — retrying cannot
-// help); once a stream has been established, drops retry until timeout
-// (zero = forever).
+// replayed. Connection failures and non-200 answers on the first
+// attempt return immediately (the target is unreachable or unknown —
+// retrying cannot help); once a stream has been established, drops
+// retry until timeout (zero = forever), and a non-200 on a reconnect
+// reports the stream as lost (server-side state is in memory, so a
+// restart forgets the ID).
 func streamSSE(url string, timeout time.Duration, handle func(event, data string) bool) error {
 	ctx := context.Background()
 	if timeout > 0 {
@@ -182,6 +186,10 @@ func streamSSE(url string, timeout time.Duration, handle func(event, data string
 		if resp.StatusCode != http.StatusOK {
 			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
+			if connected {
+				return fmt.Errorf("stream lost: reconnect returned %d (the server restarted or pruned the id): %s",
+					resp.StatusCode, strings.TrimSpace(string(raw)))
+			}
 			return fmt.Errorf("events returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
 		}
 		connected = true

@@ -228,11 +228,16 @@ func rbSequence(d, length int, rng *rand.Rand) []serve.OpSpec {
 // "eqphase" per edge, and the mixer is "rotor" per vertex.
 func expandQAOA(req SweepRequest, maxCells int) (*expansion, error) {
 	spec := *req.QAOA
-	if spec.Nodes < 2 || spec.Nodes > 8 {
-		return nil, fmt.Errorf("%w: qaoa nodes %d outside [2,8]", ErrBadSweep, spec.Nodes)
+	if spec.Nodes < 3 || spec.Nodes > 8 {
+		return nil, fmt.Errorf("%w: qaoa nodes %d outside [3,8] (the base cycle needs 3 vertices)", ErrBadSweep, spec.Nodes)
 	}
-	if spec.Chords < 0 || spec.Chords > spec.Nodes {
-		return nil, fmt.Errorf("%w: qaoa chords %d outside [0,%d]", ErrBadSweep, spec.Chords, spec.Nodes)
+	// The instance graph is a cycle plus chords; only the non-cycle
+	// vertex pairs are available, so e.g. nodes=3 admits no chords and
+	// nodes=4 at most 2. An unbounded request would make the graph
+	// builder search forever for a free pair.
+	maxChords := spec.Nodes*(spec.Nodes-1)/2 - spec.Nodes
+	if spec.Chords < 0 || spec.Chords > maxChords {
+		return nil, fmt.Errorf("%w: qaoa chords %d outside [0,%d] for %d nodes", ErrBadSweep, spec.Chords, maxChords, spec.Nodes)
 	}
 	if spec.Colors < 2 || spec.Colors > 6 {
 		return nil, fmt.Errorf("%w: qaoa colors %d outside [2,6]", ErrBadSweep, spec.Colors)

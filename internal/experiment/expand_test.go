@@ -174,6 +174,9 @@ func TestExpandRejections(t *testing.T) {
 		{"rb length range", func() SweepRequest { r := rbReq(); r.RB.Lengths = []int{1, MaxRBLength + 1}; return r }()},
 		{"rb sequences", func() SweepRequest { r := rbReq(); r.RB.Sequences = MaxRBSequences + 1; return r }()},
 		{"qaoa nodes", func() SweepRequest { r := qaoaReq(); r.QAOA.Nodes = 1; return r }()},
+		{"qaoa nodes below cycle", func() SweepRequest { r := qaoaReq(); r.QAOA.Nodes = 2; return r }()},
+		{"qaoa chords over capacity", func() SweepRequest { r := qaoaReq(); r.QAOA.Nodes = 3; r.QAOA.Chords = 1; return r }()},
+		{"qaoa chords negative", func() SweepRequest { r := qaoaReq(); r.QAOA.Chords = -1; return r }()},
 		{"qaoa colors", func() SweepRequest { r := qaoaReq(); r.QAOA.Colors = 7; return r }()},
 		{"qaoa empty axis", func() SweepRequest { r := qaoaReq(); r.QAOA.Gammas = Axis{}; return r }()},
 		{"qaoa ambiguous axis", func() SweepRequest {
@@ -203,6 +206,13 @@ func TestExpandRejections(t *testing.T) {
 	// The cell budget rejects oversized grids with the configured cap.
 	if _, err := expand(rbReq(), 5); err == nil {
 		t.Error("6-cell sweep accepted under a 5-cell budget")
+	}
+
+	// Chords at exactly the non-cycle capacity are accepted (K4 here).
+	full := qaoaReq()
+	full.QAOA.Chords = 2
+	if _, err := expand(full, 0); err != nil {
+		t.Errorf("full-capacity chords rejected: %v", err)
 	}
 }
 

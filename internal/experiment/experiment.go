@@ -97,7 +97,8 @@ type cellRecord struct {
 	metric    float64
 	hasMetric bool
 	// res retains the done cell's result view for finalize (histogram
-	// aggregation); nil on every other outcome.
+	// aggregation); nil on every other outcome, and released by
+	// finalize once the aggregate is folded.
 	res *serve.ResultView
 }
 
@@ -331,12 +332,17 @@ func (m *Manager) settleCell(s *sweep, rec *cellRecord, state string, cached boo
 	s.publishLocked(SweepEvent{Type: EventCell, State: state, Cell: &cv})
 }
 
-// finalize settles the sweep once every cell settled: a cancelled
-// context yields SweepCancelled; otherwise the aggregator folds the
-// done cells and the sweep completes (aggregation errors are reported
-// in the view, not as a sweep failure).
+// finalize settles the sweep once every cell settled: if any cell was
+// reaped as cancelled the sweep is SweepCancelled; otherwise the
+// aggregator folds the done cells and the sweep completes (aggregation
+// errors are reported in the view, not as a sweep failure). Deciding
+// from the cancelled-cell count rather than ctx state means a Cancel
+// that lands after the last cell already settled does not discard a
+// fully-computed sweep.
 func (m *Manager) finalize(s *sweep) {
-	cancelled := s.ctx.Err() != nil
+	s.mu.Lock()
+	cancelled := s.cancelled > 0
+	s.mu.Unlock()
 	var agg *Aggregate
 	var aggErr string
 	if !cancelled {
@@ -355,6 +361,12 @@ func (m *Manager) finalize(s *sweep) {
 		s.state = SweepCompleted
 		s.aggregate = agg
 		s.aggErr = aggErr
+	}
+	// The aggregate is computed (or forfeited); release every cell's
+	// retained result so settled sweeps kept for lookup don't pin shot
+	// histograms for the whole retention window.
+	for _, rec := range s.cells {
+		rec.res = nil
 	}
 	view := s.viewLocked(true)
 	s.publishLocked(SweepEvent{Type: EventSweep, State: s.state, Sweep: &view})

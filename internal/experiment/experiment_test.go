@@ -255,6 +255,56 @@ func TestSweepCancel(t *testing.T) {
 	}
 }
 
+// TestFinalizeCancelAfterLastSettle pins the race between Cancel and
+// the last cell settling: when every cell already settled done, a
+// cancel that lands before finalize must not discard the computed
+// sweep — finalize decides from the cancelled-cell count, not ctx
+// state. It also checks finalize releases the retained per-cell
+// histograms once the aggregate is folded.
+func TestFinalizeCancelAfterLastSettle(t *testing.T) {
+	runner := &fakeRunner{fn: func(_ context.Context, _ serve.JobRequest) (serve.JobView, error) {
+		return doneView(100, 80, false), nil
+	}}
+	m := newTestManager(t, runner, Config{})
+	exp, err := expand(rbReq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &sweep{
+		id: "s-test", kind: exp.kind, agg: exp.agg,
+		ctx: ctx, cancel: cancel,
+		state: SweepRunning, doneCh: make(chan struct{}),
+		events: []SweepEvent{{Seq: 0, Type: EventSweep, State: SweepRunning}},
+	}
+	for i := range exp.cells {
+		s.cells = append(s.cells, &cellRecord{cell: exp.cells[i], state: cellPending})
+	}
+	for _, rec := range s.cells {
+		shots := 1000
+		view := doneView(shots, shots-20*len(rec.cell.job.Circuit.Ops), false)
+		metric, merr := s.agg.metric(rec.cell, view.Result)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		m.settleCell(s, rec, cellDone, false, "", metric, true, view.Result)
+	}
+	// The cancel lands after the last settlement but before finalize.
+	cancel()
+	m.finalize(s)
+	if s.state != SweepCompleted {
+		t.Fatalf("state %q: late cancel discarded a fully-settled sweep", s.state)
+	}
+	if s.aggregate == nil || s.aggregate.RB == nil {
+		t.Fatalf("aggregate missing after late cancel: %+v", s.aggregate)
+	}
+	for _, rec := range s.cells {
+		if rec.res != nil {
+			t.Fatalf("cell %d retains its result view after finalize", rec.cell.index)
+		}
+	}
+}
+
 // TestSweepCachedCells marks runner results cached and checks the
 // counter propagates.
 func TestSweepCachedCells(t *testing.T) {

@@ -101,11 +101,13 @@ type RBSpec struct {
 // beta) grid point, each measuring the approximation ratio (properly
 // colored edge fraction).
 type QAOASpec struct {
-	// Nodes is the vertex count (2..8); each vertex is one qudit of
-	// dimension Colors.
+	// Nodes is the vertex count (3..8, the base cycle needs 3); each
+	// vertex is one qudit of dimension Colors.
 	Nodes int `json:"nodes"`
 	// Chords adds this many random chords to the base cycle (seeded by
-	// the sweep seed); zero sweeps the plain cycle.
+	// the sweep seed); zero sweeps the plain cycle. At most
+	// Nodes*(Nodes-1)/2 - Nodes chords fit — the non-cycle vertex
+	// pairs.
 	Chords int `json:"chords,omitempty"`
 	// Colors is the color count = qudit dimension (2..6).
 	Colors int `json:"colors"`

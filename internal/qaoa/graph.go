@@ -70,11 +70,19 @@ func Random(rng *rand.Rand, n int, p float64) (*Graph, error) {
 }
 
 // RandomRegularish returns a connected graph built from a cycle plus
-// random chords, a standard benchmark family for coloring.
+// random chords, a standard benchmark family for coloring. The cycle
+// uses all n vertex pairs that are cycle edges, leaving n(n-1)/2 - n
+// pairs available as chords; asking for more is rejected rather than
+// looping forever looking for a free pair.
 func RandomRegularish(rng *rand.Rand, n, chords int) (*Graph, error) {
 	g, err := Cycle(n)
 	if err != nil {
 		return nil, err
+	}
+	maxChords := n*(n-1)/2 - n
+	if chords < 0 || chords > maxChords {
+		return nil, fmt.Errorf("%w: %d chords outside [0,%d] for n=%d (the cycle already uses %d of %d vertex pairs)",
+			ErrBadProblem, chords, maxChords, n, n, n*(n-1)/2)
 	}
 	have := make(map[[2]int]bool, n+chords)
 	for _, e := range g.Edges {

@@ -1,6 +1,7 @@
 package qaoa
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -33,6 +34,30 @@ func TestGraphBuilders(t *testing.T) {
 	}
 	if len(r.Edges) != 13 {
 		t.Errorf("regularish edges = %d, want 13", len(r.Edges))
+	}
+}
+
+// TestRandomRegularishChordBounds pins the chord-capacity check: a
+// request for more chords than the cycle leaves free must error
+// (previously it looped forever searching for a free pair), while
+// exactly-full capacity yields the complete graph.
+func TestRandomRegularishChordBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := RandomRegularish(rng, 3, 1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("3-node cycle accepted a chord: %v", err)
+	}
+	if _, err := RandomRegularish(rng, 4, 3); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("4 nodes accepted 3 chords (capacity 2): %v", err)
+	}
+	if _, err := RandomRegularish(rng, 5, -1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("negative chords accepted: %v", err)
+	}
+	g, err := RandomRegularish(rng, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 6 {
+		t.Errorf("K4 edges = %d, want 6", len(g.Edges))
 	}
 }
 
