@@ -4,8 +4,8 @@
 // The default mode walks the given directory trees (default internal
 // and cmd) and fails when any Go package lacks a package comment. On
 // top of that, the trees named by -exported (default internal/cluster,
-// internal/serve, internal/core, internal/experiment — the
-// service-surface packages an operator reads first) must carry a doc
+// internal/serve, internal/core, internal/experiment, internal/chaos
+// — the service-surface packages an operator reads first) must carry a doc
 // comment on every exported top-level identifier: types, functions,
 // methods on exported types, and const/var groups.
 //
@@ -45,7 +45,7 @@ import (
 
 func main() {
 	fs := flag.NewFlagSet("docscheck", flag.ExitOnError)
-	exported := fs.String("exported", "internal/cluster,internal/serve,internal/core,internal/experiment",
+	exported := fs.String("exported", "internal/cluster,internal/serve,internal/core,internal/experiment,internal/chaos",
 		"comma-separated trees whose exported identifiers must all carry doc comments")
 	flagrefs := fs.Bool("flagrefs", false,
 		"treat arguments as documentation files and fail on references to unregistered flags")

@@ -84,12 +84,15 @@ type options struct {
 	cache    int
 	retain   int
 
-	role        string
-	coordinator string
-	advertise   string
-	id          string
-	heartbeat   time.Duration
-	hbTTL       time.Duration
+	role           string
+	coordinator    string
+	advertise      string
+	id             string
+	heartbeat      time.Duration
+	hbTTL          time.Duration
+	controlTimeout time.Duration
+	agentTimeout   time.Duration
+	checkpoint     string
 
 	sweepParallel int
 }
@@ -115,6 +118,9 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.id, "id", "", "stable worker name (worker; default <bound addr>)")
 	fs.DurationVar(&o.heartbeat, "heartbeat", 0, "worker heartbeat interval (0 = accept the coordinator's suggestion)")
 	fs.DurationVar(&o.hbTTL, "heartbeat-ttl", 5*time.Second, "coordinator: missed-heartbeat window before a worker is reaped")
+	fs.DurationVar(&o.controlTimeout, "control-timeout", 30*time.Second, "coordinator: per-request bound on control traffic to workers (dispatch, cancel, stats)")
+	fs.DurationVar(&o.agentTimeout, "agent-timeout", 10*time.Second, "worker: per-request bound on control traffic to the coordinator (register, heartbeat)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "coordinator: state checkpoint file; restart replays registered workers and unsettled jobs from it (empty disables)")
 	fs.IntVar(&o.sweepParallel, "sweep-parallel", 0, "cells one sweep keeps in flight (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -200,6 +206,7 @@ func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- ne
 			ID:             id,
 			AdvertiseURL:   advertise,
 			Interval:       o.heartbeat,
+			Timeout:        o.agentTimeout,
 			Logger:         logger,
 		})
 		if err != nil {
@@ -253,9 +260,11 @@ func runCoordinator(ctx context.Context, o options, logger *log.Logger, ready ch
 		return fmt.Errorf("building processor: %w", err)
 	}
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
-		Proc:         proc,
-		HeartbeatTTL: o.hbTTL,
-		RetainJobs:   o.retain,
+		Proc:           proc,
+		HeartbeatTTL:   o.hbTTL,
+		RetainJobs:     o.retain,
+		ControlTimeout: o.controlTimeout,
+		CheckpointPath: o.checkpoint,
 	})
 	if err != nil {
 		return err

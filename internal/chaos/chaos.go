@@ -1,0 +1,298 @@
+// Package chaos is quditkit's deterministic fault-injection layer: the
+// adversarial half of the dependability story the fleet tests lean on.
+// It offers two seams, one per layer of the stack:
+//
+//   - Transport, an http.RoundTripper wrapper that injects connection
+//     drops, response resets, latency, and synthetic 5xx/429 responses
+//     on a splitmix64-derived schedule keyed by (seed, request index).
+//     Plug it into cluster.CoordinatorConfig.Client (its timeout-free
+//     streamer copy shares the transport) or cluster.AgentConfig.Client
+//     and every control round-trip rolls against the schedule.
+//
+//   - Fleet, a process-level harness that starts, SIGKILLs, gracefully
+//     stops, and restarts real daemon processes (quditd in this repo),
+//     so tests can script "kill -9 the coordinator mid-sweep" against
+//     the real binary rather than an in-process stand-in.
+//
+// Determinism contract: the fault schedule — which request index draws
+// which fault, and how long an injected delay lasts — is a pure
+// function of (Config.Seed, index). Two transports with the same config
+// inject the identical fault sequence. What varies across runs is only
+// which logical request lands on which index when callers race; tests
+// that want full reproducibility issue requests sequentially.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Fault is one class of injected failure.
+type Fault int
+
+// The fault classes a Transport can inject. FaultNone passes the
+// request through untouched.
+const (
+	// FaultNone lets the request through untouched.
+	FaultNone Fault = iota
+	// FaultDrop fails the request before it reaches the network — the
+	// server never sees it — returning a synthetic connection error.
+	FaultDrop
+	// FaultReset performs the real round-trip, then discards the
+	// response and returns a synthetic connection-reset error: the
+	// server observed (and acted on) the request, but the client can't
+	// know. This is the fault that flushes out missing idempotency.
+	FaultReset
+	// FaultDelay holds the request for a schedule-derived duration
+	// (up to Config.MaxDelay), then lets it through.
+	FaultDelay
+	// Fault5xx returns a synthetic 502 without touching the network.
+	Fault5xx
+	// Fault429 returns a synthetic 429 without touching the network.
+	Fault429
+)
+
+// String names the fault class for logs and test output.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultReset:
+		return "reset"
+	case FaultDelay:
+		return "delay"
+	case Fault5xx:
+		return "5xx"
+	case Fault429:
+		return "429"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Config parameterizes a Transport. Each probability is the fraction of
+// matched requests drawn into that fault class; their sum must not
+// exceed 1 (NewTransport panics otherwise, since a silently clamped
+// schedule would not be the one the test asked for).
+type Config struct {
+	// Seed keys the splitmix64 fault schedule. Two transports with the
+	// same Config inject the identical fault sequence.
+	Seed uint64
+	// Drop is the probability a matched request is dropped before the
+	// network (synthetic connection error; the server never sees it).
+	Drop float64
+	// Reset is the probability the round-trip happens but its response
+	// is replaced with a synthetic connection-reset error.
+	Reset float64
+	// Delay is the probability a matched request is held for a
+	// schedule-derived duration before proceeding.
+	Delay float64
+	// P5xx is the probability a synthetic 502 is returned without
+	// touching the network.
+	P5xx float64
+	// P429 is the probability a synthetic 429 is returned without
+	// touching the network.
+	P429 float64
+	// MaxDelay bounds an injected delay; the schedule draws a duration
+	// in (0, MaxDelay]. Default 100ms.
+	MaxDelay time.Duration
+	// Match filters which requests roll against the schedule; nil
+	// matches every request. Unmatched requests pass through without
+	// consuming a schedule index, so the schedule is stable no matter
+	// how much unmatched traffic interleaves.
+	Match func(*http.Request) bool
+	// Base is the wrapped transport; nil selects
+	// http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+// Stats counts what a Transport has done so far, by fault class.
+type Stats struct {
+	// Requests is the number of matched requests scheduled so far.
+	Requests uint64
+	// Drops counts FaultDrop injections.
+	Drops uint64
+	// Resets counts FaultReset injections.
+	Resets uint64
+	// Delays counts FaultDelay injections.
+	Delays uint64
+	// Injected5xx counts Fault5xx injections.
+	Injected5xx uint64
+	// Injected429 counts Fault429 injections.
+	Injected429 uint64
+}
+
+// Transport injects faults into HTTP round-trips on a deterministic,
+// seeded schedule. Build it with NewTransport; it is safe for
+// concurrent use.
+type Transport struct {
+	cfg Config
+
+	idx    atomic.Uint64
+	drops  atomic.Uint64
+	resets atomic.Uint64
+	delays atomic.Uint64
+	n5xx   atomic.Uint64
+	n429   atomic.Uint64
+}
+
+// NewTransport builds a fault-injecting RoundTripper from cfg. It
+// panics when the fault probabilities sum past 1 or any is negative —
+// a malformed schedule is a test bug, not a runtime condition.
+func NewTransport(cfg Config) *Transport {
+	sum := 0.0
+	for _, p := range []float64{cfg.Drop, cfg.Reset, cfg.Delay, cfg.P5xx, cfg.P429} {
+		if p < 0 {
+			panic("chaos: negative fault probability")
+		}
+		sum += p
+	}
+	if sum > 1 {
+		panic("chaos: fault probabilities sum past 1")
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 100 * time.Millisecond
+	}
+	if cfg.Base == nil {
+		cfg.Base = http.DefaultTransport
+	}
+	return &Transport{cfg: cfg}
+}
+
+// splitmix64 is the splitmix64 finalizer: a cheap, well-mixed bijection
+// on 64-bit words (same construction the cluster ring uses).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a 64-bit word onto [0, 1) with 53 bits of precision.
+func unit(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}
+
+// FaultAt reports the schedule's decision for matched-request index
+// idx: the fault class and, for FaultDelay, the injected duration. It
+// is a pure function of (Config.Seed, idx), so tests can precompute
+// the exact fault sequence a run will see.
+func (t *Transport) FaultAt(idx uint64) (Fault, time.Duration) {
+	u := unit(splitmix64(t.cfg.Seed ^ splitmix64(idx+1)))
+	c := t.cfg
+	switch {
+	case u < c.Drop:
+		return FaultDrop, 0
+	case u < c.Drop+c.Reset:
+		return FaultReset, 0
+	case u < c.Drop+c.Reset+c.Delay:
+		frac := unit(splitmix64(t.cfg.Seed ^ splitmix64(idx+1) ^ 0xD1B54A32D192ED03))
+		d := time.Duration(frac * float64(c.MaxDelay))
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		return FaultDelay, d
+	case u < c.Drop+c.Reset+c.Delay+c.P5xx:
+		return Fault5xx, 0
+	case u < c.Drop+c.Reset+c.Delay+c.P5xx+c.P429:
+		return Fault429, 0
+	}
+	return FaultNone, 0
+}
+
+// Stats snapshots the injection counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Requests:    t.idx.Load(),
+		Drops:       t.drops.Load(),
+		Resets:      t.resets.Load(),
+		Delays:      t.delays.Load(),
+		Injected5xx: t.n5xx.Load(),
+		Injected429: t.n429.Load(),
+	}
+}
+
+// errInjected marks transport errors synthesized by chaos injection so
+// test logs read unambiguously.
+type errInjected struct {
+	fault Fault
+	url   string
+}
+
+func (e errInjected) Error() string {
+	return fmt.Sprintf("chaos: injected %s (%s)", e.fault, e.url)
+}
+
+// IsInjected reports whether err (or anything it wraps) was synthesized
+// by a chaos Transport, so tests can tell injected faults from real
+// transport failures.
+func IsInjected(err error) bool {
+	var e errInjected
+	return errors.As(err, &e)
+}
+
+// RoundTrip implements http.RoundTripper: matched requests roll against
+// the fault schedule at the next index; unmatched requests pass through
+// to the base transport untouched.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.cfg.Match != nil && !t.cfg.Match(req) {
+		return t.cfg.Base.RoundTrip(req)
+	}
+	idx := t.idx.Add(1) - 1
+	fault, delay := t.FaultAt(idx)
+	switch fault {
+	case FaultDrop:
+		t.drops.Add(1)
+		return nil, errInjected{FaultDrop, req.URL.String()}
+	case FaultReset:
+		resp, err := t.cfg.Base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		t.resets.Add(1)
+		return nil, errInjected{FaultReset, req.URL.String()}
+	case FaultDelay:
+		t.delays.Add(1)
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.cfg.Base.RoundTrip(req)
+	case Fault5xx:
+		t.n5xx.Add(1)
+		return synthetic(req, http.StatusBadGateway), nil
+	case Fault429:
+		t.n429.Add(1)
+		return synthetic(req, http.StatusTooManyRequests), nil
+	}
+	return t.cfg.Base.RoundTrip(req)
+}
+
+// synthetic builds an in-memory response carrying an injected status,
+// shaped like the JSON errors quditd itself emits.
+func synthetic(req *http.Request, status int) *http.Response {
+	body := fmt.Sprintf("{\"error\":\"chaos: injected %d\"}", status)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,327 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the Fleet test's target process: when
+// CHAOS_HELPER_HTTP names a listen address, the test binary serves a
+// trivial readiness endpoint there instead of running tests, exiting
+// cleanly on SIGTERM. This is how the Fleet harness is exercised
+// without building an external binary.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("CHAOS_HELPER_HTTP"); addr != "" {
+		helperMain(addr)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// helperMain is the re-exec'd process body: a one-route HTTP server
+// that exits 0 on SIGTERM (so Stop observes a graceful shutdown).
+func helperMain(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	srv.Close()
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.1, Reset: 0.1, Delay: 0.2, P5xx: 0.1, P429: 0.1, MaxDelay: 80 * time.Millisecond}
+	a, b := NewTransport(cfg), NewTransport(cfg)
+	seen := make(map[Fault]int)
+	for i := uint64(0); i < 4096; i++ {
+		fa, da := a.FaultAt(i)
+		fb, db := b.FaultAt(i)
+		if fa != fb || da != db {
+			t.Fatalf("schedule diverged at %d: %v/%v vs %v/%v", i, fa, da, fb, db)
+		}
+		if fa == FaultDelay {
+			if da <= 0 || da > cfg.MaxDelay {
+				t.Fatalf("delay at %d out of (0, MaxDelay]: %v", i, da)
+			}
+		}
+		seen[fa]++
+	}
+	// Every class must actually occur, and the empirical rates must be
+	// in the right ballpark (these are fixed numbers for a fixed seed,
+	// not a statistical test).
+	for _, f := range []Fault{FaultNone, FaultDrop, FaultReset, FaultDelay, Fault5xx, Fault429} {
+		if seen[f] == 0 {
+			t.Fatalf("fault class %v never drawn in 4096 indices", f)
+		}
+	}
+	if none := seen[FaultNone]; none < 4096*3/10 || none > 4096*6/10 {
+		t.Fatalf("FaultNone rate implausible: %d/4096", none)
+	}
+}
+
+func TestFaultScheduleVariesWithSeed(t *testing.T) {
+	a := NewTransport(Config{Seed: 1, Drop: 0.5})
+	b := NewTransport(Config{Seed: 2, Drop: 0.5})
+	same := 0
+	for i := uint64(0); i < 256; i++ {
+		fa, _ := a.FaultAt(i)
+		fb, _ := b.FaultAt(i)
+		if fa == fb {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestNewTransportRejectsBadProbabilities(t *testing.T) {
+	for _, cfg := range []Config{
+		{Drop: 0.6, Reset: 0.6},
+		{Delay: -0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewTransport(%+v) did not panic", cfg)
+				}
+			}()
+			NewTransport(cfg)
+		}()
+	}
+}
+
+// faultFor scans the schedule for the first index drawing the wanted
+// class, so behavior tests can aim one request at one fault exactly.
+func faultFor(t *testing.T, tr *Transport, want Fault) uint64 {
+	t.Helper()
+	for i := uint64(0); i < 1<<16; i++ {
+		if f, _ := tr.FaultAt(i); f == want {
+			return i
+		}
+	}
+	t.Fatalf("no %v in the first 65536 indices", want)
+	return 0
+}
+
+func TestTransportFaultBehavior(t *testing.T) {
+	var served atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		fmt.Fprintln(w, "real")
+	}))
+	defer ts.Close()
+
+	cfg := Config{Seed: 7, Drop: 0.2, Reset: 0.2, Delay: 0.2, P5xx: 0.2, P429: 0.2, MaxDelay: 5 * time.Millisecond}
+	tr := NewTransport(cfg)
+	client := &http.Client{Transport: tr}
+
+	// Walk the schedule one request at a time; the index counter and
+	// the loop index stay in lockstep because requests are sequential.
+	wantAll := map[Fault]bool{FaultDrop: false, FaultReset: false, Fault5xx: false, Fault429: false, FaultDelay: false}
+	for i := uint64(0); i < 64; i++ {
+		fault, _ := tr.FaultAt(i)
+		before := served.Load()
+		resp, err := client.Get(ts.URL)
+		switch fault {
+		case FaultDrop:
+			if err == nil || !IsInjected(err) {
+				t.Fatalf("index %d: drop produced err=%v", i, err)
+			}
+			if served.Load() != before {
+				t.Fatalf("index %d: dropped request reached the server", i)
+			}
+		case FaultReset:
+			if err == nil || !IsInjected(err) {
+				t.Fatalf("index %d: reset produced err=%v", i, err)
+			}
+			if served.Load() != before+1 {
+				t.Fatalf("index %d: reset request did not reach the server", i)
+			}
+		case Fault5xx:
+			if err != nil || resp.StatusCode != http.StatusBadGateway {
+				t.Fatalf("index %d: want synthetic 502, got %v/%v", i, resp, err)
+			}
+			if served.Load() != before {
+				t.Fatalf("index %d: synthetic 502 touched the network", i)
+			}
+			resp.Body.Close()
+		case Fault429:
+			if err != nil || resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("index %d: want synthetic 429, got %v/%v", i, resp, err)
+			}
+			resp.Body.Close()
+		default: // FaultNone, FaultDelay: the real response comes back
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("index %d (%v): want 200, got %v/%v", i, fault, resp, err)
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if !strings.Contains(string(b), "real") {
+				t.Fatalf("index %d: body %q not from the real server", i, b)
+			}
+		}
+		if _, ok := wantAll[fault]; ok {
+			wantAll[fault] = true
+		}
+	}
+	for f, hit := range wantAll {
+		if !hit {
+			t.Errorf("fault %v never exercised in 64 requests (schedule too sparse for this seed)", f)
+		}
+	}
+	st := tr.Stats()
+	if st.Requests != 64 {
+		t.Fatalf("Stats.Requests = %d, want 64", st.Requests)
+	}
+	if st.Drops+st.Resets+st.Delays+st.Injected5xx+st.Injected429 == 0 {
+		t.Fatal("no injections counted")
+	}
+}
+
+func TestTransportMatchSkipsSchedule(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+	defer ts.Close()
+	tr := NewTransport(Config{Seed: 3, Drop: 1.0, Match: func(r *http.Request) bool {
+		return r.Method == http.MethodPost
+	}})
+	client := &http.Client{Transport: tr}
+	// GETs are unmatched: they must pass through and consume no index.
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("unmatched GET dropped: %v", err)
+		}
+		resp.Body.Close()
+	}
+	if st := tr.Stats(); st.Requests != 0 {
+		t.Fatalf("unmatched traffic consumed %d schedule indices", st.Requests)
+	}
+	// A POST is matched and (Drop=1) always dropped.
+	if _, err := client.Post(ts.URL, "text/plain", strings.NewReader("x")); !IsInjected(err) {
+		t.Fatalf("matched POST not dropped: %v", err)
+	}
+}
+
+func TestTransportDelayHonorsContext(t *testing.T) {
+	tr := NewTransport(Config{Seed: 5, Delay: 1.0, MaxDelay: 10 * time.Second})
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://127.0.0.1:1/never", nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay ignored cancellation; blocked %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Logf("error chain: %v (http wraps the context error)", err)
+	}
+}
+
+// freeAddr reserves a 127.0.0.1 port and releases it for a child
+// process to bind. Racy in principle, fine in practice for tests.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestFleetLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	addr := freeAddr(t)
+	f := NewFleet(os.Args[0])
+	f.Env = []string{"CHAOS_HELPER_HTTP=" + addr}
+	f.Dir = t.TempDir()
+	defer f.Close()
+
+	if err := f.Start("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start("h1"); err == nil {
+		t.Fatal("duplicate Start accepted")
+	}
+	url := "http://" + addr + "/healthz"
+	if err := WaitReady(url, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Running("h1") {
+		t.Fatal("h1 not reported running")
+	}
+	logPath := f.LogPath("h1")
+	if logPath == "" {
+		t.Fatal("no log path for h1")
+	}
+
+	// Graceful stop: the helper exits 0 on SIGTERM.
+	if err := f.Stop("h1", 5*time.Second); err != nil {
+		t.Fatalf("graceful stop: %v", err)
+	}
+	if f.Running("h1") {
+		t.Fatal("h1 still running after Stop")
+	}
+
+	// Restart under the same name, then crash it.
+	if err := f.Start("h1"); err != nil {
+		t.Fatalf("restart after stop: %v", err)
+	}
+	if err := WaitReady(url, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Kill("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Running("h1") {
+		t.Fatal("h1 still running after Kill")
+	}
+	if err := f.Kill("h1"); err == nil {
+		t.Fatal("Kill of a dead name succeeded")
+	}
+	if _, err := os.Stat(logPath); err != nil {
+		t.Fatalf("log file gone: %v", err)
+	}
+}
+
+func TestWaitReadyTimesOut(t *testing.T) {
+	start := time.Now()
+	err := WaitReady("http://127.0.0.1:1/healthz", 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("WaitReady overstayed its timeout")
+	}
+}

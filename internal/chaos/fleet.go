@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Fleet scripts real daemon processes for chaos scenarios: start a
+// coordinator and workers, SIGKILL one mid-sweep, restart it, join a
+// fresh worker — against the actual binary, not an in-process
+// stand-in. Each process's combined stdout/stderr is captured to a log
+// file under Dir for post-mortems. A Fleet is safe for concurrent use;
+// Close kills everything still running.
+type Fleet struct {
+	// Binary is the executable every Start launches (required).
+	Binary string
+	// Env is appended to os.Environ() for every process.
+	Env []string
+	// Dir receives per-process log files; empty selects os.TempDir().
+	Dir string
+
+	mu    sync.Mutex
+	procs map[string]*proc
+	seq   int
+}
+
+// proc is one managed process.
+type proc struct {
+	cmd  *exec.Cmd
+	log  string
+	wait chan error // closed result of cmd.Wait
+}
+
+// NewFleet builds a harness that launches binary.
+func NewFleet(binary string) *Fleet {
+	return &Fleet{Binary: binary, procs: make(map[string]*proc)}
+}
+
+// Start launches one process under the given name with the given
+// arguments. The name must not collide with a process still running;
+// after Kill or Stop the name is free again (that's how a coordinator
+// restart is scripted: Kill then Start with the same name).
+func (f *Fleet) Start(name string, args ...string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.procs == nil {
+		f.procs = make(map[string]*proc)
+	}
+	if _, ok := f.procs[name]; ok {
+		return fmt.Errorf("chaos: process %q already running", name)
+	}
+	dir := f.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f.seq++
+	logPath := filepath.Join(dir, fmt.Sprintf("%s.%d.log", name, f.seq))
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return fmt.Errorf("chaos: creating log for %q: %w", name, err)
+	}
+	cmd := exec.Command(f.Binary, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	cmd.Env = append(os.Environ(), f.Env...)
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return fmt.Errorf("chaos: starting %q: %w", name, err)
+	}
+	p := &proc{cmd: cmd, log: logPath, wait: make(chan error, 1)}
+	go func() {
+		p.wait <- cmd.Wait()
+		close(p.wait)
+		logFile.Close()
+	}()
+	f.procs[name] = p
+	return nil
+}
+
+// lookup fetches a managed process by name.
+func (f *Fleet) lookup(name string) (*proc, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.procs[name]
+	if p == nil {
+		return nil, fmt.Errorf("chaos: no process %q", name)
+	}
+	return p, nil
+}
+
+// forget drops a process entry so its name is reusable.
+func (f *Fleet) forget(name string) {
+	f.mu.Lock()
+	delete(f.procs, name)
+	f.mu.Unlock()
+}
+
+// Kill SIGKILLs a process — the crash scenario: no drain, no shutdown
+// hooks, the process just stops — and waits for the OS to reap it. The
+// name becomes reusable for a restart.
+func (f *Fleet) Kill(name string) error {
+	p, err := f.lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("chaos: killing %q: %w", name, err)
+	}
+	<-p.wait
+	f.forget(name)
+	return nil
+}
+
+// Stop sends SIGTERM — the graceful-shutdown path — and waits up to
+// timeout for the process to exit, escalating to SIGKILL on expiry. It
+// returns the process's exit error (nil for a clean exit 0).
+func (f *Fleet) Stop(name string, timeout time.Duration) error {
+	p, err := f.lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("chaos: signalling %q: %w", name, err)
+	}
+	select {
+	case werr := <-p.wait:
+		f.forget(name)
+		return werr
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		<-p.wait
+		f.forget(name)
+		return fmt.Errorf("chaos: %q ignored SIGTERM for %v; killed", name, timeout)
+	}
+}
+
+// Running reports whether a process with this name is currently
+// managed and has not exited.
+func (f *Fleet) Running(name string) bool {
+	p, err := f.lookup(name)
+	if err != nil {
+		return false
+	}
+	select {
+	case <-p.wait:
+		return false
+	default:
+		return true
+	}
+}
+
+// LogPath returns the capture file of a process's combined output, or
+// "" for an unknown name. The file outlives Kill/Stop for post-mortem
+// reads, but the entry is forgotten with the process — call before
+// killing.
+func (f *Fleet) LogPath(name string) string {
+	p, err := f.lookup(name)
+	if err != nil {
+		return ""
+	}
+	return p.log
+}
+
+// Close SIGKILLs every process still managed. Safe to call more than
+// once; meant for test cleanup.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	procs := f.procs
+	f.procs = make(map[string]*proc)
+	f.mu.Unlock()
+	for _, p := range procs {
+		p.cmd.Process.Kill()
+		<-p.wait
+	}
+}
+
+// WaitReady polls url with GET until it answers 200, the readiness
+// criterion for a just-started daemon, giving up when timeout elapses.
+func WaitReady(url string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	client := &http.Client{Timeout: time.Second}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("chaos: %s not ready after %v", url, timeout)
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}

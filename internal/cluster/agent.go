@@ -27,8 +27,16 @@ type AgentConfig struct {
 	// Interval overrides the heartbeat interval; zero accepts the
 	// coordinator's suggestion from the register response.
 	Interval time.Duration
+	// Timeout bounds each control round-trip to the coordinator when
+	// Client is nil. Default 10s; raise it for slow fleets or chaos
+	// delay-injection (Drain always runs on a timeout-free copy,
+	// bounded by its context instead).
+	Timeout time.Duration
+	// RetryInterval paces the registration retries StartAgent makes
+	// while worker and coordinator boot in some order. Default 500ms.
+	RetryInterval time.Duration
 	// Client is the HTTP client for control traffic; nil selects a
-	// client with a 10s timeout.
+	// client bounded by Timeout.
 	Client *http.Client
 	// Logger receives agent lifecycle lines; nil discards them.
 	Logger *log.Logger
@@ -56,8 +64,14 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.CoordinatorURL == "" || cfg.ID == "" || cfg.AdvertiseURL == "" {
 		return nil, errors.New("cluster: agent needs coordinator URL, id, and advertise URL")
 	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 500 * time.Millisecond
+	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+		cfg.Client = &http.Client{Timeout: cfg.Timeout}
 	}
 	a := &Agent{
 		cfg:    cfg,
@@ -70,7 +84,7 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 		if regErr = a.register(); regErr == nil {
 			break
 		}
-		time.Sleep(500 * time.Millisecond)
+		time.Sleep(cfg.RetryInterval)
 	}
 	if regErr != nil {
 		return nil, fmt.Errorf("cluster: registering with %s: %w", cfg.CoordinatorURL, regErr)

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// agentCoordinator is a scriptable fake coordinator control plane for
+// agent tests: per-route hooks decide each response, and atomic
+// counters record what the agent actually sent.
+type agentCoordinator struct {
+	ts *httptest.Server
+
+	registers   atomic.Int64
+	heartbeats  atomic.Int64
+	deregisters atomic.Int64
+
+	// onRegister/onHeartbeat/onDeregister return the status to send;
+	// nil hooks answer 200 with a default body.
+	onRegister   func(n int64) int
+	onHeartbeat  func(n int64) int
+	onDeregister func(r *http.Request) int
+}
+
+func newAgentCoordinator(t *testing.T) *agentCoordinator {
+	t.Helper()
+	c := &agentCoordinator{}
+	c.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/cluster/register":
+			n := c.registers.Add(1)
+			status := http.StatusOK
+			if c.onRegister != nil {
+				status = c.onRegister(n)
+			}
+			if status != http.StatusOK {
+				http.Error(w, `{"error":"scripted"}`, status)
+				return
+			}
+			json.NewEncoder(w).Encode(RegisterResponse{IntervalMS: 20, HeartbeatTTLMS: 100})
+		case "/v1/cluster/heartbeat":
+			n := c.heartbeats.Add(1)
+			status := http.StatusOK
+			if c.onHeartbeat != nil {
+				status = c.onHeartbeat(n)
+			}
+			if status != http.StatusOK {
+				http.Error(w, `{"error":"scripted"}`, status)
+				return
+			}
+			w.Write([]byte(`{}`))
+		case "/v1/cluster/deregister":
+			c.deregisters.Add(1)
+			status := http.StatusOK
+			if c.onDeregister != nil {
+				status = c.onDeregister(r)
+			}
+			if status != http.StatusOK {
+				http.Error(w, `{"error":"scripted"}`, status)
+				return
+			}
+			json.NewEncoder(w).Encode(DeregisterResponse{Collected: 1})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(c.ts.Close)
+	return c
+}
+
+func agentCfg(url string) AgentConfig {
+	return AgentConfig{
+		CoordinatorURL: url,
+		ID:             "w1",
+		AdvertiseURL:   "http://127.0.0.1:1",
+		RetryInterval:  5 * time.Millisecond,
+	}
+}
+
+func drain(t *testing.T, a *Agent) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestAgentConfigValidation: every required field missing is a
+// constructor error, not a later panic.
+func TestAgentConfigValidation(t *testing.T) {
+	for _, cfg := range []AgentConfig{
+		{ID: "w1", AdvertiseURL: "http://x"},
+		{CoordinatorURL: "http://x", AdvertiseURL: "http://x"},
+		{CoordinatorURL: "http://x", ID: "w1"},
+	} {
+		if _, err := StartAgent(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestAgentRegisterRetries: registration survives a coordinator that
+// boots after the worker — StartAgent retries on RetryInterval until
+// the register lands.
+func TestAgentRegisterRetries(t *testing.T) {
+	c := newAgentCoordinator(t)
+	c.onRegister = func(n int64) int {
+		if n <= 3 {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusOK
+	}
+	start := time.Now()
+	a, err := StartAgent(agentCfg(c.ts.URL))
+	if err != nil {
+		t.Fatalf("StartAgent after transient register failures: %v", err)
+	}
+	defer drain(t, a)
+	if got := c.registers.Load(); got != 4 {
+		t.Fatalf("registers = %d, want 4 (three failures then success)", got)
+	}
+	if elapsed := time.Since(start); elapsed < 3*5*time.Millisecond {
+		t.Fatalf("retries not paced: StartAgent returned in %v", elapsed)
+	}
+}
+
+// TestAgentRegisterGivesUp: a coordinator that never answers OK fails
+// StartAgent with a bounded retry budget instead of hanging forever.
+func TestAgentRegisterGivesUp(t *testing.T) {
+	c := newAgentCoordinator(t)
+	c.onRegister = func(int64) int { return http.StatusServiceUnavailable }
+	if _, err := StartAgent(agentCfg(c.ts.URL)); err == nil {
+		t.Fatal("StartAgent succeeded against a dead coordinator")
+	}
+	if got := c.registers.Load(); got != 10 {
+		t.Fatalf("registers = %d, want the 10-attempt budget", got)
+	}
+}
+
+// TestAgentHeartbeat404Reregisters: a 404 heartbeat means the
+// coordinator forgot this worker (reap or restart without checkpoint);
+// the agent must re-register rather than beat into the void.
+func TestAgentHeartbeat404Reregisters(t *testing.T) {
+	c := newAgentCoordinator(t)
+	c.onHeartbeat = func(n int64) int {
+		if n == 2 {
+			return http.StatusNotFound
+		}
+		return http.StatusOK
+	}
+	cfg := agentCfg(c.ts.URL)
+	cfg.Interval = 10 * time.Millisecond
+	a, err := StartAgent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, a)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.registers.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no re-register after 404 heartbeat (registers=%d heartbeats=%d)",
+				c.registers.Load(), c.heartbeats.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The loop keeps beating after the self-heal.
+	after := c.heartbeats.Load()
+	deadline = time.Now().Add(5 * time.Second)
+	for c.heartbeats.Load() == after {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat loop died after re-register")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAgentHeartbeatTransientErrorKeepsBeating: a 500 heartbeat is a
+// transient coordinator wobble — no re-register, no loop exit.
+func TestAgentHeartbeatTransientErrorKeepsBeating(t *testing.T) {
+	c := newAgentCoordinator(t)
+	c.onHeartbeat = func(n int64) int {
+		if n == 1 {
+			return http.StatusInternalServerError
+		}
+		return http.StatusOK
+	}
+	cfg := agentCfg(c.ts.URL)
+	cfg.Interval = 10 * time.Millisecond
+	a, err := StartAgent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, a)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.heartbeats.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat loop stalled after a transient 500")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.registers.Load(); got != 1 {
+		t.Fatalf("transient heartbeat error triggered re-register (registers=%d)", got)
+	}
+}
+
+// TestAgentDrainBlocksUntilCollected: Drain must not return before the
+// coordinator finished collecting this worker's results — that is the
+// contract letting a worker close its listener the moment Drain
+// returns. Later Drains are no-ops.
+func TestAgentDrainBlocksUntilCollected(t *testing.T) {
+	const collectTime = 150 * time.Millisecond
+	c := newAgentCoordinator(t)
+	c.onDeregister = func(*http.Request) int {
+		time.Sleep(collectTime) // the coordinator collecting results
+		return http.StatusOK
+	}
+	a, err := StartAgent(agentCfg(c.ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	drain(t, a)
+	if elapsed := time.Since(start); elapsed < collectTime {
+		t.Fatalf("Drain returned in %v, before the %v collection finished", elapsed, collectTime)
+	}
+	// Idempotent: a second Drain returns immediately without another
+	// deregister round-trip.
+	start = time.Now()
+	drain(t, a)
+	if elapsed := time.Since(start); elapsed > collectTime/2 {
+		t.Fatalf("second Drain blocked %v", elapsed)
+	}
+	if got := c.deregisters.Load(); got != 1 {
+		t.Fatalf("deregisters = %d, want exactly 1", got)
+	}
+	// And the heartbeat loop is down: no beats arrive after Drain.
+	quiesced := c.heartbeats.Load()
+	time.Sleep(50 * time.Millisecond)
+	if got := c.heartbeats.Load(); got != quiesced {
+		t.Fatalf("heartbeats continued after Drain (%d -> %d)", quiesced, got)
+	}
+}
+
+// TestAgentDrainHonorsContext: the drain blocks on the coordinator's
+// collection, so its context must be able to cut it loose — even
+// though the agent's own client timeout does not apply to Drain.
+func TestAgentDrainHonorsContext(t *testing.T) {
+	c := newAgentCoordinator(t)
+	release := make(chan struct{})
+	c.onDeregister = func(r *http.Request) int {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+		return http.StatusOK
+	}
+	defer close(release)
+	cfg := agentCfg(c.ts.URL)
+	cfg.Timeout = 50 * time.Millisecond // must NOT bound the drain
+	a, err := StartAgent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = a.Drain(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Drain returned nil though the coordinator never finished collecting")
+	}
+	// It outlived the client timeout (proving the timeout-free copy)
+	// and ended with the context.
+	if elapsed < 100*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("Drain ended after %v, want ~200ms context bound", elapsed)
+	}
+}

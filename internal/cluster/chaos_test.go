@@ -1,0 +1,875 @@
+package cluster
+
+// The fleet chaos suite: every scenario here disturbs a running fleet
+// — kill the coordinator, resize the ring mid-sweep, delay heartbeats
+// past their TTL, cut an SSE relay mid-stream — and then asserts the
+// one property the paper's dependability argument rests on: results
+// are byte-identical to an undisturbed standalone run, and no accepted
+// job is ever dropped. Faults are injected on chaos.Transport's seeded
+// splitmix64 schedule, so each scenario runs under several distinct
+// chaos seeds deterministically.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quditkit/internal/chaos"
+	"quditkit/internal/core"
+	"quditkit/internal/experiment"
+	"quditkit/internal/serve"
+)
+
+// chaosSeeds are the distinct fault-schedule seeds every scenario runs
+// under (the acceptance bar is at least three).
+var chaosSeeds = []uint64{11, 23, 47}
+
+// standaloneRef runs body to completion on a fresh standalone worker
+// and returns the result's canonical JSON bytes — the reference every
+// disturbed run must match exactly.
+func standaloneRef(t *testing.T, body string) []byte {
+	t.Helper()
+	w := newTestWorker(t, 1, serve.Config{})
+	view, status := postJob(t, w.ts.URL, body, true)
+	if status != http.StatusOK || view.State != "done" || view.Result == nil {
+		t.Fatalf("standalone reference run failed: status %d view %+v", status, view)
+	}
+	b, err := json.Marshal(view.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// resultBytes marshals a job view's result for byte comparison.
+func resultBytes(t *testing.T, view JobView) []byte {
+	t.Helper()
+	if view.Result == nil {
+		t.Fatalf("job %s has no result (state %q, err %q)", view.ID, view.State, view.Error)
+	}
+	b, err := json.Marshal(view.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// jobsPathOnly matches the dispatch POSTs a coordinator sends workers,
+// so chaos schedules stay independent of status polls and stats
+// scrapes.
+func jobsPathOnly(r *http.Request) bool {
+	return r.Method == http.MethodPost && r.URL.Path == "/v1/jobs"
+}
+
+// TestChaosCoordinatorDeathMidQueue crashes the coordinator with jobs
+// still in flight and restarts it from its checkpoint: every accepted
+// job must settle done on the successor with bytes identical to an
+// undisturbed standalone run — zero dropped jobs. The first
+// coordinator additionally dispatches through a chaos transport
+// (drops, resets, delays, 5xx on the seeded schedule), so the dispatch
+// retry/backoff path is exercised on the way in.
+func TestChaosCoordinatorDeathMidQueue(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ckpt := filepath.Join(t.TempDir(), "coord.ckpt")
+			clk := newFakeClock()
+			proc, err := core.NewCompactProcessor(2, 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Workers outlive the coordinator crash, exactly like real
+			// quditd workers whose coordinator dies.
+			wcfg := serve.Config{Shards: 1, BatchSize: 1, QueueDepth: 32}
+			w1 := newTestWorker(t, 1, wcfg)
+			w2 := newTestWorker(t, 1, wcfg)
+
+			tr := chaos.NewTransport(chaos.Config{
+				Seed: seed,
+				Drop: 0.10, Reset: 0.10, Delay: 0.15, P5xx: 0.05,
+				MaxDelay: 30 * time.Millisecond,
+				Match:    jobsPathOnly,
+			})
+			coord1, err := NewCoordinator(CoordinatorConfig{
+				Proc:            proc,
+				MonitorInterval: -1,
+				CheckpointPath:  ckpt,
+				DispatchRetries: 6,
+				DispatchBackoff: 5 * time.Millisecond,
+				Client:          &http.Client{Timeout: 30 * time.Second, Transport: tr},
+				now:             clk.Now,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord1.Register("w1", w1.ts.URL)
+			coord1.Register("w2", w2.ts.URL)
+			ts1 := httptest.NewServer(Handler(coord1))
+
+			base := int64(seed) * 1000
+			// Two fast jobs settle before the crash...
+			for i := int64(0); i < 2; i++ {
+				body := ghzBody(64, base+i)
+				ref := standaloneRef(t, body)
+				view, status := postJob(t, ts1.URL, body, true)
+				if status != http.StatusOK || view.State != "done" {
+					t.Fatalf("fast job %d: status %d view %+v", i, status, view)
+				}
+				if got := resultBytes(t, view); string(got) != string(ref) {
+					t.Fatalf("fast job %d: fleet bytes diverge from standalone\nfleet: %s\nref:   %s", i, got, ref)
+				}
+			}
+			// ...four slow jobs are still queued or running when it dies.
+			var slowIDs []string
+			var slowBodies []string
+			for i := int64(2); i < 6; i++ {
+				body := ghzBody(25000, base+i)
+				slowBodies = append(slowBodies, body)
+				view, status := postJob(t, ts1.URL, body, false)
+				if status != http.StatusOK && status != http.StatusAccepted {
+					t.Fatalf("slow job %d: status %d view %+v", i, status, view)
+				}
+				slowIDs = append(slowIDs, view.ID)
+			}
+			if st := tr.Stats(); st.Requests == 0 {
+				t.Fatal("chaos transport never saw a dispatch (Match broken?)")
+			}
+
+			// Crash: the server vanishes, the monitor dies, nothing is
+			// flushed beyond what the checkpoint already holds.
+			ts1.Close()
+			coord1.Close()
+
+			// Restart from the checkpoint (clean transport: the replay
+			// itself is what's under test here).
+			coord2, err := NewCoordinator(CoordinatorConfig{
+				Proc:            proc,
+				MonitorInterval: -1,
+				CheckpointPath:  ckpt,
+				now:             clk.Now,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord2.Close()
+			ts2 := httptest.NewServer(Handler(coord2))
+			defer ts2.Close()
+
+			for i, id := range slowIDs {
+				view, status := getJob(t, ts2.URL, id, true)
+				if status != http.StatusOK || view.State != "done" {
+					t.Fatalf("job %s after restart: status %d state %q err %q", id, status, view.State, view.Error)
+				}
+				ref := standaloneRef(t, slowBodies[i])
+				if got := resultBytes(t, view); string(got) != string(ref) {
+					t.Fatalf("job %s: bytes diverge after coordinator replay\nfleet: %s\nref:   %s", id, got, ref)
+				}
+			}
+			// The restored ID counter never reissues a live ID.
+			again, _ := postJob(t, ts2.URL, ghzBody(64, base+6), true)
+			for _, id := range slowIDs {
+				if again.ID == id {
+					t.Fatalf("restarted coordinator reissued job ID %s", id)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosResizeMidSweep resizes the ring — a fresh worker joins and
+// an original one drains — while a /v1/sweeps RB sweep is running, and
+// asserts the sweep completes with zero failed cells and an aggregate
+// byte-identical to the same sweep on an undisturbed standalone node.
+func TestChaosResizeMidSweep(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			req := experiment.SweepRequest{
+				Kind:    experiment.KindRB,
+				Backend: "trajectory",
+				Shots:   4096,
+				Seed:    int64(seed),
+				Noise:   &serve.NoiseSpec{Depol1: 0.04},
+				RB:      &experiment.RBSpec{Dim: 3, Lengths: []int{1, 2, 4, 8}, Sequences: 3},
+			}
+
+			// Undisturbed reference: the same sweep through a standalone
+			// node's in-process runner.
+			ref := newTestWorker(t, 1, serve.Config{})
+			mgrRef, err := experiment.NewManager(experiment.ServeRunner{Service: ref.svc}, experiment.Config{Parallel: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mgrRef.Close()
+			refID, err := mgrRef.Submit(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			refView, err := mgrRef.Await(ctx, refID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refView.FailedCells != 0 || refView.Aggregate == nil {
+				t.Fatalf("reference sweep broken: %+v", refView)
+			}
+			refAgg, _ := json.Marshal(refView.Aggregate)
+
+			// The fleet under chaos: two slow workers, resize mid-sweep.
+			f := newFleet(t, serve.Config{Shards: 1, BatchSize: 1}, "w1", "w2")
+			mgr, err := experiment.NewManager(f.coord, experiment.Config{Parallel: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mgr.Close()
+			id, err := mgr.Submit(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Wait for the sweep to be genuinely mid-flight...
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				view, err := mgr.Status(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if view.SettledCells >= 2 || view.State != experiment.SweepRunning {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("sweep never settled its first cells")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			// ...then resize: w3 joins, w1 drains out.
+			w3 := newTestWorker(t, 1, serve.Config{Shards: 1, BatchSize: 1})
+			f.coord.Register("w3", w3.ts.URL)
+			if _, _, err := f.coord.Drain("w1"); err != nil {
+				t.Fatal(err)
+			}
+
+			view, err := mgr.Await(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if view.State != experiment.SweepCompleted {
+				t.Fatalf("sweep state %q after resize", view.State)
+			}
+			if view.FailedCells != 0 || view.CancelledCells != 0 || view.DoneCells != view.TotalCells {
+				t.Fatalf("cells dropped across resize: %+v", view)
+			}
+			if view.AggregateError != "" || view.Aggregate == nil {
+				t.Fatalf("aggregate missing after resize: %+v", view)
+			}
+			agg, _ := json.Marshal(view.Aggregate)
+			if string(agg) != string(refAgg) {
+				t.Fatalf("aggregate bytes diverge across resize\nfleet: %s\nref:   %s", agg, refAgg)
+			}
+			// The drain really removed w1 from the registry.
+			stats := f.coord.Stats()
+			for _, row := range stats.Workers {
+				if row.ID == "w1" {
+					t.Fatal("drained worker still registered")
+				}
+			}
+		})
+	}
+}
+
+// TestChaosHeartbeatExpiryUnderDelay injects seeded delays and drops
+// into a real agent's heartbeats until the coordinator's TTL reaps the
+// worker, then asserts the 404→re-register self-heal brings it back
+// and the fleet still produces byte-identical results. This scenario
+// runs on the real clock: the TTL expiry under transport delay IS the
+// system under test.
+func TestChaosHeartbeatExpiryUnderDelay(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			proc, err := core.NewCompactProcessor(2, 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord, err := NewCoordinator(CoordinatorConfig{
+				Proc:            proc,
+				HeartbeatTTL:    150 * time.Millisecond,
+				MonitorInterval: 40 * time.Millisecond,
+				DispatchRetries: 8,
+				DispatchBackoff: 10 * time.Millisecond,
+				MaxRequeues:     10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord.Close()
+			var registrations atomic.Int64
+			h := Handler(coord)
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodPost && r.URL.Path == "/v1/cluster/register" {
+					registrations.Add(1)
+				}
+				h.ServeHTTP(w, r)
+			}))
+			defer ts.Close()
+
+			w1 := newTestWorker(t, 1, serve.Config{})
+			tr := chaos.NewTransport(chaos.Config{
+				Seed: seed,
+				Drop: 0.35, Delay: 0.30,
+				MaxDelay: 500 * time.Millisecond,
+				Match: func(r *http.Request) bool {
+					return r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/v1/cluster/heartbeat")
+				},
+			})
+			agent, err := StartAgent(AgentConfig{
+				CoordinatorURL: ts.URL,
+				ID:             "w1",
+				AdvertiseURL:   w1.ts.URL,
+				Interval:       30 * time.Millisecond,
+				RetryInterval:  20 * time.Millisecond,
+				Client:         &http.Client{Timeout: 2 * time.Second, Transport: tr},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				agent.Drain(ctx)
+			}()
+
+			// The seeded schedule must eventually hold beats past the
+			// TTL: the worker gets reaped, its next beat 404s, and the
+			// agent re-registers.
+			deadline := time.Now().Add(20 * time.Second)
+			for registrations.Load() < 2 {
+				if time.Now().After(deadline) {
+					t.Fatalf("no reap+re-register after 20s (registrations=%d, chaos=%+v)",
+						registrations.Load(), tr.Stats())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			// Wait for the self-healed worker to be live again...
+			for {
+				alive := false
+				for _, row := range coord.Stats().Workers {
+					if row.ID == "w1" && row.Alive && !row.Draining {
+						alive = true
+					}
+				}
+				if alive {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("worker never came back alive after re-register")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			// ...and prove the fleet still computes the right bytes.
+			body := ghzBody(128, int64(seed)*1000+77)
+			ref := standaloneRef(t, body)
+			view, status := postJob(t, ts.URL, body, true)
+			if status != http.StatusOK || view.State != "done" {
+				t.Fatalf("post-heal job: status %d view %+v", status, view)
+			}
+			if got := resultBytes(t, view); string(got) != string(ref) {
+				t.Fatalf("post-heal bytes diverge\nfleet: %s\nref:   %s", got, ref)
+			}
+		})
+	}
+}
+
+// TestChaosSSEWatchSurvivesRequeue cuts the coordinator's SSE relay to
+// the owning worker mid-stream: the subscriber must see a "requeued"
+// event and then the terminal event from the replacement worker, with
+// result bytes identical to an undisturbed standalone run — one
+// subscription surviving the failover end to end.
+func TestChaosSSEWatchSurvivesRequeue(t *testing.T) {
+	cfg := serve.Config{Shards: 1, QueueDepth: 16, BatchSize: 1}
+	f := newFleet(t, cfg, "w1", "w2")
+	// A blocker pins w2's only shard so the watched job stays queued
+	// there long enough for the stream cut to land mid-wait.
+	blocker, s := f.bodyOwnedBy(t, "w2", 40000, 500)
+	watched, _ := f.bodyOwnedBy(t, "w2", 96, s+1)
+	ref := standaloneRef(t, watched)
+
+	if _, status := postJob(t, f.ts.URL, blocker, false); status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("blocker status %d", status)
+	}
+	wv, status := postJob(t, f.ts.URL, watched, false)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		t.Fatalf("watched status %d", status)
+	}
+
+	resp, err := http.Get(f.ts.URL + "/v1/jobs/" + wv.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	evc := make(chan sseEvent, 64)
+	go func() {
+		defer close(evc)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		cur := sseEvent{}
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				cur.name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				if cur.data != "" {
+					evc <- cur
+				}
+				cur = sseEvent{}
+			}
+		}
+	}()
+	recv := func(why string) (sseEvent, bool) {
+		select {
+		case ev, ok := <-evc:
+			return ev, ok
+		case <-time.After(60 * time.Second):
+			t.Fatalf("timed out waiting for %s", why)
+			return sseEvent{}, false
+		}
+	}
+
+	// First frame confirms the relay is attached to w2's stream; then
+	// the chaos: cut every connection into w2, relay included.
+	first, ok := recv("first relayed event")
+	if !ok {
+		t.Fatal("stream closed before any event")
+	}
+	var firstEv serve.Event
+	if err := json.Unmarshal([]byte(first.data), &firstEv); err != nil {
+		t.Fatalf("bad first event %q: %v", first.data, err)
+	}
+	f.workers["w2"].ts.CloseClientConnections()
+
+	sawRequeued := false
+	var last serve.Event
+	for {
+		ev, ok := recv("requeued + terminal events")
+		if !ok {
+			break // stream ended after the terminal frame
+		}
+		if ev.name == "requeued" {
+			sawRequeued = true
+			var move struct {
+				Worker string `json:"worker"`
+			}
+			if err := json.Unmarshal([]byte(ev.data), &move); err != nil || move.Worker != "w1" {
+				t.Fatalf("requeued event %q (err %v), want move to w1", ev.data, err)
+			}
+			continue
+		}
+		if err := json.Unmarshal([]byte(ev.data), &last); err != nil {
+			t.Fatalf("bad event %q: %v", ev.data, err)
+		}
+	}
+	if !sawRequeued {
+		t.Fatal("subscriber never saw the requeued event")
+	}
+	if last.State != "done" || last.Result == nil {
+		t.Fatalf("terminal event %+v", last)
+	}
+	got, _ := json.Marshal(last.Result)
+	if string(got) != string(ref) {
+		t.Fatalf("streamed result bytes diverge across requeue\nfleet: %s\nref:   %s", got, ref)
+	}
+}
+
+// TestCheckpointRoundTrip pins the checkpoint contract: unsettled jobs
+// and registered workers survive a restart byte-for-byte (IDs,
+// payloads, routing), settled views are deliberately forgotten, and
+// the ID counter never reissues. A corrupt checkpoint fails loudly.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "coord.ckpt")
+	clk := newFakeClock()
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Coordinator {
+		c, err := NewCoordinator(CoordinatorConfig{
+			Proc: proc, MonitorInterval: -1, CheckpointPath: ckpt, now: clk.Now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	coord1 := mk()
+	w1 := newTestWorker(t, 1, serve.Config{Shards: 1, BatchSize: 1})
+	coord1.Register("w1", w1.ts.URL)
+	ts1 := httptest.NewServer(Handler(coord1))
+
+	// The fast job settles first (waiting on it after the slow one would
+	// block behind it on the single shard and settle both); the slow job
+	// is still unsettled when the checkpoint is read.
+	fast := ghzBody(16, 8)
+	fv, fstatus := postJob(t, ts1.URL, fast, true)
+	if fstatus != http.StatusOK || fv.State != "done" {
+		t.Fatalf("fast job: %d %+v", fstatus, fv)
+	}
+	slow := ghzBody(30000, 7)
+	sv, _ := postJob(t, ts1.URL, slow, false)
+
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap checkpointFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != checkpointVersion || len(snap.Workers) != 1 || snap.Workers[0].ID != "w1" {
+		t.Fatalf("checkpoint snapshot %+v", snap)
+	}
+	var foundSlow bool
+	for _, j := range snap.Jobs {
+		if j.ID == fv.ID {
+			t.Fatal("settled job persisted in checkpoint")
+		}
+		if j.ID == sv.ID {
+			foundSlow = true
+			if string(j.Payload) != slow {
+				t.Fatalf("payload not verbatim:\nckpt: %s\nsent: %s", j.Payload, slow)
+			}
+			if j.Worker != "w1" || j.Remote == "" {
+				t.Fatalf("routing not persisted: %+v", j)
+			}
+		}
+	}
+	if !foundSlow {
+		t.Fatalf("unsettled job %s missing from checkpoint", sv.ID)
+	}
+
+	ts1.Close()
+	coord1.Close()
+
+	coord2 := mk()
+	defer coord2.Close()
+	if got := coord2.workerURL("w1"); got != w1.ts.URL {
+		t.Fatalf("restored worker URL %q, want %q", got, w1.ts.URL)
+	}
+	ts2 := httptest.NewServer(Handler(coord2))
+	defer ts2.Close()
+	view, status := getJob(t, ts2.URL, sv.ID, true)
+	if status != http.StatusOK || view.State != "done" {
+		t.Fatalf("restored job: status %d view %+v", status, view)
+	}
+	if _, status := getJob(t, ts2.URL, fv.ID, false); status != http.StatusNotFound {
+		t.Fatalf("settled pre-crash job answered %d after restart, want 404", status)
+	}
+	nv, _ := postJob(t, ts2.URL, ghzBody(16, 9), true)
+	if nv.ID == sv.ID || nv.ID == fv.ID {
+		t.Fatalf("restored coordinator reissued ID %s", nv.ID)
+	}
+
+	// Corrupt checkpoints must refuse to restore, not silently forget.
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{Proc: proc, MonitorInterval: -1, CheckpointPath: bad}); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestDispatchRetriesTransientErrors pins the retry policy: transient
+// 5xx from a worker is retried with backoff until it heals, while a
+// 4xx rejection fails on the first attempt.
+func TestDispatchRetriesTransientErrors(t *testing.T) {
+	clk := newFakeClock()
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newTestWorker(t, 1, serve.Config{})
+	h := serve.NewHandler(w.svc)
+	var posts atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(wr http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" && posts.Add(1) <= 2 {
+			http.Error(wr, `{"error":"transient"}`, http.StatusBadGateway)
+			return
+		}
+		h.ServeHTTP(wr, r)
+	}))
+	defer flaky.Close()
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Proc:            proc,
+		MonitorInterval: -1,
+		DispatchBackoff: 2 * time.Millisecond,
+		now:             clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.Register("w1", flaky.URL)
+	ts := httptest.NewServer(Handler(coord))
+	defer ts.Close()
+
+	view, status := postJob(t, ts.URL, ghzBody(64, 31), true)
+	if status != http.StatusOK || view.State != "done" {
+		t.Fatalf("submit through flaky worker: status %d view %+v", status, view)
+	}
+	if got := posts.Load(); got < 3 {
+		t.Fatalf("dispatch attempts = %d, want >= 3 (two 502s then success)", got)
+	}
+
+	// Permanent rejection: no retries burned.
+	var rejects atomic.Int32
+	reject := httptest.NewServer(http.HandlerFunc(func(wr http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			rejects.Add(1)
+			http.Error(wr, `{"error":"no"}`, http.StatusBadRequest)
+			return
+		}
+		h.ServeHTTP(wr, r)
+	}))
+	defer reject.Close()
+	coord2, err := NewCoordinator(CoordinatorConfig{
+		Proc:            proc,
+		MonitorInterval: -1,
+		DispatchBackoff: 2 * time.Millisecond,
+		now:             clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	coord2.Register("w1", reject.URL)
+	ts2 := httptest.NewServer(Handler(coord2))
+	defer ts2.Close()
+	if _, status := postJob(t, ts2.URL, ghzBody(64, 32), false); status != http.StatusBadGateway {
+		t.Fatalf("rejected dispatch surfaced %d", status)
+	}
+	if got := rejects.Load(); got != 1 {
+		t.Fatalf("permanent rejection retried: %d attempts", got)
+	}
+}
+
+// buildQuditd compiles the real daemon once per test binary for the
+// process-level scenario.
+func buildQuditd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "quditd")
+	cmd := exec.Command("go", "build", "-o", bin, "quditkit/cmd/quditd")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building quditd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestChaosProcessFleet runs the crash scenarios against real quditd
+// processes via chaos.Fleet: kill -9 the coordinator mid-queue and
+// restart it from its checkpoint, then kill -9 a worker and join a
+// fresh one during a running sweep — all results byte-identical to the
+// in-process standalone references, zero jobs or cells dropped.
+func TestChaosProcessFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real quditd processes")
+	}
+	bin := buildQuditd(t)
+	fl := chaos.NewFleet(bin)
+	fl.Dir = t.TempDir()
+	defer fl.Close()
+
+	addr := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := ln.Addr().String()
+		ln.Close()
+		return a
+	}
+	pc, p1, p2, p3 := addr(), addr(), addr(), addr()
+	ckpt := filepath.Join(t.TempDir(), "coord.ckpt")
+
+	coordArgs := []string{"-addr", pc, "-role", "coordinator", "-seed", "1",
+		"-checkpoint", ckpt, "-heartbeat-ttl", "2s"}
+	workerArgs := func(addr, id string) []string {
+		return []string{"-addr", addr, "-role", "worker", "-coordinator", "http://" + pc,
+			"-id", id, "-heartbeat", "200ms", "-seed", "1", "-shards", "1", "-batch", "1"}
+	}
+	if err := fl.Start("coord", coordArgs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.WaitReady("http://"+pc+"/v1/stats", 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Start("w1", workerArgs(p1, "w1")...); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Start("w2", workerArgs(p2, "w2")...); err != nil {
+		t.Fatal(err)
+	}
+	waitWorkers := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get("http://" + pc + "/v1/stats")
+			if err == nil {
+				var st Stats
+				alive := 0
+				if json.NewDecoder(resp.Body).Decode(&st) == nil {
+					for _, row := range st.Workers {
+						if row.Alive && !row.Draining {
+							alive++
+						}
+					}
+				}
+				resp.Body.Close()
+				if alive >= n {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fleet never reached %d live workers", n)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	waitWorkers(2)
+
+	// Phase 1: coordinator kill -9 mid-queue, restart from checkpoint.
+	var ids []string
+	var bodies []string
+	for i := int64(0); i < 3; i++ {
+		body := ghzBody(25000, 9000+i)
+		bodies = append(bodies, body)
+		view, status := postJob(t, "http://"+pc, body, false)
+		if status != http.StatusOK && status != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, status)
+		}
+		ids = append(ids, view.ID)
+	}
+	if err := fl.Kill("coord"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Start("coord", coordArgs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.WaitReady("http://"+pc+"/v1/stats", 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		view, status := getJob(t, "http://"+pc, id, true)
+		if status != http.StatusOK || view.State != "done" {
+			t.Fatalf("job %s after kill -9: status %d state %q err %q", id, status, view.State, view.Error)
+		}
+		ref := standaloneRef(t, bodies[i])
+		if got := resultBytes(t, view); string(got) != string(ref) {
+			t.Fatalf("job %s: bytes diverge after coordinator crash\ngot: %s\nref: %s", id, got, ref)
+		}
+	}
+
+	// Phase 2: kill -9 a worker and join a fresh one mid-sweep.
+	sweepBody := `{"kind":"rb","backend":"trajectory","shots":4096,"seed":11,` +
+		`"noise":{"depol1":0.04},"rb":{"dim":3,"lengths":[1,2,4,8],"sequences":4}}`
+	var sweepReq experiment.SweepRequest
+	if err := json.Unmarshal([]byte(sweepBody), &sweepReq); err != nil {
+		t.Fatal(err)
+	}
+	refWorker := newTestWorker(t, 1, serve.Config{})
+	mgrRef, err := experiment.NewManager(experiment.ServeRunner{Service: refWorker.svc}, experiment.Config{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgrRef.Close()
+	refID, err := mgrRef.Submit(sweepReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	refView, err := mgrRef.Await(ctx, refID)
+	if err != nil || refView.Aggregate == nil {
+		t.Fatalf("reference sweep: %v %+v", err, refView)
+	}
+	refAgg, _ := json.Marshal(refView.Aggregate)
+
+	resp, err := http.Post("http://"+pc+"/v1/sweeps", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sview experiment.SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&sview); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get("http://" + pc + "/v1/sweeps/" + sview.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur experiment.SweepView
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.SettledCells >= 2 || cur.State != experiment.SweepRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("process sweep never settled its first cells")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := fl.Kill("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Start("w3", workerArgs(p3, "w3")...); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Get("http://" + pc + "/v1/sweeps/" + sview.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final experiment.SweepView
+	err = json.NewDecoder(resp.Body).Decode(&final)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != experiment.SweepCompleted || final.FailedCells != 0 || final.DoneCells != final.TotalCells {
+		t.Fatalf("sweep after worker kill/join: %+v", final)
+	}
+	if final.Aggregate == nil || final.AggregateError != "" {
+		t.Fatalf("aggregate missing: %+v", final)
+	}
+	agg, _ := json.Marshal(final.Aggregate)
+	if string(agg) != string(refAgg) {
+		t.Fatalf("aggregate bytes diverge after worker kill/join\ngot: %s\nref: %s", agg, refAgg)
+	}
+
+	// Graceful teardown: workers drain cleanly through the coordinator.
+	if err := fl.Stop("w1", 30*time.Second); err != nil {
+		t.Fatalf("worker drain-stop: %v", err)
+	}
+	if err := fl.Stop("coord", 30*time.Second); err != nil {
+		t.Fatalf("coordinator stop: %v", err)
+	}
+}

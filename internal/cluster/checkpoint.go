@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// checkpointVersion guards the on-disk checkpoint format.
+const checkpointVersion = 1
+
+// checkpointFile is the coordinator's durable state: what a restarted
+// coordinator needs to replay its fleet instead of forgetting it. Only
+// recoverable state is persisted — registered workers (identity and
+// dispatch URL, not liveness clocks), unsettled job records (original
+// payload, routing, requeue count), and the ID counter (so a restart
+// never reissues a live job ID). Settled views are deliberately not
+// checkpointed: workers' content-addressed caches reproduce any result
+// byte-identically on demand, which is the cheaper durability.
+type checkpointFile struct {
+	Version int                `json:"version"`
+	NextID  uint64             `json:"next_id"`
+	Workers []checkpointWorker `json:"workers"`
+	Jobs    []checkpointJob    `json:"jobs"`
+}
+
+// checkpointWorker is one registered worker's durable identity.
+type checkpointWorker struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// checkpointJob is one unsettled job's durable record. Payload is the
+// original submission body, verbatim, so the restarted coordinator can
+// re-dispatch it exactly as the client sent it.
+type checkpointJob struct {
+	ID       string          `json:"id"`
+	Key      uint64          `json:"key"`
+	Payload  json.RawMessage `json:"payload"`
+	Worker   string          `json:"worker,omitempty"`
+	Remote   string          `json:"remote,omitempty"`
+	Requeues int             `json:"requeues"`
+}
+
+// checkpoint snapshots the coordinator's recoverable state and writes
+// it to CheckpointPath via atomic tmp+rename (readers and a crashed
+// writer always observe a complete file). No-op without a configured
+// path. Snapshot and write run under ckptMu, so concurrent callers
+// serialize and the file is never regressed by a stale snapshot.
+// Write failures are dropped: checkpointing rides hot paths (settle,
+// assign), and a transient disk error must not fail a job that the
+// fleet just executed correctly.
+func (c *Coordinator) checkpoint() {
+	if c.cfg.CheckpointPath == "" {
+		return
+	}
+	c.ckptMu.Lock()
+	defer c.ckptMu.Unlock()
+
+	c.mu.Lock()
+	snap := checkpointFile{Version: checkpointVersion, NextID: c.nextID}
+	for _, n := range c.workers {
+		if n.draining {
+			continue
+		}
+		snap.Workers = append(snap.Workers, checkpointWorker{ID: n.id, URL: n.url})
+	}
+	for _, rec := range c.jobs {
+		rec.mu.Lock()
+		if rec.settled == nil {
+			snap.Jobs = append(snap.Jobs, checkpointJob{
+				ID:       rec.id,
+				Key:      rec.key,
+				Payload:  json.RawMessage(rec.payload),
+				Worker:   rec.workerID,
+				Remote:   rec.remoteID,
+				Requeues: rec.requeues,
+			})
+		}
+		rec.mu.Unlock()
+	}
+	c.mu.Unlock()
+
+	// Stable ordering keeps checkpoint bytes a function of state, not
+	// of map iteration order.
+	sort.Slice(snap.Workers, func(i, j int) bool { return snap.Workers[i].ID < snap.Workers[j].ID })
+	sort.Slice(snap.Jobs, func(i, j int) bool { return snap.Jobs[i].ID < snap.Jobs[j].ID })
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	_ = writeAtomic(c.cfg.CheckpointPath, data)
+}
+
+// writeAtomic writes data to path through a same-directory temp file
+// and rename, so the file at path is always a complete checkpoint.
+func writeAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".quditd-ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	for _, err := range []error{werr, serr, cerr} {
+		if err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// restore loads the checkpoint at CheckpointPath into a fresh
+// coordinator: workers rejoin the ring with a fresh heartbeat grace
+// (one TTL to prove themselves before the monitor reaps them and
+// requeues their jobs), unsettled jobs keep their IDs and routing, and
+// the ID counter resumes past every issued ID. A missing file is a
+// cold start, not an error; a corrupt one fails loudly, because
+// silently discarding fleet state is the failure mode this file
+// exists to prevent.
+func (c *Coordinator) restore() error {
+	data, err := os.ReadFile(c.cfg.CheckpointPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("cluster: reading checkpoint %s: %w", c.cfg.CheckpointPath, err)
+	}
+	var snap checkpointFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("cluster: corrupt checkpoint %s: %w", c.cfg.CheckpointPath, err)
+	}
+	if snap.Version != checkpointVersion {
+		return fmt.Errorf("cluster: checkpoint %s is version %d, this coordinator speaks %d",
+			c.cfg.CheckpointPath, snap.Version, checkpointVersion)
+	}
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID = snap.NextID
+	for _, w := range snap.Workers {
+		n := &workerNode{id: w.ID, url: w.URL, lastBeat: now, assigned: make(map[string]*jobRecord)}
+		c.workers[w.ID] = n
+		c.ring.Add(w.ID)
+	}
+	for _, j := range snap.Jobs {
+		rec := &jobRecord{
+			id:       j.ID,
+			key:      j.Key,
+			payload:  []byte(j.Payload),
+			workerID: j.Worker,
+			remoteID: j.Remote,
+			requeues: j.Requeues,
+		}
+		c.jobs[j.ID] = rec
+		if n := c.workers[j.Worker]; n != nil {
+			n.assigned[j.ID] = rec
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -55,10 +56,32 @@ type CoordinatorConfig struct {
 	// mirroring serve.Config.RetainJobs. Zero selects 4096; negative
 	// retains everything.
 	RetainJobs int
+	// ControlTimeout bounds each control round-trip to a worker
+	// (dispatch, status proxy, cancel, stats scrape) when Client is
+	// nil. Default 30s. Raise it for slow fleets or chaos
+	// delay-injection; event streams and ?wait=1 proxies always run on
+	// a timeout-free copy bounded by the caller's context instead.
+	ControlTimeout time.Duration
+	// DispatchRetries bounds the additional dispatch rounds attempted
+	// after every candidate in a round failed transiently (transport
+	// error, 5xx, full queue). Rounds re-snapshot the ring, so a worker
+	// that re-registers mid-backoff is picked up. Default 3; negative
+	// disables retry.
+	DispatchRetries int
+	// DispatchBackoff is the first inter-round backoff; it doubles per
+	// round, capped at 1s, with ±50% jitter so a thundering herd of
+	// requeues does not re-converge on one worker. Default 50ms.
+	DispatchBackoff time.Duration
+	// CheckpointPath, when non-empty, persists the coordinator's
+	// recoverable state — registered workers, unsettled job records,
+	// and the ID counter — to this file (atomic tmp+rename on every
+	// mutation). NewCoordinator restores from it, so a restarted
+	// coordinator replays its fleet instead of forgetting it.
+	CheckpointPath string
 	// Client is the HTTP client used for worker traffic; nil selects a
-	// client with a 30s timeout. Event streams and ?wait=1 proxies use
-	// a timeout-free copy so long waits are bounded by the caller's
-	// context, not the transport.
+	// client bounded by ControlTimeout. Event streams and ?wait=1
+	// proxies use a timeout-free copy so long waits are bounded by the
+	// caller's context, not the transport.
 	Client *http.Client
 
 	// now is the clock, overridable by tests.
@@ -84,8 +107,20 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	case c.RetainJobs < 0:
 		c.RetainJobs = 0 // unlimited
 	}
+	if c.ControlTimeout <= 0 {
+		c.ControlTimeout = 30 * time.Second
+	}
+	switch {
+	case c.DispatchRetries == 0:
+		c.DispatchRetries = 3
+	case c.DispatchRetries < 0:
+		c.DispatchRetries = 0
+	}
+	if c.DispatchBackoff <= 0 {
+		c.DispatchBackoff = 50 * time.Millisecond
+	}
 	if c.Client == nil {
-		c.Client = &http.Client{Timeout: 30 * time.Second}
+		c.Client = &http.Client{Timeout: c.ControlTimeout}
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -148,6 +183,10 @@ type Coordinator struct {
 	nextID       uint64
 	closed       bool
 
+	// ckptMu serializes checkpoint snapshots+writes so the file on
+	// disk never regresses to a stale snapshot.
+	ckptMu sync.Mutex
+
 	stopMonitor chan struct{}
 	monitorDone chan struct{}
 
@@ -173,6 +212,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		workers:  make(map[string]*workerNode),
 		ring:     NewRing(cfg.VNodes),
 		jobs:     make(map[string]*jobRecord),
+	}
+	if cfg.CheckpointPath != "" {
+		if err := c.restore(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.MonitorInterval > 0 {
 		c.stopMonitor = make(chan struct{})
@@ -220,7 +264,6 @@ func (c *Coordinator) monitor() {
 // it).
 func (c *Coordinator) Register(id, url string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := c.workers[id]
 	if n == nil {
 		n = &workerNode{id: id, assigned: make(map[string]*jobRecord)}
@@ -230,6 +273,8 @@ func (c *Coordinator) Register(id, url string) {
 	n.draining = false
 	n.lastBeat = c.cfg.now()
 	c.ring.Add(id)
+	c.mu.Unlock()
+	c.checkpoint()
 }
 
 // Heartbeat refreshes a worker's liveness clock; false reports an
@@ -271,6 +316,9 @@ func (c *Coordinator) CheckWorkers(now time.Time) []string {
 	c.mu.Unlock()
 	for _, o := range orphaned {
 		c.requeue(o.rec, o.worker)
+	}
+	if len(dead) > 0 {
+		c.checkpoint()
 	}
 	return dead
 }
@@ -344,6 +392,7 @@ func (c *Coordinator) settle(rec *jobRecord, view *JobView) {
 		}
 	}
 	c.mu.Unlock()
+	c.checkpoint()
 }
 
 // assign points a record at a worker, maintaining the assigned sets.
@@ -370,6 +419,7 @@ func (c *Coordinator) assign(rec *jobRecord, workerID, remoteID string) bool {
 	}
 	n.assigned[rec.id] = rec
 	c.mu.Unlock()
+	c.checkpoint()
 	return true
 }
 
@@ -383,18 +433,67 @@ func (c *Coordinator) workerURL(id string) string {
 	return ""
 }
 
-// dispatch routes a record's payload to the owner of its key, spilling
-// along ring successors on queue-full backpressure. exclude names one
-// worker to skip (the one just observed failing). A worker's 4xx
-// rejection (other than 429) fails the dispatch outright — the fleet
-// validated the job once at the coordinator edge, so a per-worker
-// rejection would reject everywhere.
+// permanentError marks dispatch failures retrying cannot fix (a 4xx
+// rejection: the fleet validated once at the edge, so a per-worker
+// rejection would reject everywhere).
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// maxDispatchBackoff caps the doubling inter-round dispatch backoff.
+const maxDispatchBackoff = time.Second
+
+// sleepJitter sleeps for a uniformly jittered duration in [d/2, 3d/2),
+// decorrelating concurrent requeue storms.
+func sleepJitter(d time.Duration) {
+	time.Sleep(d/2 + time.Duration(rand.Int64N(int64(d))))
+}
+
+// dispatch routes a record's payload across the fleet, retrying rounds
+// of transient failure (transport errors, 5xx, full queues, an empty
+// ring) with capped exponential backoff + jitter up to DispatchRetries
+// extra rounds. Each round re-snapshots the ring, so workers that
+// (re-)register mid-backoff become candidates. A permanent rejection
+// fails immediately.
 func (c *Coordinator) dispatch(rec *jobRecord, exclude string) (serve.JobView, error) {
+	backoff := c.cfg.DispatchBackoff
+	excl := exclude
+	for round := 0; ; round++ {
+		view, err := c.dispatchOnce(rec, excl)
+		// Exclude the just-failed worker only on the first round: by the
+		// next one it has either been reaped (no longer a candidate) or
+		// re-registered (eligible again) — and a single-worker fleet must
+		// be able to re-dispatch to its only worker after it self-heals.
+		excl = ""
+		if err == nil {
+			return view, nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return serve.JobView{}, perm.err
+		}
+		if round >= c.cfg.DispatchRetries {
+			return serve.JobView{}, err
+		}
+		sleepJitter(backoff)
+		if backoff *= 2; backoff > maxDispatchBackoff {
+			backoff = maxDispatchBackoff
+		}
+	}
+}
+
+// dispatchOnce runs one dispatch round: route to the owner of the
+// record's key, spilling along ring successors on queue-full
+// backpressure. exclude names one worker to skip (the one just
+// observed failing). A worker's 4xx rejection (other than 429) returns
+// a permanentError.
+func (c *Coordinator) dispatchOnce(rec *jobRecord, exclude string) (serve.JobView, error) {
 	type candidate struct{ id, url string }
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return serve.JobView{}, ErrNoWorkers
+		return serve.JobView{}, permanentError{ErrNoWorkers}
 	}
 	ordered := c.ring.Successors(rec.key, c.ring.Len())
 	var cands []candidate
@@ -451,7 +550,7 @@ func (c *Coordinator) dispatch(rec *jobRecord, exclude string) (serve.JobView, e
 			lastErr = fmt.Errorf("cluster: worker %s queue full", w.id)
 			continue
 		case resp.StatusCode >= 400 && resp.StatusCode < 500:
-			return serve.JobView{}, fmt.Errorf("cluster: worker %s rejected job: %s", w.id, string(bytes.TrimSpace(body)))
+			return serve.JobView{}, permanentError{fmt.Errorf("cluster: worker %s rejected job: %s", w.id, string(bytes.TrimSpace(body)))}
 		default:
 			lastErr = fmt.Errorf("cluster: worker %s returned %d", w.id, resp.StatusCode)
 			continue

@@ -478,6 +478,7 @@ func (c *Coordinator) Drain(id string) (collected, requeued int, err error) {
 	c.mu.Lock()
 	delete(c.workers, id)
 	c.mu.Unlock()
+	c.checkpoint()
 	return collected, requeued, nil
 }
 

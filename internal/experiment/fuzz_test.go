@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+
+	"quditkit/internal/core"
+	"quditkit/internal/serve"
+)
+
+var fuzzProc = func() *core.Processor {
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	return proc
+}()
+
+// FuzzSweepRequest throws arbitrary bytes at the POST /v1/sweeps wire
+// decoder and asserts the sweep admission invariants: any request that
+// expands stays inside the cell budget, every expanded cell passes the
+// per-job admission the workers would apply, and expansion is
+// deterministic — the property that makes aggregates byte-identical
+// across fleet placements and requeues.
+func FuzzSweepRequest(f *testing.F) {
+	f.Add([]byte(`{"kind":"rb","backend":"trajectory","shots":256,"seed":7,"noise":{"depol1":0.02},"rb":{"dim":3,"lengths":[1,2,4],"sequences":2}}`))
+	f.Add([]byte(`{"kind":"qaoa","backend":"trajectory","shots":256,"qaoa":{"nodes":4,"chords":1,"colors":3,"gammas":{"values":[0.1,0.2]},"betas":{"from":0.1,"to":0.5,"n":3}}}`))
+	f.Add([]byte(`{"kind":"sqed","backend":"statevector","shots":1,"sqed":{"sites":2,"ell":1,"dt":0.1,"g2":1.0,"x":0.5,"steps":8}}`))
+	f.Add([]byte(`{"kind":"qrc","backend":"trajectory","shots":64,"qrc":{"length":40,"task":"narma2"}}`))
+	f.Add([]byte(`{"kind":"rb","shots":256,"rb":{"dim":3,"lengths":[1,1],"sequences":2}}`))
+	f.Add([]byte(`{"kind":"rb","shots":0,"rb":{"dim":99,"lengths":[1,2]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SweepRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // not wire-decodable: rejected with 400 at the edge
+		}
+		exp, err := expand(req, 0)
+		if err != nil {
+			return // rejected at admission — the safe outcome
+		}
+		if n := len(exp.cells); n == 0 || n > DefaultMaxCells {
+			t.Fatalf("accepted sweep expanded to %d cells (budget %d)", n, DefaultMaxCells)
+		}
+		if exp.agg == nil {
+			t.Fatal("accepted sweep has no aggregator")
+		}
+		// Every cell the sweep would dispatch must itself clear the
+		// per-job admission limits; a sweep must not smuggle a job the
+		// /v1/jobs edge would reject.
+		for i, c := range exp.cells {
+			if _, err := serve.BuildCircuit(c.job.Circuit); err != nil {
+				t.Fatalf("cell %d circuit fails job admission: %v", i, err)
+			}
+			if _, err := c.job.Options(fuzzProc); err != nil {
+				t.Fatalf("cell %d options fail job admission: %v", i, err)
+			}
+		}
+		// Determinism: expanding the same request again yields the same
+		// grid, cell for cell, byte for byte.
+		again, err := expand(req, 0)
+		if err != nil {
+			t.Fatalf("re-expansion of an accepted sweep failed: %v", err)
+		}
+		if len(again.cells) != len(exp.cells) {
+			t.Fatalf("re-expansion changed cell count: %d -> %d", len(exp.cells), len(again.cells))
+		}
+		for i := range exp.cells {
+			a, _ := json.Marshal(exp.cells[i].job)
+			b, _ := json.Marshal(again.cells[i].job)
+			if string(a) != string(b) {
+				t.Fatalf("cell %d not deterministic:\n%s\n%s", i, a, b)
+			}
+		}
+	})
+}

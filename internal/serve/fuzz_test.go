@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"quditkit/internal/core"
+)
+
+// fuzzProc is the processor the fuzz targets resolve options against;
+// option resolution only reads device metadata, so one shared instance
+// is safe across fuzz iterations.
+var fuzzProc = func() *core.Processor {
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	return proc
+}()
+
+// FuzzJobRequest throws arbitrary bytes at the POST /v1/jobs wire
+// decoder and asserts the admission invariant the daemon's memory
+// safety rests on: any request that passes BuildCircuit + Options is
+// inside every documented limit, and building it twice is
+// deterministic. Crashes and limit escapes are the findings.
+func FuzzJobRequest(f *testing.F) {
+	f.Add([]byte(`{"circuit":{"dims":[3,3,3],"ops":[{"gate":"dft","targets":[0]},{"gate":"csum","targets":[0,1]}]},"backend":"trajectory","noise":{"depol1":0.02},"shots":128,"seed":7}`))
+	f.Add([]byte(`{"circuit":{"dims":[2],"ops":[{"gate":"x","targets":[0]}]},"shots":1}`))
+	f.Add([]byte(`{"circuit":{"dims":[4,4],"ops":[{"gate":"givens","targets":[0],"theta":0.5,"levels":[0,1]}]},"backend":"density-matrix"}`))
+	f.Add([]byte(`{"circuit":{"dims":[3],"ops":[{"gate":"snap","targets":[0],"phases":[0,1,2]}]},"device":{"cavities":2,"modes":2,"level":1}}`))
+	f.Add([]byte(`{"circuit":{"dims":[65,2],"ops":[]},"shots":9999999}`))
+	f.Add([]byte(`{"circuit":{"dims":[3],"ops":[{"gate":"nope","targets":[0]}]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req JobRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // not wire-decodable: the handler rejects it with 400
+		}
+		circ, err := BuildCircuit(req.Circuit)
+		if err != nil {
+			return // rejected at admission — the safe outcome
+		}
+		// Accepted: every spec-level limit must hold.
+		if n := len(req.Circuit.Dims); n == 0 || n > MaxWires {
+			t.Fatalf("accepted circuit with %d wires (limit %d)", n, MaxWires)
+		}
+		for _, d := range req.Circuit.Dims {
+			if d < 2 || d > MaxWireDim {
+				t.Fatalf("accepted wire dimension %d (limit [2,%d])", d, MaxWireDim)
+			}
+		}
+		if n := len(req.Circuit.Ops); n > MaxOps {
+			t.Fatalf("accepted %d ops (limit %d)", n, MaxOps)
+		}
+		// Determinism: rebuilding the same spec yields the same circuit
+		// identity — the property every cache key and routing key
+		// derives from.
+		again, err := BuildCircuit(req.Circuit)
+		if err != nil {
+			t.Fatalf("rebuild of an accepted circuit failed: %v", err)
+		}
+		if core.Fingerprint(circ) != core.Fingerprint(again) {
+			t.Fatal("BuildCircuit is not deterministic for an accepted spec")
+		}
+		opts, err := req.Options(fuzzProc)
+		if err != nil {
+			return // option-level rejection is fine
+		}
+		if req.Shots < 0 || req.Shots > MaxShots {
+			t.Fatalf("accepted shots %d (limit [0,%d])", req.Shots, MaxShots)
+		}
+		if req.Workers > MaxWorkers {
+			t.Fatalf("accepted workers %d (limit %d)", req.Workers, MaxWorkers)
+		}
+		if req.Noise != nil && req.DeriveNoiseDim > 0 {
+			t.Fatal("accepted noise together with derive_noise_dim")
+		}
+		if core.OptionsDigest(opts...) != core.OptionsDigest(opts...) {
+			t.Fatal("OptionsDigest is not deterministic")
+		}
+	})
+}
+
+// FuzzDeviceSpec narrows the fuzz to the device stanza, whose routed
+// register is the daemon's largest allocation amplifier.
+func FuzzDeviceSpec(f *testing.F) {
+	f.Add([]byte(`{"cavities":2,"modes":2}`))
+	f.Add([]byte(`{"cavities":8,"modes":4,"level":2}`))
+	f.Add([]byte(`{"cavities":-1,"modes":1000}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec DeviceSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		circ := CircuitSpec{Dims: []int{3, 3}, Ops: []OpSpec{{Gate: "csum", Targets: []int{0, 1}}}}
+		if _, err := spec.options(circ); err != nil {
+			return
+		}
+		if spec.Cavities < 0 || spec.Cavities > MaxDeviceCavities {
+			t.Fatalf("accepted device with %d cavities (limit %d)", spec.Cavities, MaxDeviceCavities)
+		}
+	})
+}
