@@ -4,10 +4,11 @@
 // The default mode walks the given directory trees (default internal
 // and cmd) and fails when any Go package lacks a package comment. On
 // top of that, the trees named by -exported (default internal/cluster,
-// internal/serve, internal/core, internal/experiment, internal/chaos
-// — the service-surface packages an operator reads first) must carry a doc
-// comment on every exported top-level identifier: types, functions,
-// methods on exported types, and const/var groups.
+// internal/serve, internal/core, internal/experiment, internal/chaos,
+// internal/journal — the service-surface packages an operator reads
+// first) must carry a doc comment on every exported top-level
+// identifier: types, functions, methods on exported types, and
+// const/var groups.
 //
 // The -flagrefs mode cross-checks documentation against the binaries:
 // it collects every flag registered by the packages under cmd/ and
@@ -45,7 +46,7 @@ import (
 
 func main() {
 	fs := flag.NewFlagSet("docscheck", flag.ExitOnError)
-	exported := fs.String("exported", "internal/cluster,internal/serve,internal/core,internal/experiment,internal/chaos",
+	exported := fs.String("exported", "internal/cluster,internal/serve,internal/core,internal/experiment,internal/chaos,internal/journal",
 		"comma-separated trees whose exported identifiers must all carry doc comments")
 	flagrefs := fs.Bool("flagrefs", false,
 		"treat arguments as documentation files and fail on references to unregistered flags")

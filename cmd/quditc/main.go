@@ -29,12 +29,14 @@
 //
 //	quditc sweep [-addr URL] [-watch] [-json] [-timeout D] [sweep.json]
 //
-// Every watch survives dropped connections: the client reconnects
-// with the standard Last-Event-ID header and resumes where it left
-// off. Job and sweep state is held in server memory, so a restarted
-// node no longer knows the ID — that watch ends with a "stream lost"
-// error rather than hanging. -timeout bounds the total watch (0 waits
-// forever).
+// Every watch survives dropped connections — and daemon restarts: the
+// client retries refused reconnects with exponential backoff and
+// resumes with the standard Last-Event-ID header, so a quditd running
+// with -journal can crash and come back mid-watch without the client
+// noticing more than a pause. Against a daemon without a journal a
+// restart forgets the ID, and the watch ends with a "stream lost"
+// error rather than hanging. -timeout bounds the total watch across
+// reconnects (0 waits forever).
 package main
 
 import (
@@ -146,15 +148,27 @@ func runWatch(args []string, stdout io.Writer) error {
 	return watchJob(*addr, fs.Arg(0), *asJSON, *timeout, stdout)
 }
 
+// streamSSE reconnect pacing: dropped streams and refused connections
+// retry with exponential backoff so a watch rides out a daemon restart
+// (a journaled quditd replays unsettled IDs before it listens again)
+// without hammering the listen address while it is down.
+const (
+	reconnectBase = 250 * time.Millisecond
+	reconnectCap  = 5 * time.Second
+)
+
 // streamSSE follows a Server-Sent-Events endpoint until handle reports
 // the terminal event, reconnecting on dropped streams with the
 // standard Last-Event-ID header so already-seen events are not
 // replayed. Connection failures and non-200 answers on the first
 // attempt return immediately (the target is unreachable or unknown —
-// retrying cannot help); once a stream has been established, drops
-// retry until timeout (zero = forever), and a non-200 on a reconnect
-// reports the stream as lost (server-side state is in memory, so a
-// restart forgets the ID).
+// retrying cannot help); once a stream has been established, drops and
+// refused reconnects retry with exponential backoff until timeout
+// (zero = forever). A quditd running with -journal survives this loop:
+// its restart replays unsettled jobs and sweeps before listening, so
+// the resumed stream picks up after Last-Event-ID. A non-200 on a
+// reconnect still reports the stream as lost — the ID settled before
+// the crash or the daemon runs without a journal.
 func streamSSE(url string, timeout time.Duration, handle func(event, data string) bool) error {
 	ctx := context.Background()
 	if timeout > 0 {
@@ -164,6 +178,7 @@ func streamSSE(url string, timeout time.Duration, handle func(event, data string
 	}
 	lastID := ""
 	connected := false
+	delay := reconnectBase
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
@@ -180,19 +195,23 @@ func streamSSE(url string, timeout time.Duration, handle func(event, data string
 			if !connected {
 				return err
 			}
-			time.Sleep(500 * time.Millisecond)
+			if !sleepCtx(ctx, delay) {
+				return fmt.Errorf("watch timed out after %v", timeout)
+			}
+			delay = nextDelay(delay)
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
 			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
 			if connected {
-				return fmt.Errorf("stream lost: reconnect returned %d (the server restarted or pruned the id): %s",
+				return fmt.Errorf("stream lost: reconnect returned %d (the id settled before a restart, or the server runs without -journal): %s",
 					resp.StatusCode, strings.TrimSpace(string(raw)))
 			}
 			return fmt.Errorf("events returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
 		}
 		connected = true
+		delay = reconnectBase // healthy connection resets the backoff
 		terminal := consumeSSE(resp.Body, &lastID, handle)
 		resp.Body.Close()
 		if terminal {
@@ -203,7 +222,31 @@ func streamSSE(url string, timeout time.Duration, handle func(event, data string
 		}
 		// The stream dropped mid-flight; resume after the last seen
 		// event.
-		time.Sleep(500 * time.Millisecond)
+		if !sleepCtx(ctx, delay) {
+			return fmt.Errorf("watch timed out after %v", timeout)
+		}
+		delay = nextDelay(delay)
+	}
+}
+
+// nextDelay doubles a reconnect delay up to the cap.
+func nextDelay(d time.Duration) time.Duration {
+	if d *= 2; d > reconnectCap {
+		return reconnectCap
+	}
+	return d
+}
+
+// sleepCtx sleeps for d, cut short by ctx; it reports whether the full
+// wait elapsed (false = the watch budget ran out first).
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }
 

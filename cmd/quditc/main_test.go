@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -286,6 +288,94 @@ func TestStreamSSEReconnect(t *testing.T) {
 	}
 	if got := gotLastID.Load(); got != "0" {
 		t.Fatalf("reconnect sent Last-Event-ID %v, want 0", got)
+	}
+}
+
+// TestStreamSSESurvivesRestart kills the serving process's listener
+// entirely — reconnects are refused, not merely dropped — then brings a
+// new server up on the same port, exactly what a journaled quditd
+// restart looks like from the client side. The watch must ride out the
+// outage with backoff and resume via Last-Event-ID instead of failing.
+func TestStreamSSESurvivesRestart(t *testing.T) {
+	var conns atomic.Int32
+	firstServed := make(chan struct{})
+	var once sync.Once
+	srv1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if conns.Add(1) > 1 {
+			// Pre-restart retries: abort without a response so the
+			// client keeps treating the stream as dropped.
+			panic(http.ErrAbortHandler)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "id: 0\nevent: cell\ndata: {\"seq\":0}\n\n")
+		once.Do(func() { close(firstServed) })
+	}))
+	addr := srv1.Listener.Addr().String()
+	url := srv1.URL
+
+	var mu sync.Mutex
+	var seqs []int
+	done := make(chan error, 1)
+	go func() {
+		done <- streamSSE(url, 30*time.Second, func(event, data string) bool {
+			var ev struct {
+				Seq int `json:"seq"`
+			}
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Errorf("bad data %q: %v", data, err)
+			}
+			mu.Lock()
+			seqs = append(seqs, ev.Seq)
+			mu.Unlock()
+			return event == "sweep"
+		})
+	}()
+
+	<-firstServed
+	srv1.Close()
+	// Leave the port dark long enough for at least one refused
+	// reconnect before the "restarted daemon" comes back.
+	time.Sleep(600 * time.Millisecond)
+
+	var gotLastID atomic.Value
+	srv2 := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotLastID.Store(r.Header.Get("Last-Event-ID"))
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "id: 1\nevent: sweep\ndata: {\"seq\":1}\n\n")
+	}))
+	srv2.Listener.Close()
+	var (
+		ln  net.Listener
+		err error
+	)
+	for i := 0; i < 100; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	srv2.Listener = ln
+	srv2.Start()
+	defer srv2.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("watch did not survive the restart: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("watch hung across the restart")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 1 {
+		t.Fatalf("events %v, want [0 1]", seqs)
+	}
+	if got := gotLastID.Load(); got != "0" {
+		t.Fatalf("resume sent Last-Event-ID %v, want 0", got)
 	}
 }
 

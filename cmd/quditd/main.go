@@ -46,10 +46,21 @@
 //	                    -coordinator, heartbeats, and drains on
 //	                    shutdown (-advertise, -id, -heartbeat)
 //
-// quditd shuts down gracefully on SIGINT/SIGTERM: in-flight HTTP
-// requests and queued jobs drain before the process exits; a worker
-// first deregisters and waits for the coordinator to collect its
-// results.
+// quditd shuts down gracefully on SIGINT/SIGTERM: running sweeps are
+// cancelled and their cells settled while the listener still serves
+// watchers, then in-flight HTTP requests and queued jobs drain before
+// the process exits; a worker first deregisters and waits for the
+// coordinator to collect its results.
+//
+// With -journal DIR the daemon is crash-durable: every accepted job
+// and sweep is recorded in a write-ahead journal (internal/journal)
+// before the submitter hears an ID, and every settlement is recorded
+// after. A restart on the same directory replays unsettled work —
+// jobs re-enter the queue under their original IDs, sweeps re-run only
+// their unfinished cells — before the listener opens, so clients that
+// poll or stream by ID resume where they left off. A corrupt journal
+// (anything beyond a torn final record) fails startup loudly rather
+// than serving from partial state.
 package main
 
 import (
@@ -69,6 +80,7 @@ import (
 	"quditkit/internal/cluster"
 	"quditkit/internal/core"
 	"quditkit/internal/experiment"
+	"quditkit/internal/journal"
 	"quditkit/internal/serve"
 )
 
@@ -93,6 +105,7 @@ type options struct {
 	controlTimeout time.Duration
 	agentTimeout   time.Duration
 	checkpoint     string
+	journal        string
 
 	sweepParallel int
 }
@@ -121,6 +134,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.DurationVar(&o.controlTimeout, "control-timeout", 30*time.Second, "coordinator: per-request bound on control traffic to workers (dispatch, cancel, stats)")
 	fs.DurationVar(&o.agentTimeout, "agent-timeout", 10*time.Second, "worker: per-request bound on control traffic to the coordinator (register, heartbeat)")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "coordinator: state checkpoint file; restart replays registered workers and unsettled jobs from it (empty disables)")
+	fs.StringVar(&o.journal, "journal", "", "write-ahead journal directory; restart replays unsettled jobs and sweeps from it (empty disables)")
 	fs.IntVar(&o.sweepParallel, "sweep-parallel", 0, "cells one sweep keeps in flight (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -139,7 +153,8 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 }
 
 // newService builds the processor and job service the daemon fronts.
-func newService(o options) (*serve.Service, error) {
+// A non-nil jobs journal makes every wire-submitted job crash-durable.
+func newService(o options, jobs *journal.Journal) (*serve.Service, error) {
 	proc, err := core.NewCompactProcessor(o.cavities, o.modes, o.seed)
 	if err != nil {
 		return nil, fmt.Errorf("building processor: %w", err)
@@ -150,7 +165,33 @@ func newService(o options) (*serve.Service, error) {
 		BatchSize:  o.batch,
 		CacheSize:  o.cache,
 		RetainJobs: o.retain,
+		Journal:    jobs,
 	})
+}
+
+// openJournals prepares the daemon's durable state directory and opens
+// the journals the role needs: all roles journal sweeps; standalone and
+// worker nodes also journal jobs (a coordinator's job durability lives
+// in its -checkpoint file). Recovery is strict — anything beyond a torn
+// final record is a startup error, never silently partial state.
+func openJournals(o options) (jobs, sweeps *journal.Journal, jobsRec, sweepsRec journal.Recovery, err error) {
+	if err = os.MkdirAll(o.journal, 0o755); err != nil {
+		return nil, nil, journal.Recovery{}, journal.Recovery{}, fmt.Errorf("creating journal directory: %w", err)
+	}
+	if o.role != "coordinator" {
+		jobs, jobsRec, err = journal.Open(o.journal, "jobs")
+		if err != nil {
+			return nil, nil, journal.Recovery{}, journal.Recovery{}, fmt.Errorf("opening job journal: %w", err)
+		}
+	}
+	sweeps, sweepsRec, err = journal.Open(o.journal, "sweeps")
+	if err != nil {
+		if jobs != nil {
+			jobs.Close()
+		}
+		return nil, nil, journal.Recovery{}, journal.Recovery{}, fmt.Errorf("opening sweep journal: %w", err)
+	}
+	return jobs, sweeps, jobsRec, sweepsRec, nil
 }
 
 // run serves the API until ctx is cancelled, then shuts down
@@ -167,15 +208,51 @@ func run(ctx context.Context, o options, logger *log.Logger, ready chan<- net.Ad
 // simulator stack, plus (for workers) the cluster agent that makes it
 // part of a fleet.
 func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- net.Addr) error {
-	svc, err := newService(o)
+	var (
+		jobsJournal, sweepsJournal *journal.Journal
+		jobsRec, sweepsRec         journal.Recovery
+	)
+	if o.journal != "" {
+		var err error
+		jobsJournal, sweepsJournal, jobsRec, sweepsRec, err = openJournals(o)
+		if err != nil {
+			return err
+		}
+		// Closed last: settlements recorded while the queue drains
+		// during shutdown must still reach disk.
+		defer sweepsJournal.Close()
+		defer jobsJournal.Close()
+	}
+	svc, err := newService(o, jobsJournal)
 	if err != nil {
 		return err
 	}
+	if jobsJournal != nil {
+		n, err := svc.Replay(jobsRec)
+		if err != nil {
+			svc.Close()
+			return fmt.Errorf("replaying job journal: %w", err)
+		}
+		if n > 0 {
+			logger.Printf("quditd replayed %d unsettled job(s) from %s", n, o.journal)
+		}
+	}
 	mgr, err := experiment.NewManager(experiment.ServeRunner{Service: svc},
-		experiment.Config{Parallel: o.sweepParallel})
+		experiment.Config{Parallel: o.sweepParallel, Journal: sweepsJournal})
 	if err != nil {
 		svc.Close()
 		return err
+	}
+	if sweepsJournal != nil {
+		n, err := mgr.Replay(sweepsRec)
+		if err != nil {
+			mgr.Close()
+			svc.Close()
+			return fmt.Errorf("replaying sweep journal: %w", err)
+		}
+		if n > 0 {
+			logger.Printf("quditd resumed %d unsettled sweep(s) from %s", n, o.journal)
+		}
 	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -242,8 +319,13 @@ func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- ne
 			logger.Printf("quditd drain: %v", err)
 		}
 	}
+	// Close the sweep manager before the listener: cancellation settles
+	// every unsettled cell (and journals the settlements), so watchers
+	// still streaming /v1/sweeps/{id}/events receive the terminal
+	// cancelled view instead of a torn connection — and a journaled
+	// restart knows the sweeps ended on purpose.
+	mgr.Close()
 	shutdownErr := server.Shutdown(shutdownCtx)
-	mgr.Close() // cancel running sweeps before their backing service stops
 	svc.Close() // drain queued jobs after the listener stops
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
@@ -255,6 +337,20 @@ func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- ne
 // runCoordinator serves the fleet front door: same job API, no
 // simulator — every job is dispatched to a registered worker.
 func runCoordinator(ctx context.Context, o options, logger *log.Logger, ready chan<- net.Addr) error {
+	var (
+		sweepsJournal *journal.Journal
+		sweepsRec     journal.Recovery
+	)
+	if o.journal != "" {
+		// A coordinator journals sweeps only: its job durability is the
+		// -checkpoint file, which already replays the dispatch table.
+		var err error
+		_, sweepsJournal, _, sweepsRec, err = openJournals(o)
+		if err != nil {
+			return err
+		}
+		defer sweepsJournal.Close()
+	}
 	proc, err := core.NewCompactProcessor(o.cavities, o.modes, o.seed)
 	if err != nil {
 		return fmt.Errorf("building processor: %w", err)
@@ -269,10 +365,21 @@ func runCoordinator(ctx context.Context, o options, logger *log.Logger, ready ch
 	if err != nil {
 		return err
 	}
-	mgr, err := experiment.NewManager(coord, experiment.Config{Parallel: o.sweepParallel})
+	mgr, err := experiment.NewManager(coord, experiment.Config{Parallel: o.sweepParallel, Journal: sweepsJournal})
 	if err != nil {
 		coord.Close()
 		return err
+	}
+	if sweepsJournal != nil {
+		n, err := mgr.Replay(sweepsRec)
+		if err != nil {
+			mgr.Close()
+			coord.Close()
+			return fmt.Errorf("replaying sweep journal: %w", err)
+		}
+		if n > 0 {
+			logger.Printf("quditd coordinator resumed %d unsettled sweep(s) from %s", n, o.journal)
+		}
 	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -301,8 +408,10 @@ func runCoordinator(ctx context.Context, o options, logger *log.Logger, ready ch
 	logger.Printf("quditd coordinator shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	// Sweep manager first, for the same reason as runNode: cells settle
+	// as cancelled while event watchers can still hear about it.
+	mgr.Close()
 	shutdownErr := server.Shutdown(shutdownCtx)
-	mgr.Close() // reap running sweeps before the dispatch fabric closes
 	coord.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"testing"
 	"time"
 )
@@ -26,7 +27,7 @@ func TestParseFlags(t *testing.T) {
 }
 
 func TestNewServiceRejectsBadDevice(t *testing.T) {
-	if _, err := newService(options{cavities: 0, modes: 0, seed: 1}); err == nil {
+	if _, err := newService(options{cavities: 0, modes: 0, seed: 1}, nil); err == nil {
 		t.Error("empty device accepted")
 	}
 }
@@ -88,6 +89,126 @@ func TestRunStartupServeShutdown(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// startRun boots run() with the given flags and waits for readiness,
+// returning the base URL, the cancel that triggers graceful shutdown,
+// and the channel run's error arrives on.
+func startRun(t *testing.T, args []string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	o, err := parseFlags(args, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, log.New(io.Discard, "", 0), ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("server never became ready")
+	}
+	panic("unreachable")
+}
+
+// stopRun cancels the daemon and waits for a clean exit.
+func stopRun(t *testing.T, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// submitJob posts one blocking job and returns its settled view.
+func submitJob(t *testing.T, base string) (id, state string) {
+	t.Helper()
+	body := []byte(`{"circuit":{"dims":[3],"ops":[{"gate":"dft","targets":[0]}]},"shots":16}`)
+	resp, err := http.Post(base+"/v1/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job submit status = %d", resp.StatusCode)
+	}
+	return view.ID, view.State
+}
+
+// TestRunJournalRestart boots a journaled standalone daemon, serves a
+// job, restarts it on the same directory, and checks that the replayed
+// journal carries the job-ID counter across the restart and that the
+// stats body reports both durability gauge blocks.
+func TestRunJournalRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-journal", dir}
+
+	base, cancel, done := startRun(t, args)
+	id, state := submitJob(t, base)
+	if id != "j-000001" || state != "done" {
+		t.Fatalf("first run job = %s/%s, want j-000001/done", id, state)
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := stats["journal"]; !ok {
+		t.Error("stats missing job journal block")
+	}
+	if _, ok := stats["sweep_journal"]; !ok {
+		t.Error("stats missing sweep_journal block")
+	}
+	stopRun(t, cancel, done)
+
+	// Restart on the same directory: replay restores the ID counter, so
+	// the next accepted job continues the sequence instead of reissuing
+	// j-000001.
+	base, cancel, done = startRun(t, args)
+	id, state = submitJob(t, base)
+	if id != "j-000002" || state != "done" {
+		t.Fatalf("post-restart job = %s/%s, want j-000002/done", id, state)
+	}
+	stopRun(t, cancel, done)
+}
+
+// TestRunCorruptJournalFailsStartup checks that a damaged journal stops
+// the daemon before it listens, rather than serving from partial state.
+func TestRunCorruptJournalFailsStartup(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/jobs.wal", []byte("XXXXXXXXXXXXXXXX"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-journal", dir}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o, log.New(io.Discard, "", 0), nil); err == nil {
+		t.Fatal("run accepted a corrupt journal")
 	}
 }
 

@@ -24,10 +24,13 @@ package experiment
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"quditkit/internal/journal"
 	"quditkit/internal/serve"
 )
 
@@ -68,6 +71,15 @@ type Config struct {
 	// RetainSweeps bounds how many settled sweeps are kept for lookup
 	// (default 64; negative retains everything).
 	RetainSweeps int
+	// Journal, when non-nil, makes sweeps durable: Submit fsyncs each
+	// accepted request, every cell settlement appends its outcome, and
+	// Replay resumes unsettled sweeps after a restart, re-running only
+	// their unfinished cells. Nil disables durability.
+	Journal *journal.Journal
+	// JournalCompactEvery is the WAL tail length (records) past which a
+	// settlement triggers snapshot compaction. Default 512; negative
+	// disables automatic compaction.
+	JournalCompactEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +94,12 @@ func (c Config) withDefaults() Config {
 		c.RetainSweeps = 64
 	case c.RetainSweeps < 0:
 		c.RetainSweeps = 0 // unlimited
+	}
+	switch {
+	case c.JournalCompactEvery == 0:
+		c.JournalCompactEvery = 512
+	case c.JournalCompactEvery < 0:
+		c.JournalCompactEvery = int(^uint(0) >> 1) // never
 	}
 	return c
 }
@@ -125,6 +143,9 @@ type sweep struct {
 	agg    aggregator
 	ctx    context.Context
 	cancel context.CancelFunc
+	// reqJSON is the canonical durable form of the accepted request;
+	// non-nil exactly when the sweep is journaled. Immutable.
+	reqJSON []byte
 
 	mu        sync.Mutex
 	state     string
@@ -177,6 +198,11 @@ type Manager struct {
 	settled []string
 	nextID  uint64
 	closed  bool
+	// journaled holds the unsettled journaled sweeps — the working set
+	// the next compaction snapshot folds in.
+	journaled map[string]*sweep
+
+	journalReplayed atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -188,9 +214,10 @@ func NewManager(runner Runner, cfg Config) (*Manager, error) {
 		return nil, errors.New("experiment: nil runner")
 	}
 	return &Manager{
-		runner: runner,
-		cfg:    cfg.withDefaults(),
-		sweeps: make(map[string]*sweep),
+		runner:    runner,
+		cfg:       cfg.withDefaults(),
+		sweeps:    make(map[string]*sweep),
+		journaled: make(map[string]*sweep),
 	}, nil
 }
 
@@ -208,20 +235,30 @@ func (m *Manager) Close() {
 
 // Submit validates and expands a sweep, launches its cell workers, and
 // returns the sweep ID to poll. Expansion errors (ErrBadSweep) reject
-// the whole sweep before anything runs.
+// the whole sweep before anything runs. With a journal configured, the
+// accepted request is fsynced before any cell becomes runnable; a
+// journal write failure rejects the sweep rather than half-accepting
+// it.
 func (m *Manager) Submit(req SweepRequest) (string, error) {
 	exp, err := expand(req, m.cfg.MaxCells)
 	if err != nil {
 		return "", err
 	}
+	var reqJSON []byte
+	if m.cfg.Journal != nil {
+		if reqJSON, err = json.Marshal(req); err != nil {
+			return "", fmt.Errorf("experiment: encoding request for journal: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &sweep{
-		kind:   exp.kind,
-		agg:    exp.agg,
-		ctx:    ctx,
-		cancel: cancel,
-		state:  SweepRunning,
-		doneCh: make(chan struct{}),
+		kind:    exp.kind,
+		agg:     exp.agg,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   SweepRunning,
+		doneCh:  make(chan struct{}),
+		reqJSON: reqJSON,
 	}
 	for i := range exp.cells {
 		s.cells = append(s.cells, &cellRecord{cell: exp.cells[i], state: cellPending})
@@ -238,6 +275,22 @@ func (m *Manager) Submit(req SweepRequest) (string, error) {
 	// can exist before the ID is issued, so no fan-out is needed.
 	s.events = []SweepEvent{{Seq: 0, Type: EventSweep, State: SweepRunning}}
 	m.sweeps[s.id] = s
+	if m.cfg.Journal != nil {
+		// Admit under m.mu, like every admission: compaction holds m.mu
+		// across its snapshot and truncate, so this record can never
+		// land in a window the truncate erases.
+		data, jerr := json.Marshal(sweepAdmitRecord{ID: s.id, Request: reqJSON})
+		if jerr == nil {
+			jerr = m.cfg.Journal.Append(recSweepAdmit, data)
+		}
+		if jerr != nil {
+			delete(m.sweeps, s.id)
+			m.mu.Unlock()
+			cancel()
+			return "", fmt.Errorf("experiment: journaling sweep admission: %w", jerr)
+		}
+		m.journaled[s.id] = s
+	}
 	m.mu.Unlock()
 
 	m.wg.Add(1)
@@ -247,17 +300,23 @@ func (m *Manager) Submit(req SweepRequest) (string, error) {
 
 // run drains one sweep: Parallel workers pull cell indices until the
 // grid is exhausted, then the aggregate is finalized and the terminal
-// event published.
+// event published. Cells already settled — restored by a journal
+// Replay — are skipped, so a resumed sweep re-runs only unfinished
+// work; a fully-restored sweep finalizes immediately from its records.
 func (m *Manager) run(s *sweep) {
 	defer m.wg.Done()
 	idxc := make(chan int, len(s.cells))
+	pending := 0
 	for i := range s.cells {
-		idxc <- i
+		if s.cells[i].state == cellPending {
+			idxc <- i
+			pending++
+		}
 	}
 	close(idxc)
 	workers := m.cfg.Parallel
-	if workers > len(s.cells) {
-		workers = len(s.cells)
+	if workers > pending {
+		workers = pending
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -307,10 +366,13 @@ func (m *Manager) runCell(s *sweep, i int) {
 }
 
 // settleCell records a cell's terminal state, updates the sweep
-// counters, and publishes the cell event.
+// counters, publishes the cell event, and (for journaled sweeps)
+// appends the settlement to the journal. The durable record is captured
+// under s.mu — finalize may release rec.res the instant the last cell
+// settles — but appended after the unlock, so the fsync never stalls
+// concurrent settlements.
 func (m *Manager) settleCell(s *sweep, rec *cellRecord, state string, cached bool, errMsg string, metric float64, hasMetric bool, res *serve.ResultView) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	rec.state = state
 	rec.cached = cached
 	rec.err = errMsg
@@ -330,6 +392,15 @@ func (m *Manager) settleCell(s *sweep, rec *cellRecord, state string, cached boo
 	}
 	cv := rec.view()
 	s.publishLocked(SweepEvent{Type: EventCell, State: state, Cell: &cv})
+	journaled := s.reqJSON != nil
+	var crec cellSettleRecord
+	if journaled {
+		crec = settleRecordLocked(s, rec)
+	}
+	s.mu.Unlock()
+	if journaled {
+		m.journalCellSettle(crec)
+	}
 }
 
 // finalize settles the sweep once every cell settled: if any cell was
@@ -371,8 +442,12 @@ func (m *Manager) finalize(s *sweep) {
 	view := s.viewLocked(true)
 	s.publishLocked(SweepEvent{Type: EventSweep, State: s.state, Sweep: &view})
 	close(s.doneCh)
+	terminal := s.state
 	s.mu.Unlock()
 	s.cancel()
+	if s.reqJSON != nil {
+		m.journalSweepSettle(s, terminal)
+	}
 	m.retain(s.id)
 }
 

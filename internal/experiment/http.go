@@ -18,6 +18,11 @@ const maxSweepBody = 1 << 20
 //	GET    /v1/sweeps/{id}        sweep status with cells (?wait=1 blocks)
 //	GET    /v1/sweeps/{id}/events SSE stream of cell settlements and the terminal view
 //	DELETE /v1/sweeps/{id}        cancel a running sweep
+//
+// When the manager runs with a journal, GET /v1/stats is additionally
+// intercepted to inject the sweep-journal gauges ("sweep_journal") into
+// the base handler's stats body, so one stats endpoint reports both
+// durability layers in every role.
 func NewHandler(m *Manager, base http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", m.handleSubmit)
@@ -26,8 +31,57 @@ func NewHandler(m *Manager, base http.Handler) http.Handler {
 		m.serveSweepEvents(w, r, r.PathValue("id"))
 	})
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", m.handleCancel)
+	if m.cfg.Journal != nil {
+		mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+			m.injectStats(base, w, r)
+		})
+	}
 	mux.Handle("/", base)
 	return mux
+}
+
+// statsRecorder buffers the base handler's stats response so the sweep
+// gauges can be merged before anything reaches the wire.
+type statsRecorder struct {
+	header http.Header
+	code   int
+	body   []byte
+}
+
+func (sr *statsRecorder) Header() http.Header  { return sr.header }
+func (sr *statsRecorder) WriteHeader(code int) { sr.code = code }
+func (sr *statsRecorder) Write(p []byte) (int, error) {
+	sr.body = append(sr.body, p...)
+	return len(p), nil
+}
+
+// injectStats serves GET /v1/stats by delegating to the base handler
+// and splicing the "sweep_journal" block into its JSON body. Existing
+// fields pass through verbatim (values are kept as raw JSON, so no
+// number or ordering is disturbed beyond key sorting). Any non-200 or
+// non-object response passes through untouched.
+func (m *Manager) injectStats(base http.Handler, w http.ResponseWriter, r *http.Request) {
+	sr := &statsRecorder{header: make(http.Header), code: http.StatusOK}
+	base.ServeHTTP(sr, r)
+
+	var fields map[string]json.RawMessage
+	if sr.code == http.StatusOK && json.Unmarshal(sr.body, &fields) == nil {
+		if js := m.JournalStats(); js != nil {
+			if blob, err := json.Marshal(js); err == nil {
+				fields["sweep_journal"] = blob
+				if merged, err := json.Marshal(fields); err == nil {
+					sr.body = append(merged, '\n')
+				}
+			}
+		}
+	}
+
+	for k, vs := range sr.header {
+		w.Header()[k] = vs
+	}
+	w.Header().Del("Content-Length") // body may have grown
+	w.WriteHeader(sr.code)
+	_, _ = w.Write(sr.body)
 }
 
 // handleSubmit decodes a SweepRequest, expands it, and answers 202 with

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 )
@@ -29,9 +30,15 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req JobRequest
 		// MaxOps gate specs fit comfortably in 8 MiB; anything larger
-		// is hostile or broken, and must not buffer unbounded.
-		body := http.MaxBytesReader(w, r.Body, 8<<20)
-		if err := json.NewDecoder(body).Decode(&req); err != nil {
+		// is hostile or broken, and must not buffer unbounded. The raw
+		// body is kept: it is the verbatim payload the journal records,
+		// so a replayed job is byte-for-byte the client's submission.
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+			return
+		}
+		if err := json.Unmarshal(raw, &req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}
@@ -45,7 +52,7 @@ func NewHandler(s *Service) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		id, err := s.Enqueue(circ, opts...)
+		id, err := s.EnqueueJournaled(raw, circ, opts...)
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			httpError(w, http.StatusTooManyRequests, err)

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/core"
+	"quditkit/internal/journal"
+)
+
+// Journal record kinds for the job service's write-ahead log.
+const (
+	recJobAdmit  uint8 = 1 // a job entered the queue: {id, payload}
+	recJobSettle uint8 = 2 // a job reached a terminal state: {id, state}
+)
+
+// jobSnapshotVersion guards the compacted snapshot schema.
+const jobSnapshotVersion = 1
+
+// jobAdmitRecord is the durable form of one admission: the issued ID
+// and the verbatim wire payload, so replay re-enqueues exactly what the
+// client sent. It doubles as the per-job entry of jobSnapshot.
+type jobAdmitRecord struct {
+	ID      string          `json:"id"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// jobSettleRecord marks a journaled job as terminal; replay skips it.
+type jobSettleRecord struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// jobSnapshot is the compacted journal state: the ID counter plus every
+// journaled job not yet settled at compaction time.
+type jobSnapshot struct {
+	Version int              `json:"version"`
+	NextID  uint64           `json:"next_id"`
+	Jobs    []jobAdmitRecord `json:"jobs"`
+}
+
+// JournalStats extends the raw journal gauges with the service-level
+// view, served as the "journal" block of GET /v1/stats.
+type JournalStats struct {
+	journal.Stats
+	// Lag counts journaled jobs not yet settled — the work a crash
+	// right now would replay on restart.
+	Lag int `json:"lag"`
+	// Replayed counts jobs this process restored from the journal at
+	// startup.
+	Replayed int64 `json:"replayed"`
+}
+
+// EnqueueJournaled is Enqueue for submissions that must survive a
+// crash: before the job becomes runnable, its ID and the verbatim wire
+// payload are fsynced to the configured journal, so a restarted service
+// can Replay it exactly as the client sent it. The fast paths that
+// settle synchronously (cache hit, already-cancelled context) journal
+// nothing — the caller observes the terminal state in the same call.
+// With no journal configured it behaves exactly like Enqueue. A journal
+// write failure rejects the submission: an admission that cannot be
+// made durable is refused, not half-accepted.
+func (s *Service) EnqueueJournaled(payload []byte, c *circuit.Circuit, opts ...core.RunOption) (JobID, error) {
+	return s.enqueue(payload, c, opts)
+}
+
+// admitJournaledLocked is the durable leg of enqueue's queue path,
+// entered with s.mu held (and released on every return). Because all
+// queue sends happen under s.mu, the capacity check makes the later
+// send non-blocking, so the order is: reject if full, fsync the admit
+// record, then the guaranteed send — a job is never runnable before it
+// is durable, and never durable-then-dropped.
+func (s *Service) admitJournaledLocked(sh chan *job, j *job, payload []byte) (JobID, error) {
+	if len(sh) == cap(sh) {
+		s.mu.Unlock()
+		j.cancel()
+		return "", ErrQueueFull
+	}
+	id := s.issueIDLocked(j)
+	data, err := json.Marshal(jobAdmitRecord{ID: string(id), Payload: payload})
+	if err == nil {
+		err = s.cfg.Journal.Append(recJobAdmit, data)
+	}
+	if err != nil {
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		j.cancel()
+		return "", fmt.Errorf("serve: journaling admission: %w", err)
+	}
+	s.journaled[id] = payload
+	s.queuedGauge.Add(1)
+	s.journalLag.Add(1)
+	sh <- j
+	s.mu.Unlock()
+	s.enqueued.Add(1)
+	return id, nil
+}
+
+// journalSettle makes a journaled job's terminal state durable and
+// triggers compaction when the WAL tail has grown past the configured
+// threshold. Append errors are dropped deliberately: the job already
+// settled in memory, and the worst outcome of a lost settle record is
+// one benign, deterministic re-execution after a restart.
+func (s *Service) journalSettle(id JobID, state JobState) {
+	jl := s.cfg.Journal
+	if jl == nil {
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.journaled[id]
+	delete(s.journaled, id)
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.journalLag.Add(-1)
+	data, err := json.Marshal(jobSettleRecord{ID: string(id), State: state.String()})
+	if err == nil {
+		_ = jl.Append(recJobSettle, data)
+	}
+	if jl.Stats().TailRecords >= s.cfg.JournalCompactEvery {
+		_ = s.compactJournal()
+	}
+}
+
+// compactJournal folds the service's durable state — the ID counter and
+// every unsettled journaled job — into a journal snapshot. It holds
+// s.mu across the capture and the Compact call: admissions also append
+// under s.mu, so no admit record can land in the window the truncate
+// erases. Settle records can (journalSettle appends without s.mu); a
+// truncated settle leaves its job in the snapshot as unsettled, and the
+// restart re-runs it deterministically — benign, never lossy.
+func (s *Service) compactJournal() error {
+	jl := s.cfg.Journal
+	if jl == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := jobSnapshot{Version: jobSnapshotVersion, NextID: s.nextID}
+	for id, payload := range s.journaled {
+		snap.Jobs = append(snap.Jobs, jobAdmitRecord{ID: string(id), Payload: payload})
+	}
+	// Stable ordering keeps snapshot bytes a function of state; IDs are
+	// zero-padded, so lexicographic order is admission order.
+	sort.Slice(snap.Jobs, func(i, j int) bool { return snap.Jobs[i].ID < snap.Jobs[j].ID })
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	return jl.Compact(data)
+}
+
+// Replay restores the journal's recovered state into a freshly started
+// service: every journaled job with no settle record re-enters its
+// shard queue under its original ID with its verbatim wire payload, and
+// the ID counter resumes past every issued ID so no live ID is ever
+// reissued. Settled IDs are skipped — replay never re-executes settled
+// work — and duplicate admissions collapse through the result cache at
+// run time. It returns the number of jobs re-enqueued.
+//
+// Replay must run once, before the service is exposed to traffic and
+// before Close; it blocks until every replayed job is accepted by its
+// shard (workers are already draining, so a replay larger than the
+// queue bound still completes). Any undecodable snapshot, record, or
+// payload fails loudly: a journal that cannot be replayed in full is
+// corruption, and silently starting empty is the failure mode the
+// journal exists to prevent.
+func (s *Service) Replay(rec journal.Recovery) (int, error) {
+	if s.cfg.Journal == nil {
+		return 0, errors.New("serve: Replay requires Config.Journal")
+	}
+
+	maxID := uint64(0)
+	noteID := func(id string) {
+		var n uint64
+		if _, err := fmt.Sscanf(id, "j-%d", &n); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+
+	var ordered []jobAdmitRecord
+	if rec.Snapshot != nil {
+		var snap jobSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return 0, fmt.Errorf("serve: corrupt journal snapshot: %w", err)
+		}
+		if snap.Version != jobSnapshotVersion {
+			return 0, fmt.Errorf("serve: journal snapshot is version %d, this build speaks %d",
+				snap.Version, jobSnapshotVersion)
+		}
+		if snap.NextID > maxID {
+			maxID = snap.NextID
+		}
+		ordered = append(ordered, snap.Jobs...)
+	}
+	settled := make(map[string]bool)
+	for _, r := range rec.Records {
+		switch r.Kind {
+		case recJobAdmit:
+			var ar jobAdmitRecord
+			if err := json.Unmarshal(r.Payload, &ar); err != nil {
+				return 0, fmt.Errorf("serve: corrupt admit record: %w", err)
+			}
+			ordered = append(ordered, ar)
+		case recJobSettle:
+			var sr jobSettleRecord
+			if err := json.Unmarshal(r.Payload, &sr); err != nil {
+				return 0, fmt.Errorf("serve: corrupt settle record: %w", err)
+			}
+			settled[sr.ID] = true
+			noteID(sr.ID)
+		default:
+			return 0, fmt.Errorf("serve: unknown journal record kind %d", r.Kind)
+		}
+	}
+
+	// Build the replay set: admission order, settled IDs skipped,
+	// duplicates dropped (a compaction race can leave a job both in the
+	// snapshot and as a WAL admit record — replay is idempotent).
+	type replayJob struct {
+		id      JobID
+		payload []byte
+		j       *job
+		shard   chan *job
+	}
+	seen := make(map[string]bool)
+	var pending []replayJob
+	for _, ar := range ordered {
+		noteID(ar.ID)
+		if seen[ar.ID] || settled[ar.ID] {
+			continue
+		}
+		seen[ar.ID] = true
+		var req JobRequest
+		if err := json.Unmarshal(ar.Payload, &req); err != nil {
+			return 0, fmt.Errorf("serve: journaled payload for %s does not decode: %w", ar.ID, err)
+		}
+		circ, err := BuildCircuit(req.Circuit)
+		if err != nil {
+			return 0, fmt.Errorf("serve: journaled circuit for %s does not build: %w", ar.ID, err)
+		}
+		opts, err := req.Options(s.proc)
+		if err != nil {
+			return 0, fmt.Errorf("serve: journaled options for %s do not resolve: %w", ar.ID, err)
+		}
+		pending = append(pending, replayJob{id: JobID(ar.ID), payload: ar.Payload})
+		rj := &pending[len(pending)-1]
+		key := cacheKey{fingerprint: core.Fingerprint(circ), options: core.OptionsDigest(opts...)}
+		ctx, cancel := context.WithCancel(context.Background())
+		rj.j = &job{
+			id: rj.id, circ: circ, opts: opts, key: key,
+			shots: core.ShotsOf(opts...),
+			ctx:   ctx, cancel: cancel,
+			state: Queued, done: make(chan struct{}),
+			events: []Event{{Seq: 0, State: Queued.String()}},
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if maxID > s.nextID {
+		s.nextID = maxID
+	}
+	for i := range pending {
+		rj := &pending[i]
+		s.jobs[rj.id] = rj.j
+		s.journaled[rj.id] = rj.payload
+		rj.shard = s.shards[rj.j.key.fingerprint%uint64(len(s.shards))]
+		s.queuedGauge.Add(1)
+		s.journalLag.Add(1)
+	}
+	s.mu.Unlock()
+
+	// Feed the queues outside s.mu: a replay wider than QueueDepth
+	// blocks here while workers drain ahead of it.
+	for i := range pending {
+		pending[i].shard <- pending[i].j
+		s.enqueued.Add(1)
+	}
+	s.journalReplayed.Store(int64(len(pending)))
+
+	// Rewrite the journal as one snapshot of what was just restored, so
+	// the next restart replays state, not history.
+	if err := s.compactJournal(); err != nil {
+		return len(pending), fmt.Errorf("serve: compacting journal after replay: %w", err)
+	}
+	return len(pending), nil
+}

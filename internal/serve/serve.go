@@ -34,6 +34,7 @@ import (
 
 	"quditkit/internal/circuit"
 	"quditkit/internal/core"
+	"quditkit/internal/journal"
 )
 
 // Service errors distinguishable by callers.
@@ -111,6 +112,16 @@ type Config struct {
 	// daemon's memory stays bounded. Zero selects the default 4096;
 	// negative retains everything.
 	RetainJobs int
+	// Journal, when non-nil, makes admissions durable: EnqueueJournaled
+	// fsyncs each accepted submission (ID + verbatim wire payload)
+	// before it becomes runnable, settlements append tombstones, and
+	// Replay restores unsettled jobs after a restart. Nil disables
+	// durability; plain Enqueue never journals.
+	Journal *journal.Journal
+	// JournalCompactEvery is the WAL tail length (records) past which a
+	// settlement triggers snapshot compaction. Default 256; negative
+	// disables automatic compaction.
+	JournalCompactEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +145,12 @@ func (c Config) withDefaults() Config {
 		c.RetainJobs = 4096
 	case c.RetainJobs < 0:
 		c.RetainJobs = 0 // unlimited
+	}
+	switch {
+	case c.JournalCompactEvery == 0:
+		c.JournalCompactEvery = 256
+	case c.JournalCompactEvery < 0:
+		c.JournalCompactEvery = int(^uint(0) >> 1) // never
 	}
 	return c
 }
@@ -185,6 +202,9 @@ type Stats struct {
 	Shards     int `json:"shards"`
 	QueueDepth int `json:"queue_depth"`
 	BatchSize  int `json:"batch_size"`
+	// Journal carries the write-ahead-log gauges (size, replay lag,
+	// compaction cadence); nil when the service runs without a journal.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // job is the internal record of one submission.
@@ -248,6 +268,9 @@ type Service struct {
 	settled []JobID // settle order, for bounded retention
 	nextID  uint64
 	closed  bool
+	// journaled maps each unsettled journaled job to its verbatim wire
+	// payload — the working set the next compaction snapshot folds in.
+	journaled map[JobID][]byte
 
 	shards []chan *job
 	wg     sync.WaitGroup
@@ -263,6 +286,10 @@ type Service struct {
 	queuedGauge   atomic.Int64
 	runningGauge  atomic.Int64
 	inflightShots atomic.Int64
+	// journalLag mirrors len(journaled) atomically so Stats never takes
+	// s.mu; journalReplayed is the count restored by Replay at startup.
+	journalLag      atomic.Int64
+	journalReplayed atomic.Int64
 }
 
 // New starts a Service over proc: one worker goroutine per shard,
@@ -273,10 +300,11 @@ func New(proc *core.Processor, cfg Config) (*Service, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Service{
-		proc:  proc,
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheSize),
-		jobs:  make(map[JobID]*job),
+		proc:      proc,
+		cfg:       cfg,
+		cache:     newResultCache(cfg.CacheSize),
+		jobs:      make(map[JobID]*job),
+		journaled: make(map[JobID][]byte),
 	}
 	s.shards = make([]chan *job, cfg.Shards)
 	for i := range s.shards {
@@ -315,6 +343,12 @@ func (s *Service) Close() {
 // core.WithContext is honored: the job's internal context derives from
 // it, so cancelling it aborts the job exactly like CancelJob.
 func (s *Service) Enqueue(c *circuit.Circuit, opts ...core.RunOption) (JobID, error) {
+	return s.enqueue(nil, c, opts)
+}
+
+// enqueue implements Enqueue and EnqueueJournaled; a non-nil payload
+// with a configured journal selects the durable admission path.
+func (s *Service) enqueue(payload []byte, c *circuit.Circuit, opts []core.RunOption) (JobID, error) {
 	if c == nil {
 		return "", errors.New("serve: nil circuit")
 	}
@@ -377,6 +411,9 @@ func (s *Service) Enqueue(c *circuit.Circuit, opts ...core.RunOption) (JobID, er
 		return "", ErrClosed
 	}
 	sh := s.shards[key.fingerprint%uint64(len(s.shards))]
+	if payload != nil && s.cfg.Journal != nil {
+		return s.admitJournaledLocked(sh, j, payload)
+	}
 	id := s.issueIDLocked(j)
 	s.queuedGauge.Add(1)
 	select {
@@ -462,13 +499,23 @@ func (s *Service) CancelJob(id JobID) error {
 	return nil
 }
 
-// Stats returns current service counters. It reads only atomic gauges
-// and the cache counters — O(1), never blocking the intake path.
+// Stats returns current service counters. It reads atomic gauges and
+// the cache counters — O(1), never blocking the intake path — plus,
+// when a journal is configured, the journal's own gauge mutex (held
+// only for field copies, never across an fsync).
 func (s *Service) Stats() Stats {
 	hits, misses, evictions := s.cache.counters()
 	planHits, planMisses, planLen := core.PlanCacheStats()
 	queued := int(s.queuedGauge.Load())
 	running := int(s.runningGauge.Load())
+	var js *JournalStats
+	if s.cfg.Journal != nil {
+		js = &JournalStats{
+			Stats:    s.cfg.Journal.Stats(),
+			Lag:      int(s.journalLag.Load()),
+			Replayed: s.journalReplayed.Load(),
+		}
+	}
 	return Stats{
 		Enqueued:        s.enqueued.Load(),
 		Completed:       s.completed.Load(),
@@ -488,6 +535,7 @@ func (s *Service) Stats() Stats {
 		Shards:          s.cfg.Shards,
 		QueueDepth:      s.cfg.QueueDepth,
 		BatchSize:       s.cfg.BatchSize,
+		Journal:         js,
 	}
 }
 
@@ -544,6 +592,7 @@ func (s *Service) finish(j *job, res core.Result, err error, cached bool) {
 	default:
 		s.failed.Add(1)
 	}
+	s.journalSettle(j.id, terminal)
 	s.retain(j.id)
 }
 
