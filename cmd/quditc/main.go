@@ -29,6 +29,16 @@
 //
 //	quditc sweep [-addr URL] [-watch] [-json] [-timeout D] [sweep.json]
 //
+// Every subcommand accepts -api-key (default: the QUDITC_API_KEY
+// environment variable), sent as the X-API-Key header to a quditd
+// running with -tenants; transpile accepts it for flag-set uniformity
+// but runs locally and never sends it. Server errors arrive as the
+// structured envelope {"error":{"code","message","retry_after_ms"}}
+// and print as "code: message"; the exit code distinguishes failure
+// classes so scripts can branch without parsing text: 2 for
+// quota_exceeded, 3 for transient errors (queue_full, unavailable,
+// timeout, upstream_error), 1 for everything else.
+//
 // Every watch survives dropped connections — and daemon restarts: the
 // client retries refused reconnects with exponential backoff and
 // resumes with the standard Last-Event-ID header, so a quditd running
@@ -41,27 +51,92 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"quditkit/internal/core"
 	"quditkit/internal/experiment"
+	"quditkit/internal/httpapi"
 	"quditkit/internal/serve"
 	"quditkit/internal/transpile"
 )
 
+// Exit codes: scripts branch on these, not on stderr text.
+const (
+	exitGeneric   = 1 // malformed input, not found, internal errors, ...
+	exitQuota     = 2 // quota_exceeded: the tenant is over a configured limit
+	exitTransient = 3 // queue_full, unavailable, timeout, upstream_error: retry later
+)
+
+// exitError tags an error with the process exit code it should
+// produce, so main can distinguish quota breaches from transient
+// backpressure without re-parsing messages.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "quditc:", err)
-		os.Exit(1)
+		var ee *exitError
+		if errors.As(err, &ee) {
+			os.Exit(ee.code)
+		}
+		os.Exit(exitGeneric)
 	}
+}
+
+// apiKeyFlag registers the common -api-key flag, defaulting to the
+// QUDITC_API_KEY environment variable so CI jobs can set the key once.
+func apiKeyFlag(fs *flag.FlagSet) *string {
+	return fs.String("api-key", os.Getenv("QUDITC_API_KEY"),
+		"tenant API key sent as X-API-Key (default: $QUDITC_API_KEY)")
+}
+
+// apiError converts a non-2xx response body into an error. Envelope
+// bodies render as "code: message" with the failure-class exit code;
+// anything else (an older server, an intervening proxy) falls back to
+// the raw body and the generic exit code.
+func apiError(verb string, status int, raw []byte) error {
+	det, ok := httpapi.Decode(raw)
+	if !ok {
+		return fmt.Errorf("%s returned %d: %s", verb, status, strings.TrimSpace(string(raw)))
+	}
+	err := fmt.Errorf("%s returned %d: %s: %s", verb, status, det.Code, det.Message)
+	switch {
+	case det.Code == httpapi.CodeQuotaExceeded:
+		return &exitError{code: exitQuota, err: err}
+	case det.Code.Transient():
+		return &exitError{code: exitTransient, err: err}
+	}
+	return err
+}
+
+// postJSON posts body to url with the tenant key attached.
+func postJSON(url, apiKey string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
+	}
+	return http.DefaultClient.Do(req)
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -90,6 +165,7 @@ func runSubmit(args []string, stdin io.Reader, stdout io.Writer) error {
 	watch := fs.Bool("watch", false, "stream the job's events until it settles")
 	asJSON := fs.Bool("json", false, "print raw JSON instead of the human summary")
 	timeout := fs.Duration("timeout", 0, "total watch budget across reconnects (0 = no limit)")
+	apiKey := apiKeyFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,7 +182,7 @@ func runSubmit(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	resp, err := postJSON(strings.TrimSuffix(*addr, "/")+"/v1/jobs", *apiKey, body)
 	if err != nil {
 		return err
 	}
@@ -116,7 +192,7 @@ func runSubmit(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("submit returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		return apiError("submit", resp.StatusCode, raw)
 	}
 	var view serve.JobView
 	if err := json.Unmarshal(raw, &view); err != nil {
@@ -130,7 +206,7 @@ func runSubmit(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		return nil
 	}
-	return watchJob(*addr, view.ID, *asJSON, *timeout, stdout)
+	return watchJob(*addr, *apiKey, view.ID, *asJSON, *timeout, stdout)
 }
 
 // runWatch attaches to an existing job's event stream.
@@ -139,13 +215,14 @@ func runWatch(args []string, stdout io.Writer) error {
 	addr := fs.String("addr", "http://127.0.0.1:8080", "quditd or coordinator base URL")
 	asJSON := fs.Bool("json", false, "print raw event JSON instead of the human summary")
 	timeout := fs.Duration("timeout", 0, "total watch budget across reconnects (0 = no limit)")
+	apiKey := apiKeyFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: quditc watch [-addr URL] [-json] [-timeout D] <job-id>")
+		return fmt.Errorf("usage: quditc watch [-addr URL] [-api-key KEY] [-json] [-timeout D] <job-id>")
 	}
-	return watchJob(*addr, fs.Arg(0), *asJSON, *timeout, stdout)
+	return watchJob(*addr, *apiKey, fs.Arg(0), *asJSON, *timeout, stdout)
 }
 
 // streamSSE reconnect pacing: dropped streams and refused connections
@@ -164,12 +241,15 @@ const (
 // attempt return immediately (the target is unreachable or unknown —
 // retrying cannot help); once a stream has been established, drops and
 // refused reconnects retry with exponential backoff until timeout
-// (zero = forever). A quditd running with -journal survives this loop:
-// its restart replays unsettled jobs and sweeps before listening, so
-// the resumed stream picks up after Last-Event-ID. A non-200 on a
-// reconnect still reports the stream as lost — the ID settled before
-// the crash or the daemon runs without a journal.
-func streamSSE(url string, timeout time.Duration, handle func(event, data string) bool) error {
+// (zero = forever). A 429 answer is backpressure, not loss: the
+// server's Retry-After (when present) replaces the client's own
+// backoff delay before the next attempt. A quditd running with
+// -journal survives this loop: its restart replays unsettled jobs and
+// sweeps before listening, so the resumed stream picks up after
+// Last-Event-ID. Any other non-200 on a reconnect still reports the
+// stream as lost — the ID settled before the crash or the daemon runs
+// without a journal.
+func streamSSE(url, apiKey string, timeout time.Duration, handle func(event, data string) bool) error {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -187,6 +267,9 @@ func streamSSE(url string, timeout time.Duration, handle func(event, data string
 		if lastID != "" {
 			req.Header.Set("Last-Event-ID", lastID)
 		}
+		if apiKey != "" {
+			req.Header.Set("X-API-Key", apiKey)
+		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -201,6 +284,16 @@ func streamSSE(url string, timeout time.Duration, handle func(event, data string
 			delay = nextDelay(delay)
 			continue
 		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := retryAfterDelay(resp, delay)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if !sleepCtx(ctx, wait) {
+				return fmt.Errorf("watch timed out after %v", timeout)
+			}
+			delay = nextDelay(delay)
+			continue
+		}
 		if resp.StatusCode != http.StatusOK {
 			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
@@ -208,7 +301,7 @@ func streamSSE(url string, timeout time.Duration, handle func(event, data string
 				return fmt.Errorf("stream lost: reconnect returned %d (the id settled before a restart, or the server runs without -journal): %s",
 					resp.StatusCode, strings.TrimSpace(string(raw)))
 			}
-			return fmt.Errorf("events returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+			return apiError("events", resp.StatusCode, raw)
 		}
 		connected = true
 		delay = reconnectBase // healthy connection resets the backoff
@@ -227,6 +320,17 @@ func streamSSE(url string, timeout time.Duration, handle func(event, data string
 		}
 		delay = nextDelay(delay)
 	}
+}
+
+// retryAfterDelay prefers the server's Retry-After header (whole
+// seconds, per the envelope contract) over the client's own backoff.
+func retryAfterDelay(resp *http.Response, fallback time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fallback
 }
 
 // nextDelay doubles a reconnect delay up to the cap.
@@ -279,10 +383,10 @@ func consumeSSE(r io.Reader, lastID *string, handle func(event, data string) boo
 // watchJob consumes the SSE stream of one job until its terminal
 // event, printing each transition. It returns an error when the job
 // settles anywhere but "done", so scripts can gate on the exit code.
-func watchJob(addr, id string, asJSON bool, timeout time.Duration, stdout io.Writer) error {
+func watchJob(addr, apiKey, id string, asJSON bool, timeout time.Duration, stdout io.Writer) error {
 	url := strings.TrimSuffix(addr, "/") + "/v1/jobs/" + id + "/events"
 	var final string
-	err := streamSSE(url, timeout, func(name, data string) bool {
+	err := streamSSE(url, apiKey, timeout, func(name, data string) bool {
 		if asJSON {
 			fmt.Fprintln(stdout, data)
 		}
@@ -326,6 +430,7 @@ func runSweep(args []string, stdin io.Reader, stdout io.Writer) error {
 	watch := fs.Bool("watch", false, "stream cell settlements until the sweep settles")
 	asJSON := fs.Bool("json", false, "print raw JSON instead of the human summary")
 	timeout := fs.Duration("timeout", 0, "total watch budget across reconnects (0 = no limit)")
+	apiKey := apiKeyFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -342,7 +447,7 @@ func runSweep(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+	resp, err := postJSON(strings.TrimSuffix(*addr, "/")+"/v1/sweeps", *apiKey, body)
 	if err != nil {
 		return err
 	}
@@ -352,7 +457,7 @@ func runSweep(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("sweep submit returned %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		return apiError("sweep submit", resp.StatusCode, raw)
 	}
 	var view experiment.SweepView
 	if err := json.Unmarshal(raw, &view); err != nil {
@@ -366,18 +471,18 @@ func runSweep(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		return nil
 	}
-	return watchSweep(*addr, view.ID, *asJSON, *timeout, stdout)
+	return watchSweep(*addr, *apiKey, view.ID, *asJSON, *timeout, stdout)
 }
 
 // watchSweep consumes a sweep's SSE stream until the terminal event,
 // printing cell settlements as progress and the final aggregate. The
 // exit code gates on the sweep completing (failed cells are reported
 // but tolerated — that is the sweep contract).
-func watchSweep(addr, id string, asJSON bool, timeout time.Duration, stdout io.Writer) error {
+func watchSweep(addr, apiKey, id string, asJSON bool, timeout time.Duration, stdout io.Writer) error {
 	url := strings.TrimSuffix(addr, "/") + "/v1/sweeps/" + id + "/events"
 	var final *experiment.SweepView
 	settled := 0
-	err := streamSSE(url, timeout, func(_, data string) bool {
+	err := streamSSE(url, apiKey, timeout, func(_, data string) bool {
 		if asJSON {
 			fmt.Fprintln(stdout, data)
 		}
@@ -514,6 +619,9 @@ func runTranspile(args []string, stdin io.Reader, stdout io.Writer) error {
 	level := fs.Int("level", int(transpile.LevelNative), "transpile level: 0 route, 1 +native decomposition, 2 +device noise")
 	seed := fs.Int64("seed", 0, "placement seed (0 = derive from the circuit, like an unseeded submission)")
 	asJSON := fs.Bool("json", false, "emit a JSON report instead of the listing")
+	// Accepted for flag-set uniformity across subcommands; transpile
+	// runs locally and never sends it.
+	_ = apiKeyFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

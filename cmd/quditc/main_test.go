@@ -245,7 +245,7 @@ func TestSweepErrors(t *testing.T) {
 	if err := run([]string{"sweep", "-addr", "http://127.0.0.1:1"}, strings.NewReader(sweepSpec), &out); err == nil {
 		t.Error("unreachable server accepted")
 	}
-	if err := watchSweep(ts.URL, "s-999999", false, 0, &out); err == nil {
+	if err := watchSweep(ts.URL, "", "s-999999", false, 0, &out); err == nil {
 		t.Error("watching an unknown sweep succeeded")
 	}
 }
@@ -270,7 +270,7 @@ func TestStreamSSEReconnect(t *testing.T) {
 	defer srv.Close()
 
 	var seqs []int
-	err := streamSSE(srv.URL, 30*time.Second, func(event, data string) bool {
+	err := streamSSE(srv.URL, "", 30*time.Second, func(event, data string) bool {
 		var ev struct {
 			Seq int `json:"seq"`
 		}
@@ -317,7 +317,7 @@ func TestStreamSSESurvivesRestart(t *testing.T) {
 	var seqs []int
 	done := make(chan error, 1)
 	go func() {
-		done <- streamSSE(url, 30*time.Second, func(event, data string) bool {
+		done <- streamSSE(url, "", 30*time.Second, func(event, data string) bool {
 			var ev struct {
 				Seq int `json:"seq"`
 			}
@@ -388,7 +388,7 @@ func TestStreamSSETimeout(t *testing.T) {
 		// Never send the terminal event; the deadline must fire.
 	}))
 	defer srv.Close()
-	err := streamSSE(srv.URL, 300*time.Millisecond, func(event, data string) bool { return false })
+	err := streamSSE(srv.URL, "", 300*time.Millisecond, func(event, data string) bool { return false })
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("err = %v, want timeout", err)
 	}

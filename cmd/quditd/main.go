@@ -8,6 +8,7 @@
 //	GET    /v1/jobs/{id}/events   stream state transitions (SSE)
 //	DELETE /v1/jobs/{id}          cancel a job
 //	GET    /v1/stats              queue and cache counters
+//	GET    /metrics               Prometheus text exposition
 //	POST   /v1/sweeps             submit a parameterized experiment sweep
 //	GET    /v1/sweeps/{id}        poll a sweep (add ?wait=1 to block)
 //	GET    /v1/sweeps/{id}/events stream cell settlements + aggregate (SSE)
@@ -52,6 +53,15 @@
 // the process exits; a worker first deregisters and waits for the
 // coordinator to collect its results.
 //
+// With -tenants FILE the daemon is multi-tenant: the file registers
+// API keys with per-tenant quotas (queued jobs, inflight shots,
+// concurrent sweeps), weights, and priority classes; every job and
+// sweep route then requires an X-API-Key header, queued work drains
+// under weighted deficit-round-robin instead of FIFO, and /v1/stats
+// and /metrics report per-tenant usage. Results remain byte-identical
+// under any scheduling interleaving — seeds are content-addressed, so
+// tenancy changes who waits, never what is computed.
+//
 // With -journal DIR the daemon is crash-durable: every accepted job
 // and sweep is recorded in a write-ahead journal (internal/journal)
 // before the submitter hears an ID, and every settlement is recorded
@@ -82,6 +92,7 @@ import (
 	"quditkit/internal/experiment"
 	"quditkit/internal/journal"
 	"quditkit/internal/serve"
+	"quditkit/internal/tenant"
 )
 
 // options collects the daemon's flag-configurable parameters.
@@ -108,6 +119,7 @@ type options struct {
 	journal        string
 
 	sweepParallel int
+	tenants       string
 }
 
 // parseFlags reads options from an argument list (excluding the
@@ -136,6 +148,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "coordinator: state checkpoint file; restart replays registered workers and unsettled jobs from it (empty disables)")
 	fs.StringVar(&o.journal, "journal", "", "write-ahead journal directory; restart replays unsettled jobs and sweeps from it (empty disables)")
 	fs.IntVar(&o.sweepParallel, "sweep-parallel", 0, "cells one sweep keeps in flight (0 = default)")
+	fs.StringVar(&o.tenants, "tenants", "", "tenant registry JSON file; enables API-key auth, per-tenant quotas, and weighted scheduling (empty runs single-tenant)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -154,7 +167,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 
 // newService builds the processor and job service the daemon fronts.
 // A non-nil jobs journal makes every wire-submitted job crash-durable.
-func newService(o options, jobs *journal.Journal) (*serve.Service, error) {
+func newService(o options, jobs *journal.Journal, tenants *tenant.Registry) (*serve.Service, error) {
 	proc, err := core.NewCompactProcessor(o.cavities, o.modes, o.seed)
 	if err != nil {
 		return nil, fmt.Errorf("building processor: %w", err)
@@ -166,7 +179,22 @@ func newService(o options, jobs *journal.Journal) (*serve.Service, error) {
 		CacheSize:  o.cache,
 		RetainJobs: o.retain,
 		Journal:    jobs,
+		Tenants:    tenants,
 	})
+}
+
+// loadTenants loads the -tenants registry, or returns nil (single
+// tenant, no auth) when the flag is unset.
+func loadTenants(o options, logger *log.Logger) (*tenant.Registry, error) {
+	if o.tenants == "" {
+		return nil, nil
+	}
+	reg, err := tenant.LoadFile(o.tenants)
+	if err != nil {
+		return nil, fmt.Errorf("loading tenant registry: %w", err)
+	}
+	logger.Printf("quditd enforcing %d tenant(s) from %s", len(reg.Accounts()), o.tenants)
+	return reg, nil
 }
 
 // openJournals prepares the daemon's durable state directory and opens
@@ -223,7 +251,11 @@ func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- ne
 		defer sweepsJournal.Close()
 		defer jobsJournal.Close()
 	}
-	svc, err := newService(o, jobsJournal)
+	tenants, err := loadTenants(o, logger)
+	if err != nil {
+		return err
+	}
+	svc, err := newService(o, jobsJournal, tenants)
 	if err != nil {
 		return err
 	}
@@ -238,7 +270,7 @@ func runNode(ctx context.Context, o options, logger *log.Logger, ready chan<- ne
 		}
 	}
 	mgr, err := experiment.NewManager(experiment.ServeRunner{Service: svc},
-		experiment.Config{Parallel: o.sweepParallel, Journal: sweepsJournal})
+		experiment.Config{Parallel: o.sweepParallel, Journal: sweepsJournal, Tenants: tenants})
 	if err != nil {
 		svc.Close()
 		return err
@@ -355,17 +387,22 @@ func runCoordinator(ctx context.Context, o options, logger *log.Logger, ready ch
 	if err != nil {
 		return fmt.Errorf("building processor: %w", err)
 	}
+	tenants, err := loadTenants(o, logger)
+	if err != nil {
+		return err
+	}
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		Proc:           proc,
 		HeartbeatTTL:   o.hbTTL,
 		RetainJobs:     o.retain,
 		ControlTimeout: o.controlTimeout,
 		CheckpointPath: o.checkpoint,
+		Tenants:        tenants,
 	})
 	if err != nil {
 		return err
 	}
-	mgr, err := experiment.NewManager(coord, experiment.Config{Parallel: o.sweepParallel, Journal: sweepsJournal})
+	mgr, err := experiment.NewManager(coord, experiment.Config{Parallel: o.sweepParallel, Journal: sweepsJournal, Tenants: tenants})
 	if err != nil {
 		coord.Close()
 		return err

@@ -27,7 +27,7 @@ func TestParseFlags(t *testing.T) {
 }
 
 func TestNewServiceRejectsBadDevice(t *testing.T) {
-	if _, err := newService(options{cavities: 0, modes: 0, seed: 1}, nil); err == nil {
+	if _, err := newService(options{cavities: 0, modes: 0, seed: 1}, nil, nil); err == nil {
 		t.Error("empty device accepted")
 	}
 }

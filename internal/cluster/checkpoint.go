@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"quditkit/internal/tenant"
 )
 
 // checkpointVersion guards the on-disk checkpoint format.
@@ -42,6 +44,10 @@ type checkpointJob struct {
 	Worker   string          `json:"worker,omitempty"`
 	Remote   string          `json:"remote,omitempty"`
 	Requeues int             `json:"requeues"`
+	// Tenant names the owning tenant (empty for anonymous) and Shots
+	// its reservation, so a restart restores per-tenant accounting.
+	Tenant string `json:"tenant,omitempty"`
+	Shots  int    `json:"shots,omitempty"`
 }
 
 // checkpoint snapshots the coordinator's recoverable state and writes
@@ -70,14 +76,19 @@ func (c *Coordinator) checkpoint() {
 	for _, rec := range c.jobs {
 		rec.mu.Lock()
 		if rec.settled == nil {
-			snap.Jobs = append(snap.Jobs, checkpointJob{
+			cj := checkpointJob{
 				ID:       rec.id,
 				Key:      rec.key,
 				Payload:  json.RawMessage(rec.payload),
 				Worker:   rec.workerID,
 				Remote:   rec.remoteID,
 				Requeues: rec.requeues,
-			})
+				Shots:    rec.shots,
+			}
+			if rec.acct != nil && rec.acct.Name() != tenant.AnonymousName {
+				cj.Tenant = rec.acct.Name()
+			}
+			snap.Jobs = append(snap.Jobs, cj)
 		}
 		rec.mu.Unlock()
 	}
@@ -153,14 +164,29 @@ func (c *Coordinator) restore() error {
 		c.ring.Add(w.ID)
 	}
 	for _, j := range snap.Jobs {
+		// Resolve the recorded tenant; a name absent from the current
+		// registry falls back to the anonymous account — accepted work
+		// is never dropped on restore. The admission is quota-bypassing
+		// (ForceAdmitJob): quotas shrunk across the restart must not
+		// drop jobs the fleet already accepted.
+		acct := c.anon
+		if j.Tenant != "" && c.cfg.Tenants != nil {
+			if a, ok := c.cfg.Tenants.ByName(j.Tenant); ok {
+				acct = a
+			}
+		}
 		rec := &jobRecord{
 			id:       j.ID,
 			key:      j.Key,
+			acct:     acct,
+			shots:    j.Shots,
 			payload:  []byte(j.Payload),
 			workerID: j.Worker,
 			remoteID: j.Remote,
 			requeues: j.Requeues,
+			reserved: true,
 		}
+		acct.ForceAdmitJob(rec.shots)
 		c.jobs[j.ID] = rec
 		if n := c.workers[j.Worker]; n != nil {
 			n.assigned[j.ID] = rec

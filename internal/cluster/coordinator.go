@@ -15,6 +15,7 @@ import (
 
 	"quditkit/internal/core"
 	"quditkit/internal/serve"
+	"quditkit/internal/tenant"
 )
 
 // Coordinator errors distinguishable by callers.
@@ -83,6 +84,13 @@ type CoordinatorConfig struct {
 	// proxies use a timeout-free copy so long waits are bounded by the
 	// caller's context, not the transport.
 	Client *http.Client
+	// Tenants, when non-nil, turns on multi-tenant enforcement at the
+	// fleet edge: the HTTP handler requires a registered X-API-Key,
+	// submissions reserve against per-tenant job and shot quotas, a
+	// tenant can only see its own jobs, and dispatches forward the
+	// tenant's key to workers. Nil runs single-tenant under one
+	// anonymous unlimited account.
+	Tenants *tenant.Registry
 
 	// now is the clock, overridable by tests.
 	now func() time.Time
@@ -144,8 +152,17 @@ type workerNode struct {
 type jobRecord struct {
 	id  string
 	key uint64
+	// acct is the owning tenant's account (never nil — anonymous when
+	// untenanted); shots is the reservation released at settlement.
+	acct  *tenant.Account
+	shots int
 
 	mu sync.Mutex
+	// reserved marks an admission reservation held by this record;
+	// started marks the queued→running transition (first successful
+	// dispatch). Both guard the single release at settlement.
+	reserved bool
+	started  bool
 	// payload is the original request body, kept until settlement so
 	// the job can be re-dispatched verbatim after a worker loss.
 	payload  []byte
@@ -174,6 +191,9 @@ type Coordinator struct {
 	cfg      CoordinatorConfig
 	client   *http.Client // bounded-timeout client for control traffic
 	streamer *http.Client // timeout-free client for waits and SSE relays
+	// anon is the unlimited account submissions run under when no
+	// registry is configured (or an in-process caller passes nil).
+	anon *tenant.Account
 
 	mu           sync.Mutex
 	workers      map[string]*workerNode
@@ -209,6 +229,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		cfg:      cfg,
 		client:   cfg.Client,
 		streamer: &streamer,
+		anon:     tenant.NewAnonymous(),
 		workers:  make(map[string]*workerNode),
 		ring:     NewRing(cfg.VNodes),
 		jobs:     make(map[string]*jobRecord),
@@ -368,7 +389,8 @@ func (c *Coordinator) requeue(rec *jobRecord, failed string) {
 }
 
 // settle records a job's terminal view exactly once, releases its
-// payload, and removes it from its worker's assigned set.
+// payload and the tenant's admission reservation, and removes it from
+// its worker's assigned set.
 func (c *Coordinator) settle(rec *jobRecord, view *JobView) {
 	rec.mu.Lock()
 	if rec.settled != nil {
@@ -378,7 +400,19 @@ func (c *Coordinator) settle(rec *jobRecord, view *JobView) {
 	rec.settled = view
 	rec.payload = nil
 	worker := rec.workerID
+	started, reserved := rec.started, rec.reserved
+	rec.reserved = false
 	rec.mu.Unlock()
+	if rec.acct != nil {
+		oc := tenant.Failed
+		switch view.State {
+		case serve.Done.String():
+			oc = tenant.Completed
+		case serve.Cancelled.String():
+			oc = tenant.Cancelled
+		}
+		rec.acct.JobSettled(started, reserved, rec.shots, oc)
+	}
 	c.settled.Add(1)
 	c.mu.Lock()
 	if n := c.workers[worker]; n != nil {
@@ -411,6 +445,12 @@ func (c *Coordinator) assign(rec *jobRecord, workerID, remoteID string) bool {
 	rec.mu.Lock()
 	old := rec.workerID
 	rec.workerID, rec.remoteID = workerID, remoteID
+	// First successful dispatch is the queued→running transition for
+	// the tenant's gauges; requeues re-assign without re-starting.
+	if rec.reserved && !rec.started {
+		rec.started = true
+		rec.acct.JobStarted()
+	}
 	rec.mu.Unlock()
 	if old != "" && old != workerID {
 		if prev := c.workers[old]; prev != nil {
@@ -514,7 +554,18 @@ func (c *Coordinator) dispatchOnce(rec *jobRecord, exclude string) (serve.JobVie
 
 	var lastErr error = ErrNoWorkers
 	for i, w := range cands {
-		resp, err := c.client.Post(w.url+"/v1/jobs", "application/json", bytes.NewReader(payload))
+		req, err := http.NewRequest(http.MethodPost, w.url+"/v1/jobs", bytes.NewReader(payload))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		// Forward the tenant's identity so a worker fleet running its
+		// own registry attributes (and meters) the job correctly.
+		if rec.acct != nil && rec.acct.Key() != "" {
+			req.Header.Set("X-API-Key", rec.acct.Key())
+		}
+		resp, err := c.client.Do(req)
 		if err != nil {
 			lastErr = err
 			continue
@@ -546,8 +597,9 @@ func (c *Coordinator) dispatchOnce(rec *jobRecord, exclude string) (serve.JobVie
 			return view, nil
 		case resp.StatusCode == http.StatusTooManyRequests:
 			// The owner's queue is full: backpressure, not failure.
-			// Spill to the next replica on the ring.
-			lastErr = fmt.Errorf("cluster: worker %s queue full", w.id)
+			// Spill to the next replica on the ring. The sentinel lets
+			// the handler map an all-workers-full round to its own 429.
+			lastErr = fmt.Errorf("%w: worker %s", serve.ErrQueueFull, w.id)
 			continue
 		case resp.StatusCode >= 400 && resp.StatusCode < 500:
 			return serve.JobView{}, permanentError{fmt.Errorf("cluster: worker %s rejected job: %s", w.id, string(bytes.TrimSpace(body)))}
@@ -559,43 +611,94 @@ func (c *Coordinator) dispatchOnce(rec *jobRecord, exclude string) (serve.JobVie
 	return serve.JobView{}, lastErr
 }
 
-// RunJob dispatches one job across the fleet and blocks until it
-// settles or ctx ends — the in-process submission path the experiment
-// sweep layer drives, validated with the same admission limits as the
-// HTTP edge. The wait survives worker loss via the requeue machinery.
-// When ctx ends first, the remote job is cancelled best-effort before
-// the context error returns, so reaping a sweep also reaps its
-// worker-side sub-jobs.
-func (c *Coordinator) RunJob(ctx context.Context, req serve.JobRequest) (serve.JobView, error) {
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return serve.JobView{}, fmt.Errorf("cluster: encoding job: %w", err)
+// Anonymous returns the account submissions run under when no tenant
+// is attached.
+func (c *Coordinator) Anonymous() *tenant.Account { return c.anon }
+
+// Tenants returns the registry the coordinator enforces, or nil when
+// untenanted.
+func (c *Coordinator) Tenants() *tenant.Registry { return c.cfg.Tenants }
+
+// admit validates a request against the coordinator's processor,
+// reserves the tenant's job and shot quota, and registers the job
+// record — the single admission point shared by RunJob and the HTTP
+// edge. On success the returned record holds the reservation until
+// settlement (or releaseFailed after a dispatch that never started).
+func (c *Coordinator) admit(acct *tenant.Account, payload []byte, req serve.JobRequest) (*jobRecord, error) {
+	if acct == nil {
+		acct = c.anon
 	}
 	circ, err := serve.BuildCircuit(req.Circuit)
 	if err != nil {
-		return serve.JobView{}, err
+		return nil, err
 	}
 	opts, err := req.Options(c.cfg.Proc)
 	if err != nil {
-		return serve.JobView{}, err
+		return nil, err
 	}
 	key := JobKey(core.Fingerprint(circ), core.OptionsDigest(opts...), core.TranspileKey(opts...))
+	shots := core.ShotsOf(opts...)
 
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return serve.JobView{}, ErrNoWorkers
+		return nil, ErrNoWorkers
+	}
+	if err := acct.TryAdmitJob(shots); err != nil {
+		c.mu.Unlock()
+		return nil, err
 	}
 	c.nextID++
-	rec := &jobRecord{id: fmt.Sprintf("c-%06d", c.nextID), key: key, payload: payload}
+	rec := &jobRecord{
+		id:       fmt.Sprintf("c-%06d", c.nextID),
+		key:      key,
+		acct:     acct,
+		shots:    shots,
+		payload:  payload,
+		reserved: true,
+	}
 	c.jobs[rec.id] = rec
 	c.mu.Unlock()
+	return rec, nil
+}
+
+// releaseFailed forgets a record whose dispatch failed outright: the
+// caller got an error, nothing ran, so the admission is unwound as if
+// it never happened.
+func (c *Coordinator) releaseFailed(rec *jobRecord) {
+	c.mu.Lock()
+	delete(c.jobs, rec.id)
+	c.mu.Unlock()
+	rec.mu.Lock()
+	reserved := rec.reserved
+	rec.reserved = false
+	rec.mu.Unlock()
+	if reserved {
+		rec.acct.CancelAdmission(rec.shots)
+	}
+}
+
+// RunJob dispatches one job across the fleet on behalf of acct (nil
+// means the coordinator's anonymous account) and blocks until it
+// settles or ctx ends — the in-process submission path the experiment
+// sweep layer drives, validated with the same admission limits and
+// tenant quotas as the HTTP edge. The wait survives worker loss via
+// the requeue machinery. When ctx ends first, the remote job is
+// cancelled best-effort before the context error returns, so reaping
+// a sweep also reaps its worker-side sub-jobs.
+func (c *Coordinator) RunJob(ctx context.Context, acct *tenant.Account, req serve.JobRequest) (serve.JobView, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return serve.JobView{}, fmt.Errorf("cluster: encoding job: %w", err)
+	}
+	rec, err := c.admit(acct, payload, req)
+	if err != nil {
+		return serve.JobView{}, err
+	}
 
 	view, err := c.dispatch(rec, "")
 	if err != nil {
-		c.mu.Lock()
-		delete(c.jobs, rec.id)
-		c.mu.Unlock()
+		c.releaseFailed(rec)
 		return serve.JobView{}, err
 	}
 	c.dispatched.Add(1)
@@ -718,7 +821,21 @@ func (c *Coordinator) Stats() Stats {
 		Requeued:       c.requeued.Load(),
 		Settled:        c.settled.Load(),
 		HeartbeatTTLMS: c.cfg.HeartbeatTTL.Milliseconds(),
+		Tenants:        c.tenantUsage(),
 	}
+}
+
+// tenantUsage snapshots every account the coordinator can admit for:
+// registered tenants in file order, then the anonymous account.
+func (c *Coordinator) tenantUsage() []tenant.Usage {
+	var out []tenant.Usage
+	if c.cfg.Tenants != nil {
+		for _, a := range c.cfg.Tenants.Accounts() {
+			out = append(out, a.Snapshot())
+		}
+	}
+	out = append(out, c.anon.Snapshot())
+	return out
 }
 
 // getJSON fetches one JSON document.

@@ -169,8 +169,10 @@ func postJob(t *testing.T, baseURL, body string, wait bool) (JobView, int) {
 		t.Fatal(err)
 	}
 	var view JobView
-	if err := json.Unmarshal(raw, &view); err != nil {
-		t.Fatalf("decoding %s: %v", raw, err)
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, &view); err != nil {
+			t.Fatalf("decoding %s: %v", raw, err)
+		}
 	}
 	return view, resp.StatusCode
 }
@@ -188,8 +190,10 @@ func getJob(t *testing.T, baseURL, id string, wait bool) (JobView, int) {
 	}
 	defer resp.Body.Close()
 	var view JobView
-	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
-		t.Fatal(err)
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
 	}
 	return view, resp.StatusCode
 }

@@ -12,8 +12,10 @@ import (
 	"strings"
 	"time"
 
-	"quditkit/internal/core"
+	"quditkit/internal/httpapi"
+	"quditkit/internal/metrics"
 	"quditkit/internal/serve"
+	"quditkit/internal/tenant"
 )
 
 // Handler exposes the coordinator over HTTP. The job surface mirrors a
@@ -29,12 +31,22 @@ import (
 //	                              event and re-attaches on worker loss
 //	DELETE /v1/jobs/{id}          proxied cancel
 //	GET    /v1/stats              fleet aggregate with per-worker gauges
+//	GET    /metrics               Prometheus text exposition
 //
 // plus the control plane workers use:
 //
 //	POST /v1/cluster/register     worker announce/refresh
 //	POST /v1/cluster/heartbeat    worker liveness beat
 //	POST /v1/cluster/deregister   drain: collect results, then release
+//
+// With a tenant registry configured, the job routes require a
+// registered X-API-Key (401 with code tenant_unknown otherwise) and a
+// tenant can only see its own jobs — a foreign job ID answers 404
+// exactly like an unknown one. The stats, metrics, and worker control
+// plane stay unauthenticated: they are operator and infrastructure
+// surfaces, not tenant ones. Errors across every route use the
+// structured envelope of package httpapi, and every 429 carries a
+// Retry-After header.
 func Handler(c *Coordinator) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
@@ -44,10 +56,72 @@ func Handler(c *Coordinator) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		var b metrics.Buffer
+		c.WriteMetrics(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = b.WriteTo(w)
+	})
 	mux.HandleFunc("POST /v1/cluster/register", c.handleRegister)
 	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /v1/cluster/deregister", c.handleDeregister)
 	return mux
+}
+
+// authenticate resolves the request's tenant account. Without a
+// registry every caller shares the coordinator's anonymous account;
+// with one, a missing or unknown X-API-Key answers 401 and returns ok
+// false (the response is already written).
+func (c *Coordinator) authenticate(w http.ResponseWriter, r *http.Request) (*tenant.Account, bool) {
+	reg := c.cfg.Tenants
+	if reg == nil {
+		return c.anon, true
+	}
+	acct, err := reg.Lookup(r.Header.Get("X-API-Key"))
+	if err != nil {
+		httpapi.WriteError(w, http.StatusUnauthorized, httpapi.CodeTenantUnknown,
+			"missing or unknown X-API-Key", 0)
+		return nil, false
+	}
+	return acct, true
+}
+
+// recordFor looks up a job record and verifies ownership: with a
+// registry configured, a foreign job is indistinguishable from an
+// unknown one, so tenants cannot probe each other's IDs.
+func (c *Coordinator) recordFor(id string, acct *tenant.Account) (*jobRecord, error) {
+	rec, err := c.record(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.Tenants != nil && rec.acct != acct {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return rec, nil
+}
+
+// writeClusterError maps a coordinator error onto the structured
+// envelope: quota breaches and fleet-wide backpressure are 429 with
+// Retry-After, an empty (or closed) fleet 503, unknown jobs 404,
+// expired contexts 504, and anything else a 502 naming the upstream
+// failure.
+func writeClusterError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, tenant.ErrQuotaExceeded):
+		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeQuotaExceeded,
+			err.Error(), serve.RetryAfterQuota)
+	case errors.Is(err, serve.ErrQueueFull):
+		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeQueueFull,
+			err.Error(), serve.RetryAfterQueueFull)
+	case errors.Is(err, ErrNoWorkers):
+		httpapi.WriteError(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable, err.Error(), 0)
+	case errors.Is(err, ErrUnknownJob):
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error(), 0)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpapi.WriteError(w, http.StatusGatewayTimeout, httpapi.CodeTimeout, err.Error(), 0)
+	default:
+		httpapi.WriteError(w, http.StatusBadGateway, httpapi.CodeUpstream, err.Error(), 0)
+	}
 }
 
 // handleSubmit validates a submission at the edge, derives its routing
@@ -56,52 +130,38 @@ func Handler(c *Coordinator) http.Handler {
 // burns no worker round-trip and the client sees one consistent 4xx
 // surface in both topologies.
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	acct, ok := c.authenticate(w, r)
+	if !ok {
+		return
+	}
 	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest,
+			"reading request: "+err.Error(), 0)
 		return
 	}
 	var req serve.JobRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest,
+			"decoding request: "+err.Error(), 0)
 		return
 	}
-	circ, err := serve.BuildCircuit(req.Circuit)
+	rec, err := c.admit(acct, payload, req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, tenant.ErrQuotaExceeded), errors.Is(err, ErrNoWorkers):
+			writeClusterError(w, err)
+		default:
+			// Everything else admit can fail with is request validation.
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest, err.Error(), 0)
+		}
 		return
 	}
-	opts, err := req.Options(c.cfg.Proc)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	key := JobKey(core.Fingerprint(circ), core.OptionsDigest(opts...), core.TranspileKey(opts...))
-
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, ErrNoWorkers)
-		return
-	}
-	c.nextID++
-	rec := &jobRecord{id: fmt.Sprintf("c-%06d", c.nextID), key: key, payload: payload}
-	c.jobs[rec.id] = rec
-	c.mu.Unlock()
 
 	view, err := c.dispatch(rec, "")
 	if err != nil {
-		c.mu.Lock()
-		delete(c.jobs, rec.id)
-		c.mu.Unlock()
-		switch {
-		case errors.Is(err, ErrNoWorkers):
-			httpError(w, http.StatusServiceUnavailable, err)
-		case strings.Contains(err.Error(), "queue full"):
-			httpError(w, http.StatusTooManyRequests, err)
-		default:
-			httpError(w, http.StatusBadGateway, err)
-		}
+		c.releaseFailed(rec)
+		writeClusterError(w, err)
 		return
 	}
 	c.dispatched.Add(1)
@@ -110,7 +170,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if wantWait(r) && !stateTerminal(out.State) {
 		settled, err := c.await(r.Context(), rec)
 		if err != nil {
-			httpError(w, http.StatusGatewayTimeout, err)
+			httpapi.WriteError(w, http.StatusGatewayTimeout, httpapi.CodeTimeout, err.Error(), 0)
 			return
 		}
 		out = settled
@@ -183,15 +243,19 @@ func (c *Coordinator) await(ctx context.Context, rec *jobRecord) (*JobView, erro
 // round-trip (which is also what makes results of drained workers
 // durable).
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
-	rec, err := c.record(r.PathValue("id"))
+	acct, ok := c.authenticate(w, r)
+	if !ok {
+		return
+	}
+	rec, err := c.recordFor(r.PathValue("id"), acct)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		writeClusterError(w, err)
 		return
 	}
 	if wantWait(r) {
 		view, err := c.await(r.Context(), rec)
 		if err != nil {
-			httpError(w, http.StatusGatewayTimeout, err)
+			httpapi.WriteError(w, http.StatusGatewayTimeout, httpapi.CodeTimeout, err.Error(), 0)
 			return
 		}
 		writeJSON(w, http.StatusOK, view)
@@ -238,29 +302,35 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // handleCancel proxies a cancellation to the owning worker.
 func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
-	rec, err := c.record(r.PathValue("id"))
+	acct, ok := c.authenticate(w, r)
+	if !ok {
+		return
+	}
+	rec, err := c.recordFor(r.PathValue("id"), acct)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		writeClusterError(w, err)
 		return
 	}
 	workerID, remoteID, _, settled := rec.snapshot()
 	if settled != nil {
-		httpError(w, http.StatusConflict, errors.New("cluster: job already finished"))
+		httpapi.WriteError(w, http.StatusConflict, httpapi.CodeConflict,
+			"cluster: job already finished", 0)
 		return
 	}
 	url := c.workerURL(workerID)
 	if url == "" {
-		httpError(w, http.StatusBadGateway, fmt.Errorf("cluster: worker %s unavailable", workerID))
+		httpapi.WriteError(w, http.StatusBadGateway, httpapi.CodeUpstream,
+			fmt.Sprintf("cluster: worker %s unavailable", workerID), 0)
 		return
 	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, url+"/v1/jobs/"+remoteID, nil)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error(), 0)
 		return
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		httpError(w, http.StatusBadGateway, err)
+		httpapi.WriteError(w, http.StatusBadGateway, httpapi.CodeUpstream, err.Error(), 0)
 		return
 	}
 	defer resp.Body.Close()
@@ -273,7 +343,7 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	var view serve.JobView
 	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
-		httpError(w, http.StatusBadGateway, err)
+		httpapi.WriteError(w, http.StatusBadGateway, httpapi.CodeUpstream, err.Error(), 0)
 		return
 	}
 	if stateTerminal(view.State) {
@@ -287,14 +357,19 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 // emits a "requeued" event naming the new worker, and re-attaches to
 // the replacement's stream (which replays from its own sequence 0).
 func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
-	rec, err := c.record(r.PathValue("id"))
+	acct, ok := c.authenticate(w, r)
+	if !ok {
+		return
+	}
+	rec, err := c.recordFor(r.PathValue("id"), acct)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		writeClusterError(w, err)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, errors.New("cluster: response writer cannot stream"))
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal,
+			"cluster: response writer cannot stream", 0)
 		return
 	}
 	h := w.Header()
@@ -394,11 +469,12 @@ func (c *Coordinator) relayWorkerStream(w http.ResponseWriter, flusher http.Flus
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest, err.Error(), 0)
 		return
 	}
 	if req.ID == "" || req.URL == "" {
-		httpError(w, http.StatusBadRequest, errors.New("cluster: register needs id and url"))
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest,
+			"cluster: register needs id and url", 0)
 		return
 	}
 	c.Register(req.ID, strings.TrimSuffix(req.URL, "/"))
@@ -413,11 +489,12 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req HeartbeatRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest, err.Error(), 0)
 		return
 	}
 	if !c.Heartbeat(req.ID) {
-		httpError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown worker %q", req.ID))
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound,
+			fmt.Sprintf("cluster: unknown worker %q", req.ID), 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -429,12 +506,12 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	var req DeregisterRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest, err.Error(), 0)
 		return
 	}
 	collected, requeued, err := c.Drain(req.ID)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error(), 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, DeregisterResponse{Collected: collected, Requeued: requeued})
@@ -520,11 +597,6 @@ func wantWait(r *http.Request) bool {
 	}
 	b, err := strconv.ParseBool(v)
 	return err != nil || b
-}
-
-// httpError writes a JSON error body with the given status.
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 // writeJSON marshals v with an application/json content type.

@@ -30,7 +30,7 @@ func TestRunJobInProcess(t *testing.T) {
 	f := newFleet(t, serve.Config{}, "w1", "w2")
 	body := ghzBody(64, 500)
 
-	view, err := f.coord.RunJob(context.Background(), runJobReq(t, body))
+	view, err := f.coord.RunJob(context.Background(), nil, runJobReq(t, body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestRunJobInProcess(t *testing.T) {
 		t.Fatal("HTTP re-submission after RunJob missed the cache: paths use different keys")
 	}
 
-	again, err := f.coord.RunJob(context.Background(), runJobReq(t, body))
+	again, err := f.coord.RunJob(context.Background(), nil, runJobReq(t, body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestRunJobValidation(t *testing.T) {
 	f := newFleet(t, serve.Config{}, "w1")
 	bad := runJobReq(t, ghzBody(64, 501))
 	bad.Circuit.Ops[0].Gate = "warp"
-	if _, err := f.coord.RunJob(context.Background(), bad); err == nil {
+	if _, err := f.coord.RunJob(context.Background(), nil, bad); err == nil {
 		t.Fatal("unknown gate accepted")
 	}
 	if n := len(f.coord.Stats().Workers); n != 1 {
@@ -74,7 +74,7 @@ func TestRunJobValidation(t *testing.T) {
 // TestRunJobNoWorkers reports ErrNoWorkers on an empty fleet.
 func TestRunJobNoWorkers(t *testing.T) {
 	f := newFleet(t, serve.Config{})
-	_, err := f.coord.RunJob(context.Background(), runJobReq(t, ghzBody(64, 502)))
+	_, err := f.coord.RunJob(context.Background(), nil, runJobReq(t, ghzBody(64, 502)))
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("empty-fleet RunJob: %v", err)
 	}
@@ -104,7 +104,7 @@ func TestRunJobCancelReapsRemote(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, err := f.coord.RunJob(ctx, runJobReq(t, ghzBody(1<<16, 601)))
+		_, err := f.coord.RunJob(ctx, nil, runJobReq(t, ghzBody(1<<16, 601)))
 		errc <- err
 	}()
 	time.Sleep(100 * time.Millisecond)

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/core"
+	"quditkit/internal/httpapi"
+	"quditkit/internal/serve"
+	"quditkit/internal/tenant"
+)
+
+// clusterRegistry builds the fleet-edge registry: acme is shot-capped,
+// bob unlimited with weight 2.
+func clusterRegistry(t *testing.T) *tenant.Registry {
+	t.Helper()
+	reg, err := tenant.Load([]byte(`{"tenants": [
+		{"name": "acme", "api_key": "k-acme", "max_inflight_shots": 100},
+		{"name": "bob",  "api_key": "k-bob", "weight": 2}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// newTenantFleet mirrors newFleet with a tenant registry at the
+// coordinator edge; workers run untenanted (they ignore the forwarded
+// X-API-Key), which is the single-shared-registry deployment.
+func newTenantFleet(t *testing.T, reg *tenant.Registry, workerIDs ...string) *fleet {
+	t.Helper()
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Proc:            proc,
+		HeartbeatTTL:    5 * time.Second,
+		MonitorInterval: -1,
+		DrainTimeout:    30 * time.Second,
+		Tenants:         reg,
+		now:             clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(coord))
+	t.Cleanup(func() {
+		ts.Close()
+		coord.Close()
+	})
+	f := &fleet{coord: coord, ts: ts, clk: clk, workers: map[string]*testWorker{}}
+	for _, id := range workerIDs {
+		w := newTestWorker(t, 1, serve.Config{})
+		f.workers[id] = w
+		f.coord.Register(id, w.ts.URL)
+	}
+	return f
+}
+
+// doTenant issues one fleet request under a tenant key.
+func doTenant(t *testing.T, method, url, key, body string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+// TestClusterTenantAuthAndOwnership: the fleet edge enforces keys, and
+// one tenant's job ID is invisible to another.
+func TestClusterTenantAuthAndOwnership(t *testing.T) {
+	f := newTenantFleet(t, clusterRegistry(t), "w1")
+
+	status, raw, _ := doTenant(t, http.MethodPost, f.ts.URL+"/v1/jobs", "", ghzBody(16, 1))
+	if status != http.StatusUnauthorized {
+		t.Fatalf("no key: %d %s", status, raw)
+	}
+	if det, ok := httpapi.Decode(raw); !ok || det.Code != httpapi.CodeTenantUnknown {
+		t.Fatalf("no-key body %s", raw)
+	}
+
+	status, raw, _ = doTenant(t, http.MethodPost, f.ts.URL+"/v1/jobs?wait=1", "k-bob", ghzBody(16, 2))
+	if status != http.StatusOK {
+		t.Fatalf("submit as bob: %d %s", status, raw)
+	}
+	var view JobView
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if status, raw, _ = doTenant(t, http.MethodGet, f.ts.URL+"/v1/jobs/"+view.ID, "k-acme", ""); status != http.StatusNotFound {
+		t.Fatalf("foreign lookup: %d %s", status, raw)
+	}
+	if status, _, _ = doTenant(t, http.MethodGet, f.ts.URL+"/v1/jobs/"+view.ID, "k-bob", ""); status != http.StatusOK {
+		t.Fatalf("owner lookup: %d", status)
+	}
+
+	// /v1/stats (operator surface) reports the per-tenant rows.
+	_, raw, _ = doTenant(t, http.MethodGet, f.ts.URL+"/v1/stats", "", "")
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range st.Tenants {
+		if u.Name == "bob" && u.Completed == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stats tenants missing settled bob row: %+v", st.Tenants)
+	}
+}
+
+// TestClusterQuota429: admission over quota at the fleet edge is a 429
+// quota_exceeded with Retry-After, before any dispatch happens.
+func TestClusterQuota429(t *testing.T) {
+	f := newTenantFleet(t, clusterRegistry(t), "w1")
+	status, raw, hdr := doTenant(t, http.MethodPost, f.ts.URL+"/v1/jobs", "k-acme", ghzBody(500, 3))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d %s, want 429", status, raw)
+	}
+	if got := hdr.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q", got)
+	}
+	det, ok := httpapi.Decode(raw)
+	if !ok || det.Code != httpapi.CodeQuotaExceeded {
+		t.Fatalf("body %s", raw)
+	}
+	// The rejected job left no record behind.
+	f.coord.mu.Lock()
+	n := len(f.coord.jobs)
+	f.coord.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d job records leaked by quota rejection", n)
+	}
+}
+
+// TestClusterMetricsEndpoint: the coordinator serves the Prometheus
+// exposition with fleet gauges and per-tenant series.
+func TestClusterMetricsEndpoint(t *testing.T) {
+	f := newTenantFleet(t, clusterRegistry(t), "w1", "w2")
+	if status, raw, _ := doTenant(t, http.MethodPost, f.ts.URL+"/v1/jobs?wait=1", "k-bob", ghzBody(16, 4)); status != http.StatusOK {
+		t.Fatalf("submit: %d %s", status, raw)
+	}
+	status, raw, hdr := doTenant(t, http.MethodGet, f.ts.URL+"/metrics", "", "")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: %d", status)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"quditd_cluster_workers 2",
+		"quditd_cluster_dispatched_total 1",
+		"quditd_cluster_settled_total 1",
+		`quditd_tenant_jobs_completed_total{tenant="bob"} 1`,
+		`quditd_tenant_jobs_enqueued_total{tenant="acme"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestClusterMixedTenantByteIdentical is fairness criterion (c) on the
+// fleet: under mixed-tenant load across two workers, every job's
+// result is byte-identical to the same circuit run on an undisturbed
+// standalone service — tenancy changes who waits, never what is
+// computed.
+func TestClusterMixedTenantByteIdentical(t *testing.T) {
+	const n = 8
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Baseline: standalone single-tenant service, same processor
+	// geometry and seed as the fleet workers.
+	proc, err := core.NewCompactProcessor(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone, err := serve.New(proc, serve.Config{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standalone.Close()
+	baseline := make([]string, n)
+	for i := 0; i < n; i++ {
+		id, err := standalone.Enqueue(mustCircuit(t, i), core.WithShots(64), core.WithSeed(int64(900+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := standalone.Await(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := json.Marshal(serve.NewResultView(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = string(rv)
+	}
+
+	// Fleet: the same circuits interleaved across both tenants.
+	f := newTenantFleet(t, clusterRegistry(t), "w1", "w2")
+	for i := 0; i < n; i++ {
+		key := "k-bob"
+		if i%2 == 1 {
+			key = "k-acme"
+		}
+		status, raw, _ := doTenant(t, http.MethodPost, f.ts.URL+"/v1/jobs?wait=1", key, circuitBody(i, 64, int64(900+i)))
+		if status != http.StatusOK {
+			t.Fatalf("job %d: %d %s", i, status, raw)
+		}
+		var view JobView
+		if err := json.Unmarshal(raw, &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.Result == nil {
+			t.Fatalf("job %d settled without result: %+v", i, view)
+		}
+		got, err := json.Marshal(view.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != baseline[i] {
+			t.Fatalf("job %d diverged on the fleet:\n%s\n%s", i, got, baseline[i])
+		}
+	}
+}
+
+// mustCircuit builds the k-th distinct single-qutrit test circuit,
+// matching circuitBody's wire form, through the same BuildCircuit path
+// the servers use.
+func mustCircuit(t *testing.T, k int) *circuit.Circuit {
+	t.Helper()
+	var spec serve.CircuitSpec
+	body := circuitBody(k, 1, 1)
+	var req serve.JobRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	spec = req.Circuit
+	c, err := serve.BuildCircuit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// circuitBody is the wire form of mustCircuit(k).
+func circuitBody(k, shots int, seed int64) string {
+	ops := make([]string, 0, k+1)
+	for i := 0; i <= k; i++ {
+		ops = append(ops, `{"gate":"x","targets":[0]}`)
+	}
+	return fmt.Sprintf(`{"circuit":{"dims":[3],"ops":[%s]},"shots":%d,"seed":%d}`,
+		strings.Join(ops, ","), shots, seed)
+}

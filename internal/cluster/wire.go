@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"quditkit/internal/serve"
+	"quditkit/internal/tenant"
 )
 
 // RegisterRequest is the body of POST /v1/cluster/register: a worker
@@ -115,4 +116,8 @@ type Stats struct {
 	Settled    uint64 `json:"settled"`
 	// HeartbeatTTLMS echoes the fleet heartbeat TTL.
 	HeartbeatTTLMS int64 `json:"heartbeat_ttl_ms"`
+	// Tenants snapshots per-tenant usage at the fleet edge (registry
+	// order, anonymous last); omitted when no registry is configured
+	// and nothing anonymous has been metered.
+	Tenants []tenant.Usage `json:"tenants,omitempty"`
 }

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"quditkit/internal/httpapi"
 )
 
 // SweepEvent types.
@@ -96,7 +98,7 @@ func (s *sweep) subscribe() (<-chan SweepEvent, func()) {
 func (m *Manager) serveSweepEvents(w http.ResponseWriter, r *http.Request, id string) {
 	s, err := m.sweepByID(id)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err.Error())
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error(), 0)
 		return
 	}
 	after := -1
@@ -108,14 +110,14 @@ func (m *Manager) serveSweepEvents(w http.ResponseWriter, r *http.Request, id st
 	if v := r.URL.Query().Get("after"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "after must be an integer")
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest, "after must be an integer", 0)
 			return
 		}
 		after = n
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, "streaming unsupported", 0)
 		return
 	}
 	ch, release := s.subscribe()

@@ -32,6 +32,7 @@ import (
 
 	"quditkit/internal/journal"
 	"quditkit/internal/serve"
+	"quditkit/internal/tenant"
 )
 
 // Manager errors distinguishable by callers.
@@ -80,6 +81,12 @@ type Config struct {
 	// settlement triggers snapshot compaction. Default 512; negative
 	// disables automatic compaction.
 	JournalCompactEvery int
+	// Tenants, when non-nil, turns on multi-tenant enforcement at the
+	// sweep surface: the HTTP layer requires a registered X-API-Key,
+	// SubmitAs reserves against MaxConcurrentSweeps, and a tenant can
+	// only see its own sweeps. Nil runs single-tenant under one
+	// anonymous unlimited account.
+	Tenants *tenant.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +150,10 @@ type sweep struct {
 	agg    aggregator
 	ctx    context.Context
 	cancel context.CancelFunc
+	// acct is the owning tenant's account (never nil — anonymous when
+	// untenanted); it holds one concurrent-sweep reservation from
+	// admission to finalize.
+	acct *tenant.Account
 	// reqJSON is the canonical durable form of the accepted request;
 	// non-nil exactly when the sweep is journaled. Immutable.
 	reqJSON []byte
@@ -164,10 +175,15 @@ type sweep struct {
 
 // viewLocked assembles the wire view; the caller holds s.mu.
 func (s *sweep) viewLocked(withCells bool) SweepView {
+	var owner string
+	if s.acct != nil && s.acct.Name() != tenant.AnonymousName {
+		owner = s.acct.Name()
+	}
 	v := SweepView{
 		ID:             s.id,
 		Kind:           s.kind,
 		State:          s.state,
+		Tenant:         owner,
 		TotalCells:     len(s.cells),
 		SettledCells:   s.settled,
 		DoneCells:      s.done,
@@ -192,6 +208,9 @@ func (s *sweep) viewLocked(withCells bool) SweepView {
 type Manager struct {
 	runner Runner
 	cfg    Config
+	// anon is the unlimited account sweeps run under when no registry
+	// is configured (or a caller passes a nil account).
+	anon *tenant.Account
 
 	mu      sync.Mutex
 	sweeps  map[string]*sweep
@@ -216,10 +235,19 @@ func NewManager(runner Runner, cfg Config) (*Manager, error) {
 	return &Manager{
 		runner:    runner,
 		cfg:       cfg.withDefaults(),
+		anon:      tenant.NewAnonymous(),
 		sweeps:    make(map[string]*sweep),
 		journaled: make(map[string]*sweep),
 	}, nil
 }
+
+// Anonymous returns the account sweeps run under when no tenant is
+// attached.
+func (m *Manager) Anonymous() *tenant.Account { return m.anon }
+
+// Tenants returns the registry the manager enforces, or nil when
+// untenanted.
+func (m *Manager) Tenants() *tenant.Registry { return m.cfg.Tenants }
 
 // Close cancels every running sweep and waits for their workers to
 // settle. Safe to call more than once.
@@ -240,6 +268,18 @@ func (m *Manager) Close() {
 // journal write failure rejects the sweep rather than half-accepting
 // it.
 func (m *Manager) Submit(req SweepRequest) (string, error) {
+	return m.SubmitAs(nil, req)
+}
+
+// SubmitAs is Submit on behalf of a tenant account (nil means the
+// manager's anonymous account). The sweep is reserved against the
+// tenant's MaxConcurrentSweeps quota before it is journaled or
+// launched; tenant.ErrQuotaExceeded rejects it with nothing admitted.
+// The reservation is held until the sweep settles.
+func (m *Manager) SubmitAs(acct *tenant.Account, req SweepRequest) (string, error) {
+	if acct == nil {
+		acct = m.anon
+	}
 	exp, err := expand(req, m.cfg.MaxCells)
 	if err != nil {
 		return "", err
@@ -256,6 +296,7 @@ func (m *Manager) Submit(req SweepRequest) (string, error) {
 		agg:     exp.agg,
 		ctx:     ctx,
 		cancel:  cancel,
+		acct:    acct,
 		state:   SweepRunning,
 		doneCh:  make(chan struct{}),
 		reqJSON: reqJSON,
@@ -269,6 +310,11 @@ func (m *Manager) Submit(req SweepRequest) (string, error) {
 		cancel()
 		return "", ErrManagerClosed
 	}
+	if err := acct.TryAdmitSweep(); err != nil {
+		m.mu.Unlock()
+		cancel()
+		return "", err
+	}
 	m.nextID++
 	s.id = fmt.Sprintf("s-%06d", m.nextID)
 	// The initial running event is recorded at creation — no subscriber
@@ -279,12 +325,17 @@ func (m *Manager) Submit(req SweepRequest) (string, error) {
 		// Admit under m.mu, like every admission: compaction holds m.mu
 		// across its snapshot and truncate, so this record can never
 		// land in a window the truncate erases.
-		data, jerr := json.Marshal(sweepAdmitRecord{ID: s.id, Request: reqJSON})
+		var owner string
+		if acct != m.anon {
+			owner = acct.Name()
+		}
+		data, jerr := json.Marshal(sweepAdmitRecord{ID: s.id, Request: reqJSON, Tenant: owner})
 		if jerr == nil {
 			jerr = m.cfg.Journal.Append(recSweepAdmit, data)
 		}
 		if jerr != nil {
 			delete(m.sweeps, s.id)
+			acct.CancelSweepAdmission()
 			m.mu.Unlock()
 			cancel()
 			return "", fmt.Errorf("experiment: journaling sweep admission: %w", jerr)
@@ -345,7 +396,7 @@ func (m *Manager) runCell(s *sweep, i int) {
 	s.mu.Lock()
 	rec.state = cellRunning
 	s.mu.Unlock()
-	view, err := m.runner.RunJob(s.ctx, rec.cell.job)
+	view, err := m.runner.RunJob(s.ctx, s.acct, rec.cell.job)
 	switch {
 	case err != nil && s.ctx.Err() != nil:
 		m.settleCell(s, rec, cellCancelled, false, context.Canceled.Error(), 0, false, nil)
@@ -445,6 +496,10 @@ func (m *Manager) finalize(s *sweep) {
 	terminal := s.state
 	s.mu.Unlock()
 	s.cancel()
+	// Release the tenant's concurrent-sweep reservation the moment the
+	// sweep is terminal (before retention bookkeeping, so a waiting
+	// submitter observes the freed slot no later than the settled view).
+	s.acct.SweepDone()
 	if s.reqJSON != nil {
 		m.journalSweepSettle(s, terminal)
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"quditkit/internal/serve"
+	"quditkit/internal/tenant"
 )
 
 // fakeRunner scripts cell outcomes by inspecting each job, standing in
@@ -19,7 +20,7 @@ type fakeRunner struct {
 	fn    func(ctx context.Context, req serve.JobRequest) (serve.JobView, error)
 }
 
-func (f *fakeRunner) RunJob(ctx context.Context, req serve.JobRequest) (serve.JobView, error) {
+func (f *fakeRunner) RunJob(ctx context.Context, _ *tenant.Account, req serve.JobRequest) (serve.JobView, error) {
 	f.calls.Add(1)
 	return f.fn(ctx, req)
 }
@@ -272,7 +273,7 @@ func TestFinalizeCancelAfterLastSettle(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &sweep{
-		id: "s-test", kind: exp.kind, agg: exp.agg,
+		id: "s-test", kind: exp.kind, agg: exp.agg, acct: m.anon,
 		ctx: ctx, cancel: cancel,
 		state: SweepRunning, doneCh: make(chan struct{}),
 		events: []SweepEvent{{Seq: 0, Type: EventSweep, State: SweepRunning}},

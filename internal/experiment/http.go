@@ -1,10 +1,18 @@
 package experiment
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
+
+	"quditkit/internal/httpapi"
+	"quditkit/internal/metrics"
+	"quditkit/internal/serve"
+	"quditkit/internal/tenant"
 )
 
 // maxSweepBody bounds the request body of POST /v1/sweeps.
@@ -19,18 +27,38 @@ const maxSweepBody = 1 << 20
 //	GET    /v1/sweeps/{id}/events SSE stream of cell settlements and the terminal view
 //	DELETE /v1/sweeps/{id}        cancel a running sweep
 //
-// When the manager runs with a journal, GET /v1/stats is additionally
-// intercepted to inject the sweep-journal gauges ("sweep_journal") into
-// the base handler's stats body, so one stats endpoint reports both
-// durability layers in every role.
+// With a tenant registry configured, every sweep route requires a
+// registered X-API-Key (401 with code tenant_unknown otherwise) and a
+// tenant can only see its own sweeps — a foreign sweep ID answers 404
+// exactly like an unknown one. Errors use the structured envelope of
+// package httpapi; quota rejections are 429 with a Retry-After header.
+//
+// GET /metrics is additionally intercepted to append the sweep-layer
+// families (sweeps running, sweep-journal gauges) to the base
+// handler's exposition body, and — when the manager runs with a
+// journal — GET /v1/stats is intercepted to inject the sweep-journal
+// gauges ("sweep_journal") into the base handler's stats body, so one
+// endpoint of each kind reports every layer in every role.
 func NewHandler(m *Manager, base http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", m.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", m.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
-		m.serveSweepEvents(w, r, r.PathValue("id"))
+		acct, ok := m.authenticate(w, r)
+		if !ok {
+			return
+		}
+		id := r.PathValue("id")
+		if err := m.checkOwner(id, acct); err != nil {
+			writeSweepError(w, err)
+			return
+		}
+		m.serveSweepEvents(w, r, id)
 	})
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", m.handleCancel)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		m.appendMetrics(base, w, r)
+	})
 	if m.cfg.Journal != nil {
 		mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 			m.injectStats(base, w, r)
@@ -40,8 +68,8 @@ func NewHandler(m *Manager, base http.Handler) http.Handler {
 	return mux
 }
 
-// statsRecorder buffers the base handler's stats response so the sweep
-// gauges can be merged before anything reaches the wire.
+// statsRecorder buffers the base handler's response so the sweep
+// layer's additions can be merged before anything reaches the wire.
 type statsRecorder struct {
 	header http.Header
 	code   int
@@ -84,31 +112,122 @@ func (m *Manager) injectStats(base http.Handler, w http.ResponseWriter, r *http.
 	_, _ = w.Write(sr.body)
 }
 
+// appendMetrics serves GET /metrics by delegating to the base handler
+// and appending the sweep-layer families to its exposition body. The
+// family names are disjoint from the base handler's, so the combined
+// output stays valid. A non-200 base response passes through untouched.
+func (m *Manager) appendMetrics(base http.Handler, w http.ResponseWriter, r *http.Request) {
+	sr := &statsRecorder{header: make(http.Header), code: http.StatusOK}
+	base.ServeHTTP(sr, r)
+
+	if sr.code == http.StatusOK {
+		var b metrics.Buffer
+		m.WriteMetrics(&b)
+		var buf bytes.Buffer
+		_, _ = b.WriteTo(&buf)
+		sr.body = append(sr.body, buf.Bytes()...)
+	}
+
+	for k, vs := range sr.header {
+		w.Header()[k] = vs
+	}
+	w.Header().Del("Content-Length") // body has grown
+	w.WriteHeader(sr.code)
+	_, _ = w.Write(sr.body)
+}
+
+// WriteMetrics samples the sweep layer into b as Prometheus families:
+// the count of running sweeps, plus the sweep-journal gauges when the
+// manager is durable. Per-tenant sweep counters come from the shared
+// tenant accounts and are rendered by the base handler.
+func (m *Manager) WriteMetrics(b *metrics.Buffer) {
+	m.mu.Lock()
+	running := 0
+	for _, s := range m.sweeps {
+		s.mu.Lock()
+		if s.state == SweepRunning {
+			running++
+		}
+		s.mu.Unlock()
+	}
+	m.mu.Unlock()
+	b.Family("quditd_sweeps_running", "Sweeps currently running.", metrics.Gauge).
+		Add(float64(running))
+
+	if js := m.JournalStats(); js != nil {
+		b.Family("quditd_sweep_journal_wal_bytes", "Sweep write-ahead log size.", metrics.Gauge).
+			Add(float64(js.WALBytes))
+		b.Family("quditd_sweep_journal_tail_records", "Sweep WAL records not yet folded into a snapshot.", metrics.Gauge).
+			Add(float64(js.TailRecords))
+		b.Family("quditd_sweep_journal_lag", "Journaled sweeps not yet settled.", metrics.Gauge).
+			Add(float64(js.Lag))
+		b.Family("quditd_sweep_journal_appends_total", "Sweep journal records fsynced.", metrics.Counter).
+			Add(float64(js.Appends))
+		b.Family("quditd_sweep_journal_compactions_total", "Sweep journal snapshot rewrites.", metrics.Counter).
+			Add(float64(js.Compactions))
+		b.Family("quditd_sweep_journal_replayed", "Sweeps resumed from the journal at startup.", metrics.Gauge).
+			Add(float64(js.Replayed))
+	}
+}
+
+// authenticate resolves the request's tenant account. Without a
+// registry every caller shares the manager's anonymous account; with
+// one, a missing or unknown X-API-Key answers 401 and returns ok
+// false (the response is already written).
+func (m *Manager) authenticate(w http.ResponseWriter, r *http.Request) (*tenant.Account, bool) {
+	reg := m.cfg.Tenants
+	if reg == nil {
+		return m.anon, true
+	}
+	acct, err := reg.Lookup(r.Header.Get("X-API-Key"))
+	if err != nil {
+		httpapi.WriteError(w, http.StatusUnauthorized, httpapi.CodeTenantUnknown,
+			"missing or unknown X-API-Key", 0)
+		return nil, false
+	}
+	return acct, true
+}
+
+// checkOwner verifies the sweep exists and belongs to acct. With a
+// registry configured, a foreign sweep is indistinguishable from an
+// unknown one (ErrUnknownSweep), so tenants cannot probe each other's
+// IDs.
+func (m *Manager) checkOwner(id string, acct *tenant.Account) error {
+	s, err := m.sweepByID(id)
+	if err != nil {
+		return err
+	}
+	if m.cfg.Tenants != nil && s.acct != acct {
+		return fmt.Errorf("%w: %q", ErrUnknownSweep, id)
+	}
+	return nil
+}
+
 // handleSubmit decodes a SweepRequest, expands it, and answers 202 with
 // the running view (or, with ?wait=1, blocks and answers 200 with the
 // settled view).
 func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	acct, ok := m.authenticate(w, r)
+	if !ok {
+		return
+	}
 	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid sweep request: "+err.Error())
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest,
+			"invalid sweep request: "+err.Error(), 0)
 		return
 	}
-	id, err := m.Submit(req)
+	id, err := m.SubmitAs(acct, req)
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrManagerClosed):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-		default:
-			httpError(w, http.StatusBadRequest, err.Error())
-		}
+		writeSweepError(w, err)
 		return
 	}
 	if wantWait(r) {
 		view, err := m.Await(r.Context(), id)
 		if err != nil {
-			httpError(w, http.StatusGatewayTimeout, err.Error())
+			httpapi.WriteError(w, http.StatusGatewayTimeout, httpapi.CodeTimeout, err.Error(), 0)
 			return
 		}
 		writeJSON(w, http.StatusOK, view)
@@ -116,7 +235,7 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	view, err := m.Status(id)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error(), 0)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, view)
@@ -125,7 +244,15 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // handleStatus answers the sweep view; ?wait=1 blocks until
 // settlement.
 func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	acct, ok := m.authenticate(w, r)
+	if !ok {
+		return
+	}
 	id := r.PathValue("id")
+	if err := m.checkOwner(id, acct); err != nil {
+		writeSweepError(w, err)
+		return
+	}
 	var (
 		view SweepView
 		err  error
@@ -135,35 +262,33 @@ func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
 	} else {
 		view, err = m.Status(id)
 	}
-	switch {
-	case errors.Is(err, ErrUnknownSweep):
-		httpError(w, http.StatusNotFound, err.Error())
-	case err != nil:
-		httpError(w, http.StatusGatewayTimeout, err.Error())
-	default:
-		writeJSON(w, http.StatusOK, view)
+	if err != nil {
+		writeSweepError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 // handleCancel aborts a running sweep: 202 with the current view on
-// success, 404 for unknown IDs, 409 for sweeps already settled.
+// success, 404 for unknown (or foreign) IDs, 409 for sweeps already
+// settled.
 func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	acct, ok := m.authenticate(w, r)
+	if !ok {
+		return
+	}
 	id := r.PathValue("id")
-	err := m.Cancel(id)
-	switch {
-	case errors.Is(err, ErrUnknownSweep):
-		httpError(w, http.StatusNotFound, err.Error())
+	if err := m.checkOwner(id, acct); err != nil {
+		writeSweepError(w, err)
 		return
-	case errors.Is(err, ErrSweepFinished):
-		httpError(w, http.StatusConflict, err.Error())
-		return
-	case err != nil:
-		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+	if err := m.Cancel(id); err != nil {
+		writeSweepError(w, err)
 		return
 	}
 	view, err := m.Status(id)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error(), 0)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, view)
@@ -175,13 +300,26 @@ func wantWait(r *http.Request) bool {
 	return v == "1" || v == "true"
 }
 
-// errorBody is the JSON error envelope, matching the serve API.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorBody{Error: msg})
+// writeSweepError maps a Manager error onto the structured envelope:
+// quota breaches are 429 with Retry-After, a closed manager 503,
+// unknown sweeps 404, finished sweeps 409, expired contexts 504, and
+// anything else (ErrBadSweep and friends) 400.
+func writeSweepError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, tenant.ErrQuotaExceeded):
+		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeQuotaExceeded,
+			err.Error(), serve.RetryAfterQuota)
+	case errors.Is(err, ErrManagerClosed):
+		httpapi.WriteError(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable, err.Error(), 0)
+	case errors.Is(err, ErrUnknownSweep):
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error(), 0)
+	case errors.Is(err, ErrSweepFinished):
+		httpapi.WriteError(w, http.StatusConflict, httpapi.CodeConflict, err.Error(), 0)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpapi.WriteError(w, http.StatusGatewayTimeout, httpapi.CodeTimeout, err.Error(), 0)
+	default:
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest, err.Error(), 0)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

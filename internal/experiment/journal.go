@@ -28,6 +28,9 @@ const sweepSnapshotVersion = 1
 type sweepAdmitRecord struct {
 	ID      string          `json:"id"`
 	Request json.RawMessage `json:"request"`
+	// Tenant names the owning tenant (empty for anonymous), so replay
+	// restores per-tenant sweep accounting.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // cellSettleRecord is one cell's durable settlement. Done cells carry
@@ -65,6 +68,7 @@ type sweepSnapshot struct {
 type sweepSnapEntry struct {
 	ID      string             `json:"id"`
 	Request json.RawMessage    `json:"request"`
+	Tenant  string             `json:"tenant,omitempty"`
 	Cells   []cellSettleRecord `json:"cells,omitempty"`
 }
 
@@ -174,6 +178,9 @@ func (m *Manager) compactJournal() error {
 	snap := sweepSnapshot{Version: sweepSnapshotVersion, NextID: m.nextID}
 	for id, s := range m.journaled {
 		entry := sweepSnapEntry{ID: id, Request: s.reqJSON}
+		if s.acct != nil && s.acct != m.anon {
+			entry.Tenant = s.acct.Name()
+		}
 		s.mu.Lock()
 		for _, rec := range s.cells {
 			if rec.state == cellPending || rec.state == cellRunning {
@@ -220,17 +227,18 @@ func (m *Manager) Replay(rec journal.Recovery) (int, error) {
 	}
 
 	type pendingSweep struct {
-		id    string
-		req   json.RawMessage
-		cells []cellSettleRecord
+		id     string
+		req    json.RawMessage
+		tenant string
+		cells  []cellSettleRecord
 	}
 	var ordered []*pendingSweep
 	byID := make(map[string]*pendingSweep)
-	add := func(id string, req json.RawMessage, cells []cellSettleRecord) {
+	add := func(id string, req json.RawMessage, owner string, cells []cellSettleRecord) {
 		if byID[id] != nil {
 			return // compaction race duplicate; first copy wins
 		}
-		ps := &pendingSweep{id: id, req: req, cells: cells}
+		ps := &pendingSweep{id: id, req: req, tenant: owner, cells: cells}
 		byID[id] = ps
 		ordered = append(ordered, ps)
 	}
@@ -248,7 +256,7 @@ func (m *Manager) Replay(rec journal.Recovery) (int, error) {
 			maxID = snap.NextID
 		}
 		for _, e := range snap.Sweeps {
-			add(e.ID, e.Request, e.Cells)
+			add(e.ID, e.Request, e.Tenant, e.Cells)
 		}
 	}
 	settled := make(map[string]bool)
@@ -260,7 +268,7 @@ func (m *Manager) Replay(rec journal.Recovery) (int, error) {
 				return 0, fmt.Errorf("experiment: corrupt sweep admit record: %w", err)
 			}
 			noteID(ar.ID)
-			add(ar.ID, ar.Request, nil)
+			add(ar.ID, ar.Request, ar.Tenant, nil)
 		case recCellSettle:
 			var cr cellSettleRecord
 			if err := json.Unmarshal(r.Payload, &cr); err != nil {
@@ -297,10 +305,20 @@ func (m *Manager) Replay(rec journal.Recovery) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("experiment: journaled request for %s does not expand: %w", ps.id, err)
 		}
+		// Resolve the recorded tenant; a name absent from the current
+		// registry (tenant removed across the restart) falls back to the
+		// anonymous account — accepted work is never dropped on replay.
+		acct := m.anon
+		if ps.tenant != "" && m.cfg.Tenants != nil {
+			if a, ok := m.cfg.Tenants.ByName(ps.tenant); ok {
+				acct = a
+			}
+		}
 		s := &sweep{
 			id:      ps.id,
 			kind:    exp.kind,
 			agg:     exp.agg,
+			acct:    acct,
 			state:   SweepRunning,
 			doneCh:  make(chan struct{}),
 			reqJSON: ps.req,
@@ -357,6 +375,9 @@ func (m *Manager) Replay(rec journal.Recovery) (int, error) {
 	for _, s := range resumed {
 		m.sweeps[s.id] = s
 		m.journaled[s.id] = s
+		// Quota-bypassing admission: a quota shrunk across the restart
+		// must not drop sweeps that were already accepted.
+		s.acct.ForceAdmitSweep()
 	}
 	m.mu.Unlock()
 

@@ -7,6 +7,7 @@ import (
 
 	"quditkit/internal/core"
 	"quditkit/internal/serve"
+	"quditkit/internal/tenant"
 )
 
 // Runner executes one expanded sweep cell as a serve job and blocks
@@ -15,10 +16,11 @@ import (
 // cluster.Coordinator.RunJob fans them across the worker ring — the
 // sweep layer is identical above either.
 type Runner interface {
-	// RunJob submits the request and returns its settled view. A
+	// RunJob submits the request on behalf of acct (nil means the
+	// runner's anonymous account) and returns its settled view. A
 	// returned error is transport-level (validation, dispatch, expired
 	// ctx); a job's own failure is reported inside the view.
-	RunJob(ctx context.Context, req serve.JobRequest) (serve.JobView, error)
+	RunJob(ctx context.Context, acct *tenant.Account, req serve.JobRequest) (serve.JobView, error)
 }
 
 // ServeRunner adapts a standalone serve.Service to the Runner
@@ -31,11 +33,13 @@ type ServeRunner struct {
 }
 
 // RunJob validates the request against the service's processor,
-// enqueues it with the cell context attached (so cancelling the sweep
-// cancels the job), and waits for settlement. Queue-full backpressure
-// is absorbed by retrying until the context ends — a sweep throttles
-// itself rather than failing cells on a momentarily full queue.
-func (r ServeRunner) RunJob(ctx context.Context, req serve.JobRequest) (serve.JobView, error) {
+// enqueues it as acct with the cell context attached (so cancelling
+// the sweep cancels the job), and waits for settlement. Queue-full
+// backpressure and per-tenant job-quota breaches are absorbed by
+// retrying until the context ends — a sweep throttles itself to its
+// tenant's share rather than failing cells on a momentarily full
+// queue or exhausted quota.
+func (r ServeRunner) RunJob(ctx context.Context, acct *tenant.Account, req serve.JobRequest) (serve.JobView, error) {
 	circ, err := serve.BuildCircuit(req.Circuit)
 	if err != nil {
 		return serve.JobView{}, err
@@ -50,11 +54,11 @@ func (r ServeRunner) RunJob(ctx context.Context, req serve.JobRequest) (serve.Jo
 	opts = append(opts, core.WithContext(ctx))
 	var id serve.JobID
 	for {
-		id, err = r.Service.Enqueue(circ, opts...)
+		id, err = r.Service.EnqueueAs(acct, circ, opts...)
 		if err == nil {
 			break
 		}
-		if !errors.Is(err, serve.ErrQueueFull) {
+		if !errors.Is(err, serve.ErrQueueFull) && !errors.Is(err, tenant.ErrQuotaExceeded) {
 			return serve.JobView{}, err
 		}
 		select {

@@ -322,6 +322,9 @@ type SweepView struct {
 	// State is the sweep lifecycle state (SweepRunning, SweepCompleted,
 	// SweepCancelled).
 	State string `json:"state"`
+	// Tenant names the owning tenant; empty for anonymous
+	// (single-tenant) sweeps.
+	Tenant string `json:"tenant,omitempty"`
 	// TotalCells is the expanded grid size.
 	TotalCells int `json:"total_cells"`
 	// SettledCells counts cells in any terminal state.

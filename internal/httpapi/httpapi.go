@@ -1,0 +1,122 @@
+// Package httpapi defines the one structured error contract shared by
+// every quditkit HTTP surface (serve, experiment, cluster): a JSON
+// envelope
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": N}}
+//
+// with a small machine-readable code enum, plus the writer helpers
+// the servers use and the decoder quditc uses. Every non-2xx response
+// from any handler round-trips through this envelope; 429 responses
+// additionally carry a real Retry-After header so clients can back
+// off without parsing bodies.
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Code is a machine-readable error class. Clients branch on codes,
+// never on message text.
+type Code string
+
+// The error-code enum. Servers must only emit these values.
+const (
+	// CodeInvalidRequest marks a malformed or inadmissible request
+	// body, path, or parameter (HTTP 400).
+	CodeInvalidRequest Code = "invalid_request"
+	// CodeTenantUnknown marks a missing or unrecognized X-API-Key when
+	// a tenant registry is configured (HTTP 401).
+	CodeTenantUnknown Code = "tenant_unknown"
+	// CodeNotFound marks an unknown — or other-tenant-owned — job or
+	// sweep ID (HTTP 404).
+	CodeNotFound Code = "not_found"
+	// CodeConflict marks an operation invalid in the resource's
+	// current state, e.g. cancelling a settled job (HTTP 409).
+	CodeConflict Code = "conflict"
+	// CodeQueueFull is backpressure: the target shard's bounded queue
+	// is at capacity (HTTP 429, with Retry-After).
+	CodeQueueFull Code = "queue_full"
+	// CodeQuotaExceeded means admission would exceed the tenant's
+	// configured quota (HTTP 429, with Retry-After).
+	CodeQuotaExceeded Code = "quota_exceeded"
+	// CodeUnavailable means the service is shutting down or has no
+	// live workers (HTTP 503).
+	CodeUnavailable Code = "unavailable"
+	// CodeTimeout means the server gave up waiting, e.g. a ?wait that
+	// outlived the request context (HTTP 504).
+	CodeTimeout Code = "timeout"
+	// CodeUpstream means a coordinator could not complete a worker
+	// round trip (HTTP 502).
+	CodeUpstream Code = "upstream_error"
+	// CodeInternal is any other server-side failure (HTTP 500).
+	CodeInternal Code = "internal"
+)
+
+// Transient reports whether the code names a condition a client
+// should retry after a delay (as opposed to a request it must change
+// or a resource that is gone).
+func (c Code) Transient() bool {
+	switch c {
+	case CodeQueueFull, CodeUnavailable, CodeTimeout, CodeUpstream:
+		return true
+	}
+	return false
+}
+
+// ErrorDetail is the envelope payload: the code, a human-readable
+// message, and — on 429s — the server's suggested retry delay.
+type ErrorDetail struct {
+	// Code classifies the failure; see the Code enum.
+	Code Code `json:"code"`
+	// Message is human-readable detail. Not for machine branching.
+	Message string `json:"message"`
+	// RetryAfterMS, when nonzero, is the server's suggested backoff in
+	// milliseconds (mirrors the Retry-After header, which has only
+	// second resolution).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Envelope is the top-level error body: {"error": {...}}.
+type Envelope struct {
+	// Error carries the structured detail.
+	Error ErrorDetail `json:"error"`
+}
+
+// WriteError writes the envelope with the given status. A nonzero
+// retryAfter also sets the Retry-After header (rounded up to whole
+// seconds, minimum 1) and retry_after_ms in the body.
+func WriteError(w http.ResponseWriter, status int, code Code, message string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	WriteJSON(w, status, Envelope{Error: ErrorDetail{
+		Code:         code,
+		Message:      message,
+		RetryAfterMS: retryAfter.Milliseconds(),
+	}})
+}
+
+// WriteJSON marshals v with an application/json content type.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Decode parses an error envelope from a response body. ok is false
+// when the body is not an envelope (e.g. a non-quditkit proxy answered
+// or an older server); callers then fall back to the raw body.
+func Decode(body []byte) (ErrorDetail, bool) {
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		return ErrorDetail{}, false
+	}
+	return env.Error, true
+}

@@ -1,0 +1,64 @@
+package httpapi
+
+import (
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestWriteErrorRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, 429, CodeQueueFull, "shard 3 full (depth 256)", 1500*time.Millisecond)
+	if rec.Code != 429 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	// 1.5s rounds up to whole seconds for the header...
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q", got)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	det, ok := Decode(body)
+	if !ok {
+		t.Fatalf("not an envelope: %s", body)
+	}
+	// ...while the body keeps millisecond resolution.
+	if det.Code != CodeQueueFull || det.Message != "shard 3 full (depth 256)" || det.RetryAfterMS != 1500 {
+		t.Fatalf("detail %+v", det)
+	}
+}
+
+func TestWriteErrorNoRetryAfter(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, 404, CodeNotFound, "no such job", 0)
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Fatalf("unexpected Retry-After %q", got)
+	}
+	det, ok := Decode(rec.Body.Bytes())
+	if !ok || det.Code != CodeNotFound || det.RetryAfterMS != 0 {
+		t.Fatalf("detail %+v ok=%v", det, ok)
+	}
+}
+
+func TestDecodeRejectsNonEnvelopes(t *testing.T) {
+	for _, body := range []string{
+		``, `not json`, `{}`, `{"error": "plain string"}`, `{"error": {}}`,
+	} {
+		if det, ok := Decode([]byte(body)); ok {
+			t.Errorf("Decode(%q) accepted: %+v", body, det)
+		}
+	}
+}
+
+func TestTransient(t *testing.T) {
+	transient := map[Code]bool{
+		CodeQueueFull: true, CodeUnavailable: true, CodeTimeout: true, CodeUpstream: true,
+		CodeInvalidRequest: false, CodeTenantUnknown: false, CodeNotFound: false,
+		CodeConflict: false, CodeQuotaExceeded: false, CodeInternal: false,
+	}
+	for code, want := range transient {
+		if got := code.Transient(); got != want {
+			t.Errorf("%s.Transient() = %v, want %v", code, got, want)
+		}
+	}
+}

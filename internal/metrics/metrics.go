@@ -1,0 +1,130 @@
+// Package metrics is a dependency-free writer for the Prometheus text
+// exposition format (version 0.0.4), backing the GET /metrics
+// endpoints of quditd. It is intentionally tiny: callers assemble a
+// Buffer of metric families per scrape — no background registry, no
+// goroutines — and the existing atomic gauges in serve/cluster/
+// experiment are sampled at scrape time, so the package adds nothing
+// to the hot path.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is the metric type announced in the # TYPE line.
+type Kind string
+
+// Metric kinds supported by the writer.
+const (
+	// Counter is a monotonically increasing value.
+	Counter Kind = "counter"
+	// Gauge is a value that can go up and down.
+	Gauge Kind = "gauge"
+)
+
+// Buffer accumulates metric families for one scrape. Zero value is
+// ready to use; not safe for concurrent use (build per request).
+type Buffer struct {
+	families []*Family
+	byName   map[string]*Family
+}
+
+// Family declares (or returns the existing) metric family with the
+// given name, help text, and kind, keeping first-declaration order.
+func (b *Buffer) Family(name, help string, kind Kind) *Family {
+	if b.byName == nil {
+		b.byName = make(map[string]*Family)
+	}
+	if f, ok := b.byName[name]; ok {
+		return f
+	}
+	f := &Family{name: name, help: help, kind: kind}
+	b.families = append(b.families, f)
+	b.byName[name] = f
+	return f
+}
+
+// WriteTo renders the buffer in exposition format: for each family a
+// # HELP and # TYPE line followed by its samples, with labeled
+// samples sorted by label value for deterministic output.
+func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	for _, f := range b.families {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		samples := f.samples
+		sort.SliceStable(samples, func(i, j int) bool {
+			return samples[i].labels < samples[j].labels
+		})
+		for _, s := range samples {
+			if s.labels == "" {
+				fmt.Fprintf(&sb, "%s %s\n", f.name, formatValue(s.value))
+			} else {
+				fmt.Fprintf(&sb, "%s{%s} %s\n", f.name, s.labels, formatValue(s.value))
+			}
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// Family is one metric family: a name/help/kind declaration plus its
+// samples.
+type Family struct {
+	name    string
+	help    string
+	kind    Kind
+	samples []sample
+}
+
+type sample struct {
+	labels string
+	value  float64
+}
+
+// Add appends one sample. labelPairs alternate name, value (so it
+// must have even length); Add panics on odd pairs, which is a
+// programming error, not input.
+func (f *Family) Add(value float64, labelPairs ...string) {
+	if len(labelPairs)%2 != 0 {
+		panic("metrics: odd labelPairs")
+	}
+	var lb strings.Builder
+	for i := 0; i < len(labelPairs); i += 2 {
+		if i > 0 {
+			lb.WriteByte(',')
+		}
+		lb.WriteString(labelPairs[i])
+		lb.WriteString(`="`)
+		lb.WriteString(escapeLabel(labelPairs[i+1]))
+		lb.WriteByte('"')
+	}
+	f.samples = append(f.samples, sample{labels: lb.String(), value: value})
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trip representation, integers without exponent.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\"", `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// escapeHelp escapes help text: backslash and newline (quotes are
+// legal in help).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBufferRendering(t *testing.T) {
+	var b Buffer
+	b.Family("jobs_total", "Total jobs.", Counter).Add(42)
+	g := b.Family("queue_depth", "Queued jobs per shard.", Gauge)
+	g.Add(3, "shard", "1")
+	g.Add(7, "shard", "0")
+
+	var sb strings.Builder
+	if _, err := b.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total Total jobs.
+# TYPE jobs_total counter
+jobs_total 42
+# HELP queue_depth Queued jobs per shard.
+# TYPE queue_depth gauge
+queue_depth{shard="0"} 7
+queue_depth{shard="1"} 3
+`
+	if sb.String() != want {
+		t.Fatalf("rendered:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestFamilyDeduplicates(t *testing.T) {
+	var b Buffer
+	b.Family("x", "h", Gauge).Add(1)
+	b.Family("x", "h", Gauge).Add(2)
+	var sb strings.Builder
+	b.WriteTo(&sb)
+	if got := strings.Count(sb.String(), "# TYPE x"); got != 1 {
+		t.Fatalf("family declared %d times:\n%s", got, sb.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	var b Buffer
+	b.Family("t", "line1\nline2", Gauge).Add(1, "tenant", `a"b\c`+"\n")
+	var sb strings.Builder
+	b.WriteTo(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `tenant="a\"b\\c\n"`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP t line1\nline2`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+}
+
+func TestOddLabelPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd labelPairs did not panic")
+		}
+	}()
+	var b Buffer
+	b.Family("x", "h", Gauge).Add(1, "only-name")
+}

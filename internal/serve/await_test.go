@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"quditkit/internal/core"
+	"quditkit/internal/httpapi"
 )
 
 // blockedService builds a single-shard service with one slow blocker
@@ -170,7 +171,7 @@ func TestHTTPLongPollWaitAndPrune(t *testing.T) {
 	}
 	// ...and the pruned ID long-polls straight to 404 instead of
 	// hanging forever on a record that no longer exists.
-	var gone map[string]string
+	var gone httpapi.Envelope
 	if code := getJSON(t, ts+"/v1/jobs/"+view.ID+"?wait=1", &gone); code != http.StatusNotFound {
 		t.Fatalf("pruned long poll: %d %v", code, gone)
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"quditkit/internal/httpapi"
 )
 
 // Event is one job state transition, recorded on the job and streamed
@@ -128,7 +130,7 @@ func (s *Service) Subscribe(id JobID) (<-chan Event, func(), error) {
 func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request, id JobID) {
 	events, release, err := s.Subscribe(id)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error(), 0)
 		return
 	}
 	defer release()
@@ -147,7 +149,8 @@ func (s *Service) serveEvents(w http.ResponseWriter, r *http.Request, id JobID) 
 
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: response writer cannot stream"))
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal,
+			"serve: response writer cannot stream", 0)
 		return
 	}
 	h := w.Header()

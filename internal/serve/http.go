@@ -8,6 +8,21 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
+
+	"quditkit/internal/httpapi"
+	"quditkit/internal/metrics"
+	"quditkit/internal/tenant"
+)
+
+// Retry-After hints for the two 429 classes: queue backpressure
+// clears on the next batch drain, a quota breach only as the tenant's
+// own work settles, so the quota hint is longer.
+const (
+	// RetryAfterQueueFull is the backoff hint sent with queue_full.
+	RetryAfterQueueFull = time.Second
+	// RetryAfterQuota is the backoff hint sent with quota_exceeded.
+	RetryAfterQuota = 2 * time.Second
 )
 
 // NewHandler exposes a Service over a small JSON/HTTP API:
@@ -23,11 +38,23 @@ import (
 //	                              the terminal event (result included)
 //	DELETE /v1/jobs/{id}          cancel a queued or running job
 //	GET    /v1/stats              service and cache counters
+//	GET    /metrics               Prometheus text exposition
+//
+// All error responses use the httpapi envelope; 429s carry a
+// Retry-After header. When the Service has a tenant registry, every
+// /v1/jobs route requires a registered X-API-Key (401 tenant_unknown
+// otherwise) and a tenant can only see its own jobs — other tenants'
+// IDs are indistinguishable from unknown ones. /v1/stats and /metrics
+// are operator surfaces and stay unauthenticated.
 //
 // cmd/quditd serves this handler; tests drive it via httptest.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		acct, ok := s.authenticate(w, r)
+		if !ok {
+			return
+		}
 		var req JobRequest
 		// MaxOps gate specs fit comfortably in 8 MiB; anything larger
 		// is hostile or broken, and must not buffer unbounded. The raw
@@ -35,33 +62,28 @@ func NewHandler(s *Service) http.Handler {
 		// so a replayed job is byte-for-byte the client's submission.
 		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest,
+				fmt.Sprintf("reading request: %v", err), 0)
 			return
 		}
 		if err := json.Unmarshal(raw, &req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest,
+				fmt.Sprintf("decoding request: %v", err), 0)
 			return
 		}
 		circ, err := BuildCircuit(req.Circuit)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest, err.Error(), 0)
 			return
 		}
 		opts, err := req.Options(s.proc)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest, err.Error(), 0)
 			return
 		}
-		id, err := s.EnqueueJournaled(raw, circ, opts...)
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			httpError(w, http.StatusTooManyRequests, err)
-			return
-		case errors.Is(err, ErrClosed):
-			httpError(w, http.StatusServiceUnavailable, err)
-			return
-		case err != nil:
-			httpError(w, http.StatusBadRequest, err)
+		id, err := s.EnqueueJournaled(acct, raw, circ, opts...)
+		if err != nil {
+			WriteServiceError(w, err)
 			return
 		}
 		var view JobView
@@ -76,25 +98,43 @@ func NewHandler(s *Service) http.Handler {
 		}
 		switch {
 		case errors.Is(err, ErrUnknownJob):
-			httpError(w, http.StatusNotFound, err) // pruned by retention
+			// Pruned by retention between enqueue and view.
+			httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error(), 0)
 			return
 		case err != nil:
-			httpError(w, http.StatusGatewayTimeout, err)
+			httpapi.WriteError(w, http.StatusGatewayTimeout, httpapi.CodeTimeout, err.Error(), 0)
 			return
 		}
 		status := http.StatusAccepted
 		if view.State == Done.String() {
 			status = http.StatusOK
 		}
-		writeJSON(w, status, view)
+		httpapi.WriteJSON(w, status, view)
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
-		s.serveEvents(w, r, JobID(r.PathValue("id")))
+		acct, ok := s.authenticate(w, r)
+		if !ok {
+			return
+		}
+		id := JobID(r.PathValue("id"))
+		if err := s.checkOwner(id, acct); err != nil {
+			WriteServiceError(w, err)
+			return
+		}
+		s.serveEvents(w, r, id)
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		acct, ok := s.authenticate(w, r)
+		if !ok {
+			return
+		}
 		id := JobID(r.PathValue("id"))
+		if err := s.checkOwner(id, acct); err != nil {
+			WriteServiceError(w, err)
+			return
+		}
 		var view JobView
 		var err error
 		if wantWait(r) {
@@ -104,42 +144,107 @@ func NewHandler(s *Service) http.Handler {
 		}
 		switch {
 		case errors.Is(err, ErrUnknownJob):
-			httpError(w, http.StatusNotFound, err)
+			httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error(), 0)
 			return
 		case err != nil:
-			httpError(w, http.StatusGatewayTimeout, err)
+			httpapi.WriteError(w, http.StatusGatewayTimeout, httpapi.CodeTimeout, err.Error(), 0)
 			return
 		}
-		writeJSON(w, http.StatusOK, view)
+		httpapi.WriteJSON(w, http.StatusOK, view)
 	})
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		acct, ok := s.authenticate(w, r)
+		if !ok {
+			return
+		}
 		id := JobID(r.PathValue("id"))
-		err := s.CancelJob(id)
-		switch {
-		case errors.Is(err, ErrUnknownJob):
-			httpError(w, http.StatusNotFound, err)
+		if err := s.checkOwner(id, acct); err != nil {
+			WriteServiceError(w, err)
 			return
-		case errors.Is(err, ErrFinished):
-			httpError(w, http.StatusConflict, err)
-			return
-		case err != nil:
-			httpError(w, http.StatusInternalServerError, err)
+		}
+		if err := s.CancelJob(id); err != nil {
+			WriteServiceError(w, err)
 			return
 		}
 		view, err := s.jobView(id)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error(), 0)
 			return
 		}
-		writeJSON(w, http.StatusOK, view)
+		httpapi.WriteJSON(w, http.StatusOK, view)
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
+		httpapi.WriteJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		var b metrics.Buffer
+		s.WriteMetrics(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = b.WriteTo(w)
 	})
 
 	return mux
+}
+
+// authenticate resolves the request's tenant account. Without a
+// registry every caller is the anonymous account; with one, a missing
+// or unknown X-API-Key is refused with 401 tenant_unknown (and ok is
+// false — the response has been written).
+func (s *Service) authenticate(w http.ResponseWriter, r *http.Request) (*tenant.Account, bool) {
+	if s.cfg.Tenants == nil {
+		return s.anon, true
+	}
+	acct, err := s.cfg.Tenants.Lookup(r.Header.Get("X-API-Key"))
+	if err != nil {
+		httpapi.WriteError(w, http.StatusUnauthorized, httpapi.CodeTenantUnknown,
+			"missing or unknown X-API-Key", 0)
+		return nil, false
+	}
+	return acct, true
+}
+
+// checkOwner enforces per-tenant visibility: with a registry
+// configured, a job owned by another account is reported exactly like
+// an unknown ID, so tenants cannot probe each other's job space.
+func (s *Service) checkOwner(id JobID, acct *tenant.Account) error {
+	if s.cfg.Tenants == nil {
+		return nil
+	}
+	j, err := s.job(id)
+	if err != nil {
+		return err
+	}
+	if j.acct != acct {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return nil
+}
+
+// WriteServiceError maps a serve-layer error onto the httpapi
+// envelope: backpressure and quota breaches become 429s with
+// Retry-After, shutdown 503, unknown IDs 404, settled-job conflicts
+// 409, and anything else (admission failures) 400. Shared by the
+// experiment layer, which surfaces the same error set.
+func WriteServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeQueueFull, err.Error(), RetryAfterQueueFull)
+	case errors.Is(err, tenant.ErrQuotaExceeded):
+		httpapi.WriteError(w, http.StatusTooManyRequests, httpapi.CodeQuotaExceeded, err.Error(), RetryAfterQuota)
+	case errors.Is(err, ErrClosed):
+		httpapi.WriteError(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable, err.Error(), 0)
+	case errors.Is(err, ErrUnknownJob):
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error(), 0)
+	case errors.Is(err, ErrFinished):
+		httpapi.WriteError(w, http.StatusConflict, httpapi.CodeConflict, err.Error(), 0)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		httpapi.WriteError(w, http.StatusGatewayTimeout, httpapi.CodeTimeout, err.Error(), 0)
+	default:
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeInvalidRequest, err.Error(), 0)
+	}
 }
 
 // jobView assembles the wire view of a job, including its result when
@@ -199,16 +304,4 @@ func wantWait(r *http.Request) bool {
 	}
 	b, err := strconv.ParseBool(v)
 	return err != nil || b
-}
-
-// httpError writes a JSON error body with the given status.
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-// writeJSON marshals v with an application/json content type.
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
 }

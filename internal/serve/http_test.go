@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"quditkit/internal/core"
+	"quditkit/internal/httpapi"
 )
 
 func newTestServer(t *testing.T) (*Service, *httptest.Server) {
@@ -44,6 +45,10 @@ func postJob(t *testing.T, url string, req JobRequest) (JobView, int) {
 	}
 	defer resp.Body.Close()
 	var view JobView
+	if resp.StatusCode >= 400 {
+		// Error responses carry the httpapi envelope, not a JobView.
+		return view, resp.StatusCode
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
 		t.Fatalf("decoding response (status %d): %v", resp.StatusCode, err)
 	}
@@ -135,10 +140,13 @@ func TestHTTPJobPollingAndCancel(t *testing.T) {
 		t.Errorf("polled counts = %v", polled.Result.Counts)
 	}
 
-	// Unknown job → 404.
-	var missing JobView
+	// Unknown job → 404 with the structured envelope.
+	var missing httpapi.Envelope
 	if code := getJSON(t, ts.URL+"/v1/jobs/j-424242", &missing); code != http.StatusNotFound {
 		t.Errorf("unknown job status = %d, want 404", code)
+	}
+	if missing.Error.Code != httpapi.CodeNotFound {
+		t.Errorf("unknown job code = %q, want %q", missing.Error.Code, httpapi.CodeNotFound)
 	}
 
 	// Cancel a settled job → 409.

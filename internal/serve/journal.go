@@ -10,6 +10,7 @@ import (
 	"quditkit/internal/circuit"
 	"quditkit/internal/core"
 	"quditkit/internal/journal"
+	"quditkit/internal/tenant"
 )
 
 // Journal record kinds for the job service's write-ahead log.
@@ -21,12 +22,22 @@ const (
 // jobSnapshotVersion guards the compacted snapshot schema.
 const jobSnapshotVersion = 1
 
-// jobAdmitRecord is the durable form of one admission: the issued ID
-// and the verbatim wire payload, so replay re-enqueues exactly what the
-// client sent. It doubles as the per-job entry of jobSnapshot.
+// jobAdmitRecord is the durable form of one admission: the issued ID,
+// the owning tenant, and the verbatim wire payload, so replay
+// re-enqueues exactly what the client sent under the same account. It
+// doubles as the per-job entry of jobSnapshot. Tenant is empty for
+// anonymous submissions (and on records written before tenancy).
 type jobAdmitRecord struct {
 	ID      string          `json:"id"`
+	Tenant  string          `json:"tenant,omitempty"`
 	Payload json.RawMessage `json:"payload"`
+}
+
+// journaledJob is the in-memory working-set entry of one unsettled
+// journaled job — what the next compaction snapshot folds in.
+type journaledJob struct {
+	payload []byte
+	tenant  string
 }
 
 // jobSettleRecord marks a journaled job as terminal; replay skips it.
@@ -63,38 +74,42 @@ type JournalStats struct {
 // nothing — the caller observes the terminal state in the same call.
 // With no journal configured it behaves exactly like Enqueue. A journal
 // write failure rejects the submission: an admission that cannot be
-// made durable is refused, not half-accepted.
-func (s *Service) EnqueueJournaled(payload []byte, c *circuit.Circuit, opts ...core.RunOption) (JobID, error) {
-	return s.enqueue(payload, c, opts)
+// made durable is refused, not half-accepted. A nil acct selects the
+// service's anonymous account; the tenant's name rides on the admit
+// record so replay restores per-tenant accounting.
+func (s *Service) EnqueueJournaled(acct *tenant.Account, payload []byte, c *circuit.Circuit, opts ...core.RunOption) (JobID, error) {
+	return s.enqueue(acct, payload, c, opts)
 }
 
 // admitJournaledLocked is the durable leg of enqueue's queue path,
-// entered with s.mu held (and released on every return). Because all
-// queue sends happen under s.mu, the capacity check makes the later
-// send non-blocking, so the order is: reject if full, fsync the admit
-// record, then the guaranteed send — a job is never runnable before it
-// is durable, and never durable-then-dropped.
-func (s *Service) admitJournaledLocked(sh chan *job, j *job, payload []byte) (JobID, error) {
-	if len(sh) == cap(sh) {
-		s.mu.Unlock()
-		j.cancel()
-		return "", ErrQueueFull
-	}
+// entered with s.mu held (and released on every return) after the
+// capacity check and the tenant quota reservation both passed.
+// Because all queue pushes happen under s.mu, that capacity check
+// makes the later forcePush safe, so the order is: fsync the admit
+// record, then the guaranteed push — a job is never runnable before
+// it is durable, and never durable-then-dropped. A journal failure
+// unwinds the tenant reservation.
+func (s *Service) admitJournaledLocked(sh *shardQueue, j *job, payload []byte) (JobID, error) {
 	id := s.issueIDLocked(j)
-	data, err := json.Marshal(jobAdmitRecord{ID: string(id), Payload: payload})
+	rec := jobAdmitRecord{ID: string(id), Payload: payload}
+	if name := j.acct.Name(); name != tenant.AnonymousName {
+		rec.Tenant = name
+	}
+	data, err := json.Marshal(rec)
 	if err == nil {
 		err = s.cfg.Journal.Append(recJobAdmit, data)
 	}
 	if err != nil {
 		delete(s.jobs, id)
 		s.mu.Unlock()
+		j.acct.CancelAdmission(j.shots)
 		j.cancel()
 		return "", fmt.Errorf("serve: journaling admission: %w", err)
 	}
-	s.journaled[id] = payload
+	s.journaled[id] = journaledJob{payload: payload, tenant: rec.Tenant}
 	s.queuedGauge.Add(1)
 	s.journalLag.Add(1)
-	sh <- j
+	sh.forcePush(j)
 	s.mu.Unlock()
 	s.enqueued.Add(1)
 	return id, nil
@@ -142,8 +157,8 @@ func (s *Service) compactJournal() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := jobSnapshot{Version: jobSnapshotVersion, NextID: s.nextID}
-	for id, payload := range s.journaled {
-		snap.Jobs = append(snap.Jobs, jobAdmitRecord{ID: string(id), Payload: payload})
+	for id, jj := range s.journaled {
+		snap.Jobs = append(snap.Jobs, jobAdmitRecord{ID: string(id), Tenant: jj.tenant, Payload: jj.payload})
 	}
 	// Stable ordering keeps snapshot bytes a function of state; IDs are
 	// zero-padded, so lexicographic order is admission order.
@@ -164,9 +179,9 @@ func (s *Service) compactJournal() error {
 // run time. It returns the number of jobs re-enqueued.
 //
 // Replay must run once, before the service is exposed to traffic and
-// before Close; it blocks until every replayed job is accepted by its
-// shard (workers are already draining, so a replay larger than the
-// queue bound still completes). Any undecodable snapshot, record, or
+// before Close; replayed jobs bypass the queue-capacity bound (they
+// were admitted before the crash), so a replay larger than the queue
+// bound still completes. Any undecodable snapshot, record, or
 // payload fails loudly: a journal that cannot be replayed in full is
 // corruption, and silently starting empty is the failure mode the
 // journal exists to prevent.
@@ -224,9 +239,10 @@ func (s *Service) Replay(rec journal.Recovery) (int, error) {
 	// snapshot and as a WAL admit record — replay is idempotent).
 	type replayJob struct {
 		id      JobID
+		tenant  string
 		payload []byte
 		j       *job
-		shard   chan *job
+		shard   *shardQueue
 	}
 	seen := make(map[string]bool)
 	var pending []replayJob
@@ -248,7 +264,17 @@ func (s *Service) Replay(rec journal.Recovery) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("serve: journaled options for %s do not resolve: %w", ar.ID, err)
 		}
-		pending = append(pending, replayJob{id: JobID(ar.ID), payload: ar.Payload})
+		// Restore the owning account so replay rebuilds per-tenant
+		// gauges. A name missing from the (possibly edited) registry
+		// falls back to anonymous: dropping attribution is recoverable,
+		// dropping the job is the failure mode the journal prevents.
+		acct := s.anon
+		if ar.Tenant != "" && s.cfg.Tenants != nil {
+			if a, ok := s.cfg.Tenants.ByName(ar.Tenant); ok {
+				acct = a
+			}
+		}
+		pending = append(pending, replayJob{id: JobID(ar.ID), tenant: ar.Tenant, payload: ar.Payload})
 		rj := &pending[len(pending)-1]
 		key := cacheKey{fingerprint: core.Fingerprint(circ), options: core.OptionsDigest(opts...)}
 		ctx, cancel := context.WithCancel(context.Background())
@@ -256,6 +282,7 @@ func (s *Service) Replay(rec journal.Recovery) (int, error) {
 			id: rj.id, circ: circ, opts: opts, key: key,
 			shots: core.ShotsOf(opts...),
 			ctx:   ctx, cancel: cancel,
+			acct: acct, reserved: true,
 			state: Queued, done: make(chan struct{}),
 			events: []Event{{Seq: 0, State: Queued.String()}},
 		}
@@ -272,17 +299,22 @@ func (s *Service) Replay(rec journal.Recovery) (int, error) {
 	for i := range pending {
 		rj := &pending[i]
 		s.jobs[rj.id] = rj.j
-		s.journaled[rj.id] = rj.payload
+		s.journaled[rj.id] = journaledJob{payload: rj.payload, tenant: rj.tenant}
 		rj.shard = s.shards[rj.j.key.fingerprint%uint64(len(s.shards))]
 		s.queuedGauge.Add(1)
 		s.journalLag.Add(1)
+		// The job was admitted (and made durable) before the crash, so
+		// its reservation is restored unconditionally — quotas shrunk
+		// since must not drop previously accepted work.
+		rj.j.acct.ForceAdmitJob(rj.j.shots)
 	}
 	s.mu.Unlock()
 
-	// Feed the queues outside s.mu: a replay wider than QueueDepth
-	// blocks here while workers drain ahead of it.
+	// Feed the queues outside s.mu; forcePush never blocks, so a
+	// replay wider than QueueDepth still completes (workers are
+	// already draining it).
 	for i := range pending {
-		pending[i].shard <- pending[i].j
+		pending[i].shard.forcePush(pending[i].j)
 		s.enqueued.Add(1)
 	}
 	s.journalReplayed.Store(int64(len(pending)))

@@ -42,7 +42,7 @@ func enqueueWire(t *testing.T, s *Service, payload []byte) JobID {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := s.EnqueueJournaled(payload, circ, opts...)
+	id, err := s.EnqueueJournaled(nil, payload, circ, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +307,7 @@ func TestJournalAdmissionFullQueueNotJournaled(t *testing.T) {
 	var ids []JobID
 	overflowed := false
 	for k := 1; k <= 50 && !overflowed; k++ {
-		id, err := s.EnqueueJournaled(wirePayload(k, 16), shiftCircuit(t, k), core.WithShots(16))
+		id, err := s.EnqueueJournaled(nil, wirePayload(k, 16), shiftCircuit(t, k), core.WithShots(16))
 		switch {
 		case err == nil:
 			ids = append(ids, id)

@@ -5,12 +5,21 @@
 // processors.
 //
 // A Service owns a bounded, sharded job queue in front of one
-// Processor. Submissions enter through Enqueue, are assigned to a
-// shard by circuit fingerprint, and are drained in batches through
-// Processor.Submit by one worker goroutine per shard. Every job walks
-// the lifecycle Queued → Running → Done/Failed/Cancelled; CancelJob
+// Processor. Submissions enter through Enqueue (or EnqueueAs with a
+// tenant account), are assigned to a shard by circuit fingerprint,
+// and are drained in batches through Processor.Submit by one worker
+// goroutine per shard. Each shard schedules across tenants by
+// weighted deficit round-robin within priority classes (see
+// shardQueue): admission quotas and fair dequeue shares are enforced
+// per tenant.Account, and a process without a tenant registry runs
+// everything under one anonymous account. Every job walks the
+// lifecycle Queued → Running → Done/Failed/Cancelled; CancelJob
 // aborts a queued job immediately and a running one promptly via the
 // context plumbed through core.WithContext.
+//
+// Scheduling only reorders *dispatch*: per-job seeds derive from
+// circuit content and options, so results are byte-identical under
+// any interleaving of tenants.
 //
 // Completed Results land in a content-addressed LRU cache keyed by
 // (core.Fingerprint, core.OptionsDigest). Because every quditkit
@@ -35,6 +44,7 @@ import (
 	"quditkit/internal/circuit"
 	"quditkit/internal/core"
 	"quditkit/internal/journal"
+	"quditkit/internal/tenant"
 )
 
 // Service errors distinguishable by callers.
@@ -122,6 +132,12 @@ type Config struct {
 	// settlement triggers snapshot compaction. Default 256; negative
 	// disables automatic compaction.
 	JournalCompactEvery int
+	// Tenants, when non-nil, turns on multi-tenant enforcement: the
+	// HTTP layer requires a registered X-API-Key, admissions reserve
+	// against per-tenant quotas, and shard scheduling weighs tenants
+	// by their configured weight/priority. Nil runs single-tenant:
+	// everything executes under one anonymous unlimited account.
+	Tenants *tenant.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +218,14 @@ type Stats struct {
 	Shards     int `json:"shards"`
 	QueueDepth int `json:"queue_depth"`
 	BatchSize  int `json:"batch_size"`
+	// ShardDepths is the live queued-job count of each shard, in shard
+	// order — the gauge that exposes hot shards (also served as the
+	// queue_depth{shard="N"} series on /metrics).
+	ShardDepths []int `json:"shard_depths"`
+	// Tenants is the per-tenant usage: every registered tenant in file
+	// order, then the anonymous account (in-process and unauthenticated
+	// submissions).
+	Tenants []tenant.Usage `json:"tenants,omitempty"`
 	// Journal carries the write-ahead-log gauges (size, replay lag,
 	// compaction cadence); nil when the service runs without a journal.
 	Journal *JournalStats `json:"journal,omitempty"`
@@ -216,6 +240,11 @@ type job struct {
 	shots  int
 	ctx    context.Context
 	cancel context.CancelFunc
+	// acct is the owning tenant's account (never nil — anonymous when
+	// untenanted); reserved reports whether the job holds a quota
+	// reservation (fast-path settlements never reserve).
+	acct     *tenant.Account
+	reserved bool
 
 	mu     sync.Mutex
 	state  JobState
@@ -246,6 +275,9 @@ func (s *Service) begin(j *job) (circ *circuit.Circuit, opts []core.RunOption, o
 	s.queuedGauge.Add(-1)
 	s.runningGauge.Add(1)
 	s.inflightShots.Add(int64(j.shots))
+	if j.reserved {
+		j.acct.JobStarted()
+	}
 	j.publishLocked(Event{State: Running.String()})
 	return j.circ, j.opts, true
 }
@@ -269,11 +301,17 @@ type Service struct {
 	nextID  uint64
 	closed  bool
 	// journaled maps each unsettled journaled job to its verbatim wire
-	// payload — the working set the next compaction snapshot folds in.
-	journaled map[JobID][]byte
+	// payload and tenant — the working set the next compaction
+	// snapshot folds in.
+	journaled map[JobID]journaledJob
 
-	shards []chan *job
+	shards []*shardQueue
 	wg     sync.WaitGroup
+
+	// anon is the fallback account for Enqueue callers that present no
+	// tenant — one per Service, so accounting never bleeds across
+	// independent instances (important under go test).
+	anon *tenant.Account
 
 	enqueued  atomic.Uint64
 	completed atomic.Uint64
@@ -304,11 +342,12 @@ func New(proc *core.Processor, cfg Config) (*Service, error) {
 		cfg:       cfg,
 		cache:     newResultCache(cfg.CacheSize),
 		jobs:      make(map[JobID]*job),
-		journaled: make(map[JobID][]byte),
+		journaled: make(map[JobID]journaledJob),
+		anon:      tenant.NewAnonymous(),
 	}
-	s.shards = make([]chan *job, cfg.Shards)
+	s.shards = make([]*shardQueue, cfg.Shards)
 	for i := range s.shards {
-		s.shards[i] = make(chan *job, cfg.QueueDepth)
+		s.shards[i] = newShardQueue(i, cfg.QueueDepth)
 		s.wg.Add(1)
 		go s.worker(s.shards[i])
 	}
@@ -328,7 +367,7 @@ func (s *Service) Close() {
 	if !s.closed {
 		s.closed = true
 		for _, sh := range s.shards {
-			close(sh)
+			sh.close()
 		}
 	}
 	s.mu.Unlock()
@@ -343,14 +382,27 @@ func (s *Service) Close() {
 // core.WithContext is honored: the job's internal context derives from
 // it, so cancelling it aborts the job exactly like CancelJob.
 func (s *Service) Enqueue(c *circuit.Circuit, opts ...core.RunOption) (JobID, error) {
-	return s.enqueue(nil, c, opts)
+	return s.enqueue(nil, nil, c, opts)
 }
 
-// enqueue implements Enqueue and EnqueueJournaled; a non-nil payload
-// with a configured journal selects the durable admission path.
-func (s *Service) enqueue(payload []byte, c *circuit.Circuit, opts []core.RunOption) (JobID, error) {
+// EnqueueAs is Enqueue on behalf of a tenant account: admission
+// reserves against the tenant's quotas (failing with
+// tenant.ErrQuotaExceeded, wrapped with the violated limit) and the
+// job competes in its tenant's weighted share of the shard. A nil
+// acct selects the service's anonymous account.
+func (s *Service) EnqueueAs(acct *tenant.Account, c *circuit.Circuit, opts ...core.RunOption) (JobID, error) {
+	return s.enqueue(acct, nil, c, opts)
+}
+
+// enqueue implements Enqueue, EnqueueAs, and EnqueueJournaled; a
+// non-nil payload with a configured journal selects the durable
+// admission path.
+func (s *Service) enqueue(acct *tenant.Account, payload []byte, c *circuit.Circuit, opts []core.RunOption) (JobID, error) {
 	if c == nil {
 		return "", errors.New("serve: nil circuit")
+	}
+	if acct == nil {
+		acct = s.anon
 	}
 	key := cacheKey{fingerprint: core.Fingerprint(c), options: core.OptionsDigest(opts...)}
 	base := context.Background()
@@ -362,6 +414,7 @@ func (s *Service) enqueue(payload []byte, c *circuit.Circuit, opts []core.RunOpt
 		circ: c, opts: opts, key: key,
 		shots: core.ShotsOf(opts...),
 		ctx:   ctx, cancel: cancel,
+		acct:  acct,
 		state: Queued, done: make(chan struct{}),
 		// The queued event is recorded at creation — no subscriber can
 		// exist before the ID is issued, so no fan-out is needed.
@@ -382,6 +435,7 @@ func (s *Service) enqueue(payload []byte, c *circuit.Circuit, opts []core.RunOpt
 		s.mu.Unlock()
 		s.queuedGauge.Add(1)
 		s.enqueued.Add(1)
+		acct.NoteBypass()
 		s.finish(j, core.Result{}, err, false)
 		return id, nil
 	}
@@ -397,13 +451,16 @@ func (s *Service) enqueue(payload []byte, c *circuit.Circuit, opts []core.RunOpt
 		s.mu.Unlock()
 		s.queuedGauge.Add(1)
 		s.enqueued.Add(1)
+		acct.NoteBypass()
 		s.finish(j, res, nil, true)
 		return id, nil
 	}
 
 	// A rejected submission is never published to the job table, so
 	// the reject paths below cannot race a concurrent CancelJob and
-	// the gauges move exactly once per accepted job.
+	// the gauges move exactly once per accepted job. All pushes happen
+	// under s.mu (workers only pop), so the capacity check here makes
+	// the later forcePush safe: depth can only shrink in between.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -411,25 +468,34 @@ func (s *Service) enqueue(payload []byte, c *circuit.Circuit, opts []core.RunOpt
 		return "", ErrClosed
 	}
 	sh := s.shards[key.fingerprint%uint64(len(s.shards))]
+	if sh.full() {
+		s.mu.Unlock()
+		cancel()
+		return "", queueFullError(sh)
+	}
+	if err := acct.TryAdmitJob(j.shots); err != nil {
+		s.mu.Unlock()
+		cancel()
+		return "", err
+	}
+	j.reserved = true
 	if payload != nil && s.cfg.Journal != nil {
 		return s.admitJournaledLocked(sh, j, payload)
 	}
 	id := s.issueIDLocked(j)
 	s.queuedGauge.Add(1)
-	select {
-	case sh <- j:
-		s.mu.Unlock()
-		// Counted only here and on the cache-hit path, so Enqueued
-		// reflects accepted submissions, never rejected ones.
-		s.enqueued.Add(1)
-		return id, nil
-	default:
-		delete(s.jobs, id)
-		s.mu.Unlock()
-		s.queuedGauge.Add(-1)
-		cancel()
-		return "", ErrQueueFull
-	}
+	sh.forcePush(j)
+	s.mu.Unlock()
+	// Counted only here and on the fast paths, so Enqueued reflects
+	// accepted submissions, never rejected ones.
+	s.enqueued.Add(1)
+	return id, nil
+}
+
+// queueFullError wraps ErrQueueFull with the rejecting shard and its
+// depth, so operators can spot a hot shard straight from the error.
+func queueFullError(sh *shardQueue) error {
+	return fmt.Errorf("%w: shard %d at depth %d/%d", ErrQueueFull, sh.index, sh.len(), sh.cap)
 }
 
 // issueIDLocked assigns the next job ID and publishes the record;
@@ -516,6 +582,10 @@ func (s *Service) Stats() Stats {
 			Replayed: s.journalReplayed.Load(),
 		}
 	}
+	depths := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		depths[i] = sh.len()
+	}
 	return Stats{
 		Enqueued:        s.enqueued.Load(),
 		Completed:       s.completed.Load(),
@@ -535,9 +605,34 @@ func (s *Service) Stats() Stats {
 		Shards:          s.cfg.Shards,
 		QueueDepth:      s.cfg.QueueDepth,
 		BatchSize:       s.cfg.BatchSize,
+		ShardDepths:     depths,
+		Tenants:         s.tenantUsage(),
 		Journal:         js,
 	}
 }
+
+// tenantUsage snapshots every account the service can execute for:
+// registered tenants in file order, then the service's anonymous
+// account.
+func (s *Service) tenantUsage() []tenant.Usage {
+	var out []tenant.Usage
+	if s.cfg.Tenants != nil {
+		for _, a := range s.cfg.Tenants.Accounts() {
+			out = append(out, a.Snapshot())
+		}
+	}
+	out = append(out, s.anon.Snapshot())
+	return out
+}
+
+// Anonymous returns the service's fallback account — what plain
+// Enqueue submissions run as. Callers that pre-resolve accounts (the
+// sweep layer, tests) use it to label work explicitly.
+func (s *Service) Anonymous() *tenant.Account { return s.anon }
+
+// Tenants returns the configured registry, or nil when the service
+// runs single-tenant.
+func (s *Service) Tenants() *tenant.Registry { return s.cfg.Tenants }
 
 // job looks up a job record by ID.
 func (s *Service) job(id JobID) (*job, error) {
@@ -584,13 +679,20 @@ func (s *Service) finish(j *job, res core.Result, err error, cached bool) {
 	close(j.done)
 	j.mu.Unlock()
 	j.cancel()
+	var oc tenant.Outcome
 	switch terminal {
 	case Done:
 		s.completed.Add(1)
+		oc = tenant.Completed
 	case Cancelled:
 		s.cancelled.Add(1)
+		oc = tenant.Cancelled
 	default:
 		s.failed.Add(1)
+		oc = tenant.Failed
+	}
+	if j.acct != nil {
+		j.acct.JobSettled(prev == Running, j.reserved, j.shots, oc)
 	}
 	s.journalSettle(j.id, terminal)
 	s.retain(j.id)
@@ -614,28 +716,23 @@ func (s *Service) retain(id JobID) {
 }
 
 // worker drains one shard: it blocks for the first job, greedily
-// collects up to BatchSize-1 more without blocking, and runs the batch
+// collects up to BatchSize-1 more without blocking (each dequeue
+// scheduled by the shard's weighted round-robin), and runs the batch
 // through Processor.Submit.
-func (s *Service) worker(sh chan *job) {
+func (s *Service) worker(sh *shardQueue) {
 	defer s.wg.Done()
 	for {
-		j, ok := <-sh
+		j, ok := sh.pop()
 		if !ok {
 			return
 		}
 		batch := []*job{j}
-	drain:
 		for len(batch) < s.cfg.BatchSize {
-			select {
-			case next, ok := <-sh:
-				if !ok {
-					s.runBatch(batch)
-					return
-				}
-				batch = append(batch, next)
-			default:
-				break drain
+			next, ok := sh.tryPop()
+			if !ok {
+				break
 			}
+			batch = append(batch, next)
 		}
 		s.runBatch(batch)
 	}
