@@ -150,6 +150,22 @@ func BenchmarkAblationDensityExact(b *testing.B) {
 	}
 }
 
+// warmPlanCache makes plan-cache state deterministic for a tracked
+// benchmark: it resets the process-wide cache (so plans compiled by
+// whatever benchmarks ran earlier in the same process can't leak in)
+// and then runs warm() once so the measured loop sees a uniformly warm
+// cache. Without this, the first b.Run variant of a benchmark paid the
+// compile miss that later variants didn't, skewing cross-variant
+// comparisons by whichever ordering the -bench filter happened to pick.
+func warmPlanCache(b *testing.B, warm func() error) {
+	b.Helper()
+	core.PlanCacheReset()
+	if err := warm(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+}
+
 // BenchmarkAblationTrajectories measures the trajectory-averaged
 // alternative at 100 shots through the Trajectory backend.
 func BenchmarkAblationTrajectories(b *testing.B) {
@@ -159,7 +175,10 @@ func BenchmarkAblationTrajectories(b *testing.B) {
 		Shots: 100,
 		Seed:  1,
 	}
-	b.ResetTimer()
+	warmPlanCache(b, func() error {
+		_, err := (core.TrajectoryBackend{}).Execute(c, spec)
+		return err
+	})
 	for i := 0; i < b.N; i++ {
 		if _, err := (core.TrajectoryBackend{}).Execute(c, spec); err != nil {
 			b.Fatal(err)
@@ -181,17 +200,30 @@ func BenchmarkSubmitTrajectories(b *testing.B) {
 		b.Fatal(err)
 	}
 	c := ghzCircuit(b, 4)
+	submit := func(workers, batch int) (core.Result, error) {
+		opts := []core.RunOption{
+			core.WithBackend(core.Trajectory),
+			core.WithNoise(model),
+			core.WithShots(512),
+			core.WithSeed(7),
+			core.WithWorkers(workers),
+		}
+		if batch > 1 {
+			opts = append(opts, core.WithShotBatch(batch))
+		}
+		return proc.SubmitOne(c, opts...)
+	}
 	workerSet := []int{1, 4, runtime.NumCPU()}
 	for _, workers := range workerSet {
+		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
+			warmPlanCache(b, func() error {
+				_, err := submit(workers, 1)
+				return err
+			})
 			for i := 0; i < b.N; i++ {
-				res, err := proc.SubmitOne(c,
-					core.WithBackend(core.Trajectory),
-					core.WithNoise(model),
-					core.WithShots(512),
-					core.WithSeed(7),
-					core.WithWorkers(workers))
+				res, err := submit(workers, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -200,6 +232,64 @@ func BenchmarkSubmitTrajectories(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSubmitTrajectoriesBatched is the same tracked job with shot
+// batching enabled: identical logical work and — by the byte-identity
+// contract — identical counts, so the series isolates what batching
+// buys at each pool width. Batch sizes match the differential grid.
+func BenchmarkSubmitTrajectoriesBatched(b *testing.B) {
+	proc, err := core.NewCompactProcessor(2, 2, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := proc.NoiseModelForDim(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := ghzCircuit(b, 4)
+	want, err := proc.SubmitOne(c,
+		core.WithBackend(core.Trajectory),
+		core.WithNoise(model),
+		core.WithShots(512),
+		core.WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		for _, batch := range []int{8, 32} {
+			workers, batch := workers, batch
+			b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(b *testing.B) {
+				b.ReportAllocs()
+				submit := func() (core.Result, error) {
+					return proc.SubmitOne(c,
+						core.WithBackend(core.Trajectory),
+						core.WithNoise(model),
+						core.WithShots(512),
+						core.WithSeed(7),
+						core.WithWorkers(workers),
+						core.WithShotBatch(batch))
+				}
+				warmPlanCache(b, func() error {
+					res, err := submit()
+					if err != nil {
+						return err
+					}
+					for k, v := range want.Counts {
+						if res.Counts[k] != v {
+							b.Fatalf("batch=%d counts[%s] = %d, want %d", batch, k, res.Counts[k], v)
+						}
+					}
+					return nil
+				})
+				for i := 0; i < b.N; i++ {
+					if _, err := submit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

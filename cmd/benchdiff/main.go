@@ -6,7 +6,8 @@
 // Usage:
 //
 //	benchdiff [-baseline 'BENCH_*.json'] [-threshold 0.25]
-//	          [-ns-threshold X] [bench-output.txt]
+//	          [-ns-threshold X] [-scaling-bench PREFIX]
+//	          [-scaling-floor F] [-cores N] [bench-output.txt]
 //
 // The bench output is read from the named file, or stdin when no file
 // is given. Baselines are the per-PR BENCH_N.json reports already
@@ -22,6 +23,22 @@
 // varies with the host CPU; -ns-threshold loosens only that metric
 // (zero means "use -threshold", a negative value skips ns comparison
 // entirely).
+//
+// The scaling gate (-scaling-bench, -scaling-floor) is a same-run
+// check, independent of any baseline file: PREFIX names a benchmark
+// family whose variants end in a worker count (for example
+// "BenchmarkSubmitTrajectories/workers="), and every variant K > 1
+// must achieve a parallel efficiency
+//
+//	eff_K = (ns_1 / ns_K) / min(K, cores)
+//
+// of at least the floor. Dividing by min(K, cores) rather than K keeps
+// the gate honest on hosts with fewer cores than the widest variant:
+// oversubscribed workers can't speed anything up and aren't asked to.
+// The gate catches the regressions a fixed ns/op threshold can't — a
+// change that leaves single-worker time alone but serializes the pool
+// (a stray global lock, false sharing in the batch arena) tanks
+// efficiency while every absolute number still looks plausible.
 package main
 
 import (
@@ -33,8 +50,10 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 func main() {
@@ -79,6 +98,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	pattern := fs.String("baseline", "BENCH_*.json", "glob of committed baseline reports")
 	threshold := fs.Float64("threshold", 0.25, "allowed fractional regression for B/op and allocs/op")
 	nsThreshold := fs.Float64("ns-threshold", 0, "allowed fractional regression for ns/op (0 = -threshold, negative skips ns)")
+	scalingBench := fs.String("scaling-bench", "", "benchmark name prefix whose variants end in a worker count, e.g. BenchmarkSubmitTrajectories/workers=")
+	scalingFloor := fs.Float64("scaling-floor", 0, "minimum parallel efficiency (ns_1/ns_K)/min(K,cores); 0 disables the gate")
+	cores := fs.Int("cores", runtime.NumCPU(), "physical parallelism available to the measured run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -149,6 +171,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if compared == 0 {
 		return fmt.Errorf("no measured benchmark matched a baseline entry")
 	}
+	if *scalingFloor > 0 {
+		scaleFailures, err := checkScaling(measured, *scalingBench, *scalingFloor, *cores, stdout)
+		if err != nil {
+			return err
+		}
+		failures = append(failures, scaleFailures...)
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(stdout, "FAIL", f)
@@ -159,14 +188,98 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
-// loadBaselines merges all matching baseline files; files sort
-// lexically and later (higher-numbered) files win per benchmark.
+// checkScaling enforces the parallel-efficiency floor on one benchmark
+// family: every measured "<prefix><K>" with K > 1 must reach
+// (ns_1/ns_K)/min(K, cores) >= floor. The single-worker variant is the
+// denominator and must be present; a family with no multi-worker
+// variants is an error, since a gate that silently checks nothing
+// would pass forever.
+func checkScaling(measured map[string]measurement, prefix string, floor float64, cores int, stdout io.Writer) ([]string, error) {
+	if prefix == "" {
+		return nil, fmt.Errorf("-scaling-floor set but -scaling-bench empty")
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("-cores must be positive, got %d", cores)
+	}
+	variants := make(map[int]float64)
+	for name, m := range measured {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		k, err := strconv.Atoi(name[len(prefix):])
+		if err != nil || k < 1 {
+			continue // not a worker-count variant of this family
+		}
+		variants[k] = m.NsOp
+	}
+	base, ok := variants[1]
+	if !ok || base <= 0 {
+		return nil, fmt.Errorf("scaling gate: no single-worker measurement for %q", prefix)
+	}
+	ks := make([]int, 0, len(variants))
+	for k := range variants {
+		if k > 1 {
+			ks = append(ks, k)
+		}
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("scaling gate: no multi-worker variants of %q measured", prefix)
+	}
+	sort.Ints(ks)
+	var failures []string
+	for _, k := range ks {
+		ideal := k
+		if cores < ideal {
+			ideal = cores
+		}
+		speedup := base / variants[k]
+		eff := speedup / float64(ideal)
+		status := "ok"
+		if eff < floor {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s%d: efficiency %.2f below floor %.2f (%.2fx speedup over 1 worker, ideal %dx)",
+				prefix, k, eff, floor, speedup, ideal))
+		}
+		fmt.Fprintf(stdout, "%-10s scaling %s%d: %.2fx speedup, efficiency %.2f (floor %.2f, cores %d)\n",
+			status, prefix, k, speedup, eff, floor, cores)
+	}
+	return failures, nil
+}
+
+// baselineNum extracts the report number from a BENCH_N.json path; -1
+// when the name carries no number.
+var baselineNumRe = regexp.MustCompile(`(\d+)`)
+
+func baselineNum(path string) int {
+	m := baselineNumRe.FindString(filepath.Base(path))
+	if m == "" {
+		return -1
+	}
+	n, err := strconv.Atoi(m)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// loadBaselines merges all matching baseline files; higher-numbered
+// (more recent) reports win per benchmark. Ordering is numeric on the
+// report number, not lexical — lexically BENCH_10 sorts before
+// BENCH_3 and the stale baseline would silently win from the tenth
+// report onward.
 func loadBaselines(pattern string) (map[string]baselineEntry, error) {
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(paths)
+	sort.Slice(paths, func(i, j int) bool {
+		ni, nj := baselineNum(paths[i]), baselineNum(paths[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return paths[i] < paths[j]
+	})
 	out := make(map[string]baselineEntry)
 	for _, path := range paths {
 		data, err := os.ReadFile(path)

@@ -131,6 +131,99 @@ func TestErrorsOnEmptyInputs(t *testing.T) {
 	}
 }
 
+// scalingBench is a three-variant worker family: workers=4 scales
+// perfectly (4x), workers=8 hits 5x — above the floor on an 8-core
+// host, below it when -cores says only 8 ideal and the floor is high.
+const scalingBench = `BenchmarkFast-8   	1000	1100 ns/op	512 B/op	8 allocs/op
+BenchmarkPool/workers=1-8	100	8000 ns/op	0 B/op	0 allocs/op
+BenchmarkPool/workers=4-8	100	2000 ns/op	0 B/op	0 allocs/op
+BenchmarkPool/workers=8-8	100	1600 ns/op	0 B/op	0 allocs/op
+`
+
+func TestScalingGatePasses(t *testing.T) {
+	glob := writeBaselines(t)
+	var out bytes.Buffer
+	// workers=4: 4x/4 = 1.00; workers=8: 5x/8 = 0.63. Floor 0.5 passes.
+	err := run([]string{"-baseline", glob,
+		"-scaling-bench", "BenchmarkPool/workers=",
+		"-scaling-floor", "0.5", "-cores", "8"},
+		strings.NewReader(scalingBench), &out)
+	if err != nil {
+		t.Fatalf("healthy scaling failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "scaling BenchmarkPool/workers=4: 4.00x") {
+		t.Errorf("scaling report missing: %s", out.String())
+	}
+}
+
+func TestScalingGateFailsBelowFloor(t *testing.T) {
+	glob := writeBaselines(t)
+	var out bytes.Buffer
+	// workers=8 efficiency is 0.63 on 8 cores: a 0.8 floor must fail.
+	err := run([]string{"-baseline", glob,
+		"-scaling-bench", "BenchmarkPool/workers=",
+		"-scaling-floor", "0.8", "-cores", "8"},
+		strings.NewReader(scalingBench), &out)
+	if err == nil {
+		t.Fatalf("sub-floor efficiency passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION scaling BenchmarkPool/workers=8") {
+		t.Errorf("workers=8 not flagged: %s", out.String())
+	}
+}
+
+func TestScalingGateClampsToCores(t *testing.T) {
+	glob := writeBaselines(t)
+	var out bytes.Buffer
+	// On a 4-core host workers=8's ideal is 4, so 5x/4 = 1.25: the same
+	// 0.8 floor that fails on 8 cores passes when oversubscribed.
+	err := run([]string{"-baseline", glob,
+		"-scaling-bench", "BenchmarkPool/workers=",
+		"-scaling-floor", "0.8", "-cores", "4"},
+		strings.NewReader(scalingBench), &out)
+	if err != nil {
+		t.Fatalf("core-clamped run failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestScalingGateRequiresVariants(t *testing.T) {
+	glob := writeBaselines(t)
+	var out bytes.Buffer
+	solo := "BenchmarkFast-8   	1000	1100 ns/op	512 B/op	8 allocs/op\nBenchmarkPool/workers=1-8	100	8000 ns/op\n"
+	if err := run([]string{"-baseline", glob,
+		"-scaling-bench", "BenchmarkPool/workers=",
+		"-scaling-floor", "0.5"},
+		strings.NewReader(solo), &out); err == nil {
+		t.Error("gate with no multi-worker variants passed silently")
+	}
+	if err := run([]string{"-baseline", glob, "-scaling-floor", "0.5"},
+		strings.NewReader(scalingBench), &out); err == nil {
+		t.Error("-scaling-floor without -scaling-bench accepted")
+	}
+}
+
+// TestBaselineNumericOrder pins the double-digit ordering fix: a
+// BENCH_10 report must override BENCH_3's entry for the same
+// benchmark even though it sorts first lexically.
+func TestBaselineNumericOrder(t *testing.T) {
+	dir := t.TempDir()
+	old := `{"benchmarks": {"BenchmarkFast": {"after": {"ns_op": 111}}}}`
+	newer := `{"benchmarks": {"BenchmarkFast": {"after": {"ns_op": 999}}}}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_10.json"), []byte(newer), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := loadBaselines(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entries["BenchmarkFast"].NsOp; got != 999 {
+		t.Fatalf("BENCH_10 lost to BENCH_3: baseline ns_op = %v, want 999", got)
+	}
+}
+
 // TestRealBaselineParses guards the committed repo baselines against
 // schema drift: every BENCH_*.json at the repo root must load.
 func TestRealBaselineParses(t *testing.T) {

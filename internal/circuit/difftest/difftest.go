@@ -1,0 +1,244 @@
+// Package difftest is the differential proof layer for the trajectory
+// execution engine: it drives one (circuit, noise model, seed, shots)
+// case through every execution path — the interpreted per-op engine,
+// the compiled plan without fusion, the fused plan, and the fused plan
+// with batched shots — across worker-count and batch-size grids, and
+// asserts the results are byte-identical: same Counts, same MeanProbs
+// bits, same per-wire marginal bits, same final-state amplitude bits
+// when a state is exposed.
+//
+// Byte-identity (not approximate closeness) is the repo's contract:
+// every fast path must perform the same floating-point operations in
+// the same order as the reference, so any divergence — a reordered
+// accumulation, a fused kernel that rounds differently, a batch loop
+// that interleaves per-shot sums — is a hard failure, not tolerance
+// noise. The package is a library so the CI race job, the fuzz
+// targets, and ad-hoc debugging can all reuse the same comparator.
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/core"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+)
+
+// Case is one differential tuple: a circuit, the noise model to
+// unravel, and the sampling seed/shot budget shared by every path.
+type Case struct {
+	Name    string
+	Circuit *circuit.Circuit
+	Noise   noise.Model
+	Seed    int64
+	Shots   int
+}
+
+// Config spans the execution grid. Every fused run is exercised at
+// each worker count; batched runs additionally at each batch size > 1.
+type Config struct {
+	Workers []int
+	Batches []int
+}
+
+// DefaultConfig is the acceptance grid: worker counts {1,4,8} × batch
+// sizes {1,8,32}.
+func DefaultConfig() Config {
+	return Config{Workers: []int{1, 4, 8}, Batches: []int{1, 8, 32}}
+}
+
+// Run executes the case through every path of the grid and returns an
+// error naming the first path that diverges from the interpreted
+// reference. Paths compared, all through core.TrajectoryBackend:
+//
+//	interpreted              workers=1 (the reference)
+//	compiled, fusion off     workers=1
+//	compiled, fused          every worker count, batch=1
+//	compiled, fused+batched  every worker count × every batch size > 1
+func Run(cs Case, cfg Config) error {
+	ref, err := exec(cs, core.TrajectoryBackend{Interpreted: true}, core.ExecSpec{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("%s: interpreted reference: %w", cs.Name, err)
+	}
+	unfused, err := exec(cs, core.TrajectoryBackend{}, core.ExecSpec{Workers: 1, DisableFusion: true})
+	if err != nil {
+		return fmt.Errorf("%s: compiled(nofuse): %w", cs.Name, err)
+	}
+	if err := Compare(cs, ref, unfused, "interpreted", "compiled(nofuse)"); err != nil {
+		return err
+	}
+	for _, w := range cfg.Workers {
+		fused, err := exec(cs, core.TrajectoryBackend{}, core.ExecSpec{Workers: w})
+		if err != nil {
+			return fmt.Errorf("%s: fused workers=%d: %w", cs.Name, w, err)
+		}
+		if err := Compare(cs, ref, fused, "interpreted", fmt.Sprintf("fused workers=%d", w)); err != nil {
+			return err
+		}
+		for _, b := range cfg.Batches {
+			if b <= 1 {
+				continue // batch=1 is the fused path just compared
+			}
+			batched, err := exec(cs, core.TrajectoryBackend{}, core.ExecSpec{Workers: w, ShotBatch: b})
+			if err != nil {
+				return fmt.Errorf("%s: fused+batched workers=%d batch=%d: %w", cs.Name, w, b, err)
+			}
+			name := fmt.Sprintf("fused+batched workers=%d batch=%d", w, b)
+			if err := Compare(cs, ref, batched, "interpreted", name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func exec(cs Case, b core.TrajectoryBackend, spec core.ExecSpec) (core.Execution, error) {
+	spec.Noise = cs.Noise
+	spec.Shots = cs.Shots
+	spec.Seed = cs.Seed
+	return b.Execute(cs.Circuit, spec)
+}
+
+// Compare asserts two executions of the same case are byte-identical:
+// exact Counts equality, bitwise MeanProbs, bitwise per-wire
+// marginals derived from MeanProbs, and bitwise state amplitudes when
+// both paths expose a state.
+func Compare(cs Case, ref, got core.Execution, refName, gotName string) error {
+	if !reflect.DeepEqual(ref.Counts, got.Counts) {
+		return fmt.Errorf("%s: Counts diverge between %s and %s:\n%s: %v\n%s: %v",
+			cs.Name, refName, gotName, refName, ref.Counts, gotName, got.Counts)
+	}
+	if len(ref.MeanProbs) != len(got.MeanProbs) {
+		return fmt.Errorf("%s: MeanProbs length %d (%s) vs %d (%s)",
+			cs.Name, len(ref.MeanProbs), refName, len(got.MeanProbs), gotName)
+	}
+	for i := range ref.MeanProbs {
+		if math.Float64bits(ref.MeanProbs[i]) != math.Float64bits(got.MeanProbs[i]) {
+			return fmt.Errorf("%s: MeanProbs[%d] bits diverge between %s and %s: %v vs %v",
+				cs.Name, i, refName, gotName, ref.MeanProbs[i], got.MeanProbs[i])
+		}
+	}
+	refMarg, err := Marginals(cs.Circuit.Dims(), ref.MeanProbs)
+	if err != nil {
+		return fmt.Errorf("%s: %w", cs.Name, err)
+	}
+	gotMarg, err := Marginals(cs.Circuit.Dims(), got.MeanProbs)
+	if err != nil {
+		return fmt.Errorf("%s: %w", cs.Name, err)
+	}
+	for w := range refMarg {
+		for g := range refMarg[w] {
+			if math.Float64bits(refMarg[w][g]) != math.Float64bits(gotMarg[w][g]) {
+				return fmt.Errorf("%s: wire %d marginal[%d] bits diverge between %s and %s: %v vs %v",
+					cs.Name, w, g, refName, gotName, refMarg[w][g], gotMarg[w][g])
+			}
+		}
+	}
+	if ref.State != nil && got.State != nil {
+		ra, ga := ref.State.RawAmplitudes(), got.State.RawAmplitudes()
+		if len(ra) != len(ga) {
+			return fmt.Errorf("%s: state length %d (%s) vs %d (%s)",
+				cs.Name, len(ra), refName, len(ga), gotName)
+		}
+		for i := range ra {
+			if ra[i] != ga[i] {
+				return fmt.Errorf("%s: state amplitude %d diverges between %s and %s: %v vs %v",
+					cs.Name, i, refName, gotName, ra[i], ga[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Marginals reduces flat basis probabilities to per-wire outcome
+// distributions, accumulating in ascending flat-index order so equal
+// inputs give bitwise-equal outputs.
+func Marginals(dims hilbert.Dims, probs []float64) ([][]float64, error) {
+	sp, err := hilbert.NewSpace(dims)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, sp.NumWires())
+	for w := range out {
+		out[w] = make([]float64, sp.Dim(w))
+	}
+	for i, p := range probs {
+		for w := 0; w < sp.NumWires(); w++ {
+			out[w][(i/sp.Stride(w))%sp.Dim(w)] += p
+		}
+	}
+	return out, nil
+}
+
+// RandomCircuit builds a deterministic pseudo-random circuit on the
+// given register: n gates drawn across every kernel class — diagonal
+// (Z, SNAP), monomial (X, XPow), dense (DFT, Givens), and, between
+// same-dimension wire pairs, controlled (CSUM) and diagonal two-qudit
+// (CZ). Wires are picked with a bias toward repeating the previous
+// target so adjacent same-wire runs — the structure fusion collapses —
+// occur often rather than occasionally.
+func RandomCircuit(dims hilbert.Dims, n int, seed int64) (*circuit.Circuit, error) {
+	c, err := circuit.New(dims)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prev := 0
+	for i := 0; i < n; i++ {
+		w := rng.Intn(len(dims))
+		if rng.Intn(2) == 0 {
+			w = prev // repeat the previous wire: feeds fusion runs
+		}
+		d := dims[w]
+		var g gates.Gate
+		var targets []int
+		switch rng.Intn(7) {
+		case 0:
+			g, targets = gates.Z(d), []int{w}
+		case 1:
+			phases := make([]float64, d)
+			for j := range phases {
+				phases[j] = rng.Float64() * 2 * math.Pi
+			}
+			g, targets = gates.SNAP(phases), []int{w}
+		case 2:
+			g, targets = gates.X(d), []int{w}
+		case 3:
+			g, targets = gates.XPow(d, 1+rng.Intn(d-1)), []int{w}
+		case 4:
+			g, targets = gates.DFT(d), []int{w}
+		case 5:
+			j := rng.Intn(d - 1)
+			g, targets = gates.Givens(d, j, j+1, rng.Float64()*math.Pi, rng.Float64()*2*math.Pi), []int{w}
+		default:
+			// Two-qudit gate when a same-dimension partner exists;
+			// otherwise fall back to a dense single-qudit gate.
+			w2 := -1
+			for _, cand := range rng.Perm(len(dims)) {
+				if cand != w && dims[cand] == d {
+					w2 = cand
+					break
+				}
+			}
+			if w2 < 0 {
+				g, targets = gates.DFT(d), []int{w}
+				break
+			}
+			if rng.Intn(2) == 0 {
+				g, targets = gates.CSUM(d, d), []int{w, w2}
+			} else {
+				g, targets = gates.CZ(d, d), []int{w, w2}
+			}
+		}
+		if err := c.Append(g, targets...); err != nil {
+			return nil, err
+		}
+		prev = w
+	}
+	return c, nil
+}

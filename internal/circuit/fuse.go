@@ -1,0 +1,248 @@
+package circuit
+
+import (
+	"strings"
+
+	"quditkit/internal/qmath"
+)
+
+// CompileOptions tunes Circuit compilation. The zero value is the
+// default production configuration (fusion enabled).
+type CompileOptions struct {
+	// DisableFusion keeps every logical op as its own kernel. The
+	// differential and property suites compile both ways and assert
+	// byte-identical results; production code has no reason to set it.
+	DisableFusion bool
+}
+
+// fusedStage is one logical gate inside a fused kernel: the classified
+// payload of the original planOp, kept verbatim so the chained executor
+// performs exactly the arithmetic the unfused kernel would.
+type fusedStage struct {
+	name   string
+	kind   KernelKind
+	diag   []complex128
+	src    []int
+	coef   []complex128
+	blocks []planBlock
+	mat    *qmath.Matrix
+}
+
+// fuseOps collapses maximal runs of adjacent ops sharing an identical
+// ordered target list into single fused kernels. A noise channel is a
+// fusion barrier: the run stops after any op that carries resolved
+// channels, because the channel must see the state exactly as it stands
+// after that gate. (Under per-gate noise models every op carries
+// channels, so noisy plans fuse nothing — the barrier, not a special
+// case.) Measurement is terminal in this engine, so the measurement
+// barrier is the end of the op list itself.
+//
+// Fusion is chained application, not matrix pre-multiplication: a fused
+// kernel gathers each coset block once and applies every stage's
+// classified kernel to it in sequence. Pre-multiplying the matrices
+// would change floating-point rounding and break the byte-identity
+// contract every execution path in this repo is held to; chaining keeps
+// the per-amplitude arithmetic bit-for-bit identical to separate passes
+// while paying the coset traversal and gather/scatter only once per run.
+func fuseOps(ops []planOp) []planOp {
+	fused := make([]planOp, 0, len(ops))
+	for i := 0; i < len(ops); {
+		j := i + 1
+		for j < len(ops) && sameTargets(ops[j].targets, ops[j-1].targets) && len(ops[j-1].noise) == 0 {
+			j++
+		}
+		if j-i == 1 {
+			fused = append(fused, ops[i])
+		} else {
+			fused = append(fused, fuseRun(ops[i:j]))
+		}
+		i = j
+	}
+	return fused
+}
+
+// sameTargets reports whether two target lists are identical including
+// order — order determines the offset table, so [0,1] and [1,0] address
+// the joint block differently and must not fuse.
+func sameTargets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fuseRun builds one fused planOp from a run of ≥2 ops. The fused kind
+// is the join of the stage kinds in the classification lattice
+// diagonal < monomial < controlled < dense — i.e. the cheapest kernel
+// class that still covers every stage, so diagonal∘diagonal stays
+// diagonal and controlled∘controlled stays controlled. The run's noise
+// is the final op's noise (every earlier op is channel-free by the
+// fusion rule), applied after the whole chain like the unfused
+// schedule would.
+func fuseRun(ops []planOp) planOp {
+	first := &ops[0]
+	fused := planOp{
+		name:    fusedName(ops),
+		targets: first.targets,
+		dim:     first.dim,
+		offsets: first.offsets,
+		free:    first.free,
+		kind:    first.kind,
+		noise:   ops[len(ops)-1].noise,
+		stages:  make([]fusedStage, len(ops)),
+	}
+	for i := range ops {
+		o := &ops[i]
+		if o.kind > fused.kind {
+			fused.kind = o.kind
+		}
+		fused.stages[i] = fusedStage{
+			name:   o.name,
+			kind:   o.kind,
+			diag:   o.diag,
+			src:    o.src,
+			coef:   o.coef,
+			blocks: o.blocks,
+			mat:    o.mat,
+		}
+	}
+	return fused
+}
+
+func fusedName(ops []planOp) string {
+	names := make([]string, len(ops))
+	for i := range ops {
+		names[i] = ops[i].name
+	}
+	return strings.Join(names, "∘")
+}
+
+// applyFused executes a fused kernel on one amplitude vector. An
+// all-diagonal chain multiplies phases in place; every other chain
+// gathers the coset block once, runs the stages on the contiguous
+// block, and scatters once. Gather and scatter are exact copies, and
+// chainStages reproduces each stage's unfused arithmetic verbatim, so
+// the result is bit-identical to applying the ops separately.
+func (op *planOp) applyFused(amps qmath.Vector, ws *Workspace) {
+	offs := op.offsets
+	if op.kind == KernelDiagonal {
+		op.free.forEachBase(ws.digits, func(base int) {
+			for si := range op.stages {
+				diag := op.stages[si].diag
+				for k, off := range offs {
+					amps[base+off] *= diag[k]
+				}
+			}
+		})
+		return
+	}
+	cur := ws.scratch[:op.dim]
+	tmp := ws.out[:op.dim]
+	op.free.forEachBase(ws.digits, func(base int) {
+		for k, off := range offs {
+			cur[k] = amps[base+off]
+		}
+		chainStages(op.stages, cur, tmp)
+		for k, off := range offs {
+			amps[base+off] = cur[k]
+		}
+	})
+}
+
+// chainStages applies every stage to the gathered block cur in place,
+// using tmp (same length) as copy scratch. Each case performs the same
+// floating-point operations in the same order as the corresponding
+// unfused kernel in planOp.apply — the copies through tmp replace the
+// unfused path's gather from amps and are exact.
+func chainStages(stages []fusedStage, cur, tmp []complex128) {
+	for si := range stages {
+		st := &stages[si]
+		switch st.kind {
+		case KernelDiagonal:
+			for k := range cur {
+				cur[k] *= st.diag[k]
+			}
+		case KernelMonomial:
+			copy(tmp, cur)
+			for i := range cur {
+				s := st.src[i]
+				if s < 0 {
+					cur[i] = 0
+					continue
+				}
+				cur[i] = st.coef[i] * tmp[s]
+			}
+		case KernelControlled:
+			sub := len(cur) / len(st.blocks)
+			for c := range st.blocks {
+				blk := &st.blocks[c]
+				if blk.skip {
+					continue
+				}
+				seg := cur[c*sub : (c+1)*sub]
+				tseg := tmp[c*sub : (c+1)*sub]
+				switch blk.kind {
+				case KernelDiagonal:
+					for k := range seg {
+						seg[k] *= blk.diag[k]
+					}
+				case KernelMonomial:
+					copy(tseg, seg)
+					for i := range seg {
+						s := blk.src[i]
+						if s < 0 {
+							seg[i] = 0
+							continue
+						}
+						seg[i] = blk.coef[i] * tseg[s]
+					}
+				default:
+					denseChain(blk.mat, seg, tseg)
+				}
+			}
+		default:
+			denseChain(st.mat, cur, tmp)
+		}
+	}
+}
+
+// denseChain multiplies dst by m in place using scratch as the input
+// copy: the same ascending-input, zero-skipping accumulation as
+// denseApply, including its unrolled small-dimension forms, so fused
+// dense stages carry denseApply's bits exactly.
+func denseChain(m *qmath.Matrix, dst, scratch []complex128) {
+	copy(scratch, dst)
+	switch len(dst) {
+	case 2:
+		d := m.Data
+		dst[0] = mul2(d[0], scratch[0], d[1], scratch[1])
+		dst[1] = mul2(d[2], scratch[0], d[3], scratch[1])
+	case 3:
+		d := m.Data
+		dst[0] = mul3(d[0], d[1], d[2], scratch)
+		dst[1] = mul3(d[3], d[4], d[5], scratch)
+		dst[2] = mul3(d[6], d[7], d[8], scratch)
+	case 4:
+		d := m.Data
+		dst[0] = mul4(d[0:4], scratch)
+		dst[1] = mul4(d[4:8], scratch)
+		dst[2] = mul4(d[8:12], scratch)
+		dst[3] = mul4(d[12:16], scratch)
+	default:
+		for i := range dst {
+			row := m.Row(i)
+			var s complex128
+			for k, x := range row {
+				if x != 0 {
+					s += x * scratch[k]
+				}
+			}
+			dst[i] = s
+		}
+	}
+}

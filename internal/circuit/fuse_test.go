@@ -1,0 +1,269 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+)
+
+func mustCircuit(t *testing.T, dims hilbert.Dims, steps ...struct {
+	g       gates.Gate
+	targets []int
+}) *Circuit {
+	t.Helper()
+	c, err := New(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range steps {
+		if err := c.Append(s.g, s.targets...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+type step = struct {
+	g       gates.Gate
+	targets []int
+}
+
+// TestFusionKindLattice checks classification optimality: a fused
+// kernel's kind is the lattice join of its stages, never a promotion
+// beyond it. In particular diagonal∘diagonal stays diagonal — fusion
+// must never turn two O(1)-per-amplitude phase kernels into a dense
+// matrix pass — and controlled∘controlled stays controlled.
+func TestFusionKindLattice(t *testing.T) {
+	d := 3
+	ctrlU := gates.ControlledU(d, 2, gates.DFT(d).Matrix)
+	ctrlV := gates.ControlledU(d, 1, gates.Givens(d, 0, 1, 0.4, 0.9).Matrix)
+	cases := []struct {
+		name string
+		a, b step
+		want KernelKind
+	}{
+		{"diag∘diag", step{gates.Z(d), []int{0}}, step{gates.SNAP([]float64{0.1, 0.2, 0.3}), []int{0}}, KernelDiagonal},
+		{"mono∘mono", step{gates.X(d), []int{0}}, step{gates.XPow(d, 2), []int{0}}, KernelMonomial},
+		{"mono∘diag", step{gates.X(d), []int{0}}, step{gates.Z(d), []int{0}}, KernelMonomial},
+		// CSUM and CZ are themselves monomial/diagonal over the joint
+		// space, so the join of those runs stays below controlled; a
+		// genuinely controlled run needs controlled-dense stages.
+		{"perm∘diag2q", step{gates.CSUM(d, d), []int{0, 1}}, step{gates.CZ(d, d), []int{0, 1}}, KernelMonomial},
+		{"ctrl∘ctrl", step{ctrlU, []int{0, 1}}, step{ctrlV, []int{0, 1}}, KernelControlled},
+		{"dense∘diag", step{gates.DFT(d), []int{0}}, step{gates.Z(d), []int{0}}, KernelDense},
+		{"dense∘mono", step{gates.DFT(d), []int{0}}, step{gates.X(d), []int{0}}, KernelDense},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustCircuit(t, hilbert.Dims{3, 3}, tc.a, tc.b)
+			p, err := c.Compile(noise.Model{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.CompiledLen() != 1 || p.OpsFused() != 1 {
+				t.Fatalf("expected one fused kernel, got %d kernels (%d fused)", p.CompiledLen(), p.OpsFused())
+			}
+			if got := p.Kernels()[0]; got != tc.want {
+				t.Fatalf("fused kind = %v, want %v", got, tc.want)
+			}
+			if sc := p.StageCounts(); sc[0] != 2 {
+				t.Fatalf("StageCounts = %v, want [2]", sc)
+			}
+		})
+	}
+}
+
+// TestFusionDiagonalChainsNeverPromote is the property form of the
+// lattice check: arbitrarily long chains of random diagonal gates on
+// one wire fuse into a single kernel that is still KernelDiagonal.
+func TestFusionDiagonalChainsNeverPromote(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		c, err := New(hilbert.Dims{4, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				if err := c.Append(gates.Z(4), 0); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if err := c.Append(gates.Phase(4, rng.Intn(4), rng.Float64()), 0); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				phases := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+				if err := c.Append(gates.SNAP(phases), 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		p, err := c.Compile(noise.Model{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.CompiledLen() != 1 {
+			t.Fatalf("trial %d: %d diagonal gates compiled to %d kernels, want 1", trial, n, p.CompiledLen())
+		}
+		if k := p.Kernels()[0]; k != KernelDiagonal {
+			t.Fatalf("trial %d: diagonal chain of %d promoted to %v", trial, n, k)
+		}
+	}
+}
+
+// TestFusionAssociativity checks that where the run boundaries fall
+// does not change the bits: executing fuse(A,B,C,D) as one kernel,
+// as fuse(A,B)·fuse(C,D), as fuse(A)·fuse(B,C,D), or entirely unfused
+// yields bit-identical pure states. This is what licenses fuseOps to
+// pick maximal runs greedily — any other partition of a run computes
+// the same bytes.
+func TestFusionAssociativity(t *testing.T) {
+	c := mustCircuit(t, hilbert.Dims{3, 3},
+		step{gates.DFT(3), []int{0}},
+		step{gates.Z(3), []int{0}},
+		step{gates.X(3), []int{0}},
+		step{gates.Givens(3, 0, 2, 0.7, 1.3), []int{0}},
+	)
+	base, err := c.CompileWith(noise.Model{}, CompileOptions{DisableFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.ops) != 4 {
+		t.Fatalf("unfused plan has %d ops, want 4", len(base.ops))
+	}
+	partitions := map[string][][2]int{
+		"one-run":   {{0, 4}},
+		"2+2":       {{0, 2}, {2, 4}},
+		"1+3":       {{0, 1}, {1, 4}},
+		"3+1":       {{0, 3}, {3, 4}},
+		"singleton": {{0, 1}, {1, 2}, {2, 3}, {3, 4}},
+	}
+	ws, err := base.NewWorkspace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]complex128(nil), base.RunPure(ws).RawAmplitudes()...)
+	for name, cuts := range partitions {
+		p := *base
+		p.ops = nil
+		for _, cut := range cuts {
+			run := base.ops[cut[0]:cut[1]]
+			if len(run) == 1 {
+				p.ops = append(p.ops, run[0])
+			} else {
+				p.ops = append(p.ops, fuseRun(run))
+			}
+		}
+		pws, err := p.NewWorkspace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.RunPure(pws).RawAmplitudes()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("partition %s: amplitude %d = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFusionZeroRuns checks the no-op property: a circuit with no two
+// adjacent same-target gates compiles to exactly the unfused kernel
+// list — same length, same kinds, every kernel single-stage.
+func TestFusionZeroRuns(t *testing.T) {
+	c := mustCircuit(t, hilbert.Dims{3, 3, 3},
+		step{gates.DFT(3), []int{0}},
+		step{gates.CSUM(3, 3), []int{0, 1}},
+		step{gates.DFT(3), []int{1}},
+		step{gates.CSUM(3, 3), []int{1, 2}},
+		step{gates.Z(3), []int{0}},
+	)
+	fused, err := c.Compile(noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfused, err := c.CompileWith(noise.Model{}, CompileOptions{DisableFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.OpsFused() != 0 {
+		t.Fatalf("OpsFused = %d on a run-free circuit", fused.OpsFused())
+	}
+	if fused.CompiledLen() != unfused.CompiledLen() {
+		t.Fatalf("kernel count %d != unfused %d", fused.CompiledLen(), unfused.CompiledLen())
+	}
+	fk, uk := fused.Kernels(), unfused.Kernels()
+	for i := range fk {
+		if fk[i] != uk[i] {
+			t.Fatalf("kernel %d kind %v != unfused %v", i, fk[i], uk[i])
+		}
+	}
+	for i, n := range fused.StageCounts() {
+		if n != 1 {
+			t.Fatalf("kernel %d has %d stages on a run-free circuit", i, n)
+		}
+	}
+}
+
+// TestFusionNoiseBarrier checks both barrier rules: a per-gate noise
+// model stops every run (each op carries channels, so nothing fuses),
+// and an idle-noise model suppresses fusion entirely (the density path
+// indexes logical ops by moment).
+func TestFusionNoiseBarrier(t *testing.T) {
+	c := mustCircuit(t, hilbert.Dims{3, 3},
+		step{gates.DFT(3), []int{0}},
+		step{gates.Z(3), []int{0}},
+		step{gates.X(3), []int{0}},
+	)
+	clean, err := c.Compile(noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.OpsFused() != 2 {
+		t.Fatalf("noiseless plan fused %d ops, want 2", clean.OpsFused())
+	}
+	noisy, err := c.Compile(noise.Model{Depol1: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.OpsFused() != 0 {
+		t.Fatalf("gate-noise plan fused %d ops; channels must be fusion barriers", noisy.OpsFused())
+	}
+	idle, err := c.Compile(noise.Model{}.WithIdle(0.01, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.OpsFused() != 0 {
+		t.Fatalf("idle-noise plan fused %d ops; moment-indexed plans must not fuse", idle.OpsFused())
+	}
+}
+
+// TestFusedNames checks the debugging surface: a fused kernel's name
+// joins its stage names with ∘ in application order.
+func TestFusedNames(t *testing.T) {
+	c := mustCircuit(t, hilbert.Dims{3},
+		step{gates.DFT(3), []int{0}},
+		step{gates.Z(3), []int{0}},
+	)
+	p, err := c.Compile(noise.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CompiledLen() != 1 {
+		t.Fatalf("want one kernel, got %d", p.CompiledLen())
+	}
+	name := p.ops[0].name
+	if !strings.Contains(name, "∘") {
+		t.Fatalf("fused name %q missing ∘ separator", name)
+	}
+	if !strings.HasPrefix(name, p.ops[0].stages[0].name) {
+		t.Fatalf("fused name %q does not lead with first stage %q", name, p.ops[0].stages[0].name)
+	}
+}

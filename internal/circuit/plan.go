@@ -127,6 +127,11 @@ type planOp struct {
 	blocks []planBlock   // KernelControlled, one per control digit
 	mat    *qmath.Matrix // KernelDense, and the density-matrix path
 
+	// stages is non-nil for fused kernels: the chained payloads of the
+	// logical ops this kernel absorbed, in application order. kind is
+	// then the lattice join of the stage kinds.
+	stages []fusedStage
+
 	noise []*plannedChannel // resolved gate-noise channels, application order
 }
 
@@ -153,7 +158,15 @@ type Plan struct {
 // per-op resolved noise channels (so the per-shot path never rebuilds
 // Kraus matrices). Compile once, execute many: the same Plan serves any
 // number of workspaces and shots concurrently.
+//
+// Compile fuses adjacent same-target gate runs into chained kernels
+// (see fuseOps); CompileWith can disable that for differential testing.
 func (c *Circuit) Compile(model noise.Model) (*Plan, error) {
+	return c.CompileWith(model, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit options.
+func (c *Circuit) CompileWith(model noise.Model, opts CompileOptions) (*Plan, error) {
 	p := &Plan{
 		space:    c.space,
 		model:    model,
@@ -232,6 +245,13 @@ func (c *Circuit) Compile(model noise.Model) (*Plan, error) {
 		for w := range p.idle {
 			p.idle[w] = model.IdleChannels(c.space.Dim(w))
 		}
+	}
+	// Moment schedules index p.ops by logical op position (RunDensity's
+	// idle-noise path), so idle-noise plans keep the unfused op list —
+	// idle channels fire between every moment anyway, leaving no
+	// channel-free runs worth fusing.
+	if !opts.DisableFusion && p.moments == nil {
+		p.ops = fuseOps(p.ops)
 	}
 	return p, nil
 }
@@ -350,8 +370,31 @@ func (p *Plan) Space() *hilbert.Space { return p.space }
 // Dims returns the register dimensions.
 func (p *Plan) Dims() hilbert.Dims { return p.space.Dims() }
 
-// Len returns the number of compiled ops.
+// Len returns the number of logical ops the plan was compiled from
+// (fusion does not change it — it is the plan-cache identity check).
 func (p *Plan) Len() int { return p.numOps }
+
+// CompiledLen returns the number of kernels after fusion; equal to
+// Len() when nothing fused.
+func (p *Plan) CompiledLen() int { return len(p.ops) }
+
+// OpsFused returns how many logical ops fusion absorbed into chained
+// kernels: Len() - CompiledLen().
+func (p *Plan) OpsFused() int { return p.numOps - len(p.ops) }
+
+// StageCounts returns, per compiled kernel, the number of logical ops
+// it chains (1 for unfused kernels) — for inspection and tests.
+func (p *Plan) StageCounts() []int {
+	out := make([]int, len(p.ops))
+	for i := range p.ops {
+		if n := len(p.ops[i].stages); n > 0 {
+			out[i] = n
+		} else {
+			out[i] = 1
+		}
+	}
+	return out
+}
 
 // Model returns the noise model the plan was compiled against.
 func (p *Plan) Model() noise.Model { return p.model }
@@ -477,6 +520,10 @@ func (p *Plan) RunShot(ws *Workspace, rng *rand.Rand) (*state.Vec, error) {
 // zero entries skipped), so compiled and interpreted execution agree on
 // every probability bit-for-bit.
 func (op *planOp) apply(amps qmath.Vector, ws *Workspace) {
+	if op.stages != nil {
+		op.applyFused(amps, ws)
+		return
+	}
 	switch op.kind {
 	case KernelDiagonal:
 		diag, offs := op.diag, op.offsets
@@ -675,7 +722,16 @@ func (p *Plan) RunDensity() (*density.DM, error) {
 }
 
 func (p *Plan) applyNoisyOp(r *density.DM, op *planOp) error {
-	if err := r.ApplyUnitary(op.mat, op.targets); err != nil {
+	if op.stages != nil {
+		// Fused kernels apply their stages' unitaries in order; only
+		// the final stage can carry noise (fusion barrier), applied
+		// below like the unfused schedule would.
+		for si := range op.stages {
+			if err := r.ApplyUnitary(op.stages[si].mat, op.targets); err != nil {
+				return err
+			}
+		}
+	} else if err := r.ApplyUnitary(op.mat, op.targets); err != nil {
 		return err
 	}
 	for _, pc := range op.noise {

@@ -133,7 +133,7 @@ func TestChaosCoordinatorDeathMidQueue(t *testing.T) {
 			var slowIDs []string
 			var slowBodies []string
 			for i := int64(2); i < 6; i++ {
-				body := ghzBody(25000, base+i)
+				body := ghzBody(65536, base+i)
 				slowBodies = append(slowBodies, body)
 				view, status := postJob(t, ts1.URL, body, false)
 				if status != http.StatusOK && status != http.StatusAccepted {
@@ -398,7 +398,7 @@ func TestChaosSSEWatchSurvivesRequeue(t *testing.T) {
 	f := newFleet(t, cfg, "w1", "w2")
 	// A blocker pins w2's only shard so the watched job stays queued
 	// there long enough for the stream cut to land mid-wait.
-	blocker, s := f.bodyOwnedBy(t, "w2", 40000, 500)
+	blocker, s := f.bodyOwnedBy(t, "w2", 100000, 500)
 	watched, _ := f.bodyOwnedBy(t, "w2", 96, s+1)
 	ref := standaloneRef(t, watched)
 
@@ -527,7 +527,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if fstatus != http.StatusOK || fv.State != "done" {
 		t.Fatalf("fast job: %d %+v", fstatus, fv)
 	}
-	slow := ghzBody(30000, 7)
+	slow := ghzBody(80000, 7)
 	sv, _ := postJob(t, ts1.URL, slow, false)
 
 	data, err := os.ReadFile(ckpt)
@@ -756,7 +756,7 @@ func TestChaosProcessFleet(t *testing.T) {
 	var ids []string
 	var bodies []string
 	for i := int64(0); i < 3; i++ {
-		body := ghzBody(25000, 9000+i)
+		body := ghzBody(65536, 9000+i)
 		bodies = append(bodies, body)
 		view, status := postJob(t, "http://"+pc, body, false)
 		if status != http.StatusOK && status != http.StatusAccepted {

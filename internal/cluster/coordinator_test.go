@@ -312,7 +312,7 @@ func TestSpillOnBackpressure(t *testing.T) {
 	var bodies []string
 	seed := int64(1000)
 	for i := 0; i < 10; i++ {
-		body, s := f.bodyOwnedBy(t, "w1", 32768, seed)
+		body, s := f.bodyOwnedBy(t, "w1", 81920, seed)
 		seed = s + 1
 		bodies = append(bodies, body)
 	}
@@ -355,7 +355,7 @@ func TestCancelThroughCoordinator(t *testing.T) {
 	// A job to cancel, stuck in the queue behind a slow blocker (the
 	// blocker's shot count keeps the single shard busy long enough for
 	// the DELETE to land while the victim is still queued).
-	blocker, seed := f.bodyOwnedBy(t, "w1", 262144, 1)
+	blocker, seed := f.bodyOwnedBy(t, "w1", 524288, 1)
 	victim, _ := f.bodyOwnedBy(t, "w1", 256, seed+1)
 	bview, _ := postJob(t, f.ts.URL, blocker, false)
 	vview, _ := postJob(t, f.ts.URL, victim, false)

@@ -99,7 +99,7 @@ func TestDurabilityStandaloneKill9(t *testing.T) {
 			// lands, so all three must survive into the restart.
 			var ids, bodies []string
 			for i := int64(0); i < 3; i++ {
-				body := ghzBody(25000, int64(seed)*100+i)
+				body := ghzBody(65536, int64(seed)*100+i)
 				bodies = append(bodies, body)
 				view, status := postJob(t, base, body, false)
 				if status != http.StatusOK && status != http.StatusAccepted {

@@ -94,7 +94,7 @@ func TestRunJobCancelReapsRemote(t *testing.T) {
 	// fire-and-forget: only its occupancy matters.
 	go func() {
 		resp, err := http.Post(f.ts.URL+"/v1/jobs?wait=1", "application/json",
-			strings.NewReader(ghzBody(1<<16, 600)))
+			strings.NewReader(ghzBody(1<<17, 600)))
 		if err == nil {
 			resp.Body.Close()
 		}
@@ -104,7 +104,7 @@ func TestRunJobCancelReapsRemote(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, err := f.coord.RunJob(ctx, nil, runJobReq(t, ghzBody(1<<16, 601)))
+		_, err := f.coord.RunJob(ctx, nil, runJobReq(t, ghzBody(1<<17, 601)))
 		errc <- err
 	}()
 	time.Sleep(100 * time.Millisecond)

@@ -31,6 +31,16 @@ type ExecSpec struct {
 	// of the compiled-plan cache key, so plans lowered against different
 	// devices or transpile levels never alias.
 	TranspileFP uint64
+	// ShotBatch streams up to this many trajectory state vectors through
+	// the plan together per worker (Trajectory backend only). Values
+	// below 2 select the single-shot path. Results are bit-for-bit
+	// identical for every batch size — the differential suite enforces
+	// it — so the knob trades memory for throughput, never accuracy.
+	ShotBatch int
+	// DisableFusion compiles the plan without gate fusion. It exists for
+	// the differential and benchmark ablation paths; production requests
+	// never set it.
+	DisableFusion bool
 }
 
 // context returns the spec's context, defaulting to Background.
@@ -98,7 +108,7 @@ func (StatevectorBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution,
 		return Execution{}, fmt.Errorf("core: %s backend cannot apply noise; use %s or %s",
 			Statevector, DensityMatrix, Trajectory)
 	}
-	plan, err := planFor(c, noise.Model{}, spec.TranspileFP)
+	plan, err := planFor(c, noise.Model{}, spec.TranspileFP, spec.DisableFusion)
 	if err != nil {
 		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
 	}
@@ -138,7 +148,7 @@ func (DensityMatrixBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Executio
 	if err := spec.context().Err(); err != nil {
 		return Execution{}, err
 	}
-	plan, err := planFor(c, spec.Noise, spec.TranspileFP)
+	plan, err := planFor(c, spec.Noise, spec.TranspileFP, spec.DisableFusion)
 	if err != nil {
 		return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
 	}
@@ -198,6 +208,30 @@ const (
 	trajStripeMem = 1 << 24 // floats across all stripes (128 MiB)
 )
 
+// shotSource is the trajectory engine's rand.Source64: splitmix64 with
+// an O(1) Seed. The default math/rand source expands every Seed into a
+// 607-word lagged-Fibonacci table — profiled at ~46% of a compiled
+// noisy shot, because the engine reseeds per shot to give trajectory t
+// its own (seed, t)-derived stream. Every trajectory path (interpreted,
+// compiled, batched, any worker count) draws from this same generator,
+// which is what preserves their byte-identity; the per-stream variates
+// differ from the old source, which is fine — no contract pins
+// trajectory results across versions, only across paths and worker
+// counts within one build.
+type shotSource struct{ s uint64 }
+
+func (src *shotSource) Seed(seed int64) { src.s = uint64(seed) }
+
+func (src *shotSource) Uint64() uint64 {
+	src.s += 0x9e3779b97f4a7c15
+	z := src.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (src *shotSource) Int63() int64 { return int64(src.Uint64() >> 1) }
+
 func trajectoryStripes(shots, dim int) int {
 	s := trajStripeCap
 	if m := trajStripeMem / dim; m < s {
@@ -231,7 +265,7 @@ func (b TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution
 		}
 	} else {
 		var err error
-		plan, err = planFor(c, spec.Noise, spec.TranspileFP)
+		plan, err = planFor(c, spec.Noise, spec.TranspileFP, spec.DisableFusion)
 		if err != nil {
 			return Execution{}, fmt.Errorf("%w: %v", ErrNotSimulable, err)
 		}
@@ -266,22 +300,83 @@ func (b TrajectoryBackend) Execute(c *circuit.Circuit, spec ExecSpec) (Execution
 		go func(w int) {
 			defer wg.Done()
 			var ws *circuit.Workspace
+			var bw *circuit.BatchWorkspace
+			var rngs []*rand.Rand
 			if !b.Interpreted {
-				var err error
-				ws, err = plan.NewWorkspace()
-				if err != nil {
-					errs[w] = fmt.Errorf("%w: %v", ErrNotSimulable, err)
-					return
+				if spec.ShotBatch > 1 {
+					var err error
+					bw, err = plan.NewBatchWorkspace(spec.ShotBatch)
+					if err != nil {
+						errs[w] = fmt.Errorf("%w: %v", ErrNotSimulable, err)
+						return
+					}
+					if bw.Width() > 1 {
+						rngs = make([]*rand.Rand, bw.Width())
+						for i := range rngs {
+							rngs[i] = rand.New(new(shotSource))
+						}
+					} else {
+						bw = nil // memory clamp degenerated to 1: single-shot path
+					}
+				}
+				if bw == nil {
+					var err error
+					ws, err = plan.NewWorkspace()
+					if err != nil {
+						errs[w] = fmt.Errorf("%w: %v", ErrNotSimulable, err)
+						return
+					}
 				}
 			}
 			var sampler qmath.CDFSampler
 			// One reseeded rng per worker replaces one allocation per
-			// shot; Seed(k) restarts the exact stream NewSource(k) would.
-			rng := rand.New(rand.NewSource(0))
+			// shot; Seed restarts the per-shot stream in O(1).
+			rng := rand.New(new(shotSource))
 			// Strided stripe assignment: deterministic, and it balances
 			// the pool without a shared queue.
 			for s := w; s < stripes; s += workers {
 				local := partials[s]
+				if bw != nil {
+					// Batched: group the stripe's shots bw.Width() at a
+					// time. Vector v carries trajectory t0+v*stripes on its
+					// own (seed, t)-derived stream, and probabilities
+					// accumulate in ascending-t order after the batch, so
+					// results match the single-shot loop bit-for-bit.
+					// Cancellation latency grows to one batch.
+					kb := bw.Width()
+					for t0 := s; t0 < shots; t0 += stripes * kb {
+						if err := ctx.Err(); err != nil {
+							errs[w] = err
+							return
+						}
+						nb := 0
+						for t := t0; t < shots && nb < kb; t += stripes {
+							rngs[nb].Seed(mixSeed(spec.Seed, uint64(t)))
+							nb++
+						}
+						if err := plan.RunShotBatch(bw, rngs[:nb]); err != nil {
+							errs[w] = fmt.Errorf("trajectory batch at %d (stride %d): %w: %v", t0, stripes, ErrNotSimulable, err)
+							return
+						}
+						for v, t := 0, t0; v < nb; v, t = v+1, t+stripes {
+							probs := bw.BornProbabilities(v)
+							if t == 0 && noiseless {
+								sv, err := bw.CloneState(v)
+								if err != nil {
+									errs[w] = fmt.Errorf("%w: %v", ErrNotSimulable, err)
+									return
+								}
+								first = sv
+							}
+							for i, p := range probs {
+								local[i] += p
+							}
+							sampler.Load(probs)
+							outcomes[t] = sampler.Draw(rngs[v])
+						}
+					}
+					continue
+				}
 				for t := s; t < shots; t += stripes {
 					// Polling between trajectories bounds the cancellation
 					// latency to one shot rather than the whole batch.

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"quditkit/internal/circuit"
+	"quditkit/internal/gates"
+	"quditkit/internal/hilbert"
+	"quditkit/internal/noise"
+)
+
+// TestShotBatchExecutionMatchesUnbatched pins the backend half of the
+// batch contract inside package core: a trajectory Execution with
+// ShotBatch set must produce byte-identical Counts and MeanProbs to
+// the single-shot path at every worker count, because each trajectory
+// keeps its own shot-index-derived stream no matter how shots are
+// grouped.
+func TestShotBatchExecutionMatchesUnbatched(t *testing.T) {
+	c := randomQutritCircuit(t, 4242, 3)
+	model := noise.Model{Depol1: 0.02, Depol2: 0.04, Damping: 0.01, Dephasing: 0.02}
+	base, err := TrajectoryBackend{}.Execute(c, ExecSpec{Noise: model, Shots: 96, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, batch := range []int{8, 32} {
+			got, err := TrajectoryBackend{}.Execute(c, ExecSpec{
+				Noise: model, Shots: 96, Seed: 9, Workers: workers, ShotBatch: batch,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Counts.Equal(base.Counts) {
+				t.Fatalf("workers=%d batch=%d: counts %v != unbatched %v",
+					workers, batch, got.Counts, base.Counts)
+			}
+			for k := range base.MeanProbs {
+				if got.MeanProbs[k] != base.MeanProbs[k] {
+					t.Fatalf("workers=%d batch=%d basis %d: MeanProbs diverge", workers, batch, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheFusionCounters: compiling a fusable circuit must bump
+// the process-wide fusion gauges /v1/stats reports, and PlanCacheReset
+// must zero them.
+func TestPlanCacheFusionCounters(t *testing.T) {
+	PlanCacheReset()
+	c, err := circuit.New(hilbert.Dims{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustAppend(gates.Z(3), 0)
+	c.MustAppend(gates.SNAP([]float64{0.1, 0.2, 0.3}), 0)
+	c.MustAppend(gates.DFT(3), 0)
+	c.MustAppend(gates.CSUM(3, 3), 0, 1)
+	if _, err := (TrajectoryBackend{}).Execute(c, ExecSpec{Shots: 4, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	plans, ops := PlanCacheFusion()
+	if plans != 1 || ops != 2 {
+		t.Fatalf("fusion counters = (%d plans, %d ops), want (1, 2)", plans, ops)
+	}
+	// A cache hit must not double-count fusion work.
+	if _, err := (TrajectoryBackend{}).Execute(c, ExecSpec{Shots: 4, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if plans, ops = PlanCacheFusion(); plans != 1 || ops != 2 {
+		t.Fatalf("cache hit changed fusion counters to (%d, %d)", plans, ops)
+	}
+	PlanCacheReset()
+	if plans, ops = PlanCacheFusion(); plans != 0 || ops != 0 {
+		t.Fatalf("PlanCacheReset left fusion counters at (%d, %d)", plans, ops)
+	}
+}
+
+// TestRunOptionResolvers covers the option plumbing job-service layers
+// read back out of an option list.
+func TestRunOptionResolvers(t *testing.T) {
+	cfg := defaultRunConfig()
+	WithShotBatch(16)(&cfg)
+	if cfg.shotBatch != 16 {
+		t.Fatalf("WithShotBatch(16) set %d", cfg.shotBatch)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if got := ContextOf(WithContext(ctx)); got != ctx {
+		t.Fatal("ContextOf did not return the attached context")
+	}
+	if got := ContextOf(); got != nil {
+		t.Fatalf("ContextOf() = %v, want nil", got)
+	}
+	if got := ShotsOf(WithShots(384)); got != 384 {
+		t.Fatalf("ShotsOf = %d, want 384", got)
+	}
+	if got := ShotsOf(); got != 0 {
+		t.Fatalf("ShotsOf() = %d, want 0", got)
+	}
+}
+
+// TestDeriveSeedStreams: named streams from one base seed must be
+// deterministic and pairwise independent-looking (distinct), and a
+// different base must move every stream.
+func TestDeriveSeedStreams(t *testing.T) {
+	a1 := DeriveSeed(7, "sampling")
+	a2 := DeriveSeed(7, "sampling")
+	b := DeriveSeed(7, "baseline")
+	o := DeriveSeed(8, "sampling")
+	if a1 != a2 {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if a1 == b {
+		t.Fatal("distinct streams collided")
+	}
+	if a1 == o {
+		t.Fatal("distinct base seeds collided")
+	}
+}
+
+// TestCountsHistogramViews covers the read-side helpers of Counts.
+func TestCountsHistogramViews(t *testing.T) {
+	c := Counts{"00": 6, "11": 3, "22": 1}
+	if got := c.Prob("00"); got != 0.6 {
+		t.Fatalf("Prob(00) = %v, want 0.6", got)
+	}
+	if got := (Counts{}).Prob("00"); got != 0 {
+		t.Fatalf("empty Prob = %v, want 0", got)
+	}
+	top := c.Top(2)
+	if len(top) != 2 || top[0].Key != "00" || top[0].N != 6 || top[1].Key != "11" {
+		t.Fatalf("Top(2) = %v", top)
+	}
+	if got := c.Top(10); len(got) != 3 {
+		t.Fatalf("Top(10) returned %d entries", len(got))
+	}
+}

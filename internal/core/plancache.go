@@ -22,9 +22,10 @@ const planCacheCap = 128
 // backend use) keeps plans lowered against different devices or levels
 // from ever aliasing through a circuit-fingerprint collision.
 type planKey struct {
-	fp    uint64
-	tfp   uint64
-	model noise.Model
+	fp     uint64
+	tfp    uint64
+	model  noise.Model
+	nofuse bool // fusion-disabled plans (differential runs) never alias fused ones
 }
 
 // planCache is a process-wide bounded FIFO cache of compiled execution
@@ -32,11 +33,13 @@ type planKey struct {
 // shard). Plans are immutable and safe for concurrent execution, so
 // cache hits hand the same *circuit.Plan to any number of workers.
 var planCache = struct {
-	mu     sync.Mutex
-	plans  map[planKey]*circuit.Plan
-	order  []planKey
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	mu         sync.Mutex
+	plans      map[planKey]*circuit.Plan
+	order      []planKey
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	fusedPlans atomic.Uint64 // compiled plans that fused at least one run
+	fusedOps   atomic.Uint64 // logical ops absorbed into fused kernels, cumulative
 }{plans: make(map[planKey]*circuit.Plan)}
 
 // planFor returns the compiled plan for (circuit, transpile
@@ -44,8 +47,9 @@ var planCache = struct {
 // collision between genuinely different circuits is caught by the
 // dimension check and recompiled without caching (the same collision
 // tolerance the result cache accepts).
-func planFor(c *circuit.Circuit, model noise.Model, transpileFP uint64) (*circuit.Plan, error) {
-	key := planKey{fp: Fingerprint(c), tfp: transpileFP, model: model}
+func planFor(c *circuit.Circuit, model noise.Model, transpileFP uint64, nofuse bool) (*circuit.Plan, error) {
+	key := planKey{fp: Fingerprint(c), tfp: transpileFP, model: model, nofuse: nofuse}
+	copts := circuit.CompileOptions{DisableFusion: nofuse}
 	planCache.mu.Lock()
 	if p, ok := planCache.plans[key]; ok {
 		planCache.mu.Unlock()
@@ -53,13 +57,17 @@ func planFor(c *circuit.Circuit, model noise.Model, transpileFP uint64) (*circui
 			planCache.hits.Add(1)
 			return p, nil
 		}
-		return c.Compile(model) // fingerprint collision: do not poison the cache
+		return c.CompileWith(model, copts) // fingerprint collision: do not poison the cache
 	}
 	planCache.mu.Unlock()
 	planCache.misses.Add(1)
-	p, err := c.Compile(model)
+	p, err := c.CompileWith(model, copts)
 	if err != nil {
 		return nil, err
+	}
+	if fused := p.OpsFused(); fused > 0 {
+		planCache.fusedPlans.Add(1)
+		planCache.fusedOps.Add(uint64(fused))
 	}
 	planCache.mu.Lock()
 	if _, ok := planCache.plans[key]; !ok {
@@ -82,4 +90,30 @@ func PlanCacheStats() (hits, misses uint64, entries int) {
 	entries = len(planCache.plans)
 	planCache.mu.Unlock()
 	return planCache.hits.Load(), planCache.misses.Load(), entries
+}
+
+// PlanCacheFusion reports cumulative gate-fusion work across all plan
+// compilations since process start (or the last PlanCacheReset):
+// fusedPlans counts compiled plans where at least one run fused,
+// fusedOps the logical ops absorbed into chained kernels. Surfaced in
+// the job service's /v1/stats alongside the hit/miss counters.
+func PlanCacheFusion() (fusedPlans, fusedOps uint64) {
+	return planCache.fusedPlans.Load(), planCache.fusedOps.Load()
+}
+
+// PlanCacheReset empties the process-wide plan cache and zeroes every
+// counter. Benchmarks use it so each measurement starts from a cold,
+// warmed-on-its-own-terms cache instead of inheriting plans compiled
+// by whatever ran earlier in the same process; tests use it for
+// counter isolation. Concurrent executions holding a *circuit.Plan are
+// unaffected — plans are immutable.
+func PlanCacheReset() {
+	planCache.mu.Lock()
+	planCache.plans = make(map[planKey]*circuit.Plan)
+	planCache.order = nil
+	planCache.mu.Unlock()
+	planCache.hits.Store(0)
+	planCache.misses.Store(0)
+	planCache.fusedPlans.Store(0)
+	planCache.fusedOps.Store(0)
 }

@@ -101,12 +101,12 @@ func TestDensityCompiledMatchesInterpreted(t *testing.T) {
 func TestPlanCacheReusesPlans(t *testing.T) {
 	c := randomQutritCircuit(t, 777, 2)
 	model := noise.Model{Damping: 0.02}
-	p1, err := planFor(c, model, 0)
+	p1, err := planFor(c, model, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hits0, _, _ := PlanCacheStats()
-	p2, err := planFor(c, model, 0)
+	p2, err := planFor(c, model, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestPlanCacheReusesPlans(t *testing.T) {
 		t.Errorf("plan cache empty after compile")
 	}
 	// A different model is a different plan.
-	p3, err := planFor(c, noise.Model{Damping: 0.05}, 0)
+	p3, err := planFor(c, noise.Model{Damping: 0.05}, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

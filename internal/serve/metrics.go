@@ -41,6 +41,8 @@ func (s *Service) WriteMetrics(b *metrics.Buffer) {
 	b.Family("quditd_plan_cache_hits_total", "Compiled-plan cache hits.", metrics.Counter).Add(float64(st.PlanCacheHits))
 	b.Family("quditd_plan_cache_misses_total", "Compiled-plan cache misses.", metrics.Counter).Add(float64(st.PlanCacheMisses))
 	b.Family("quditd_plan_cache_entries", "Compiled-plan cache population.", metrics.Gauge).Add(float64(st.PlanCacheLen))
+	b.Family("quditd_plan_cache_fused_plans_total", "Compiled plans with at least one fused gate run.", metrics.Counter).Add(float64(st.PlanCacheFusedPlans))
+	b.Family("quditd_plan_cache_fused_ops_total", "Logical ops absorbed into fused kernels.", metrics.Counter).Add(float64(st.PlanCacheFusedOps))
 
 	if st.Journal != nil {
 		b.Family("quditd_journal_wal_bytes", "Write-ahead log size.", metrics.Gauge).

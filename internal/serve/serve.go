@@ -214,6 +214,12 @@ type Stats struct {
 	PlanCacheHits   uint64 `json:"plan_cache_hits"`
 	PlanCacheMisses uint64 `json:"plan_cache_misses"`
 	PlanCacheLen    int    `json:"plan_cache_len"`
+	// PlanCacheFusedPlans and PlanCacheFusedOps report gate-fusion
+	// work (core.PlanCacheFusion): how many compiled plans fused at
+	// least one same-target gate run, and how many logical ops those
+	// runs absorbed into chained kernels.
+	PlanCacheFusedPlans uint64 `json:"plan_cache_fused_plans"`
+	PlanCacheFusedOps   uint64 `json:"plan_cache_fused_ops"`
 	// Shards, QueueDepth, and BatchSize echo the resolved Config.
 	Shards     int `json:"shards"`
 	QueueDepth int `json:"queue_depth"`
@@ -572,6 +578,7 @@ func (s *Service) CancelJob(id JobID) error {
 func (s *Service) Stats() Stats {
 	hits, misses, evictions := s.cache.counters()
 	planHits, planMisses, planLen := core.PlanCacheStats()
+	fusedPlans, fusedOps := core.PlanCacheFusion()
 	queued := int(s.queuedGauge.Load())
 	running := int(s.runningGauge.Load())
 	var js *JournalStats
@@ -587,27 +594,29 @@ func (s *Service) Stats() Stats {
 		depths[i] = sh.len()
 	}
 	return Stats{
-		Enqueued:        s.enqueued.Load(),
-		Completed:       s.completed.Load(),
-		Failed:          s.failed.Load(),
-		Cancelled:       s.cancelled.Load(),
-		Queued:          queued,
-		Running:         running,
-		InflightShots:   s.inflightShots.Load(),
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheEvictions:  evictions,
-		CacheLen:        s.cache.len(),
-		CacheCap:        s.cfg.CacheSize,
-		PlanCacheHits:   planHits,
-		PlanCacheMisses: planMisses,
-		PlanCacheLen:    planLen,
-		Shards:          s.cfg.Shards,
-		QueueDepth:      s.cfg.QueueDepth,
-		BatchSize:       s.cfg.BatchSize,
-		ShardDepths:     depths,
-		Tenants:         s.tenantUsage(),
-		Journal:         js,
+		Enqueued:            s.enqueued.Load(),
+		Completed:           s.completed.Load(),
+		Failed:              s.failed.Load(),
+		Cancelled:           s.cancelled.Load(),
+		Queued:              queued,
+		Running:             running,
+		InflightShots:       s.inflightShots.Load(),
+		CacheHits:           hits,
+		CacheMisses:         misses,
+		CacheEvictions:      evictions,
+		CacheLen:            s.cache.len(),
+		CacheCap:            s.cfg.CacheSize,
+		PlanCacheHits:       planHits,
+		PlanCacheMisses:     planMisses,
+		PlanCacheLen:        planLen,
+		PlanCacheFusedPlans: fusedPlans,
+		PlanCacheFusedOps:   fusedOps,
+		Shards:              s.cfg.Shards,
+		QueueDepth:          s.cfg.QueueDepth,
+		BatchSize:           s.cfg.BatchSize,
+		ShardDepths:         depths,
+		Tenants:             s.tenantUsage(),
+		Journal:             js,
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"quditkit/internal/core"
 	"quditkit/internal/httpapi"
+	"quditkit/internal/noise"
 	"quditkit/internal/tenant"
 )
 
@@ -403,6 +404,114 @@ func TestMixedTenantByteIdentical(t *testing.T) {
 	for _, id := range load {
 		if _, err := s.Await(ctx, id); err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestMixedTenantBatchedByteIdentical extends fairness criterion (c)
+// to shot batching: a saturated weighted-DRR service running every job
+// with shot_batch=32 returns results byte-identical to an undisturbed
+// single-tenant service running the same submissions unbatched. The
+// batch knob must change throughput only — not results (the engine's
+// byte-identity contract) and not scheduling identity (WithShotBatch
+// is excluded from OptionsDigest, so a batched job deduplicates and
+// caches exactly like its unbatched twin, and the DRR queue charges
+// both one slot).
+func TestMixedTenantBatchedByteIdentical(t *testing.T) {
+	const n = 6
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	model := noise.Model{Depol1: 0.01, Dephasing: 0.005}
+	jobOpts := func(i int) []core.RunOption {
+		return []core.RunOption{
+			core.WithBackend(core.Trajectory),
+			core.WithNoise(model),
+			core.WithShots(512),
+			core.WithSeed(int64(3000 + i)),
+		}
+	}
+
+	// The scheduler and caches must see a batched job as the same job.
+	if core.OptionsDigest(jobOpts(0)...) != core.OptionsDigest(append(jobOpts(0), core.WithShotBatch(32))...) {
+		t.Fatal("WithShotBatch changed OptionsDigest; batched jobs would miss the result cache")
+	}
+
+	baseline := make([][]byte, n)
+	base := newTestService(t, Config{CacheSize: -1})
+	for i := 0; i < n; i++ {
+		id, err := base.Enqueue(ghz(t), jobOpts(i)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := base.Await(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i], err = json.Marshal(NewResultView(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg, err := tenant.Load([]byte(`{"tenants": [
+		{"name": "acme", "api_key": "k-a", "weight": 2},
+		{"name": "bob",  "api_key": "k-b"}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acme, _ := reg.ByName("acme")
+	bob, _ := reg.ByName("bob")
+	bully := tenant.NewAnonymous()
+	s := newTestService(t, Config{Shards: 2, CacheSize: -1, Tenants: reg})
+	var load []JobID
+	for i := 0; i < 20; i++ {
+		id, err := s.EnqueueAs(bully, ghz(t),
+			core.WithBackend(core.Trajectory), core.WithNoise(model),
+			core.WithShots(256), core.WithSeed(int64(7000+i)),
+			core.WithShotBatch(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		load = append(load, id)
+	}
+	ids := make([]JobID, n)
+	for i := 0; i < n; i++ {
+		owner := acme
+		if i%2 == 1 {
+			owner = bob
+		}
+		opts := append(jobOpts(i), core.WithShotBatch(32), core.WithWorkers(1+i%2*3))
+		id, err := s.EnqueueAs(owner, ghz(t), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		res, err := s.Await(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(NewResultView(res))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(baseline[i]) {
+			t.Fatalf("batched job %d diverged from unbatched baseline:\n%s\n%s", i, got, baseline[i])
+		}
+	}
+	for _, id := range load {
+		if _, err := s.Await(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fairness accounting is undisturbed by batching: every weighted
+	// tenant's jobs completed and nothing was rejected or failed.
+	for _, acct := range []*tenant.Account{acme, bob} {
+		u := acct.Snapshot()
+		if u.Completed != n/2 || u.Failed != 0 || u.QuotaRejected != 0 {
+			t.Fatalf("%s accounting under batched load: %+v", acct.Name(), u)
 		}
 	}
 }

@@ -83,6 +83,10 @@ const (
 	MaxShots = 1 << 20
 	// MaxWorkers caps the requested trajectory pool width.
 	MaxWorkers = 256
+	// MaxShotBatch caps the requested per-worker shot batch; the
+	// engine additionally clamps the batch arena to a fixed memory
+	// budget, so the cap only bounds obviously absurd requests.
+	MaxShotBatch = 4096
 	// MaxDeviceCavities caps the chain length of a wire-requested
 	// device (see DeviceSpec); forecast modules carry at most 4 modes,
 	// so this also bounds the physical register width at 32 modes.
@@ -311,6 +315,10 @@ type JobRequest struct {
 	// Workers widens the trajectory pool (core.WithWorkers); never
 	// affects results or the cache key.
 	Workers int `json:"workers,omitempty"`
+	// ShotBatch streams up to this many trajectory shots through the
+	// plan together per worker (core.WithShotBatch); like Workers it
+	// never affects results or the cache key.
+	ShotBatch int `json:"shot_batch,omitempty"`
 	// Noise attaches an explicit per-gate noise model.
 	Noise *NoiseSpec `json:"noise,omitempty"`
 	// DeriveNoiseDim, when positive, derives the device's physical
@@ -359,6 +367,12 @@ func (r JobRequest) Options(proc *core.Processor) ([]core.RunOption, error) {
 	}
 	if r.Workers > 0 {
 		opts = append(opts, core.WithWorkers(r.Workers))
+	}
+	if r.ShotBatch > MaxShotBatch {
+		return nil, fmt.Errorf("serve: %d shot_batch exceeds the limit of %d", r.ShotBatch, MaxShotBatch)
+	}
+	if r.ShotBatch > 0 {
+		opts = append(opts, core.WithShotBatch(r.ShotBatch))
 	}
 	if r.Noise != nil && r.DeriveNoiseDim > 0 {
 		return nil, fmt.Errorf("serve: noise and derive_noise_dim are mutually exclusive")
